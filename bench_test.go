@@ -1,0 +1,205 @@
+package krad_test
+
+// The benchmark harness: one testing.B target per experiment in DESIGN.md's
+// per-experiment index (E1–E10), each running the full table generation so
+// `go test -bench=.` regenerates every reproduced figure/table, plus
+// microbenchmarks of the scheduling primitives. Table output itself is
+// produced by cmd/kradbench; here the work is measured.
+
+import (
+	"fmt"
+	"testing"
+
+	"krad"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := krad.FindExperiment(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl, err := e.Run(krad.ExperimentOptions{Quick: true, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkE1_KDAGModel(b *testing.B)               { benchExperiment(b, "E1") }
+func BenchmarkE2_RADStep(b *testing.B)                 { benchExperiment(b, "E2") }
+func BenchmarkE3_AdversarialLowerBound(b *testing.B)   { benchExperiment(b, "E3") }
+func BenchmarkE4_MakespanCompetitiveness(b *testing.B) { benchExperiment(b, "E4") }
+func BenchmarkE5_MRTLightLoad(b *testing.B)            { benchExperiment(b, "E5") }
+func BenchmarkE6_MRTHeavyLoad(b *testing.B)            { benchExperiment(b, "E6") }
+func BenchmarkE7_K1MeanResponse(b *testing.B)          { benchExperiment(b, "E7") }
+func BenchmarkE8_BaselineComparison(b *testing.B)      { benchExperiment(b, "E8") }
+func BenchmarkE9_Ablations(b *testing.B)               { benchExperiment(b, "E9") }
+func BenchmarkE10_EngineScaling(b *testing.B)          { benchExperiment(b, "E10") }
+func BenchmarkE11_PerfHeterogeneity(b *testing.B)      { benchExperiment(b, "E11") }
+func BenchmarkE12_ProfileRepresentation(b *testing.B)  { benchExperiment(b, "E12") }
+func BenchmarkE13_QuantumSensitivity(b *testing.B)     { benchExperiment(b, "E13") }
+func BenchmarkE14_InductionReplay(b *testing.B)        { benchExperiment(b, "E14") }
+func BenchmarkE15_FairnessPrice(b *testing.B)          { benchExperiment(b, "E15") }
+func BenchmarkE16_NonPreemptive(b *testing.B)          { benchExperiment(b, "E16") }
+func BenchmarkE17_ReallocationChurn(b *testing.B)      { benchExperiment(b, "E17") }
+func BenchmarkE18_SWFReplay(b *testing.B)              { benchExperiment(b, "E18") }
+func BenchmarkE19_Randomization(b *testing.B)          { benchExperiment(b, "E19") }
+func BenchmarkE20_ExactRatios(b *testing.B)            { benchExperiment(b, "E20") }
+func BenchmarkE21_SpeedAugmentation(b *testing.B)      { benchExperiment(b, "E21") }
+
+// BenchmarkProfileEngine measures the compact profile representation at a
+// scale the per-task DAG representation cannot reach.
+func BenchmarkProfileEngine(b *testing.B) {
+	specs, err := krad.GenerateProfiles(krad.ProfileGenOpts{
+		K: 3, Jobs: 64, MinPhases: 2, MaxPhases: 8, MaxParallelism: 100_000, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tasks := 0
+	for _, s := range specs {
+		tasks += s.Source.TotalTasks()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := krad.Run(krad.Config{
+			K: 3, Caps: []int{256, 256, 256}, Scheduler: krad.NewKRAD(3),
+		}, specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tasks), "tasks/op")
+}
+
+// BenchmarkDeq measures the Figure 2 DEQ primitive across regimes.
+func BenchmarkDeq(b *testing.B) {
+	for _, n := range []int{4, 32, 256} {
+		desires := make([]int, n)
+		for i := range desires {
+			desires[i] = 1 + i%13
+		}
+		for _, p := range []int{n / 2, 2 * n} {
+			b.Run(fmt.Sprintf("jobs=%d/p=%d", n, p), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					krad.Deq(desires, p, i)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkKRADAllot measures a full K-RAD allotment step.
+func BenchmarkKRADAllot(b *testing.B) {
+	for _, cfg := range []struct{ k, n int }{{1, 16}, {3, 64}, {3, 512}, {8, 256}} {
+		b.Run(fmt.Sprintf("K=%d/jobs=%d", cfg.k, cfg.n), func(b *testing.B) {
+			s := krad.NewKRAD(cfg.k)
+			caps := make([]int, cfg.k)
+			for i := range caps {
+				caps[i] = 8
+			}
+			jobs := make([]krad.JobView, cfg.n)
+			for i := range jobs {
+				d := make([]int, cfg.k)
+				for a := range d {
+					d[a] = (i + a) % 7
+				}
+				jobs[i] = krad.JobView{ID: i, Desire: d}
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.Allot(int64(i), jobs, caps)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineRun measures end-to-end simulation throughput.
+func BenchmarkEngineRun(b *testing.B) {
+	for _, n := range []int{20, 100, 400} {
+		b.Run(fmt.Sprintf("jobs=%d", n), func(b *testing.B) {
+			specs, err := krad.Mix{K: 3, Jobs: n, MinSize: 10, MaxSize: 50, Seed: 1}.Generate()
+			if err != nil {
+				b.Fatal(err)
+			}
+			tasks := 0
+			for _, s := range specs {
+				tasks += s.Graph.NumTasks()
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := krad.Run(krad.Config{
+					K: 3, Caps: []int{8, 8, 8}, Scheduler: krad.NewKRAD(3),
+				}, specs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = res
+			}
+			b.ReportMetric(float64(tasks), "tasks/op")
+		})
+	}
+}
+
+// BenchmarkEngineParallel compares serial and goroutine-parallel execution.
+func BenchmarkEngineParallel(b *testing.B) {
+	specs, err := krad.Mix{K: 3, Jobs: 600, MinSize: 20, MaxSize: 80, Seed: 1}.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []string{"serial", "parallel"} {
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := krad.Run(krad.Config{
+					K: 3, Caps: []int{16, 16, 16}, Scheduler: krad.NewKRAD(3),
+					Parallel: mode == "parallel", Workers: 8,
+				}, specs)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAdversarialInstance measures Figure 3 construction + execution
+// at the scale used by E3's largest row.
+func BenchmarkAdversarialInstance(b *testing.B) {
+	caps := []int{4, 4, 4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		adv, err := krad.NewAdversarial(3, 8, caps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs := adv.JobSet(true)
+		specs := make([]krad.JobSpec, len(jobs))
+		for j, g := range jobs {
+			specs[j] = krad.JobSpec{Graph: g}
+		}
+		if _, err := krad.Run(krad.Config{
+			K: 3, Caps: caps, Scheduler: krad.NewKRAD(3), Pick: krad.PickCPLast,
+		}, specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSqSum measures the Definition 4 primitive.
+func BenchmarkSqSum(b *testing.B) {
+	works := make([]int, 1000)
+	for i := range works {
+		works[i] = (i * 37) % 211
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		krad.SqSum(works)
+	}
+}

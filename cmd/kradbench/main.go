@@ -1,0 +1,86 @@
+// Command kradbench runs the reproduction experiment suite (E1–E10 from
+// DESIGN.md) and prints each experiment's table. With -markdown it emits
+// the EXPERIMENTS.md body; with -run it restricts to a comma-separated set
+// of experiment IDs.
+//
+// Usage:
+//
+//	kradbench [-run E3,E4] [-quick] [-seed N] [-markdown] [-o file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"krad/internal/analysis"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kradbench: ")
+	var (
+		runIDs   = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		quick    = flag.Bool("quick", false, "use the reduced test-scale sweeps")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		markdown = flag.Bool("markdown", false, "emit markdown instead of plain text")
+		outPath  = flag.String("o", "", "write output to file instead of stdout")
+	)
+	flag.Parse()
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		out = f
+	}
+
+	experiments := analysis.All()
+	if *runIDs != "" {
+		var selected []analysis.Experiment
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, err := analysis.Find(strings.TrimSpace(id))
+			if err != nil {
+				log.Fatal(err)
+			}
+			selected = append(selected, e)
+		}
+		experiments = selected
+	}
+
+	opts := analysis.Options{Quick: *quick, Seed: *seed}
+	failures := 0
+	for _, e := range experiments {
+		start := time.Now()
+		tbl, err := e.Run(opts)
+		if err != nil {
+			log.Fatalf("%s: %v", e.ID, err)
+		}
+		elapsed := time.Since(start).Round(time.Millisecond)
+		if *markdown {
+			fmt.Fprintf(out, "%s\n*source: %s; generated in %s*\n\n", tbl.Markdown(), e.Source, elapsed)
+		} else {
+			fmt.Fprintf(out, "%s(source: %s; generated in %s)\n\n", tbl.Render(), e.Source, elapsed)
+		}
+		for _, n := range tbl.Notes {
+			if strings.Contains(n, "FAIL") || strings.Contains(n, "UNEXPECTED") {
+				failures++
+				log.Printf("%s: %s", e.ID, n)
+			}
+		}
+	}
+	if failures > 0 {
+		log.Fatalf("%d bound violations — the reproduction does NOT match the paper", failures)
+	}
+}

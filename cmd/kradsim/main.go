@@ -1,0 +1,325 @@
+// Command kradsim runs one K-resource scheduling simulation and reports
+// the paper's metrics: makespan, mean response time, the Section 4/6 lower
+// bounds, and the resulting competitive ratios.
+//
+// The workload is either generated (-jobs/-shapes/-arrive) or loaded from a
+// JSON file (-load) holding [{"release": R, "graph": {...}}, ...] with
+// graphs in the internal/dag encoding.
+//
+// Usage:
+//
+//	kradsim -k 3 -caps 4,4,4 -sched k-rad -jobs 50 -arrive poisson:3 \
+//	        [-pick fifo] [-seed 1] [-gantt] [-csv trace.csv]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"krad/internal/analysis"
+	"krad/internal/dag"
+	"krad/internal/metrics"
+	"krad/internal/sim"
+	"krad/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kradsim: ")
+	var (
+		kFlag      = flag.Int("k", 3, "number of resource categories")
+		capsFlag   = flag.String("caps", "4,4,4", "per-category processor counts, comma-separated")
+		schedFlag  = flag.String("sched", "k-rad", fmt.Sprintf("scheduler: one of %v", analysis.SchedulerNames()))
+		jobsFlag   = flag.Int("jobs", 20, "number of generated jobs (ignored with -load)")
+		shapeFlag  = flag.String("shapes", "", "restrict job shapes (comma-separated: chain,forkjoin,layered,mapreduce,pipeline,random,reduction,butterfly,stencil,dnc)")
+		arrive     = flag.String("arrive", "batched", `arrival process: "batched", "poisson:<mean>", "uniform:<lo>,<hi>", or "bursty:<size>,<gap>"`)
+		pickFlag   = flag.String("pick", "fifo", "task pick policy: fifo, lifo, random, cp-first, cp-last")
+		seedFlag   = flag.Int64("seed", 1, "workload seed")
+		minSize    = flag.Int("min-size", 4, "minimum job size (tasks)")
+		maxSize    = flag.Int("max-size", 60, "maximum job size (tasks)")
+		loadFlag   = flag.String("load", "", "load the job set from a JSON file instead of generating")
+		swfFlag    = flag.String("swf", "", "load the job set from a Standard Workload Format log")
+		swfScale   = flag.Int64("swf-scale", 60, "seconds per simulation step when reading SWF")
+		swfMax     = flag.Int("swf-maxjobs", 500, "cap on SWF jobs read (0 = all)")
+		presetFlag = flag.String("preset", "", fmt.Sprintf("use a named workload preset (overrides -k/-caps/-jobs): %v", workload.PresetNames()))
+		saveFlag   = flag.String("save", "", "write the job set to a JSON file (usable later with -load)")
+		ganttFlag  = flag.Bool("gantt", false, "print an ASCII Gantt chart (small runs only)")
+		csvFlag    = flag.String("csv", "", "write the per-step trace as CSV to this file")
+		jsonFlag   = flag.String("json", "", "write the run result as JSON to this file")
+		parFlag    = flag.Bool("parallel", false, "parallelize the execution phase")
+	)
+	flag.Parse()
+
+	k := *kFlag
+	var caps []int
+	var specs []sim.JobSpec
+	var err error
+	switch {
+	case *presetFlag != "":
+		p, perr := workload.FindPreset(*presetFlag)
+		if perr != nil {
+			log.Fatal(perr)
+		}
+		k = p.K
+		caps = append([]int(nil), p.Caps...)
+		specs, err = p.Build(*seedFlag)
+		if err == nil {
+			fmt.Printf("preset %q: %s\n", p.Name, p.Description)
+		}
+	case *swfFlag != "":
+		caps, err = parseInts(*capsFlag)
+		if err != nil || len(caps) != k {
+			log.Fatalf("-caps must list exactly K=%d integers: %v", k, err)
+		}
+		var f *os.File
+		f, err = os.Open(*swfFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var recs []workload.SWFRecord
+		specs, recs, err = workload.ParseSWF(f, workload.SWFOptions{
+			K: k, TimeScale: *swfScale, MaxJobs: *swfMax,
+		})
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = cerr
+		}
+		if err == nil {
+			fmt.Printf("SWF log %s: %d usable jobs loaded (scale %ds/step)\n", *swfFlag, len(recs), *swfScale)
+		}
+	case *loadFlag != "":
+		caps, err = parseInts(*capsFlag)
+		if err != nil || len(caps) != k {
+			log.Fatalf("-caps must list exactly K=%d integers: %v", k, err)
+		}
+		specs, err = loadSpecs(*loadFlag)
+	default:
+		caps, err = parseInts(*capsFlag)
+		if err != nil || len(caps) != k {
+			log.Fatalf("-caps must list exactly K=%d integers: %v", k, err)
+		}
+		specs, err = generate(k, *jobsFlag, *shapeFlag, *arrive, *minSize, *maxSize, *seedFlag)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	scheduler, err := analysis.NewScheduler(*schedFlag, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pick, err := parsePick(*pickFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *saveFlag != "" {
+		if err := saveSpecs(*saveFlag, specs); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("job set written to %s\n", *saveFlag)
+	}
+
+	level := sim.TraceNone
+	if *csvFlag != "" {
+		level = sim.TraceSteps
+	}
+	if *ganttFlag {
+		level = sim.TraceTasks
+	}
+	res, err := sim.Run(sim.Config{
+		K: k, Caps: caps, Scheduler: scheduler, Pick: pick, Seed: *seedFlag,
+		Trace: level, ValidateAllotments: true, Parallel: *parFlag,
+	}, specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	report(res)
+	if *jsonFlag != "" {
+		f, err := os.Create(*jsonFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("result written to %s\n", *jsonFlag)
+	}
+	if *ganttFlag {
+		fmt.Println()
+		fmt.Print(res.Trace.Gantt(len(res.Jobs), 200))
+	}
+	if *csvFlag != "" {
+		f, err := os.Create(*csvFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := res.Trace.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *csvFlag)
+	}
+}
+
+func report(res *sim.Result) {
+	r := metrics.ComputeRatios(res)
+	fmt.Printf("scheduler      %s\n", res.Scheduler)
+	fmt.Printf("jobs           %d\n", len(res.Jobs))
+	fmt.Printf("K / caps       %d / %v\n", res.K, res.Caps)
+	fmt.Printf("makespan       %d (lower bound %d, ratio %.3f, theorem bound %.3f)\n",
+		r.Makespan, r.MakespanLB, r.MakespanRatio, r.MakespanBound)
+	fmt.Printf("mean response  %.2f (total %d, lower bound %.1f, ratio %.3f, theorem bound %.3f)\n",
+		res.MeanResponse(), r.TotalResponse, r.ResponseLB, r.ResponseRatio, r.ResponseBound)
+	regime := "heavy (some category overloaded)"
+	if r.LightLoad {
+		regime = "light (|J(α,t)| ≤ Pα throughout)"
+	}
+	fmt.Printf("workload       %s\n", regime)
+	fmt.Printf("utilization    ")
+	for a, u := range res.Utilization() {
+		if a > 0 {
+			fmt.Print("  ")
+		}
+		fmt.Printf("cat%d=%.1f%%", a+1, 100*u)
+	}
+	fmt.Println()
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parsePick(s string) (dag.PickPolicy, error) {
+	switch s {
+	case "fifo":
+		return dag.PickFIFO, nil
+	case "lifo":
+		return dag.PickLIFO, nil
+	case "random":
+		return dag.PickRandom, nil
+	case "cp-first":
+		return dag.PickCPFirst, nil
+	case "cp-last":
+		return dag.PickCPLast, nil
+	}
+	return 0, fmt.Errorf("unknown pick policy %q", s)
+}
+
+func parseShapes(s string) ([]workload.Shape, error) {
+	if s == "" {
+		return nil, nil
+	}
+	byName := map[string]workload.Shape{}
+	for _, sh := range workload.AllShapes {
+		byName[sh.String()] = sh
+	}
+	var out []workload.Shape
+	for _, p := range strings.Split(s, ",") {
+		sh, ok := byName[strings.TrimSpace(p)]
+		if !ok {
+			return nil, fmt.Errorf("unknown shape %q", p)
+		}
+		out = append(out, sh)
+	}
+	return out, nil
+}
+
+func generate(k, jobs int, shapes, arrive string, minSize, maxSize int, seed int64) ([]sim.JobSpec, error) {
+	shapeList, err := parseShapes(shapes)
+	if err != nil {
+		return nil, err
+	}
+	mix := workload.Mix{
+		K: k, Jobs: jobs, Shapes: shapeList,
+		MinSize: minSize, MaxSize: maxSize, Seed: seed,
+	}
+	if arrive == "batched" {
+		return mix.Generate()
+	}
+	name, arg, _ := strings.Cut(arrive, ":")
+	switch name {
+	case "poisson":
+		mean, err := strconv.ParseFloat(arg, 64)
+		if err != nil || mean <= 0 {
+			return nil, fmt.Errorf("poisson needs a positive mean, got %q (%v)", arg, err)
+		}
+		return mix.GenerateOnline(workload.Poisson(mean))
+	case "uniform":
+		vals, err := parseInts(arg)
+		if err != nil || len(vals) != 2 {
+			return nil, fmt.Errorf("uniform needs lo,hi: %v", err)
+		}
+		if vals[0] < 0 || vals[1] < vals[0] {
+			return nil, fmt.Errorf("uniform needs 0 ≤ lo ≤ hi, got %d,%d", vals[0], vals[1])
+		}
+		return mix.GenerateOnline(workload.Uniform(int64(vals[0]), int64(vals[1])))
+	case "bursty":
+		vals, err := parseInts(arg)
+		if err != nil || len(vals) != 2 {
+			return nil, fmt.Errorf("bursty needs size,gap: %v", err)
+		}
+		if vals[0] < 1 || vals[1] < 0 {
+			return nil, fmt.Errorf("bursty needs size ≥ 1 and gap ≥ 0, got %d,%d", vals[0], vals[1])
+		}
+		return mix.GenerateOnline(workload.Bursty(vals[0], int64(vals[1])))
+	}
+	return nil, fmt.Errorf("unknown arrival process %q", arrive)
+}
+
+// jobJSON is the -load file format.
+type jobJSON struct {
+	Release int64      `json:"release"`
+	Graph   *dag.Graph `json:"graph"`
+}
+
+func saveSpecs(path string, specs []sim.JobSpec) error {
+	jobs := make([]jobJSON, len(specs))
+	for i, s := range specs {
+		if s.Graph == nil {
+			return fmt.Errorf("job %d has no graph; only DAG-backed job sets can be saved", i)
+		}
+		jobs[i] = jobJSON{Release: s.Release, Graph: s.Graph}
+	}
+	data, err := json.MarshalIndent(jobs, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func loadSpecs(path string) ([]sim.JobSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var jobs []jobJSON
+	if err := json.Unmarshal(data, &jobs); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	specs := make([]sim.JobSpec, len(jobs))
+	for i, j := range jobs {
+		if j.Graph == nil {
+			return nil, fmt.Errorf("%s: job %d has no graph", path, i)
+		}
+		specs[i] = sim.JobSpec{Graph: j.Graph, Release: j.Release}
+	}
+	return specs, nil
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"krad/internal/dag"
+	"krad/internal/sim"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,3")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("parseInts = %v, %v", got, err)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Error("bad int accepted")
+	}
+}
+
+func TestParsePick(t *testing.T) {
+	cases := map[string]dag.PickPolicy{
+		"fifo": dag.PickFIFO, "lifo": dag.PickLIFO, "random": dag.PickRandom,
+		"cp-first": dag.PickCPFirst, "cp-last": dag.PickCPLast,
+	}
+	for name, want := range cases {
+		got, err := parsePick(name)
+		if err != nil || got != want {
+			t.Errorf("parsePick(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parsePick("bogus"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
+func TestParseShapes(t *testing.T) {
+	got, err := parseShapes("chain, random")
+	if err != nil || len(got) != 2 {
+		t.Errorf("parseShapes = %v, %v", got, err)
+	}
+	if got, err := parseShapes(""); err != nil || got != nil {
+		t.Errorf("empty = %v, %v", got, err)
+	}
+	if _, err := parseShapes("nope"); err == nil {
+		t.Error("unknown shape accepted")
+	}
+}
+
+func TestGenerateArrivals(t *testing.T) {
+	for _, arrive := range []string{"batched", "poisson:2.5", "uniform:1,4", "bursty:5,20"} {
+		specs, err := generate(2, 10, "", arrive, 2, 10, 1)
+		if err != nil {
+			t.Errorf("%s: %v", arrive, err)
+			continue
+		}
+		if len(specs) != 10 {
+			t.Errorf("%s: %d specs", arrive, len(specs))
+		}
+	}
+	for _, bad := range []string{"poisson:x", "uniform:1", "bursty:0,1", "warp:9"} {
+		if _, err := generate(2, 5, "", bad, 2, 10, 1); err == nil {
+			t.Errorf("%s accepted", bad)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jobs.json")
+	specs := []sim.JobSpec{
+		{Graph: dag.Figure1(), Release: 0},
+		{Graph: dag.UniformChain(3, 5, 2), Release: 7},
+	}
+	if err := saveSpecs(path, specs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := loadSpecs(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(specs) {
+		t.Fatalf("%d jobs back, want %d", len(back), len(specs))
+	}
+	for i := range specs {
+		if back[i].Release != specs[i].Release {
+			t.Errorf("job %d release %d, want %d", i, back[i].Release, specs[i].Release)
+		}
+		if back[i].Graph.NumTasks() != specs[i].Graph.NumTasks() ||
+			back[i].Graph.Span() != specs[i].Graph.Span() {
+			t.Errorf("job %d shape changed", i)
+		}
+	}
+}
+
+func TestLoadSpecsErrors(t *testing.T) {
+	if _, err := loadSpecs("/nonexistent/path.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSpecs(bad); err == nil {
+		t.Error("malformed file accepted")
+	}
+	noGraph := filepath.Join(dir, "nograph.json")
+	if err := os.WriteFile(noGraph, []byte(`[{"release": 3}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSpecs(noGraph); err == nil {
+		t.Error("graph-less job accepted")
+	}
+}
+
+func TestSaveSpecsRejectsSourceJobs(t *testing.T) {
+	dir := t.TempDir()
+	err := saveSpecs(filepath.Join(dir, "x.json"), []sim.JobSpec{{Source: sim.GraphSource(dag.Figure1())}})
+	if err == nil {
+		t.Error("source-backed spec accepted")
+	}
+}

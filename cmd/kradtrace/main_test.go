@@ -1,0 +1,34 @@
+package main
+
+import (
+	"testing"
+
+	"krad/internal/analysis"
+	"krad/internal/sim"
+)
+
+func TestBuildScenariosRunCleanly(t *testing.T) {
+	for _, name := range []string{"etl", "adversarial", "overload", "families"} {
+		k, caps, pick, specs, blurb := buildScenario(name)
+		if blurb == "" || len(specs) == 0 || len(caps) != k {
+			t.Fatalf("%s: malformed scenario", name)
+		}
+		s, err := analysis.NewScheduler("k-rad", k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(sim.Config{
+			K: k, Caps: caps, Scheduler: s, Pick: pick,
+			Trace: sim.TraceTasks, ValidateAllotments: true,
+		}, specs)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := sim.ValidateSchedule(specs, res); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Trace.Gantt(len(res.Jobs), 80) == "" {
+			t.Fatalf("%s: empty gantt", name)
+		}
+	}
+}

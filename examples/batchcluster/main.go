@@ -1,0 +1,76 @@
+// Batchcluster: the batched-job setting of the paper's mean-response-time
+// analysis (Sections 6–7). A batch of heterogeneous jobs is released at
+// time zero on a small K-resource cluster; the program runs K-RAD, checks
+// every applicable theorem bound on the measured schedule, and shows how
+// the measured competitive ratio compares to the proven worst cases.
+//
+//	go run ./examples/batchcluster [-n 60] [-k 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"krad"
+)
+
+func main() {
+	log.SetFlags(0)
+	nFlag := flag.Int("n", 60, "batch size (jobs)")
+	kFlag := flag.Int("k", 3, "resource categories")
+	seedFlag := flag.Int64("seed", 3, "workload seed")
+	flag.Parse()
+
+	k, n := *kFlag, *nFlag
+	caps := make([]int, k)
+	for i := range caps {
+		caps[i] = 4
+	}
+
+	specs, err := krad.Mix{
+		K: k, Jobs: n, MinSize: 4, MaxSize: 60, Seed: *seedFlag,
+	}.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := krad.Run(krad.Config{
+		K: k, Caps: caps, Scheduler: krad.NewKRAD(k),
+		Pick: krad.PickFIFO, ValidateAllotments: true,
+	}, specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("batch of %d jobs on K=%d, caps=%v\n", n, k, caps)
+	fmt.Printf("makespan %d, mean response %.1f\n\n", res.Makespan, res.MeanResponse())
+
+	// Evaluate every bound the paper proves for this setting.
+	checks := []krad.BoundCheck{
+		krad.CheckLemma2(res),
+		krad.CheckTheorem3(res),
+		krad.CheckTheorem6(res),
+	}
+	if bc, applicable := krad.CheckTheorem5(res); applicable {
+		checks = append(checks, bc)
+	} else {
+		fmt.Println("(light-workload Theorem 5 not applicable: some category was overloaded)")
+	}
+	allOK := true
+	for _, bc := range checks {
+		status := "OK  "
+		if !bc.OK {
+			status = "FAIL"
+			allOK = false
+		}
+		fmt.Printf("%s %s\n", status, bc)
+	}
+	if !allOK {
+		log.Fatal("a proven bound failed on a measured run — reproduction bug")
+	}
+
+	fmt.Println("\nAll proven bounds hold on the measured schedule. The measured")
+	fmt.Println("ratios sit far below the worst cases: the adversarial instances of")
+	fmt.Println("Theorem 1 (see examples/adversarial) are what saturates them.")
+}

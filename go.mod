@@ -1,0 +1,3 @@
+module krad
+
+go 1.22

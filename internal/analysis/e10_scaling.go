@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"fmt"
+	"time"
+
+	"krad/internal/core"
+	"krad/internal/dag"
+	"krad/internal/sim"
+	"krad/internal/workload"
+)
+
+// RunE10 measures reproduction-infrastructure throughput: simulated tasks
+// per second as the job count grows, serial versus parallel execution
+// phase. It is a performance report, not a theorem check — the one
+// correctness assertion is that parallel runs produce identical makespans.
+func RunE10(opts Options) (*Table, error) {
+	t := &Table{
+		ID:     "E10",
+		Title:  "Simulator throughput scaling",
+		Header: []string{"jobs", "tasks", "K", "mode", "makespan", "wall", "tasks/sec"},
+	}
+	sizes := []int{100, 400, 1600}
+	if opts.Quick {
+		sizes = []int{50, 200}
+	}
+	const k = 3
+	caps := []int{8, 8, 8}
+	for _, n := range sizes {
+		specs, err := workload.Mix{
+			K: k, Jobs: n, MinSize: 10, MaxSize: 60, Seed: opts.seed(),
+		}.Generate()
+		if err != nil {
+			return nil, err
+		}
+		tasks := 0
+		for _, s := range specs {
+			tasks += s.Graph.NumTasks()
+		}
+		var serialMakespan int64
+		for _, mode := range []string{"serial", "parallel"} {
+			cfg := sim.Config{
+				K: k, Caps: caps, Scheduler: core.NewKRAD(k), Pick: dag.PickFIFO,
+				Parallel: mode == "parallel", Workers: 8,
+			}
+			start := time.Now()
+			res, err := sim.Run(cfg, specs)
+			if err != nil {
+				return nil, err
+			}
+			wall := time.Since(start)
+			rate := float64(tasks) / wall.Seconds()
+			t.AddRow(n, tasks, k, mode, res.Makespan,
+				wall.Round(time.Microsecond).String(), fmt.Sprintf("%.0f", rate))
+			if mode == "serial" {
+				serialMakespan = res.Makespan
+			} else if res.Makespan != serialMakespan {
+				t.AddNote("FAIL: parallel makespan %d != serial %d at n=%d", res.Makespan, serialMakespan, n)
+			}
+		}
+	}
+	t.AddNote("expected shape: throughput in the millions of tasks/sec; parallel mode pays off only on very wide steps (scheduling is sequential either way)")
+	return t, nil
+}

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"fmt"
+
+	"krad/internal/core"
+	"krad/internal/dag"
+	"krad/internal/sim"
+)
+
+// RunE3 reproduces the Theorem 1 / Figure 3 lower-bound experiment. For
+// each (K, Pmax, m) it materializes the adversarial job set and runs K-RAD
+// twice:
+//
+//   - adversarial run: the big job is submitted last (so the deterministic
+//     round-robin reaches its level-1 task at the end of the first cycle)
+//     and every job defers critical-path tasks (PickCPLast) — the adversary
+//     of the proof;
+//   - benign run: big job first, critical-path-first picking — the choices
+//     the optimal clairvoyant schedule makes.
+//
+// The table reports the measured adversarial makespan against the paper's
+// worst-case formula m·K·PK + m·PK − m, the benign makespan against the
+// closed-form optimum T* = K + m·PK − 1, and the resulting ratio against
+// the limit K + 1 − 1/Pmax. Expected shape: ratio climbs toward the limit
+// as m grows and never exceeds it.
+func RunE3(opts Options) (*Table, error) {
+	t := &Table{
+		ID:     "E3",
+		Title:  "Adversarial makespan lower bound (Figure 3 / Theorem 1)",
+		Header: []string{"K", "Pmax", "m", "jobs", "T adversarial", "paper worst", "T benign", "T* closed", "ratio", "limit K+1-1/Pmax"},
+	}
+	type cfg struct{ k, p, m int }
+	var sweep []cfg
+	ms := []int{1, 2, 4, 8, 16}
+	if opts.Quick {
+		ms = []int{1, 2, 4}
+	}
+	for _, kp := range []struct{ k, p int }{{2, 2}, {2, 4}, {3, 2}, {3, 4}, {4, 4}, {5, 2}} {
+		if opts.Quick && kp.k > 3 {
+			continue
+		}
+		for _, m := range ms {
+			sweep = append(sweep, cfg{kp.k, kp.p, m})
+		}
+	}
+
+	for _, c := range sweep {
+		caps := make([]int, c.k)
+		for i := range caps {
+			caps[i] = c.p
+		}
+		adv, err := dag.NewAdversarial(c.k, c.m, caps)
+		if err != nil {
+			return nil, err
+		}
+		run := func(bigLast bool, pick dag.PickPolicy) (int64, error) {
+			jobs := adv.JobSet(bigLast)
+			specs := make([]sim.JobSpec, len(jobs))
+			for i, g := range jobs {
+				specs[i] = sim.JobSpec{Graph: g}
+			}
+			res, err := sim.Run(sim.Config{
+				K: c.k, Caps: caps, Scheduler: core.NewKRAD(c.k), Pick: pick,
+			}, specs)
+			if err != nil {
+				return 0, err
+			}
+			return res.Makespan, nil
+		}
+		tAdv, err := run(true, dag.PickCPLast)
+		if err != nil {
+			return nil, fmt.Errorf("E3 adversarial K=%d P=%d m=%d: %w", c.k, c.p, c.m, err)
+		}
+		tGood, err := run(false, dag.PickCPFirst)
+		if err != nil {
+			return nil, fmt.Errorf("E3 benign K=%d P=%d m=%d: %w", c.k, c.p, c.m, err)
+		}
+		tStar := int64(adv.OptimalMakespan())
+		ratio := float64(tAdv) / float64(tStar)
+		limit := adv.LimitRatio()
+		t.AddRow(c.k, c.p, c.m, adv.NumJobs(), tAdv, adv.WorstCaseMakespan(), tGood, tStar, ratio, limit)
+		if ratio > limit+1e-9 {
+			t.AddNote("FAIL: K=%d P=%d m=%d ratio %.3f exceeds the limit %.3f", c.k, c.p, c.m, ratio, limit)
+		}
+		if tAdv < int64(adv.WorstCaseMakespan()) {
+			t.AddNote("FAIL: K=%d P=%d m=%d adversary weaker than the paper's bound (%d < %d)", c.k, c.p, c.m, tAdv, adv.WorstCaseMakespan())
+		}
+	}
+	t.AddNote("expected shape: ratio → K+1−1/Pmax from below as m grows; benign runs match the closed-form optimum")
+	return t, nil
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"krad/internal/core"
+	"krad/internal/dag"
+	"krad/internal/metrics"
+	"krad/internal/sim"
+)
+
+func TestExactMakespanKnownInstances(t *testing.T) {
+	// Single chain of 4 on any machine: T* = 4.
+	chain := dag.UniformChain(1, 4, 1)
+	got, err := ExactMakespan(1, []int{2}, []*dag.Graph{chain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Errorf("chain T* = %d, want 4", got)
+	}
+
+	// 6 singletons on 2 processors: T* = 3.
+	var singles []*dag.Graph
+	for i := 0; i < 6; i++ {
+		singles = append(singles, dag.Singleton(1, 1))
+	}
+	got, err = ExactMakespan(1, []int{2}, singles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("singletons T* = %d, want 3", got)
+	}
+
+	// Two-category pipeline: chain 1→2 twice on caps (1,1): the two jobs
+	// pipeline perfectly: T* = 3.
+	a := dag.Chain(2, 2, func(i int) dag.Category { return dag.Category(i + 1) })
+	b := dag.Chain(2, 2, func(i int) dag.Category { return dag.Category(i + 1) })
+	got, err = ExactMakespan(2, []int{1, 1}, []*dag.Graph{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("pipeline T* = %d, want 3", got)
+	}
+}
+
+func TestExactMakespanValidation(t *testing.T) {
+	g := dag.Singleton(1, 1)
+	if _, err := ExactMakespan(2, []int{1}, []*dag.Graph{g}); err == nil {
+		t.Error("caps mismatch accepted")
+	}
+	if _, err := ExactMakespan(2, []int{1, 1}, []*dag.Graph{g}); err == nil {
+		t.Error("K mismatch accepted")
+	}
+	big := dag.UniformChain(1, 30, 1)
+	if _, err := ExactMakespan(1, []int{1}, []*dag.Graph{big}); err == nil {
+		t.Error("oversized instance accepted")
+	}
+}
+
+// TestQuickExactBracketsSimulationAndLowerBound: on random micro-instances
+// the exact optimum must sit between the Section 4 lower bound and every
+// simulated schedule's makespan.
+func TestQuickExactBrackets(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(2)
+		caps := make([]int, k)
+		for i := range caps {
+			caps[i] = 1 + rng.Intn(2)
+		}
+		nJobs := 1 + rng.Intn(3)
+		jobs := make([]*dag.Graph, nJobs)
+		specs := make([]sim.JobSpec, nJobs)
+		total := 0
+		for i := range jobs {
+			jobs[i] = dag.Random(k, dag.RandomOpts{Tasks: 1 + rng.Intn(5), EdgeProb: 0.3, Window: 3}, rng)
+			specs[i] = sim.JobSpec{Graph: jobs[i]}
+			total += jobs[i].NumTasks()
+		}
+		if total > 14 {
+			return true
+		}
+		tStar, err := ExactMakespan(k, caps, jobs)
+		if err != nil {
+			return false
+		}
+		res, err := sim.Run(sim.Config{
+			K: k, Caps: caps, Scheduler: core.NewKRAD(k),
+			Pick: dag.PickLIFO, ValidateAllotments: true,
+		}, specs)
+		if err != nil {
+			return false
+		}
+		lb := metrics.MakespanLowerBound(res)
+		return int64(tStar) >= lb && res.Makespan >= int64(tStar)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"fmt"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Quick shrinks sweeps to test-suite scale; the full sweeps are used
+	// by cmd/kradbench and the benchmarks.
+	Quick bool
+	// Seed drives all randomized workloads (default 1 when zero).
+	Seed int64
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// Experiment is one reproducible table from DESIGN.md's per-experiment
+// index.
+type Experiment struct {
+	// ID is the experiment identifier (E1..E10).
+	ID string
+	// Title summarizes what is measured.
+	Title string
+	// Source cites the paper artifact being reproduced.
+	Source string
+	// Run executes the experiment and renders its table.
+	Run func(Options) (*Table, error)
+}
+
+// All returns the experiment suite in order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "K-DAG job model metrics", "Figure 1 / Section 2", RunE1},
+		{"E2", "RAD allocation invariants", "Figure 2 / Section 3", RunE2},
+		{"E3", "Adversarial makespan lower bound", "Figure 3 / Theorem 1", RunE3},
+		{"E4", "Makespan competitiveness, arbitrary releases", "Lemma 2 / Theorem 3", RunE4},
+		{"E5", "Mean response time, light workload", "Theorem 5", RunE5},
+		{"E6", "Mean response time, heavy workload", "Theorem 6", RunE6},
+		{"E7", "Homogeneous (K=1) mean response time", "Section 7, K=1 corollary", RunE7},
+		{"E8", "Baseline scheduler comparison", "implied by Sections 1 and 3", RunE8},
+		{"E9", "Ablations: DEQ-only and RR-only failure modes", "Section 3 design rationale", RunE9},
+		{"E10", "Simulator throughput scaling", "reproduction infrastructure", RunE10},
+		{"E11", "Extension: performance + functional heterogeneity", "Section 8 (future work)", RunE11},
+		{"E12", "Profile-job representation: equivalence and scale", "reproduction infrastructure", RunE12},
+		{"E13", "Scheduling-quantum sensitivity", "two-level deployment model", RunE13},
+		{"E14", "Theorem 5 proof-mechanics replay (Inequality 8)", "Section 7 induction", RunE14},
+		{"E15", "Fairness price on identical jobs (RR's tight factor 2)", "related work [22]", RunE15},
+		{"E16", "Extension: non-preemptive multi-step tasks", "deployment model beyond unit tasks", RunE16},
+		{"E17", "Reallocation churn per scheduler", "deployment cost model", RunE17},
+		{"E18", "Archive-log replay (Standard Workload Format)", "Parallel Workloads Archive format", RunE18},
+		{"E19", "Randomization vs the deterministic adversary", "Theorem 1 discussion / Shmoys et al.", RunE19},
+		{"E20", "True competitive ratios on tiny instances (exact search)", "validation of the lower-bound methodology", RunE20},
+		{"E21", "Speed augmentation (s-speed vs unit-speed bound)", "related work: Edmonds et al. framework", RunE21},
+	}
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("analysis: unknown experiment %q", id)
+}

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"fmt"
+
+	"krad/internal/dag"
+	"krad/internal/metrics"
+	"krad/internal/sched"
+	"krad/internal/sim"
+)
+
+// SpanRuntime is a job runtime that can report the span of its unexecuted
+// portion — what the Theorem 5 induction calls T∞ of the t-suffix. Both
+// shipped runtimes (DAG instances and profile jobs) implement it.
+type SpanRuntime interface {
+	sim.RuntimeJob
+	RemainingSpan() int
+}
+
+// InductionReport is the outcome of replaying the Theorem 5 proof step by
+// step (CheckInequality8).
+type InductionReport struct {
+	// Steps is the number of time steps checked.
+	Steps int
+	// Violations counts steps where Inequality (8) failed.
+	Violations int
+	// FirstViolation is the earliest failing step (0 if none).
+	FirstViolation int64
+	// MinSlack is the smallest observed value of RHS − LHS — how close the
+	// proof's per-step inequality came to tight (negative iff violations).
+	MinSlack float64
+	// MaxDeficit is the largest LHS − RHS over violating steps. Integral
+	// allotments can produce sub-unit deficits where the real-valued
+	// analysis is tight (see CheckInequality8Fluid); deficits ≥ 1 would
+	// indicate a genuine bug.
+	MaxDeficit float64
+}
+
+// CheckInequality8 replays a batched job set under a scheduler and checks,
+// at every time step, the per-step inequality at the heart of the
+// Theorem 5 induction (Section 7):
+//
+//	Δr ≤ c·Σα Δswa(α) + ΔT∞          with c = 2 − 2/(n+1),
+//
+// where n is the number of uncompleted jobs at the step, Δr = n (each
+// uncompleted job accrues one step of response time), Δswa(α) is the drop
+// in squashed α-work area of the remaining job set, and ΔT∞ the drop in
+// aggregate remaining span. The paper proves the inequality for DEQ under
+// light workload; replaying it validates the proof mechanics on concrete
+// executions rather than only the theorem's end-to-end consequence.
+//
+// sources must be batched (released at 0). The caller chooses caps so the
+// run stays in the light-load regime if the proof's premise is wanted.
+func CheckInequality8(k int, caps []int, sources []sim.JobSource, scheduler sched.Scheduler) (*InductionReport, error) {
+	if len(caps) != k {
+		return nil, fmt.Errorf("analysis: %d caps for K=%d", len(caps), k)
+	}
+	type jobRT struct {
+		id int
+		rt SpanRuntime
+	}
+	jobs := make([]jobRT, len(sources))
+	totalWork := 0
+	for i, src := range sources {
+		rt, ok := src.NewRuntime(dag.PickFIFO, int64(i)).(SpanRuntime)
+		if !ok {
+			return nil, fmt.Errorf("analysis: job %d runtime does not report remaining span", i)
+		}
+		jobs[i] = jobRT{id: i, rt: rt}
+		totalWork += src.TotalTasks()
+	}
+
+	// suffixState snapshots Σ remaining spans and per-category swa.
+	snapshot := func(live []jobRT) (swa []float64, aggSpan int) {
+		swa = make([]float64, k)
+		works := make([][]int, k)
+		for a := range works {
+			works[a] = make([]int, 0, len(live))
+		}
+		for _, j := range live {
+			rw := j.rt.RemainingWork()
+			for a := 0; a < k; a++ {
+				works[a] = append(works[a], rw[a])
+			}
+			aggSpan += j.rt.RemainingSpan()
+		}
+		for a := 0; a < k; a++ {
+			swa[a] = metrics.SquashedWorkArea(works[a], caps[a])
+		}
+		return swa, aggSpan
+	}
+
+	report := &InductionReport{MinSlack: 1e18}
+	live := jobs
+	maxSteps := 4*totalWork + 64
+	for t := int64(1); len(live) > 0; t++ {
+		if int(t) > maxSteps {
+			return nil, fmt.Errorf("analysis: induction replay exceeded %d steps", maxSteps)
+		}
+		n := len(live)
+		preSwa, preSpan := snapshot(live)
+
+		views := make([]sched.JobView, n)
+		for i, j := range live {
+			d := make([]int, k)
+			for a := 0; a < k; a++ {
+				d[a] = j.rt.Desire(dag.Category(a + 1))
+			}
+			views[i] = sched.JobView{ID: j.id, Desire: d}
+		}
+		allot := scheduler.Allot(t, views, caps)
+		if err := sched.ValidateAllotments(views, caps, allot); err != nil {
+			return nil, fmt.Errorf("analysis: step %d: %w", t, err)
+		}
+		for i, j := range live {
+			for a := 0; a < k; a++ {
+				if allot[i][a] > 0 {
+					j.rt.Execute(dag.Category(a+1), allot[i][a])
+				}
+			}
+		}
+		var doneIDs []int
+		next := live[:0:len(live)]
+		for _, j := range live {
+			j.rt.Advance()
+			if j.rt.Done() {
+				doneIDs = append(doneIDs, j.id)
+			} else {
+				next = append(next, j)
+			}
+		}
+		if len(doneIDs) > 0 {
+			if c, ok := scheduler.(sched.Completer); ok {
+				c.JobsDone(doneIDs)
+			}
+		}
+		postSwa, postSpan := snapshot(next)
+
+		c := 2 - 2/float64(n+1)
+		rhs := float64(preSpan - postSpan)
+		for a := 0; a < k; a++ {
+			rhs += c * (preSwa[a] - postSwa[a])
+		}
+		lhs := float64(n) // Δr
+		report.Steps++
+		if slack := rhs - lhs; slack < report.MinSlack {
+			report.MinSlack = slack
+		}
+		if lhs > rhs+1e-9 {
+			report.Violations++
+			if deficit := lhs - rhs; deficit > report.MaxDeficit {
+				report.MaxDeficit = deficit
+			}
+			if report.FirstViolation == 0 {
+				report.FirstViolation = t
+			}
+		}
+		live = next
+	}
+	return report, nil
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"testing"
+
+	"krad/internal/core"
+	"krad/internal/dag"
+	"krad/internal/profile"
+	"krad/internal/sim"
+	"krad/internal/workload"
+)
+
+func TestCheckInequality8DAGLightLoad(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		specs, err := workload.Mix{K: 2, Jobs: 5, MinSize: 3, MaxSize: 30, Seed: seed}.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sources []sim.JobSource
+		for _, s := range specs {
+			sources = append(sources, sim.GraphSource(s.Graph))
+		}
+		report, err := CheckInequality8(2, []int{8, 8}, sources, core.NewKRAD(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.Steps == 0 {
+			t.Fatal("no steps checked")
+		}
+		// DAG jobs with size ≤ 30 on 8+8: deficits must stay sub-unit
+		// (the documented rounding gap) and usually vanish entirely.
+		if report.MaxDeficit >= 1 {
+			t.Errorf("seed %d: deficit %v ≥ 1 — beyond the rounding gap", seed, report.MaxDeficit)
+		}
+	}
+}
+
+func TestCheckInequality8FluidAlwaysHolds(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		specs, err := profile.Generate(profile.GenOpts{
+			K: 2, Jobs: 6, MinPhases: 1, MaxPhases: 6, MaxParallelism: 12, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs := make([]*profile.Job, len(specs))
+		for i, s := range specs {
+			jobs[i] = s.Source.(*profile.Job)
+		}
+		report, err := CheckInequality8Fluid(2, []int{8, 8}, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.Violations != 0 {
+			t.Errorf("seed %d: fluid replay violated Inequality (8) %d times (first at %d, deficit %v)",
+				seed, report.Violations, report.FirstViolation, report.MaxDeficit)
+		}
+	}
+}
+
+func TestCheckInequality8Validation(t *testing.T) {
+	if _, err := CheckInequality8(2, []int{4}, nil, core.NewKRAD(2)); err == nil {
+		t.Error("caps mismatch accepted")
+	}
+	if _, err := CheckInequality8Fluid(2, []int{4}, nil); err == nil {
+		t.Error("fluid caps mismatch accepted")
+	}
+	wrongK := profile.MustNew(3, "x", []profile.Phase{{Tasks: []int{1, 0, 0}}})
+	if _, err := CheckInequality8Fluid(2, []int{4, 4}, []*profile.Job{wrongK}); err == nil {
+		t.Error("K mismatch accepted")
+	}
+}
+
+func TestFluidDeq(t *testing.T) {
+	// All deprived: exact equal shares.
+	got := fluidDeq([]float64{10, 10, 10}, 8)
+	for _, v := range got {
+		if v < 8.0/3-1e-9 || v > 8.0/3+1e-9 {
+			t.Fatalf("fluid shares %v, want 8/3 each", got)
+		}
+	}
+	// Mixed: small job satisfied exactly, rest split the remainder.
+	got = fluidDeq([]float64{1, 10, 10}, 9)
+	if got[0] != 1 || got[1] != 4 || got[2] != 4 {
+		t.Errorf("fluid deq = %v, want [1 4 4]", got)
+	}
+	// Zero desires receive nothing.
+	got = fluidDeq([]float64{0, 5}, 4)
+	if got[0] != 0 || got[1] != 4 {
+		t.Errorf("fluid deq = %v, want [0 4]", got)
+	}
+}
+
+func TestRemainingSpanRuntimes(t *testing.T) {
+	// DAG runtime.
+	g := dag.RoundRobinChain(2, 6)
+	rtAny := sim.GraphSource(g).NewRuntime(dag.PickFIFO, 0)
+	rt, ok := rtAny.(SpanRuntime)
+	if !ok {
+		t.Fatal("graph runtime does not expose RemainingSpan")
+	}
+	if rt.RemainingSpan() != 6 {
+		t.Errorf("initial span %d, want 6", rt.RemainingSpan())
+	}
+	rt.Execute(1, 1)
+	rt.Advance()
+	if rt.RemainingSpan() != 5 {
+		t.Errorf("after one task span %d, want 5", rt.RemainingSpan())
+	}
+	// Profile runtime.
+	j := profile.MustNew(1, "p", []profile.Phase{{Tasks: []int{3}}, {Tasks: []int{1}}})
+	prt := j.NewRuntime(dag.PickFIFO, 0).(SpanRuntime)
+	if prt.RemainingSpan() != 2 {
+		t.Errorf("profile span %d, want 2", prt.RemainingSpan())
+	}
+	prt.Execute(1, 3)
+	prt.Advance()
+	if prt.RemainingSpan() != 1 {
+		t.Errorf("profile span %d after phase 1, want 1", prt.RemainingSpan())
+	}
+	prt.Execute(1, 1)
+	prt.Advance()
+	if prt.RemainingSpan() != 0 {
+		t.Errorf("completed profile span %d, want 0", prt.RemainingSpan())
+	}
+}

@@ -1,0 +1,28 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"krad/internal/sched"
+)
+
+// NewScheduler constructs a scheduler by report name for k categories.
+// Names match the E8 comparison table: k-rad, deq-only, rr-only, equi,
+// fcfs, greedy-desire, sjf-oracle.
+func NewScheduler(name string, k int) (sched.Scheduler, error) {
+	_, mk := schedulerFactories(k)
+	f, ok := mk[name]
+	if !ok {
+		return nil, fmt.Errorf("analysis: unknown scheduler %q (have %v)", name, SchedulerNames())
+	}
+	return f(), nil
+}
+
+// SchedulerNames lists the registry's names, sorted.
+func SchedulerNames() []string {
+	names, _ := schedulerFactories(1)
+	out := append([]string(nil), names...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"testing"
+)
+
+func TestNewSchedulerKnownNames(t *testing.T) {
+	for _, name := range SchedulerNames() {
+		s, err := NewScheduler(name, 2)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if s.Name() == "" {
+			t.Errorf("%s: empty Name()", name)
+		}
+	}
+}
+
+func TestNewSchedulerUnknown(t *testing.T) {
+	if _, err := NewScheduler("nope", 2); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestSchedulerNamesSortedAndComplete(t *testing.T) {
+	names := SchedulerNames()
+	if len(names) < 8 {
+		t.Errorf("only %d schedulers registered: %v", len(names), names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("names not sorted: %v", names)
+		}
+	}
+	want := map[string]bool{"k-rad": true, "laps": true, "gang": true, "sjf-oracle": true}
+	for _, n := range names {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing schedulers: %v", want)
+	}
+}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"fmt"
+
+	"krad/internal/metrics"
+	"krad/internal/sim"
+)
+
+// BoundCheck is the outcome of evaluating one of the paper's guarantees
+// against one measured run.
+type BoundCheck struct {
+	// Name identifies the theorem/lemma.
+	Name string
+	// Measured and Bound are the two sides of the inequality
+	// Measured ≤ Bound.
+	Measured, Bound float64
+	// OK reports Measured ≤ Bound (within floating-point slack).
+	OK bool
+}
+
+func check(name string, measured, bound float64) BoundCheck {
+	return BoundCheck{Name: name, Measured: measured, Bound: bound, OK: measured <= bound*(1+1e-9)}
+}
+
+// String formats the check result.
+func (b BoundCheck) String() string {
+	rel := "≤"
+	if !b.OK {
+		rel = ">"
+	}
+	return fmt.Sprintf("%s: measured %.4f %s bound %.4f", b.Name, b.Measured, rel, b.Bound)
+}
+
+// CheckLemma2 evaluates the Lemma 2 makespan guarantee
+//
+//	T(J) ≤ Σα T1(J,α)/Pα + (1 − 1/Pmax)·max_i (T∞(Ji) + r(Ji))
+//
+// on a measured K-RAD run. The lemma's premise is that the schedule has no
+// idle intervals; batched job sets always satisfy it. Callers using online
+// arrivals should only assert this on runs known to be gap-free.
+func CheckLemma2(res *sim.Result) BoundCheck {
+	return check("Lemma 2 (makespan bound)", float64(res.Makespan), metrics.MakespanUpperBound(res))
+}
+
+// CheckTheorem3 evaluates the Theorem 3 makespan competitiveness
+//
+//	T(J) / LB(J) ≤ K + 1 − 1/Pmax
+//
+// where LB is the Section 4 lower bound on the optimal makespan. Because
+// LB ≤ T*, the measured quotient upper-bounds the true competitive ratio,
+// so OK here implies the theorem held on this instance.
+func CheckTheorem3(res *sim.Result) BoundCheck {
+	lb := metrics.MakespanLowerBound(res)
+	ratio := 0.0
+	if lb > 0 {
+		ratio = float64(res.Makespan) / float64(lb)
+	}
+	return check("Theorem 3 (makespan competitiveness)", ratio, metrics.MakespanCompetitiveLimit(res.K, res.Caps))
+}
+
+// CheckInequality5 evaluates the explicit Theorem 5 response-time bound
+//
+//	R(J) ≤ (2 − 2/(|J|+1))·Σα swa(J,α) + T∞(J)
+//
+// which only applies to batched runs that stayed in the light-workload
+// regime (|J(α,t)| ≤ Pα throughout); it returns ok=false in Applicable
+// when the run left that regime.
+func CheckInequality5(res *sim.Result) (BoundCheck, bool) {
+	bc := check("Inequality 5 (light-load response bound)", float64(res.TotalResponse()), metrics.ResponseUpperBoundLight(res))
+	return bc, !res.EverOverloaded()
+}
+
+// CheckTheorem5 evaluates the Theorem 5 competitiveness
+//
+//	R(J) / RLB(J) ≤ 2K + 1 − 2K/(|J|+1)
+//
+// for light-workload batched runs (RLB is the Section 6 lower bound).
+func CheckTheorem5(res *sim.Result) (BoundCheck, bool) {
+	lb := metrics.ResponseLowerBound(res)
+	ratio := 0.0
+	if lb > 0 {
+		ratio = float64(res.TotalResponse()) / lb
+	}
+	bc := check("Theorem 5 (light-load MRT competitiveness)", ratio,
+		metrics.ResponseCompetitiveLimitLight(res.K, len(res.Jobs)))
+	return bc, !res.EverOverloaded()
+}
+
+// CheckTheorem6 evaluates the general batched MRT competitiveness
+//
+//	R(J) / RLB(J) ≤ 4K + 1 − 4K/(|J|+1)
+func CheckTheorem6(res *sim.Result) BoundCheck {
+	lb := metrics.ResponseLowerBound(res)
+	ratio := 0.0
+	if lb > 0 {
+		ratio = float64(res.TotalResponse()) / lb
+	}
+	return check("Theorem 6 (batched MRT competitiveness)", ratio,
+		metrics.ResponseCompetitiveLimit(res.K, len(res.Jobs)))
+}
+
+// CheckAll runs every applicable check for a batched run and returns the
+// failures (empty = all bounds held).
+func CheckAll(res *sim.Result) []BoundCheck {
+	var failures []BoundCheck
+	consider := func(bc BoundCheck, applicable bool) {
+		if applicable && !bc.OK {
+			failures = append(failures, bc)
+		}
+	}
+	batched := true
+	for _, j := range res.Jobs {
+		if j.Release != 0 {
+			batched = false
+			break
+		}
+	}
+	consider(CheckTheorem3(res), true)
+	if batched {
+		consider(CheckLemma2(res), true)
+		bc, app := CheckInequality5(res)
+		consider(bc, app)
+		bc, app = CheckTheorem5(res)
+		consider(bc, app)
+		consider(CheckTheorem6(res), true)
+	}
+	return failures
+}

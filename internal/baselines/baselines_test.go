@@ -1,0 +1,160 @@
+package baselines
+
+import (
+	"testing"
+
+	"krad/internal/sched"
+)
+
+func catJobs(desires ...int) []sched.CatJob {
+	jobs := make([]sched.CatJob, len(desires))
+	for i, d := range desires {
+		jobs[i] = sched.CatJob{ID: i, Desire: d}
+	}
+	return jobs
+}
+
+func views(desires ...[]int) []sched.JobView {
+	out := make([]sched.JobView, len(desires))
+	for i, d := range desires {
+		out[i] = sched.JobView{ID: i, Desire: d}
+	}
+	return out
+}
+
+func TestDEQOnlyStarvesLateJobsUnderOverload(t *testing.T) {
+	s := NewDEQOnly(1)
+	jobs := views([]int{1}, []int{1}, []int{1}, []int{1})
+	caps := []int{2}
+	for step := int64(1); step <= 3; step++ {
+		allot := s.Allot(step, jobs, caps)
+		if allot[0][0] != 1 || allot[1][0] != 1 {
+			t.Fatalf("step %d: first two jobs not served: %v", step, allot)
+		}
+		if allot[2][0] != 0 || allot[3][0] != 0 {
+			t.Fatalf("step %d: DEQ-only unexpectedly served late jobs: %v", step, allot)
+		}
+	}
+}
+
+func TestRROnlyNeverSpaceShares(t *testing.T) {
+	s := NewRROnly(1)
+	// One wide job, plenty of processors: RR still gives exactly one.
+	allot := s.Allot(1, views([]int{10}), []int{8})
+	if allot[0][0] != 1 {
+		t.Errorf("rr-only gave %d processors to a single job, want 1", allot[0][0])
+	}
+}
+
+func TestRROnlyCyclesWithoutStarvation(t *testing.T) {
+	s := NewRROnly(1)
+	jobs := views([]int{1}, []int{1}, []int{1}, []int{1}, []int{1})
+	served := make([]int, 5)
+	// 5 jobs on 2 processors: a cycle is 3 steps; run 7 full cycles.
+	const cycles = 7
+	for step := int64(1); step <= 3*cycles; step++ {
+		allot := s.Allot(step, jobs, []int{2})
+		total := 0
+		for i := range jobs {
+			served[i] += allot[i][0]
+			total += allot[i][0]
+		}
+		if total != 2 {
+			t.Fatalf("step %d: served %d, want 2", step, total)
+		}
+	}
+	for i, v := range served {
+		if v < cycles || v > 2*cycles {
+			t.Errorf("job %d served %d times in %d cycles, want within [%d,%d]", i, v, cycles, cycles, 2*cycles)
+		}
+	}
+}
+
+func TestEQUIIgnoresDesire(t *testing.T) {
+	s := NewEQUI(1)
+	// Job 0 wants 1, job 1 wants 9; EQUI still splits 4/4 — the waste is
+	// the point of the baseline.
+	allot := s.Allot(0, views([]int{1}, []int{9}), []int{8})
+	if allot[0][0] != 4 || allot[1][0] != 4 {
+		t.Errorf("equi allot = %v, want 4/4", allot)
+	}
+}
+
+func TestEQUIRotatesRemainder(t *testing.T) {
+	s := NewEQUI(1)
+	jobs := views([]int{5}, []int{5}, []int{5})
+	a := s.Allot(0, jobs, []int{7})
+	b := s.Allot(1, jobs, []int{7})
+	diff := false
+	for i := range jobs {
+		if a[i][0] != b[i][0] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("remainder did not rotate between steps")
+	}
+}
+
+func TestFCFSFillsInArrivalOrder(t *testing.T) {
+	s := NewFCFS(1)
+	allot := s.Allot(1, views([]int{3}, []int{4}, []int{2}), []int{5})
+	if allot[0][0] != 3 || allot[1][0] != 2 || allot[2][0] != 0 {
+		t.Errorf("fcfs allot = %v, want [3 2 0]", allot)
+	}
+}
+
+func TestGreedyDesireFillsWidestFirst(t *testing.T) {
+	s := NewGreedyDesire(1)
+	allot := s.Allot(1, views([]int{2}, []int{6}, []int{3}), []int{7})
+	if allot[1][0] != 6 {
+		t.Errorf("widest job not filled first: %v", allot)
+	}
+	if allot[2][0] != 1 || allot[0][0] != 0 {
+		t.Errorf("leftover misallocated: %v", allot)
+	}
+}
+
+type fakeOracle map[int][]int
+
+func (f fakeOracle) RemainingWork(id int) []int { return f[id] }
+func (f fakeOracle) ReleaseTime(int) int64      { return 0 }
+
+func TestSJFOrdersByRemainingWork(t *testing.T) {
+	s := NewSJF()
+	s.SetOracle(fakeOracle{0: {100}, 1: {2}, 2: {50}})
+	jobs := views([]int{4}, []int{4}, []int{4})
+	allot := s.Allot(1, jobs, []int{6})
+	if allot[1][0] != 4 {
+		t.Errorf("shortest job not served first: %v", allot)
+	}
+	if allot[2][0] != 2 || allot[0][0] != 0 {
+		t.Errorf("remaining capacity misallocated: %v", allot)
+	}
+}
+
+func TestSJFPanicsWithoutOracle(t *testing.T) {
+	s := NewSJF()
+	defer func() {
+		if recover() == nil {
+			t.Error("SJF without oracle did not panic")
+		}
+	}()
+	s.Allot(1, views([]int{1}), []int{1})
+}
+
+func TestAllBaselinesRespectCapacity(t *testing.T) {
+	jobs := views([]int{5, 2}, []int{3, 7}, []int{9, 1}, []int{4, 4})
+	caps := []int{3, 2}
+	schedulers := []sched.Scheduler{
+		NewDEQOnly(2), NewRROnly(2), NewEQUI(2), NewFCFS(2), NewGreedyDesire(2),
+	}
+	for _, s := range schedulers {
+		for step := int64(1); step <= 5; step++ {
+			allot := s.Allot(step, jobs, caps)
+			if err := sched.ValidateAllotments(jobs, caps, allot); err != nil {
+				t.Errorf("%s step %d: %v", s.Name(), step, err)
+			}
+		}
+	}
+}

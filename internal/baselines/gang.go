@@ -1,0 +1,88 @@
+package baselines
+
+import (
+	"krad/internal/sched"
+)
+
+// Gang is time-sliced gang scheduling (coscheduling): exactly one job owns
+// the entire machine — every category at once — for a quantum of Q steps,
+// then the next active job takes over, round-robin by arrival order. Gang
+// scheduling is the classic alternative to space sharing on real parallel
+// machines; against K-RAD it shows what cross-category exclusivity costs
+// when jobs cannot use all categories at once.
+type Gang struct {
+	quantum int64
+	current int   // job ID owning the machine; -1 when none
+	used    int64 // steps consumed of the current quantum
+}
+
+// NewGang returns a gang scheduler with the given quantum (steps a job
+// keeps the machine before rotation). quantum must be ≥ 1.
+func NewGang(quantum int64) *Gang {
+	if quantum < 1 {
+		panic("baselines: gang quantum must be ≥ 1")
+	}
+	return &Gang{quantum: quantum, current: -1}
+}
+
+// Name implements sched.Scheduler.
+func (g *Gang) Name() string { return "gang" }
+
+// Allot implements sched.Scheduler: the current owner receives
+// min(desire, cap) in every category; everyone else receives nothing. The
+// owner rotates when its quantum expires or it completes (disappears from
+// jobs).
+func (g *Gang) Allot(t int64, jobs []sched.JobView, caps []int) [][]int {
+	allot := make([][]int, len(jobs))
+	for i := range allot {
+		allot[i] = make([]int, len(caps))
+	}
+	if len(jobs) == 0 {
+		return allot
+	}
+	idx := g.ownerIndex(jobs)
+	if idx < 0 || g.used >= g.quantum {
+		idx = g.next(jobs, idx)
+		g.used = 0
+	}
+	g.current = jobs[idx].ID
+	g.used++
+	for a, p := range caps {
+		d := jobs[idx].Desire[a]
+		if d > p {
+			d = p
+		}
+		allot[idx][a] = d
+	}
+	return allot
+}
+
+// ownerIndex locates the current owner in the active set, -1 if gone.
+func (g *Gang) ownerIndex(jobs []sched.JobView) int {
+	if g.current < 0 {
+		return -1
+	}
+	for i, j := range jobs {
+		if j.ID == g.current {
+			return i
+		}
+	}
+	return -1
+}
+
+// next picks the successor of position idx in arrival order, wrapping; a
+// vanished owner hands over to the first job with a greater ID (or the
+// head).
+func (g *Gang) next(jobs []sched.JobView, idx int) int {
+	if idx >= 0 {
+		return (idx + 1) % len(jobs)
+	}
+	for i, j := range jobs {
+		if j.ID > g.current {
+			return i
+		}
+	}
+	return 0
+}
+
+var _ sched.Scheduler = (*Gang)(nil)

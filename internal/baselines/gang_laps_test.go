@@ -1,0 +1,138 @@
+package baselines
+
+import (
+	"testing"
+
+	"krad/internal/sched"
+)
+
+func TestLAPSValidation(t *testing.T) {
+	for _, beta := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("beta=%v accepted", beta)
+				}
+			}()
+			NewLAPS(1, beta)
+		}()
+	}
+}
+
+func TestLAPSSharesAmongLatest(t *testing.T) {
+	s := NewLAPS(1, 0.5)
+	// 4 jobs, β = 0.5 → the 2 latest (IDs 2, 3) share everything.
+	jobs := views([]int{9}, []int{9}, []int{9}, []int{9})
+	allot := s.Allot(0, jobs, []int{8})
+	if allot[0][0] != 0 || allot[1][0] != 0 {
+		t.Errorf("early jobs served: %v", allot)
+	}
+	if allot[2][0] != 4 || allot[3][0] != 4 {
+		t.Errorf("latest jobs not equi-shared: %v", allot)
+	}
+}
+
+func TestLAPSBetaOneIsEqui(t *testing.T) {
+	l := NewLAPS(1, 1.0)
+	e := NewEQUI(1)
+	jobs := views([]int{3}, []int{3}, []int{3})
+	for step := int64(0); step < 5; step++ {
+		a := l.Allot(step, jobs, []int{7})
+		b := e.Allot(step, jobs, []int{7})
+		for i := range jobs {
+			if a[i][0] != b[i][0] {
+				t.Fatalf("step %d: laps(1)=%v equi=%v", step, a, b)
+			}
+		}
+	}
+}
+
+func TestLAPSRespectsCapacity(t *testing.T) {
+	s := NewLAPS(2, 0.3)
+	jobs := views([]int{5, 5}, []int{5, 5}, []int{5, 5}, []int{5, 5}, []int{5, 5})
+	for step := int64(0); step < 6; step++ {
+		allot := s.Allot(step, jobs, []int{3, 4})
+		if err := sched.ValidateAllotments(jobs, []int{3, 4}, allot); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGangValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("quantum 0 accepted")
+		}
+	}()
+	NewGang(0)
+}
+
+func TestGangExclusiveOwnership(t *testing.T) {
+	g := NewGang(2)
+	jobs := []sched.JobView{
+		{ID: 0, Desire: []int{3, 1}},
+		{ID: 1, Desire: []int{2, 2}},
+		{ID: 2, Desire: []int{1, 1}},
+	}
+	caps := []int{2, 2}
+	ownerAt := make([]int, 0, 8)
+	for step := int64(1); step <= 8; step++ {
+		allot := g.Allot(step, jobs, caps)
+		if err := sched.ValidateAllotments(jobs, caps, allot); err != nil {
+			t.Fatal(err)
+		}
+		owner := -1
+		for i, row := range allot {
+			total := 0
+			for _, v := range row {
+				total += v
+			}
+			if total > 0 {
+				if owner != -1 {
+					t.Fatalf("step %d: two owners", step)
+				}
+				owner = i
+			}
+		}
+		if owner < 0 {
+			t.Fatalf("step %d: nobody owns the machine", step)
+		}
+		// Owner gets min(desire, cap) in every category.
+		for a := range caps {
+			want := jobs[owner].Desire[a]
+			if want > caps[a] {
+				want = caps[a]
+			}
+			if allot[owner][a] != want {
+				t.Fatalf("step %d: owner row %v, want full machine", step, allot[owner])
+			}
+		}
+		ownerAt = append(ownerAt, owner)
+	}
+	// Quantum 2: owners rotate 0,0,1,1,2,2,0,0.
+	want := []int{0, 0, 1, 1, 2, 2, 0, 0}
+	for i := range want {
+		if ownerAt[i] != want[i] {
+			t.Fatalf("ownership sequence %v, want %v", ownerAt, want)
+		}
+	}
+}
+
+func TestGangHandlesOwnerCompletion(t *testing.T) {
+	g := NewGang(10)
+	jobs := []sched.JobView{{ID: 0, Desire: []int{1}}, {ID: 1, Desire: []int{1}}}
+	g.Allot(1, jobs, []int{4}) // job 0 owns
+	// Job 0 completes; only job 1 remains.
+	remaining := []sched.JobView{{ID: 1, Desire: []int{1}}}
+	allot := g.Allot(2, remaining, []int{4})
+	if allot[0][0] != 1 {
+		t.Errorf("machine not handed to the surviving job: %v", allot)
+	}
+}
+
+func TestGangEmpty(t *testing.T) {
+	g := NewGang(3)
+	if got := g.Allot(1, nil, []int{2}); len(got) != 0 {
+		t.Errorf("empty allot = %v", got)
+	}
+}

@@ -1,0 +1,61 @@
+package baselines
+
+import (
+	"math"
+
+	"krad/internal/sched"
+)
+
+// laps is LAPS(β) — Latest Arrival Processor Sharing (Edmonds & Pruhs):
+// each category's processors are shared equally among the ⌈β·nα⌉ most
+// recently arrived α-active jobs, the rest receive nothing. β = 1 recovers
+// EQUI. LAPS is the canonical speed-augmentation-analyzed scheduler for
+// non-clairvoyant response time; here it serves as a literature baseline
+// against RAD's DEQ+RR combination. Like EQUI it ignores desires, so
+// shares beyond a job's parallelism are wasted.
+type laps struct {
+	beta float64
+}
+
+// NewLAPS returns the LAPS(β) scheduler for k categories. beta must lie in
+// (0, 1].
+func NewLAPS(k int, beta float64) *sched.PerCategory {
+	if beta <= 0 || beta > 1 {
+		panic("baselines: LAPS beta must be in (0, 1]")
+	}
+	cats := make([]sched.CategoryScheduler, k)
+	for i := range cats {
+		cats[i] = laps{beta: beta}
+	}
+	return sched.NewPerCategory("laps", cats)
+}
+
+func (l laps) Name() string { return "laps" }
+
+func (l laps) Allot(t int64, jobs []sched.CatJob, p int) []int {
+	allot := make([]int, len(jobs))
+	n := len(jobs)
+	if n == 0 || p <= 0 {
+		return allot
+	}
+	m := int(math.Ceil(l.beta * float64(n)))
+	if m < 1 {
+		m = 1
+	}
+	// jobs arrive ID-ordered; the m latest are the last m entries.
+	share, extra := p/m, p%m
+	start := int(t) % m
+	if start < 0 {
+		start += m
+	}
+	for i := 0; i < m; i++ {
+		a := share
+		if extra > 0 && (i-start+m)%m < extra {
+			a++
+		}
+		allot[n-m+i] = a
+	}
+	return allot
+}
+
+var _ sched.CategoryScheduler = laps{}

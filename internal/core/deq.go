@@ -1,0 +1,77 @@
+// Package core implements the paper's contribution: the DEQ and ROUND-ROBIN
+// sub-procedures, the per-category RAD scheduler that unifies them, and
+// K-RAD — one RAD per resource category (Figure 2 of the paper).
+package core
+
+// Deq distributes p processors among jobs with the given positive desires,
+// following the recursive DEQ procedure of Figure 2:
+//
+//	S ← {Ji ∈ Q : d(Ji) ≤ P/|Q|}
+//	if S = ∅  → every job gets an equal share P/|Q| (the "mean deprived
+//	            allotment")
+//	else      → jobs in S get exactly their desire; recurse on Q−S with the
+//	            remaining processors
+//
+// The paper's analysis uses real-valued equal shares; processors are
+// integral, so the equal share is realized as ⌊P/|Q|⌋ with the remainder
+// spread one processor each over the deprived jobs, starting at position
+// rot mod |Q| so no job is systematically favored across steps. The
+// returned allotments satisfy: Σ allot ≤ p; allot[i] ≤ desires[i]; every
+// "satisfied" job receives exactly its desire; all "deprived" jobs receive
+// shares differing by at most one.
+//
+// Desires must be strictly positive (the caller passes only α-active jobs).
+func Deq(desires []int, p, rot int) []int {
+	allot := make([]int, len(desires))
+	if len(desires) == 0 || p <= 0 {
+		return allot
+	}
+	// live holds the indices of jobs still being partitioned.
+	live := make([]int, len(desires))
+	for i := range live {
+		live[i] = i
+	}
+	for len(live) > 0 && p > 0 {
+		fair := p / len(live)
+		// Collect the satisfied set S: desire ≤ fair share.
+		rest := live[:0]
+		taken := 0
+		satisfied := 0
+		for _, i := range live {
+			if desires[i] <= fair {
+				allot[i] = desires[i]
+				taken += desires[i]
+				satisfied++
+			} else {
+				rest = append(rest, i)
+			}
+		}
+		if satisfied == 0 {
+			// S = ∅: equal (deprived) shares with rotated remainder.
+			n := len(rest)
+			share := p / n
+			extra := p % n
+			start := 0
+			if extra > 0 {
+				start = rot % n
+				if start < 0 {
+					start += n
+				}
+			}
+			for j := 0; j < n; j++ {
+				a := share
+				// The jobs at positions start, start+1, ... (mod n) absorb
+				// the remainder. Each such job's desire exceeds fair ≥
+				// share, so desire ≥ share+1 and the bump never exceeds it.
+				if extra > 0 && (j-start+n)%n < extra {
+					a++
+				}
+				allot[rest[j]] = a
+			}
+			return allot
+		}
+		p -= taken
+		live = rest
+	}
+	return allot
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"testing"
+)
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestDeqEmptyAndZeroProcessors(t *testing.T) {
+	if got := Deq(nil, 5, 0); len(got) != 0 {
+		t.Errorf("Deq(nil) = %v", got)
+	}
+	got := Deq([]int{3, 4}, 0, 0)
+	if got[0] != 0 || got[1] != 0 {
+		t.Errorf("Deq with p=0 = %v", got)
+	}
+}
+
+func TestDeqAllSatisfied(t *testing.T) {
+	// Total desire below capacity: everyone gets exactly their desire.
+	got := Deq([]int{1, 2, 3}, 10, 0)
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Deq = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDeqAllDeprivedEqualShares(t *testing.T) {
+	// Everyone wants more than the fair share: equal split.
+	got := Deq([]int{10, 10, 10, 10}, 8, 0)
+	for i, a := range got {
+		if a != 2 {
+			t.Fatalf("job %d got %d, want 2 (allot %v)", i, a, got)
+		}
+	}
+}
+
+func TestDeqRemainderSpreadWithinOne(t *testing.T) {
+	got := Deq([]int{10, 10, 10}, 8, 0)
+	if sum(got) != 8 {
+		t.Fatalf("sum %d, want 8", sum(got))
+	}
+	min, max := got[0], got[0]
+	for _, a := range got {
+		if a < min {
+			min = a
+		}
+		if a > max {
+			max = a
+		}
+	}
+	if max-min > 1 {
+		t.Errorf("deprived allotments differ by more than one: %v", got)
+	}
+}
+
+func TestDeqRotationMovesRemainder(t *testing.T) {
+	a := Deq([]int{5, 5, 5}, 7, 0)
+	b := Deq([]int{5, 5, 5}, 7, 1)
+	if sum(a) != 7 || sum(b) != 7 {
+		t.Fatal("sums wrong")
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Errorf("rotation had no effect: %v vs %v", a, b)
+	}
+}
+
+func TestDeqRecursiveRedistribution(t *testing.T) {
+	// Figure 2 semantics: small jobs get their desire, the freed capacity
+	// goes to the big jobs. desires {1, 9, 9}, p=9: fair 3 → job 0
+	// satisfied (1), remaining 8 split 4/4.
+	got := Deq([]int{1, 9, 9}, 9, 0)
+	if got[0] != 1 || got[1] != 4 || got[2] != 4 {
+		t.Errorf("Deq = %v, want [1 4 4]", got)
+	}
+}
+
+func TestDeqCascadingRecursion(t *testing.T) {
+	// desires {1, 2, 50, 50}, p=12: fair 3 → jobs 0,1 satisfied (3 used),
+	// 9 left for two jobs: fair 4 → both deprived → 5 and 4 (rot 0).
+	got := Deq([]int{1, 2, 50, 50}, 12, 0)
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("satisfied jobs wrong: %v", got)
+	}
+	if got[2]+got[3] != 9 {
+		t.Fatalf("deprived jobs got %d+%d, want 9 total", got[2], got[3])
+	}
+	if d := got[2] - got[3]; d < -1 || d > 1 {
+		t.Errorf("deprived not within one: %v", got)
+	}
+}
+
+func TestDeqOverloadDegeneratesToPartialService(t *testing.T) {
+	// More jobs than processors: p of the jobs get one processor each.
+	desires := []int{1, 1, 1, 1, 1, 1}
+	got := Deq(desires, 3, 0)
+	if sum(got) != 3 {
+		t.Fatalf("sum %d, want 3", sum(got))
+	}
+	for i, a := range got {
+		if a != 0 && a != 1 {
+			t.Errorf("job %d got %d", i, a)
+		}
+	}
+}
+
+func TestDeqNeverExceedsDesire(t *testing.T) {
+	desires := []int{2, 1, 7, 3}
+	got := Deq(desires, 100, 0)
+	for i := range desires {
+		if got[i] != desires[i] {
+			t.Errorf("job %d got %d, want full desire %d", i, got[i], desires[i])
+		}
+	}
+}
+
+func TestDeqNegativeRotation(t *testing.T) {
+	// rot may be any int (it is derived from a time step); negative values
+	// must not panic or misallocate.
+	got := Deq([]int{5, 5, 5}, 7, -4)
+	if sum(got) != 7 {
+		t.Errorf("sum %d, want 7", sum(got))
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzDeq drives the DEQ primitive with arbitrary byte-derived inputs and
+// asserts its contract: no panic, Σ allot ≤ p, 0 ≤ allot[i] ≤ desire[i],
+// and work conservation (all of p used whenever total demand exceeds it).
+func FuzzDeq(f *testing.F) {
+	f.Add([]byte{3, 1, 4, 1, 5}, uint16(8), int16(0))
+	f.Add([]byte{10, 10, 10}, uint16(2), int16(-7))
+	f.Add([]byte{}, uint16(5), int16(3))
+	f.Add([]byte{255}, uint16(0), int16(1))
+	f.Fuzz(func(t *testing.T, raw []byte, pRaw uint16, rot int16) {
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		desires := make([]int, 0, len(raw))
+		demand := 0
+		for _, b := range raw {
+			d := int(b)%40 + 1 // strictly positive, as the contract requires
+			desires = append(desires, d)
+			demand += d
+		}
+		p := int(pRaw) % 128
+		allot := Deq(desires, p, int(rot))
+		if len(allot) != len(desires) {
+			t.Fatalf("len %d != %d", len(allot), len(desires))
+		}
+		total := 0
+		for i := range desires {
+			if allot[i] < 0 || allot[i] > desires[i] {
+				t.Fatalf("allot[%d]=%d outside [0,%d]", i, allot[i], desires[i])
+			}
+			total += allot[i]
+		}
+		if total > p {
+			t.Fatalf("total %d > p %d", total, p)
+		}
+		if total < p && total < demand {
+			t.Fatalf("not work conserving: total %d, p %d, demand %d", total, p, demand)
+		}
+	})
+}

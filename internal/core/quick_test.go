@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"krad/internal/sched"
+)
+
+// deqInput draws a random desire vector and capacity from a seed.
+func deqInput(seed int64) ([]int, int, int) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 + rng.Intn(20)
+	desires := make([]int, n)
+	for i := range desires {
+		desires[i] = 1 + rng.Intn(30)
+	}
+	return desires, rng.Intn(40), rng.Intn(1000) - 500
+}
+
+// TestQuickDeqInvariants checks the DEQ contract on random inputs:
+// Σ allot ≤ p, 0 ≤ allot[i] ≤ desire[i], work conservation when demand
+// exceeds capacity, and the deprived-equality property: jobs not fully
+// satisfied receive shares within one unit of each other and at least as
+// large as any satisfied job's allotment... (the last in the weak form:
+// deprived shares ≥ the fair share of their recursion level).
+func TestQuickDeqInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		desires, p, rot := deqInput(seed)
+		allot := Deq(desires, p, rot)
+		if len(allot) != len(desires) {
+			return false
+		}
+		total, demand := 0, 0
+		for i := range desires {
+			if allot[i] < 0 || allot[i] > desires[i] {
+				return false
+			}
+			total += allot[i]
+			demand += desires[i]
+		}
+		if total > p {
+			return false
+		}
+		// Work conservation: either everyone is satisfied or every
+		// processor is allotted.
+		if total < p && total < demand {
+			return false
+		}
+		// Deprived jobs (allot < desire) must have near-equal shares.
+		min, max := 1<<30, -1
+		for i := range desires {
+			if allot[i] < desires[i] {
+				if allot[i] < min {
+					min = allot[i]
+				}
+				if allot[i] > max {
+					max = allot[i]
+				}
+			}
+		}
+		if max >= 0 && max-min > 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDeqMonotoneInP: giving DEQ more processors never reduces the
+// total allotment.
+func TestQuickDeqMonotoneInP(t *testing.T) {
+	f := func(seed int64) bool {
+		desires, p, rot := deqInput(seed)
+		a := Deq(desires, p, rot)
+		b := Deq(desires, p+1, rot)
+		return sum(b) >= sum(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDeqSatisfiedExactness: any job whose desire is at most the
+// final fair share is allotted exactly its desire.
+func TestQuickDeqSatisfiedExactness(t *testing.T) {
+	f := func(seed int64) bool {
+		desires, p, rot := deqInput(seed)
+		if len(desires) == 0 {
+			return true
+		}
+		allot := Deq(desires, p, rot)
+		// If every desire ≤ p/n, everyone must be exactly satisfied.
+		fair := p / len(desires)
+		alwaysSmall := true
+		for _, d := range desires {
+			if d > fair {
+				alwaysSmall = false
+				break
+			}
+		}
+		if alwaysSmall {
+			for i := range desires {
+				if allot[i] != desires[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRADValidAllotments: RAD, driven by random desire streams across
+// many steps, always emits allotments within capacity and desire, and at
+// most one processor per job during round-robin phases.
+func TestQuickRADValidAllotments(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewRAD()
+		p := 1 + rng.Intn(8)
+		n := 1 + rng.Intn(24)
+		for step := int64(1); step <= 40; step++ {
+			jobs := make([]sched.CatJob, 0, n)
+			for i := 0; i < n; i++ {
+				if rng.Intn(4) == 0 {
+					continue // job inactive this step
+				}
+				jobs = append(jobs, sched.CatJob{ID: i, Desire: 1 + rng.Intn(10)})
+			}
+			allot := r.Allot(step, jobs, p)
+			total := 0
+			for i := range jobs {
+				if allot[i] < 0 || allot[i] > jobs[i].Desire {
+					return false
+				}
+				total += allot[i]
+			}
+			if total > p {
+				return false
+			}
+			if len(jobs) > 0 && total == 0 {
+				return false // work conservation: active jobs, idle machine
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickKRADMatchesPerCategoryRAD: K-RAD's composite allotment for each
+// category equals what a standalone RAD with the same history produces.
+func TestQuickKRADMatchesPerCategoryRAD(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(3)
+		caps := make([]int, k)
+		for i := range caps {
+			caps[i] = 1 + rng.Intn(6)
+		}
+		composite := NewKRAD(k)
+		standalone := make([]*RAD, k)
+		for i := range standalone {
+			standalone[i] = NewRAD()
+		}
+		n := 1 + rng.Intn(10)
+		for step := int64(1); step <= 20; step++ {
+			jobs := make([]sched.JobView, n)
+			for i := range jobs {
+				d := make([]int, k)
+				for a := range d {
+					d[a] = rng.Intn(5)
+				}
+				jobs[i] = sched.JobView{ID: i, Desire: d}
+			}
+			got := composite.Allot(step, jobs, caps)
+			for a := 0; a < k; a++ {
+				var catJobs []sched.CatJob
+				var idx []int
+				for i, j := range jobs {
+					if j.Desire[a] > 0 {
+						catJobs = append(catJobs, sched.CatJob{ID: j.ID, Desire: j.Desire[a]})
+						idx = append(idx, i)
+					}
+				}
+				want := standalone[a].Allot(step, catJobs, caps[a])
+				for j := range catJobs {
+					if got[idx[j]][a] != want[j] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"krad/internal/sched"
+)
+
+// RAD is the single-category adaptive scheduler of Figure 2. When the
+// number of α-active jobs is at most the processor count it behaves as DEQ
+// (space sharing); when the category is overloaded it runs batched
+// round-robin cycles (time sharing): each cycle gives every α-active job
+// one processor for one step before any job is scheduled twice.
+//
+// State is one mark per job: marked means "already scheduled in the current
+// round-robin cycle". A RAD value is stateful and must not be shared
+// between concurrent simulations; K-RAD builds one RAD per category.
+type RAD struct {
+	marked map[int]bool
+	// rot rotates which marked jobs receive the cycle-completing "bonus"
+	// service (the move from Q′ to Q below). Figure 2 leaves the choice
+	// unspecified; rotating it keeps long-run service counts equal instead
+	// of systematically favoring the lowest job IDs.
+	rot int
+}
+
+// NewRAD returns a fresh single-category RAD scheduler.
+func NewRAD() *RAD {
+	return &RAD{marked: make(map[int]bool)}
+}
+
+// Name implements sched.CategoryScheduler.
+func (r *RAD) Name() string { return "rad" }
+
+// Allot implements the RAD procedure of Figure 2 for one category:
+//
+//	Q  ← unmarked α-active jobs (ascending ID = queue order)
+//	Q′ ← marked α-active jobs
+//	if |Q| > P  → ROUND-ROBIN: the first P jobs of Q get one processor
+//	              each and are marked
+//	else        → move min(|Q′|, P−|Q|) jobs from Q′ to Q, partition the
+//	              processors over Q with DEQ, and unmark all jobs (the
+//	              round-robin cycle, if any, is complete)
+func (r *RAD) Allot(t int64, jobs []sched.CatJob, p int) []int {
+	allot := make([]int, len(jobs))
+	if len(jobs) == 0 || p <= 0 {
+		return allot
+	}
+	// Split into Q (unmarked) and Q′ (marked), preserving ID order.
+	q := make([]int, 0, len(jobs))  // indices into jobs
+	qp := make([]int, 0, len(jobs)) // indices into jobs
+	for i, j := range jobs {
+		if r.marked[j.ID] {
+			qp = append(qp, i)
+		} else {
+			q = append(q, i)
+		}
+	}
+	if len(q) > p {
+		// ROUND-ROBIN: first P jobs of Q get one processor each, marked.
+		for _, i := range q[:p] {
+			allot[i] = 1
+			r.marked[jobs[i].ID] = true
+		}
+		return allot
+	}
+	// Cycle completes this step: fill Q from Q′ so no processor idles.
+	// The jobs moved over are chosen round-robin across cycles (see rot).
+	need := p - len(q)
+	if need > len(qp) {
+		need = len(qp)
+	}
+	if need > 0 {
+		start := r.rot % len(qp)
+		for j := 0; j < need; j++ {
+			q = append(q, qp[(start+j)%len(qp)])
+		}
+		r.rot += need
+	}
+	desires := make([]int, len(q))
+	for j, i := range q {
+		desires[j] = jobs[i].Desire
+	}
+	for j, a := range Deq(desires, p, int(t)) {
+		allot[q[j]] = a
+	}
+	// Unmark all jobs: a new cycle starts next step if still overloaded.
+	clear(r.marked)
+	return allot
+}
+
+// JobsDone drops marks of completed jobs so state cannot grow without
+// bound across long online runs.
+func (r *RAD) JobsDone(ids []int) {
+	for _, id := range ids {
+		delete(r.marked, id)
+	}
+}
+
+var (
+	_ sched.CategoryScheduler = (*RAD)(nil)
+	_ sched.CategoryCompleter = (*RAD)(nil)
+)
+
+// NewKRAD returns the paper's K-RAD scheduler for k resource categories:
+// one independent RAD per category, assembled with sched.PerCategory.
+func NewKRAD(k int) *sched.PerCategory {
+	cats := make([]sched.CategoryScheduler, k)
+	for i := range cats {
+		cats[i] = NewRAD()
+	}
+	return sched.NewPerCategory("k-rad", cats)
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"krad/internal/sched"
+)
+
+func TestRandomRADLightLoadMatchesDEQ(t *testing.T) {
+	r := NewRandomRAD(1)
+	jobs := catJobs(1, 9, 9)
+	got := r.Allot(1, jobs, 9)
+	want := Deq([]int{1, 9, 9}, 9, 1)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("light load diverged from DEQ: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestRandomRADCycleServesEveryoneOnce(t *testing.T) {
+	r := NewRandomRAD(7)
+	jobs := catJobs(2, 2, 2, 2, 2, 2, 2) // 7 jobs
+	served := map[int]int{}
+	// 7 jobs on 2 processors: cycle completes within 4 steps (3 RR steps +
+	// the DEQ completion step).
+	for step := int64(1); step <= 3; step++ {
+		allot := r.Allot(step, jobs, 2)
+		total := 0
+		for i, a := range allot {
+			if a > 0 {
+				served[i]++
+				if served[i] > 1 {
+					t.Fatalf("job %d served twice before cycle completion", i)
+				}
+				total += a
+			}
+		}
+		if total != 2 {
+			t.Fatalf("step %d used %d processors", step, total)
+		}
+	}
+	// Completion step: the one remaining unmarked job plus bonus.
+	allot := r.Allot(4, jobs, 2)
+	for i, a := range allot {
+		if a > 0 {
+			served[i]++
+		}
+	}
+	for i := 0; i < len(jobs); i++ {
+		if served[i] == 0 {
+			t.Errorf("job %d starved through the cycle", i)
+		}
+	}
+}
+
+func TestRandomRADDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []int {
+		r := NewRandomRAD(seed)
+		jobs := catJobs(1, 1, 1, 1, 1, 1)
+		var trace []int
+		for step := int64(1); step <= 9; step++ {
+			for i, a := range r.Allot(step, jobs, 2) {
+				if a > 0 {
+					trace = append(trace, i)
+				}
+			}
+		}
+		return trace
+	}
+	a, b := run(5), run(5)
+	if len(a) != len(b) {
+		t.Fatal("trace lengths differ for same seed")
+	}
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if !same {
+		t.Error("same seed diverged")
+	}
+	c := run(6)
+	diff := len(a) != len(c)
+	for i := 0; !diff && i < len(a); i++ {
+		diff = a[i] != c[i]
+	}
+	if !diff {
+		t.Log("different seeds produced identical service order (possible but unlikely)")
+	}
+}
+
+func TestQuickRandomRADValidAllotments(t *testing.T) {
+	f := func(seed int64) bool {
+		r := NewRandomRAD(seed)
+		jobs := catJobs(3, 1, 4, 1, 5, 9, 2, 6)
+		for step := int64(1); step <= 30; step++ {
+			p := 1 + int(uint(seed+int64(step))%7)
+			allot := r.Allot(step, jobs, p)
+			total := 0
+			for i := range jobs {
+				if allot[i] < 0 || allot[i] > jobs[i].Desire {
+					return false
+				}
+				total += allot[i]
+			}
+			if total > p || total == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewRandomKRADComposition(t *testing.T) {
+	s := NewRandomKRAD(3, 1)
+	if s.Name() != "k-rad-random" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	jobs := []sched.JobView{
+		{ID: 0, Desire: []int{2, 0, 5}},
+		{ID: 1, Desire: []int{0, 3, 5}},
+	}
+	caps := []int{4, 4, 4}
+	allot := s.Allot(1, jobs, caps)
+	if err := sched.ValidateAllotments(jobs, caps, allot); err != nil {
+		t.Fatal(err)
+	}
+	s.JobsDone([]int{0})
+}

@@ -1,0 +1,236 @@
+package dag
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Chain builds a job that is a single precedence chain of length n whose
+// task categories are produced by catAt(i) for i ∈ [0, n). Chains are the
+// fully sequential extreme: span = work = n.
+func Chain(k, n int, catAt func(i int) Category) *Graph {
+	g := New(k).Named(fmt.Sprintf("chain-%d", n))
+	var prev TaskID = -1
+	for i := 0; i < n; i++ {
+		id := g.AddTask(catAt(i))
+		if prev >= 0 {
+			g.MustEdge(prev, id)
+		}
+		prev = id
+	}
+	return g
+}
+
+// UniformChain builds a chain of length n with every task in category c.
+func UniformChain(k, n int, c Category) *Graph {
+	return Chain(k, n, func(int) Category { return c })
+}
+
+// RoundRobinChain builds a chain of length n that cycles through the K
+// categories — the classic "compute, then communicate, then I/O" pattern.
+func RoundRobinChain(k, n int) *Graph {
+	return Chain(k, n, func(i int) Category { return Category(i%k + 1) })
+}
+
+// ForkJoin builds the fork-join idiom: a fork task of category forkCat
+// spawns width parallel body tasks of category bodyCat, all joined by a
+// task of category joinCat. Span is 3; work is width + 2.
+func ForkJoin(k, width int, forkCat, bodyCat, joinCat Category) *Graph {
+	g := New(k).Named(fmt.Sprintf("forkjoin-%d", width))
+	fork := g.AddTask(forkCat)
+	join := g.AddTask(joinCat)
+	for i := 0; i < width; i++ {
+		b := g.AddTask(bodyCat)
+		g.MustEdge(fork, b)
+		g.MustEdge(b, join)
+	}
+	return g
+}
+
+// LayerSpec describes one level of a Layered job: Count tasks of category
+// Cat.
+type LayerSpec struct {
+	Count int
+	Cat   Category
+}
+
+// Layered builds a job of stacked levels. If dense is true every task of
+// level i+1 depends on every task of level i (a full barrier); otherwise
+// each level depends on a single designated collector task of the previous
+// level (the Figure 3 shape). Span = number of layers.
+func Layered(k int, layers []LayerSpec, dense bool) *Graph {
+	g := New(k).Named(fmt.Sprintf("layered-%d", len(layers)))
+	var prev []TaskID
+	for _, l := range layers {
+		cur := g.AddTasks(l.Cat, l.Count)
+		if len(prev) > 0 {
+			if dense {
+				for _, u := range prev {
+					for _, v := range cur {
+						g.MustEdge(u, v)
+					}
+				}
+			} else {
+				for _, v := range cur {
+					g.MustEdge(prev[0], v)
+				}
+			}
+		}
+		prev = cur
+	}
+	return g
+}
+
+// MapReduce builds the two-phase idiom: a split task (category splitCat)
+// feeds mappers tasks of mapCat, all-to-all into reducers tasks of redCat,
+// joined by a final merge task of mergeCat.
+func MapReduce(k, mappers, reducers int, splitCat, mapCat, redCat, mergeCat Category) *Graph {
+	g := New(k).Named(fmt.Sprintf("mapreduce-%dx%d", mappers, reducers))
+	split := g.AddTask(splitCat)
+	maps := g.AddTasks(mapCat, mappers)
+	reds := g.AddTasks(redCat, reducers)
+	merge := g.AddTask(mergeCat)
+	for _, m := range maps {
+		g.MustEdge(split, m)
+		for _, r := range reds {
+			g.MustEdge(m, r)
+		}
+	}
+	for _, r := range reds {
+		g.MustEdge(r, merge)
+	}
+	return g
+}
+
+// Pipeline builds a stages × width pipelined computation: item w at stage s
+// depends on item w at stage s−1 (data flow) and on item w−1 at stage s
+// (stage occupancy), the standard wavefront DAG. catAt(s) gives the
+// category of stage s.
+func Pipeline(k, stages, width int, catAt func(stage int) Category) *Graph {
+	g := New(k).Named(fmt.Sprintf("pipeline-%dx%d", stages, width))
+	ids := make([][]TaskID, stages)
+	for s := 0; s < stages; s++ {
+		ids[s] = g.AddTasks(catAt(s), width)
+		for w := 0; w < width; w++ {
+			if s > 0 {
+				g.MustEdge(ids[s-1][w], ids[s][w])
+			}
+			if w > 0 {
+				g.MustEdge(ids[s][w-1], ids[s][w])
+			}
+		}
+	}
+	return g
+}
+
+// Singleton builds the one-task job of category c used by the adversarial
+// construction and by microbenchmarks.
+func Singleton(k int, c Category) *Graph {
+	g := New(k).Named("singleton")
+	g.AddTask(c)
+	return g
+}
+
+// RandomOpts controls Random.
+type RandomOpts struct {
+	// Tasks is the number of vertices; must be ≥ 1.
+	Tasks int
+	// EdgeProb is the probability of a forward edge between a pair of
+	// tasks at distance ≤ Window; in (0, 1].
+	EdgeProb float64
+	// Window bounds how far forward edges may reach in ID order; 0 means
+	// unbounded. Small windows produce long, narrow DAGs; large windows
+	// produce wide, shallow ones.
+	Window int
+	// CatWeights gives the relative frequency of each category (indexed
+	// α−1). Nil means uniform.
+	CatWeights []float64
+}
+
+// Random builds a seeded random K-DAG: tasks are created in ID order and
+// edges only point forward, so the result is acyclic by construction.
+// Deterministic for a given rng state.
+func Random(k int, opts RandomOpts, rng *rand.Rand) *Graph {
+	if opts.Tasks < 1 {
+		panic("dag: Random requires Tasks ≥ 1")
+	}
+	if opts.EdgeProb <= 0 || opts.EdgeProb > 1 {
+		panic(fmt.Sprintf("dag: Random EdgeProb %v out of (0,1]", opts.EdgeProb))
+	}
+	weights := opts.CatWeights
+	if weights == nil {
+		weights = make([]float64, k)
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	if len(weights) != k {
+		panic(fmt.Sprintf("dag: Random CatWeights length %d != k %d", len(weights), k))
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	pickCat := func() Category {
+		x := rng.Float64() * total
+		for i, w := range weights {
+			x -= w
+			if x < 0 {
+				return Category(i + 1)
+			}
+		}
+		return Category(k)
+	}
+	g := New(k).Named(fmt.Sprintf("random-%d", opts.Tasks))
+	for i := 0; i < opts.Tasks; i++ {
+		g.AddTask(pickCat())
+	}
+	for u := 0; u < opts.Tasks; u++ {
+		hi := opts.Tasks
+		if opts.Window > 0 && u+1+opts.Window < hi {
+			hi = u + 1 + opts.Window
+		}
+		for v := u + 1; v < hi; v++ {
+			if rng.Float64() < opts.EdgeProb {
+				g.MustEdge(TaskID(u), TaskID(v))
+			}
+		}
+	}
+	return g
+}
+
+// Figure1 builds the 3-DAG illustrated in Figure 1 of the paper: a small
+// three-category job interleaving the categories along its critical path.
+// The figure is schematic; this realization has the same qualitative shape
+// (10 tasks, 3 categories, span 5) and is used by example code and tests.
+func Figure1() *Graph {
+	g := New(3).Named("figure1")
+	// Level 1: one category-1 task fans out.
+	a := g.AddTask(1)
+	// Level 2: two category-2 tasks and one category-1 task.
+	b1, b2 := g.AddTask(2), g.AddTask(2)
+	b3 := g.AddTask(1)
+	// Level 3: category-3 tasks consuming level 2.
+	c1, c2 := g.AddTask(3), g.AddTask(3)
+	// Level 4: mixed.
+	d1 := g.AddTask(1)
+	d2 := g.AddTask(2)
+	// Level 5: final category-3 join.
+	e := g.AddTask(3)
+	// An independent category-3 task reachable from the root.
+	f := g.AddTask(3)
+	g.MustEdge(a, b1)
+	g.MustEdge(a, b2)
+	g.MustEdge(a, b3)
+	g.MustEdge(a, f)
+	g.MustEdge(b1, c1)
+	g.MustEdge(b2, c1)
+	g.MustEdge(b2, c2)
+	g.MustEdge(b3, c2)
+	g.MustEdge(c1, d1)
+	g.MustEdge(c1, d2)
+	g.MustEdge(c2, d2)
+	g.MustEdge(d1, e)
+	g.MustEdge(d2, e)
+	return g
+}

@@ -1,0 +1,111 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesSpanAdds(t *testing.T) {
+	a := UniformChain(2, 3, 1)
+	b := ForkJoin(2, 4, 2, 2, 2)
+	c := UniformChain(2, 2, 1)
+	g, err := Series(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Span() != a.Span()+b.Span()+c.Span() {
+		t.Errorf("series span %d, want %d", g.Span(), a.Span()+b.Span()+c.Span())
+	}
+	if g.NumTasks() != a.NumTasks()+b.NumTasks()+c.NumTasks() {
+		t.Errorf("series tasks %d", g.NumTasks())
+	}
+	wv := g.WorkVector()
+	for i := range wv {
+		want := a.WorkVector()[i] + b.WorkVector()[i] + c.WorkVector()[i]
+		if wv[i] != want {
+			t.Errorf("category %d work %d, want %d", i+1, wv[i], want)
+		}
+	}
+}
+
+func TestParallelSpanMaxes(t *testing.T) {
+	a := UniformChain(1, 7, 1)
+	b := UniformChain(1, 3, 1)
+	g, err := Parallel(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Span() != 7 {
+		t.Errorf("parallel span %d, want 7", g.Span())
+	}
+	if g.NumTasks() != 10 {
+		t.Errorf("parallel tasks %d, want 10", g.NumTasks())
+	}
+	if g.NumEdges() != a.NumEdges()+b.NumEdges() {
+		t.Errorf("parallel edges %d", g.NumEdges())
+	}
+}
+
+func TestComposeValidation(t *testing.T) {
+	if _, err := Series(); err == nil {
+		t.Error("empty series accepted")
+	}
+	if _, err := Parallel(UniformChain(1, 2, 1), nil); err == nil {
+		t.Error("nil graph accepted")
+	}
+	if _, err := Series(UniformChain(1, 2, 1), UniformChain(2, 2, 1)); err == nil {
+		t.Error("mismatched K accepted")
+	}
+}
+
+func TestComposeDoesNotMutateInputs(t *testing.T) {
+	a := UniformChain(1, 4, 1)
+	edges, tasks := a.NumEdges(), a.NumTasks()
+	MustSeries(a, a) // composing a graph with itself must be safe
+	if a.NumEdges() != edges || a.NumTasks() != tasks {
+		t.Error("input mutated")
+	}
+}
+
+func TestQuickComposedGraphsValid(t *testing.T) {
+	f := func(seed int64, serial bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(3)
+		parts := make([]*Graph, 1+rng.Intn(4))
+		for i := range parts {
+			parts[i] = Random(k, RandomOpts{Tasks: 1 + rng.Intn(20), EdgeProb: 0.2, Window: 5}, rng)
+		}
+		var g *Graph
+		var err error
+		if serial {
+			g, err = Series(parts...)
+		} else {
+			g, err = Parallel(parts...)
+		}
+		if err != nil || g.Validate() != nil {
+			return false
+		}
+		total, spanSum, spanMax := 0, 0, 0
+		for _, p := range parts {
+			total += p.NumTasks()
+			spanSum += p.Span()
+			if p.Span() > spanMax {
+				spanMax = p.Span()
+			}
+		}
+		if g.NumTasks() != total {
+			return false
+		}
+		if serial {
+			return g.Span() == spanSum
+		}
+		return g.Span() == spanMax
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

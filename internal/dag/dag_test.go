@@ -1,0 +1,205 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestAddTaskAssignsDenseIDs(t *testing.T) {
+	g := New(2)
+	for i := 0; i < 5; i++ {
+		id := g.AddTask(1)
+		if int(id) != i {
+			t.Fatalf("task %d got ID %d", i, id)
+		}
+	}
+	if g.NumTasks() != 5 {
+		t.Fatalf("NumTasks = %d, want 5", g.NumTasks())
+	}
+}
+
+func TestAddTaskPanicsOnBadCategory(t *testing.T) {
+	g := New(2)
+	for _, c := range []Category{0, 3, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AddTask(%d) did not panic", c)
+				}
+			}()
+			g.AddTask(c)
+		}()
+	}
+}
+
+func TestAddEdgeRejectsSelfAndDuplicates(t *testing.T) {
+	g := New(1)
+	a, b := g.AddTask(1), g.AddTask(1)
+	if err := g.AddEdge(a, a); err == nil {
+		t.Error("self edge accepted")
+	}
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	if err := g.AddEdge(a, b); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	if err := g.AddEdge(a, TaskID(99)); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestCategoryAndAdjacency(t *testing.T) {
+	g := New(3)
+	a := g.AddTask(1)
+	b := g.AddTask(2)
+	c := g.AddTask(3)
+	g.MustEdge(a, b)
+	g.MustEdge(a, c)
+	g.MustEdge(b, c)
+	if g.Category(a) != 1 || g.Category(b) != 2 || g.Category(c) != 3 {
+		t.Error("categories not preserved")
+	}
+	if len(g.Successors(a)) != 2 {
+		t.Errorf("a has %d successors, want 2", len(g.Successors(a)))
+	}
+	if len(g.Predecessors(c)) != 2 {
+		t.Errorf("c has %d predecessors, want 2", len(g.Predecessors(c)))
+	}
+	if g.InDegree(a) != 0 || g.InDegree(c) != 2 {
+		t.Error("in-degrees wrong")
+	}
+	if got := g.Sources(); len(got) != 1 || got[0] != a {
+		t.Errorf("Sources = %v, want [%d]", got, a)
+	}
+	if got := g.Sinks(); len(got) != 1 || got[0] != c {
+		t.Errorf("Sinks = %v, want [%d]", got, c)
+	}
+}
+
+func TestValidateDetectsCycle(t *testing.T) {
+	g := New(1)
+	a, b, c := g.AddTask(1), g.AddTask(1), g.AddTask(1)
+	g.MustEdge(a, b)
+	g.MustEdge(b, c)
+	g.MustEdge(c, a)
+	err := g.Validate()
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("Validate = %v, want cycle error", err)
+	}
+}
+
+func TestValidateAcceptsBuilders(t *testing.T) {
+	graphs := []*Graph{
+		UniformChain(1, 10, 1),
+		RoundRobinChain(3, 12),
+		ForkJoin(2, 8, 1, 2, 1),
+		Layered(3, []LayerSpec{{4, 1}, {6, 2}, {2, 3}}, true),
+		Layered(3, []LayerSpec{{4, 1}, {6, 2}, {2, 3}}, false),
+		MapReduce(2, 6, 3, 1, 1, 2, 2),
+		Pipeline(2, 3, 5, func(s int) Category { return Category(s%2 + 1) }),
+		Singleton(4, 3),
+		Figure1(),
+	}
+	for _, g := range graphs {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%v: %v", g, err)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := RoundRobinChain(2, 6)
+	c := g.Clone()
+	if c.NumTasks() != g.NumTasks() || c.NumEdges() != g.NumEdges() {
+		t.Fatal("clone differs in size")
+	}
+	// Mutating the clone must not affect the original.
+	x := c.AddTask(1)
+	c.MustEdge(TaskID(0), x)
+	if g.NumTasks() == c.NumTasks() {
+		t.Error("AddTask on clone affected original size comparison")
+	}
+	if len(g.Successors(0)) == len(c.Successors(0)) {
+		t.Error("clone shares successor slices with original")
+	}
+}
+
+func TestTopoOrderIsTopological(t *testing.T) {
+	g := MapReduce(2, 5, 3, 1, 1, 2, 2)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[TaskID]int, len(order))
+	for i, id := range order {
+		pos[id] = i
+	}
+	if len(pos) != g.NumTasks() {
+		t.Fatalf("order has %d unique tasks, want %d", len(pos), g.NumTasks())
+	}
+	for u := 0; u < g.NumTasks(); u++ {
+		for _, v := range g.Successors(TaskID(u)) {
+			if pos[TaskID(u)] >= pos[v] {
+				t.Fatalf("edge %d→%d out of order", u, v)
+			}
+		}
+	}
+}
+
+func TestLevelsMatchSpan(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		span int
+	}{
+		{UniformChain(1, 7, 1), 7},
+		{ForkJoin(2, 5, 1, 2, 1), 3},
+		{Layered(2, []LayerSpec{{3, 1}, {3, 2}, {3, 1}, {3, 2}}, true), 4},
+		{Singleton(1, 1), 1},
+		{Figure1(), 5},
+	}
+	for _, c := range cases {
+		levels, err := c.g.Levels()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(levels) != c.span {
+			t.Errorf("%v: %d levels, want %d", c.g, len(levels), c.span)
+		}
+		if c.g.Span() != c.span {
+			t.Errorf("%v: Span = %d, want %d", c.g, c.g.Span(), c.span)
+		}
+		total := 0
+		for _, l := range levels {
+			total += len(l)
+		}
+		if total != c.g.NumTasks() {
+			t.Errorf("%v: levels cover %d tasks, want %d", c.g, total, c.g.NumTasks())
+		}
+	}
+}
+
+func TestEmptyGraphMetrics(t *testing.T) {
+	g := New(2)
+	if g.Span() != 0 {
+		t.Errorf("empty Span = %d", g.Span())
+	}
+	if g.CriticalPath() != nil {
+		t.Error("empty CriticalPath not nil")
+	}
+	if g.TotalWork() != 0 {
+		t.Error("empty TotalWork not 0")
+	}
+}

@@ -1,0 +1,144 @@
+package dag
+
+import "fmt"
+
+// Durations: the paper's model has unit-time tasks. Real tasks run for
+// many steps, and two deployment interpretations exist:
+//
+//   - preemptive (a task's progress can pause and resume each step):
+//     exactly equivalent to Stretch — replace the task with a chain — so
+//     it needs no new machinery;
+//   - non-preemptive (a started task holds its processor for its whole
+//     duration): the scheduler loses per-step reallocation freedom. This
+//     file adds optional per-task durations to Graph and a TimedInstance
+//     runtime that exposes in-flight tasks as allotment floors (see
+//     sched.WithFloors); experiment E16 measures the cost.
+//
+// A Graph without SetDuration calls behaves exactly as before.
+
+// SetDuration declares that task id needs d ≥ 1 processor-steps. Tasks
+// default to duration 1.
+func (g *Graph) SetDuration(id TaskID, d int) {
+	if err := g.checkID(id); err != nil {
+		panic(err)
+	}
+	if d < 1 {
+		panic(fmt.Sprintf("dag: SetDuration(%d, %d): durations must be ≥ 1", id, d))
+	}
+	if g.durs == nil {
+		g.durs = make([]int32, len(g.cats))
+		for i := range g.durs {
+			g.durs[i] = 1
+		}
+	}
+	// Tasks added after an earlier SetDuration call default to 1.
+	for len(g.durs) < len(g.cats) {
+		g.durs = append(g.durs, 1)
+	}
+	g.durs[id] = int32(d)
+}
+
+// Duration returns task id's duration (1 unless SetDuration was called).
+func (g *Graph) Duration(id TaskID) int {
+	if g.durs == nil || int(id) >= len(g.durs) {
+		return 1
+	}
+	return int(g.durs[id])
+}
+
+// Timed reports whether any task has a duration above 1.
+func (g *Graph) Timed() bool {
+	for i := range g.durs {
+		if g.durs[i] > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// TimedWorkVector returns duration-weighted α-work: the processor-steps
+// category α must supply. Equals WorkVector for unit-duration graphs.
+func (g *Graph) TimedWorkVector() []int {
+	w := make([]int, g.k)
+	for id, c := range g.cats {
+		w[c-1] += g.Duration(TaskID(id))
+	}
+	return w
+}
+
+// TimedSpan returns the duration-weighted critical path: the minimum
+// completion time with unlimited processors. Equals Span for unit
+// durations.
+func (g *Graph) TimedSpan() int {
+	order, err := g.TopoOrder()
+	if err != nil {
+		panic(err)
+	}
+	finish := make([]int, g.NumTasks())
+	best := 0
+	for _, u := range order {
+		start := 0
+		for _, p := range g.pred[u] {
+			if finish[p] > start {
+				start = finish[p]
+			}
+		}
+		finish[u] = start + g.Duration(u)
+		if finish[u] > best {
+			best = finish[u]
+		}
+	}
+	return best
+}
+
+// ExpandDurations converts a duration-annotated graph into its unit-task
+// equivalent under PREEMPTIVE semantics: each task of duration d becomes a
+// chain of d unit tasks (like Stretch, but honoring per-task durations).
+// Scheduling the expansion with ordinary K-RAD models tasks whose progress
+// can be paused and resumed; contrast with NewTimedInstance, which models
+// non-preemptive execution of the same graph.
+func ExpandDurations(g *Graph) *Graph {
+	out := New(g.k).Named(g.name + "-expanded")
+	heads := make([]TaskID, g.NumTasks())
+	tails := make([]TaskID, g.NumTasks())
+	for id := 0; id < g.NumTasks(); id++ {
+		c := g.cats[id]
+		d := g.Duration(TaskID(id))
+		head := out.AddTask(c)
+		tail := head
+		for i := 1; i < d; i++ {
+			next := out.AddTask(c)
+			out.MustEdge(tail, next)
+			tail = next
+		}
+		heads[id] = head
+		tails[id] = tail
+	}
+	for u := 0; u < g.NumTasks(); u++ {
+		for _, v := range g.succ[u] {
+			out.MustEdge(tails[u], heads[v])
+		}
+	}
+	return out
+}
+
+// timedHeights returns duration-weighted remaining-chain lengths for the
+// critical-path pick policies.
+func (g *Graph) timedHeights() ([]int32, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	h := make([]int32, g.NumTasks())
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		best := int32(0)
+		for _, v := range g.succ[u] {
+			if h[v] > best {
+				best = h[v]
+			}
+		}
+		h[u] = best + int32(g.Duration(u))
+	}
+	return h, nil
+}

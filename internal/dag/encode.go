@@ -1,0 +1,55 @@
+package dag
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// graphJSON is the on-disk representation of a Graph.
+type graphJSON struct {
+	Name  string     `json:"name,omitempty"`
+	K     int        `json:"k"`
+	Cats  []Category `json:"categories"`
+	Edges [][2]int32 `json:"edges"`
+}
+
+// MarshalJSON encodes the graph as {name, k, categories, edges} with edges
+// listed in (source ID, then insertion) order so encoding is deterministic.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	ej := graphJSON{Name: g.name, K: g.k, Cats: g.cats}
+	for u := range g.succ {
+		for _, v := range g.succ[u] {
+			ej.Edges = append(ej.Edges, [2]int32{int32(u), int32(v)})
+		}
+	}
+	return json.Marshal(ej)
+}
+
+// UnmarshalJSON decodes a graph and validates it, so a malformed or cyclic
+// graph is rejected at decode time rather than detonating mid-simulation.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var ej graphJSON
+	if err := json.Unmarshal(data, &ej); err != nil {
+		return fmt.Errorf("dag: decode: %w", err)
+	}
+	if ej.K < 1 {
+		return fmt.Errorf("dag: decode: k=%d, need ≥ 1", ej.K)
+	}
+	ng := New(ej.K).Named(ej.Name)
+	for i, c := range ej.Cats {
+		if c < 1 || int(c) > ej.K {
+			return fmt.Errorf("dag: decode: task %d category %d out of range [1,%d]", i, c, ej.K)
+		}
+		ng.AddTask(c)
+	}
+	for _, e := range ej.Edges {
+		if err := ng.AddEdge(TaskID(e[0]), TaskID(e[1])); err != nil {
+			return fmt.Errorf("dag: decode: %w", err)
+		}
+	}
+	if err := ng.Validate(); err != nil {
+		return fmt.Errorf("dag: decode: %w", err)
+	}
+	*g = *ng
+	return nil
+}

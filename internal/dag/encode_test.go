@@ -1,0 +1,68 @@
+package dag
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := Figure1()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != orig.Name() || back.K() != orig.K() {
+		t.Error("name/k not preserved")
+	}
+	if back.NumTasks() != orig.NumTasks() || back.NumEdges() != orig.NumEdges() {
+		t.Fatal("size not preserved")
+	}
+	for id := 0; id < orig.NumTasks(); id++ {
+		if back.Category(TaskID(id)) != orig.Category(TaskID(id)) {
+			t.Errorf("task %d category changed", id)
+		}
+		if len(back.Successors(TaskID(id))) != len(orig.Successors(TaskID(id))) {
+			t.Errorf("task %d successors changed", id)
+		}
+	}
+	if back.Span() != orig.Span() {
+		t.Error("span changed across round trip")
+	}
+}
+
+func TestJSONRejectsMalformed(t *testing.T) {
+	cases := []string{
+		`{"k":0,"categories":[],"edges":[]}`,                       // bad k
+		`{"k":2,"categories":[3],"edges":[]}`,                      // category out of range
+		`{"k":1,"categories":[1,1],"edges":[[0,0]]}`,               // self edge
+		`{"k":1,"categories":[1,1],"edges":[[0,5]]}`,               // dangling edge
+		`{"k":1,"categories":[1,1],"edges":[[0,1],[0,1]]}`,         // duplicate
+		`{"k":1,"categories":[1,1,1],"edges":[[0,1],[1,2],[2,0]]}`, // cycle
+		`not json`,
+	}
+	for _, c := range cases {
+		var g Graph
+		if err := json.Unmarshal([]byte(c), &g); err == nil {
+			t.Errorf("accepted %s", c)
+		}
+	}
+}
+
+func TestJSONDeterministic(t *testing.T) {
+	g := MapReduce(2, 4, 2, 1, 1, 2, 2)
+	a, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("encoding not deterministic")
+	}
+}

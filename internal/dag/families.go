@@ -1,0 +1,133 @@
+package dag
+
+import "fmt"
+
+// This file adds the classic parallel-computing DAG families beyond the
+// basic builders in build.go, each with an exactly known work and span so
+// tests can pin the formulas: reduction trees, butterflies (FFT-style),
+// time-stepped stencils, and recursive divide-and-conquer.
+
+// BinaryReduction builds a leaves-to-root binary reduction tree: `leaves`
+// input tasks of category leafCat combined pairwise by tasks of category
+// nodeCat. leaves must be ≥ 1. Work = 2·leaves − 1 tasks; span =
+// ⌈log2(leaves)⌉ + 1.
+func BinaryReduction(k, leaves int, leafCat, nodeCat Category) *Graph {
+	if leaves < 1 {
+		panic("dag: BinaryReduction needs ≥ 1 leaf")
+	}
+	g := New(k).Named(fmt.Sprintf("reduce-%d", leaves))
+	level := g.AddTasks(leafCat, leaves)
+	for len(level) > 1 {
+		next := make([]TaskID, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 == len(level) {
+				// Odd element passes through to the next level via a
+				// combiner with a single input.
+				n := g.AddTask(nodeCat)
+				g.MustEdge(level[i], n)
+				next = append(next, n)
+				break
+			}
+			n := g.AddTask(nodeCat)
+			g.MustEdge(level[i], n)
+			g.MustEdge(level[i+1], n)
+			next = append(next, n)
+		}
+		level = next
+	}
+	return g
+}
+
+// Butterfly builds the FFT-style butterfly network on 2^logN inputs:
+// logN+1 ranks of 2^logN tasks, where the task at (rank r+1, position p)
+// depends on (r, p) and (r, p XOR 2^r). catAt(rank) colors each rank.
+// Work = (logN+1)·2^logN; span = logN + 1.
+func Butterfly(k, logN int, catAt func(rank int) Category) *Graph {
+	if logN < 0 || logN > 24 {
+		panic(fmt.Sprintf("dag: Butterfly logN=%d out of [0,24]", logN))
+	}
+	n := 1 << logN
+	g := New(k).Named(fmt.Sprintf("butterfly-%d", n))
+	prev := g.AddTasks(catAt(0), n)
+	for r := 0; r < logN; r++ {
+		cur := g.AddTasks(catAt(r+1), n)
+		for p := 0; p < n; p++ {
+			g.MustEdge(prev[p], cur[p])
+			g.MustEdge(prev[p^(1<<r)], cur[p])
+		}
+		prev = cur
+	}
+	return g
+}
+
+// Stencil2D builds a time-stepped 1D-domain stencil (a 2D dependence
+// grid): steps × width compute tasks of category compCat where cell
+// (s, w) depends on (s−1, w−1), (s−1, w), (s−1, w+1); every haloPeriod
+// steps each boundary cell additionally produces an exchange task of
+// category haloCat that the next step's boundary consumes. Models the
+// compute/communicate alternation of iterative solvers. Work =
+// steps·width compute tasks (+ halos); span = steps (+ the halo chain
+// inserts, one per period at each boundary).
+func Stencil2D(k, steps, width, haloPeriod int, compCat, haloCat Category) *Graph {
+	if steps < 1 || width < 1 {
+		panic("dag: Stencil2D needs steps ≥ 1 and width ≥ 1")
+	}
+	if haloPeriod < 1 {
+		haloPeriod = steps + 1 // never
+	}
+	g := New(k).Named(fmt.Sprintf("stencil-%dx%d", steps, width))
+	prev := g.AddTasks(compCat, width)
+	for s := 1; s < steps; s++ {
+		cur := g.AddTasks(compCat, width)
+		for w := 0; w < width; w++ {
+			for _, dw := range []int{-1, 0, 1} {
+				if w+dw >= 0 && w+dw < width {
+					g.MustEdge(prev[w+dw], cur[w])
+				}
+			}
+		}
+		if s%haloPeriod == 0 {
+			// Boundary exchange: halo tasks between the rows.
+			for _, w := range []int{0, width - 1} {
+				h := g.AddTask(haloCat)
+				g.MustEdge(prev[w], h)
+				g.MustEdge(h, cur[w])
+				if width == 1 {
+					break
+				}
+			}
+		}
+		prev = cur
+	}
+	return g
+}
+
+// DivideAndConquer builds a recursive fork-join skeleton of the given
+// depth and branching factor: each internal node is a divide task
+// (divCat), leaves are conquer tasks (leafCat), and results merge back up
+// through combine tasks (combCat). Work = 2·(b^(d+1)−1)/(b−1) − b^d ... —
+// exactly: internal divide nodes n_i = (b^d−1)/(b−1), leaves b^d, combine
+// nodes mirror the divides. Span = 2d + 1.
+func DivideAndConquer(k, depth, branch int, divCat, leafCat, combCat Category) *Graph {
+	if depth < 0 || branch < 1 {
+		panic("dag: DivideAndConquer needs depth ≥ 0 and branch ≥ 1")
+	}
+	g := New(k).Named(fmt.Sprintf("dnc-d%d-b%d", depth, branch))
+	var build func(d int) (top, bottom TaskID)
+	build = func(d int) (TaskID, TaskID) {
+		if d == 0 {
+			leaf := g.AddTask(leafCat)
+			return leaf, leaf
+		}
+		div := g.AddTask(divCat)
+		comb := g.AddTask(combCat)
+		for i := 0; i < branch; i++ {
+			top, bottom := build(d - 1)
+			g.MustEdge(div, top)
+			g.MustEdge(bottom, comb)
+		}
+		return div, comb
+	}
+	build(depth)
+	return g
+}

@@ -1,0 +1,167 @@
+package dag
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryReductionFormulas(t *testing.T) {
+	cases := []struct {
+		leaves     int
+		span       int
+		totalTasks int
+	}{
+		{1, 1, 1},
+		{2, 2, 3},
+		{4, 3, 7},
+		{8, 4, 15},
+		{16, 5, 31},
+		{5, 4, 5 + 3 + 2 + 1}, // odd sizes pass odd elements through
+	}
+	for _, c := range cases {
+		g := BinaryReduction(2, c.leaves, 1, 2)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("leaves=%d: %v", c.leaves, err)
+		}
+		if g.Span() != c.span {
+			t.Errorf("leaves=%d: span %d, want %d", c.leaves, g.Span(), c.span)
+		}
+		if g.NumTasks() != c.totalTasks {
+			t.Errorf("leaves=%d: tasks %d, want %d", c.leaves, g.NumTasks(), c.totalTasks)
+		}
+		if len(g.Sinks()) != 1 {
+			t.Errorf("leaves=%d: %d roots, want 1", c.leaves, len(g.Sinks()))
+		}
+	}
+}
+
+func TestButterflyFormulas(t *testing.T) {
+	for logN := 0; logN <= 5; logN++ {
+		g := Butterfly(2, logN, func(r int) Category { return Category(r%2 + 1) })
+		if err := g.Validate(); err != nil {
+			t.Fatalf("logN=%d: %v", logN, err)
+		}
+		n := 1 << logN
+		if g.NumTasks() != (logN+1)*n {
+			t.Errorf("logN=%d: tasks %d, want %d", logN, g.NumTasks(), (logN+1)*n)
+		}
+		if g.Span() != logN+1 {
+			t.Errorf("logN=%d: span %d, want %d", logN, g.Span(), logN+1)
+		}
+		// Each non-input rank task has exactly 2 predecessors (1 when the
+		// partner equals itself, impossible for logN ≥ 1).
+		if logN >= 1 {
+			if g.NumEdges() != 2*logN*n {
+				t.Errorf("logN=%d: edges %d, want %d", logN, g.NumEdges(), 2*logN*n)
+			}
+		}
+	}
+}
+
+func TestStencil2DShape(t *testing.T) {
+	g := Stencil2D(3, 6, 5, 2, 1, 2)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 6×5 compute tasks plus halo tasks at steps 2 and 4 (two each).
+	if got := g.Work(1); got != 30 {
+		t.Errorf("compute work %d, want 30", got)
+	}
+	if got := g.Work(2); got != 4 {
+		t.Errorf("halo work %d, want 4", got)
+	}
+	// Halo chains insert one extra level at each exchange step.
+	if g.Span() != 6+2 {
+		t.Errorf("span %d, want 8", g.Span())
+	}
+}
+
+func TestStencil2DNoHalo(t *testing.T) {
+	g := Stencil2D(2, 4, 3, 0, 1, 2) // haloPeriod 0 → never
+	if g.Work(2) != 0 {
+		t.Errorf("unexpected halo tasks: %d", g.Work(2))
+	}
+	if g.Span() != 4 {
+		t.Errorf("span %d, want 4", g.Span())
+	}
+}
+
+func TestDivideAndConquerFormulas(t *testing.T) {
+	for _, c := range []struct {
+		depth, branch int
+	}{{0, 2}, {1, 2}, {2, 2}, {3, 2}, {2, 3}, {1, 4}} {
+		g := DivideAndConquer(3, c.depth, c.branch, 1, 2, 3)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("d=%d b=%d: %v", c.depth, c.branch, err)
+		}
+		wantSpan := 2*c.depth + 1
+		if g.Span() != wantSpan {
+			t.Errorf("d=%d b=%d: span %d, want %d", c.depth, c.branch, g.Span(), wantSpan)
+		}
+		// Leaves = branch^depth; internal divide = combine counts.
+		leaves := 1
+		for i := 0; i < c.depth; i++ {
+			leaves *= c.branch
+		}
+		if got := g.Work(2); got != leaves {
+			t.Errorf("d=%d b=%d: leaves %d, want %d", c.depth, c.branch, got, leaves)
+		}
+		if g.Work(1) != g.Work(3) {
+			t.Errorf("d=%d b=%d: divide %d != combine %d", c.depth, c.branch, g.Work(1), g.Work(3))
+		}
+	}
+}
+
+func TestFamilyPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"reduce-0":   func() { BinaryReduction(1, 0, 1, 1) },
+		"butterfly":  func() { Butterfly(1, -1, func(int) Category { return 1 }) },
+		"stencil":    func() { Stencil2D(1, 0, 1, 1, 1, 1) },
+		"dnc-depth":  func() { DivideAndConquer(1, -1, 2, 1, 1, 1) },
+		"dnc-branch": func() { DivideAndConquer(1, 2, 0, 1, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuickFamiliesScheduleToSpanUnconstrained(t *testing.T) {
+	f := func(sel, p1, p2 uint8) bool {
+		var g *Graph
+		switch sel % 4 {
+		case 0:
+			g = BinaryReduction(2, 1+int(p1)%32, 1, 2)
+		case 1:
+			g = Butterfly(2, int(p1)%5, func(r int) Category { return Category(r%2 + 1) })
+		case 2:
+			g = Stencil2D(2, 1+int(p1)%8, 1+int(p2)%8, 2, 1, 2)
+		case 3:
+			g = DivideAndConquer(2, int(p1)%4, 1+int(p2)%3, 1, 2, 1)
+		}
+		if g.Validate() != nil {
+			return false
+		}
+		in := NewInstance(g, PickFIFO, 0)
+		steps := 0
+		for !in.Done() {
+			steps++
+			if steps > g.NumTasks()+1 {
+				return false
+			}
+			for c := 1; c <= 2; c++ {
+				in.Execute(Category(c), g.NumTasks())
+			}
+			in.Advance()
+		}
+		return steps == g.Span()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,75 @@
+package dag
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzGraphJSON ensures the decoder never panics on arbitrary input and
+// that anything it accepts passes full validation — decode is the trust
+// boundary for job sets loaded from disk (kradsim -load).
+func FuzzGraphJSON(f *testing.F) {
+	good, _ := json.Marshal(Figure1())
+	f.Add(good)
+	f.Add([]byte(`{"k":2,"categories":[1,2],"edges":[[0,1]]}`))
+	f.Add([]byte(`{"k":1,"categories":[1,1,1],"edges":[[0,1],[1,2],[2,0]]}`))
+	f.Add([]byte(`{"k":-1}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g Graph
+		if err := json.Unmarshal(data, &g); err != nil {
+			return // rejected: fine
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid graph: %v", err)
+		}
+		// Accepted graphs must support the whole metric surface.
+		_ = g.Span()
+		_ = g.WorkVector()
+		if _, err := g.TopoOrder(); err != nil {
+			t.Fatalf("accepted graph has no topo order: %v", err)
+		}
+	})
+}
+
+// FuzzInstanceExecution drives a runtime instance with arbitrary
+// allotment sequences and checks it can never execute a task twice, exceed
+// the graph's task count, or break precedence.
+func FuzzInstanceExecution(f *testing.F) {
+	f.Add(int64(1), []byte{1, 2, 3, 0, 5})
+	f.Add(int64(42), []byte{0, 0, 0})
+	f.Fuzz(func(t *testing.T, seed int64, allots []byte) {
+		g := randomGraph(seed)
+		policy := PickPolicy(((int(seed) % 5) + 5) % 5)
+		in := NewInstance(g, policy, seed)
+		seen := make(map[TaskID]bool)
+		step := make(map[TaskID]int)
+		for i, b := range allots {
+			if in.Done() {
+				break
+			}
+			for c := 1; c <= g.K(); c++ {
+				n := int(b) % 5
+				for _, id := range in.Execute(Category(c), n) {
+					if seen[id] {
+						t.Fatalf("task %d executed twice", id)
+					}
+					seen[id] = true
+					step[id] = i
+				}
+			}
+			in.Advance()
+		}
+		if in.Executed() != len(seen) {
+			t.Fatalf("Executed()=%d but %d unique tasks ran", in.Executed(), len(seen))
+		}
+		for u := range seen {
+			for _, v := range g.Successors(u) {
+				if seen[v] && step[v] <= step[u] {
+					t.Fatalf("edge %d→%d violated", u, v)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,240 @@
+package dag
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// PickPolicy selects which ready tasks a job executes when its allotment is
+// smaller than its desire. The scheduling algorithms under study are
+// oblivious to this choice; the paper's adversary (Theorem 1) and optimal
+// offline scheduler differ exactly in it.
+type PickPolicy int
+
+const (
+	// PickFIFO executes ready tasks in the order they became ready.
+	PickFIFO PickPolicy = iota
+	// PickLIFO executes the most recently readied tasks first.
+	PickLIFO
+	// PickRandom executes a uniformly random subset of the ready tasks.
+	// Deterministic given the Instance's seed.
+	PickRandom
+	// PickCPFirst executes the tasks with the longest remaining chain
+	// first — the oracle choice the optimal clairvoyant scheduler makes in
+	// the Theorem 1 analysis.
+	PickCPFirst
+	// PickCPLast defers the tasks with the longest remaining chain to the
+	// very end — the adversary's choice in the Theorem 1 lower bound.
+	PickCPLast
+)
+
+// String returns the policy name.
+func (p PickPolicy) String() string {
+	switch p {
+	case PickFIFO:
+		return "fifo"
+	case PickLIFO:
+		return "lifo"
+	case PickRandom:
+		return "random"
+	case PickCPFirst:
+		return "cp-first"
+	case PickCPLast:
+		return "cp-last"
+	default:
+		return fmt.Sprintf("PickPolicy(%d)", int(p))
+	}
+}
+
+// Instance is the runtime unfolding of a K-DAG: it tracks which tasks are
+// ready, executes them under a pick policy, and reveals only instantaneous
+// per-category parallelism. One Instance corresponds to one submitted job.
+//
+// The two-phase step protocol matches unit-time semantics: any number of
+// Execute calls (one per category) happen "during" a time step, and tasks
+// completed in that step only make their successors ready after Advance is
+// called at the step boundary.
+type Instance struct {
+	g        *Graph
+	pick     PickPolicy
+	rng      *rand.Rand
+	indeg    []int32
+	heights  []int32 // remaining-chain lengths for CP policies; lazy
+	ready    [][]TaskID
+	pending  []TaskID // completed this step; successors promoted on Advance
+	executed int
+}
+
+// NewInstance wraps g for execution under the given pick policy. seed is
+// only consulted by PickRandom. The graph must be valid (acyclic); invalid
+// graphs cause a panic because Instances are built from validated or
+// generator-produced graphs.
+func NewInstance(g *Graph, pick PickPolicy, seed int64) *Instance {
+	in := &Instance{
+		g:     g,
+		pick:  pick,
+		ready: make([][]TaskID, g.k),
+	}
+	if pick == PickRandom {
+		in.rng = rand.New(rand.NewSource(seed))
+	}
+	if pick == PickCPFirst || pick == PickCPLast {
+		h, err := g.heights()
+		if err != nil {
+			panic(err)
+		}
+		in.heights = h
+	}
+	in.indeg = make([]int32, g.NumTasks())
+	for v := 0; v < g.NumTasks(); v++ {
+		in.indeg[v] = int32(len(g.pred[v]))
+		if in.indeg[v] == 0 {
+			c := g.cats[v]
+			in.ready[c-1] = append(in.ready[c-1], TaskID(v))
+		}
+	}
+	return in
+}
+
+// Graph returns the underlying K-DAG.
+func (in *Instance) Graph() *Graph { return in.g }
+
+// Policy returns the instance's pick policy.
+func (in *Instance) Policy() PickPolicy { return in.pick }
+
+// Desire returns d(Ji, α, t): the number of currently ready α-tasks. This
+// is the only job-state information a non-clairvoyant scheduler may use.
+func (in *Instance) Desire(c Category) int {
+	if c < 1 || int(c) > in.g.k {
+		return 0
+	}
+	return len(in.ready[c-1])
+}
+
+// TotalDesire returns Σα d(Ji, α, t).
+func (in *Instance) TotalDesire() int {
+	n := 0
+	for _, q := range in.ready {
+		n += len(q)
+	}
+	return n
+}
+
+// Done reports whether every task has executed.
+func (in *Instance) Done() bool { return in.executed == in.g.NumTasks() }
+
+// Executed returns the number of tasks completed so far.
+func (in *Instance) Executed() int { return in.executed }
+
+// Execute runs up to n ready tasks of category c during the current step,
+// selected by the pick policy, and returns the IDs of the tasks executed.
+// Successors do not become ready until Advance. Execute with n ≤ 0 is a
+// no-op returning nil.
+func (in *Instance) Execute(c Category, n int) []TaskID {
+	if n <= 0 || c < 1 || int(c) > in.g.k {
+		return nil
+	}
+	q := in.ready[c-1]
+	if len(q) == 0 {
+		return nil
+	}
+	if n > len(q) {
+		n = len(q)
+	}
+	in.order(q)
+	run := append([]TaskID(nil), q[:n]...)
+	in.ready[c-1] = q[n:]
+	in.pending = append(in.pending, run...)
+	in.executed += len(run)
+	return run
+}
+
+// order arranges the ready queue so that the tasks to execute occupy the
+// prefix, according to the pick policy.
+func (in *Instance) order(q []TaskID) {
+	switch in.pick {
+	case PickFIFO:
+		// Queue is already in became-ready order.
+	case PickLIFO:
+		for i, j := 0, len(q)-1; i < j; i, j = i+1, j-1 {
+			q[i], q[j] = q[j], q[i]
+		}
+	case PickRandom:
+		in.rng.Shuffle(len(q), func(i, j int) { q[i], q[j] = q[j], q[i] })
+	case PickCPFirst:
+		sort.SliceStable(q, func(i, j int) bool { return in.heights[q[i]] > in.heights[q[j]] })
+	case PickCPLast:
+		sort.SliceStable(q, func(i, j int) bool { return in.heights[q[i]] < in.heights[q[j]] })
+	default:
+		panic(fmt.Sprintf("dag: unknown pick policy %d", in.pick))
+	}
+}
+
+// Advance ends the current time step: every task completed since the last
+// Advance releases its successors, and successors whose prerequisites are
+// all complete become ready (in deterministic order).
+func (in *Instance) Advance() {
+	if len(in.pending) == 0 {
+		return
+	}
+	for _, u := range in.pending {
+		for _, v := range in.g.succ[u] {
+			in.indeg[v]--
+			if in.indeg[v] == 0 {
+				c := in.g.cats[v]
+				in.ready[c-1] = append(in.ready[c-1], v)
+			}
+			if in.indeg[v] < 0 {
+				panic(fmt.Sprintf("dag: task %d in graph %q released more times than it has predecessors", v, in.g.name))
+			}
+		}
+	}
+	in.pending = in.pending[:0]
+}
+
+// Remaining returns the number of tasks not yet executed.
+func (in *Instance) Remaining() int { return in.g.NumTasks() - in.executed }
+
+// RemainingSpan returns T∞ of the unexecuted portion of the job: the
+// longest chain among unexecuted tasks. Every maximal remaining chain
+// starts at a ready task, so this is the maximum static height over the
+// ready queues — O(ready tasks) with heights computed lazily once. Valid
+// at step boundaries (after Advance).
+func (in *Instance) RemainingSpan() int {
+	if in.Done() {
+		return 0
+	}
+	if in.heights == nil {
+		h, err := in.g.heights()
+		if err != nil {
+			panic(err)
+		}
+		in.heights = h
+	}
+	best := int32(0)
+	for _, q := range in.ready {
+		for _, id := range q {
+			if in.heights[id] > best {
+				best = in.heights[id]
+			}
+		}
+	}
+	return int(best)
+}
+
+// RemainingWork returns, per category (indexed α−1), the number of
+// unexecuted tasks: the ready tasks plus the tasks still blocked on
+// predecessors. O(tasks); intended for analysis, not the hot path.
+func (in *Instance) RemainingWork() []int {
+	rem := make([]int, in.g.k)
+	for c := 0; c < in.g.k; c++ {
+		rem[c] = len(in.ready[c])
+	}
+	for v := 0; v < in.g.NumTasks(); v++ {
+		if in.indeg[v] > 0 {
+			rem[in.g.cats[v]-1]++
+		}
+	}
+	return rem
+}

@@ -1,0 +1,101 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWorkCountsPerCategory(t *testing.T) {
+	g := New(3)
+	g.AddTasks(1, 4)
+	g.AddTasks(2, 2)
+	g.AddTasks(3, 5)
+	if got := g.Work(1); got != 4 {
+		t.Errorf("Work(1) = %d, want 4", got)
+	}
+	if got := g.Work(2); got != 2 {
+		t.Errorf("Work(2) = %d, want 2", got)
+	}
+	if got := g.Work(3); got != 5 {
+		t.Errorf("Work(3) = %d, want 5", got)
+	}
+	wv := g.WorkVector()
+	if wv[0] != 4 || wv[1] != 2 || wv[2] != 5 {
+		t.Errorf("WorkVector = %v", wv)
+	}
+	if g.TotalWork() != 11 {
+		t.Errorf("TotalWork = %d, want 11", g.TotalWork())
+	}
+}
+
+func TestCriticalPathLengthEqualsSpan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 50; i++ {
+		g := Random(3, RandomOpts{Tasks: 1 + rng.Intn(80), EdgeProb: 0.15, Window: 10}, rng)
+		cp := g.CriticalPath()
+		if len(cp) != g.Span() {
+			t.Fatalf("iter %d: critical path length %d != span %d", i, len(cp), g.Span())
+		}
+		// Consecutive path nodes must be connected by edges.
+		for j := 0; j+1 < len(cp); j++ {
+			found := false
+			for _, v := range g.Successors(cp[j]) {
+				if v == cp[j+1] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("iter %d: path nodes %d→%d not adjacent", i, cp[j], cp[j+1])
+			}
+		}
+	}
+}
+
+func TestProfileSumsToWork(t *testing.T) {
+	g := Figure1()
+	prof := g.Profile()
+	if len(prof) != g.Span() {
+		t.Fatalf("profile has %d rows, span is %d", len(prof), g.Span())
+	}
+	sums := make([]int, g.K())
+	for _, row := range prof {
+		for a, v := range row {
+			sums[a] += v
+		}
+	}
+	for a, w := range g.WorkVector() {
+		if sums[a] != w {
+			t.Errorf("category %d: profile sum %d != work %d", a+1, sums[a], w)
+		}
+	}
+}
+
+func TestMaxParallelism(t *testing.T) {
+	g := ForkJoin(2, 9, 1, 2, 1)
+	mp := g.MaxParallelism()
+	if mp[0] != 1 {
+		t.Errorf("category 1 max parallelism = %d, want 1", mp[0])
+	}
+	if mp[1] != 9 {
+		t.Errorf("category 2 max parallelism = %d, want 9", mp[1])
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	g := Figure1()
+	if g.K() != 3 {
+		t.Errorf("K = %d, want 3", g.K())
+	}
+	if g.NumTasks() != 10 {
+		t.Errorf("tasks = %d, want 10", g.NumTasks())
+	}
+	if g.Span() != 5 {
+		t.Errorf("span = %d, want 5", g.Span())
+	}
+	for c := Category(1); c <= 3; c++ {
+		if g.Work(c) == 0 {
+			t.Errorf("category %d has no tasks", c)
+		}
+	}
+}

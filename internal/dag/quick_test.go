@@ -1,0 +1,147 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomGraph draws a random K-DAG from packed generator parameters; used
+// by the property tests below.
+func randomGraph(seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	k := 1 + rng.Intn(4)
+	return Random(k, RandomOpts{
+		Tasks:    1 + rng.Intn(100),
+		EdgeProb: 0.02 + rng.Float64()*0.3,
+		Window:   1 + rng.Intn(20),
+	}, rng)
+}
+
+func TestQuickRandomGraphsAlwaysValid(t *testing.T) {
+	f := func(seed int64) bool {
+		return randomGraph(seed).Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWorkVectorSumsToTasks(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed)
+		sum := 0
+		for _, w := range g.WorkVector() {
+			sum += w
+		}
+		return sum == g.NumTasks()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSpanBounds(t *testing.T) {
+	// 1 ≤ span ≤ tasks, and span = tasks iff the graph is a chain cover of
+	// the longest path (at least: chain graphs hit the upper bound).
+	f := func(seed int64) bool {
+		g := randomGraph(seed)
+		s := g.Span()
+		return s >= 1 && s <= g.NumTasks()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInstanceDrainExecutesEachTaskOnce(t *testing.T) {
+	f := func(seed int64, policyRaw uint8) bool {
+		g := randomGraph(seed)
+		policy := PickPolicy(int(policyRaw) % 5)
+		in := NewInstance(g, policy, seed)
+		seen := make(map[TaskID]bool)
+		steps := 0
+		for !in.Done() {
+			steps++
+			if steps > g.NumTasks()+1 {
+				return false
+			}
+			for c := 1; c <= g.K(); c++ {
+				// Allot at most 3 to stress partial execution.
+				for _, id := range in.Execute(Category(c), 3) {
+					if seen[id] {
+						return false // executed twice
+					}
+					if g.Category(id) != Category(c) {
+						return false // wrong category
+					}
+					seen[id] = true
+				}
+			}
+			in.Advance()
+		}
+		return len(seen) == g.NumTasks()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickInstancePrecedenceRespected(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomGraph(seed)
+		in := NewInstance(g, PickLIFO, seed)
+		execStep := make([]int, g.NumTasks())
+		steps := 0
+		for !in.Done() {
+			steps++
+			if steps > g.NumTasks()+1 {
+				return false
+			}
+			for c := 1; c <= g.K(); c++ {
+				for _, id := range in.Execute(Category(c), 2) {
+					execStep[id] = steps
+				}
+			}
+			in.Advance()
+		}
+		for u := 0; u < g.NumTasks(); u++ {
+			for _, v := range g.Successors(TaskID(u)) {
+				if execStep[u] >= execStep[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAdversarialInvariants(t *testing.T) {
+	f := func(kRaw, mRaw, pRaw uint8) bool {
+		k := 2 + int(kRaw)%4 // 2..5
+		m := 1 + int(mRaw)%4 // 1..4
+		p := 2 + int(pRaw)%3 // 2..4
+		caps := make([]int, k)
+		for i := range caps {
+			caps[i] = p
+		}
+		adv, err := NewAdversarial(k, m, caps)
+		if err != nil {
+			return false
+		}
+		if adv.BigJob.Validate() != nil {
+			return false
+		}
+		if adv.BigJob.Span() != k+m*p-1 {
+			return false
+		}
+		// Finite ratio below limit, limit = K+1-1/Pmax.
+		return adv.FiniteRatio() < adv.LimitRatio()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStretchValidation(t *testing.T) {
+	g := Figure1()
+	if _, err := Stretch(g, []int{1, 2}); err == nil {
+		t.Error("accepted wrong factor count")
+	}
+	if _, err := Stretch(g, []int{1, 0, 2}); err == nil {
+		t.Error("accepted zero factor")
+	}
+}
+
+func TestStretchIdentity(t *testing.T) {
+	g := Figure1()
+	s := MustStretch(g, []int{1, 1, 1})
+	if s.NumTasks() != g.NumTasks() || s.NumEdges() != g.NumEdges() {
+		t.Errorf("identity stretch changed size: %v vs %v", s, g)
+	}
+	if s.Span() != g.Span() {
+		t.Errorf("identity stretch changed span: %d vs %d", s.Span(), g.Span())
+	}
+}
+
+func TestStretchWorkMultiplies(t *testing.T) {
+	g := Figure1() // work [3 3 4]
+	factors := []int{2, 3, 1}
+	s := MustStretch(g, factors)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wv := s.WorkVector()
+	orig := g.WorkVector()
+	for a := range wv {
+		if wv[a] != orig[a]*factors[a] {
+			t.Errorf("category %d work %d, want %d·%d", a+1, wv[a], orig[a], factors[a])
+		}
+	}
+}
+
+func TestStretchChainSpan(t *testing.T) {
+	// A chain alternating categories 1,2,1,2 with factors 2,3 has span
+	// 2+3+2+3 = 10.
+	g := Chain(2, 4, func(i int) Category { return Category(i%2 + 1) })
+	s := MustStretch(g, []int{2, 3})
+	if s.Span() != 10 {
+		t.Errorf("span %d, want 10", s.Span())
+	}
+}
+
+func TestQuickStretchInvariants(t *testing.T) {
+	f := func(seed int64, f1Raw, f2Raw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := Random(2, RandomOpts{Tasks: 1 + rng.Intn(40), EdgeProb: 0.15, Window: 8}, rng)
+		factors := []int{1 + int(f1Raw)%4, 1 + int(f2Raw)%4}
+		s, err := Stretch(g, factors)
+		if err != nil || s.Validate() != nil {
+			return false
+		}
+		// Work multiplies exactly.
+		gw, sw := g.WorkVector(), s.WorkVector()
+		for a := range gw {
+			if sw[a] != gw[a]*factors[a] {
+				return false
+			}
+		}
+		// Span is bounded by span·maxFactor and at least span·minFactor.
+		minF, maxF := factors[0], factors[0]
+		for _, v := range factors {
+			if v < minF {
+				minF = v
+			}
+			if v > maxF {
+				maxF = v
+			}
+		}
+		return s.Span() >= g.Span()*minF && s.Span() <= g.Span()*maxF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

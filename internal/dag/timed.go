@@ -1,0 +1,199 @@
+package dag
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// TimedInstance is the non-preemptive runtime for graphs with task
+// durations: a started task occupies one processor of its category every
+// step until its duration is exhausted, and the scheduler may not take
+// that processor back. The instance therefore reports, besides the usual
+// desire, an allotment floor per category — the number of in-flight tasks
+// — which valid non-preemptive allotments must meet (see sched.WithFloors).
+//
+// Desire counts ready-but-unstarted tasks plus in-flight tasks: all of
+// them could use a processor this step.
+type TimedInstance struct {
+	g       *Graph
+	pick    PickPolicy
+	rng     *rand.Rand
+	heights []int32
+	indeg   []int32
+	ready   [][]TaskID
+	// inflight[α−1] maps a running task to its remaining whole steps.
+	inflight []map[TaskID]int32
+	// finished buffers tasks completing this step until Advance.
+	finished []TaskID
+	done     int
+}
+
+// NewTimedInstance wraps g for non-preemptive execution. Works for unit
+// graphs too (then it behaves like Instance with floors always 0 after
+// each step, since unit tasks finish the step they start).
+func NewTimedInstance(g *Graph, pick PickPolicy, seed int64) *TimedInstance {
+	in := &TimedInstance{
+		g:        g,
+		pick:     pick,
+		ready:    make([][]TaskID, g.k),
+		inflight: make([]map[TaskID]int32, g.k),
+	}
+	for a := range in.inflight {
+		in.inflight[a] = make(map[TaskID]int32)
+	}
+	if pick == PickRandom {
+		in.rng = rand.New(rand.NewSource(seed))
+	}
+	if pick == PickCPFirst || pick == PickCPLast {
+		h, err := g.timedHeights()
+		if err != nil {
+			panic(err)
+		}
+		in.heights = h
+	}
+	in.indeg = make([]int32, g.NumTasks())
+	for v := 0; v < g.NumTasks(); v++ {
+		in.indeg[v] = int32(len(g.pred[v]))
+		if in.indeg[v] == 0 {
+			c := g.cats[v]
+			in.ready[c-1] = append(in.ready[c-1], TaskID(v))
+		}
+	}
+	return in
+}
+
+// Graph returns the underlying K-DAG.
+func (in *TimedInstance) Graph() *Graph { return in.g }
+
+// Desire returns ready + in-flight α-tasks.
+func (in *TimedInstance) Desire(c Category) int {
+	if c < 1 || int(c) > in.g.k {
+		return 0
+	}
+	return len(in.ready[c-1]) + len(in.inflight[c-1])
+}
+
+// Floor returns the number of in-flight α-tasks: the processors this job
+// must keep this step under non-preemption.
+func (in *TimedInstance) Floor(c Category) int {
+	if c < 1 || int(c) > in.g.k {
+		return 0
+	}
+	return len(in.inflight[c-1])
+}
+
+// Done reports whether every task has completed.
+func (in *TimedInstance) Done() bool { return in.done == in.g.NumTasks() }
+
+// Execute runs n α-processors for this step: all in-flight tasks progress
+// one step (n must cover them — the engine guarantees floors when the
+// scheduler is floor-respecting), and remaining slots start ready tasks
+// chosen by the pick policy. It returns the number of processors actually
+// used. Execute panics if n is below the floor: that means a
+// non-floor-respecting scheduler was used with non-preemptive jobs, which
+// is a configuration bug.
+func (in *TimedInstance) Execute(c Category, n int) int {
+	if n <= 0 || c < 1 || int(c) > in.g.k {
+		if n == 0 && in.Floor(c) > 0 {
+			panic(fmt.Sprintf("dag: job %q category %d: allotment 0 below floor %d — non-preemptive jobs need a floor-respecting scheduler (sched.WithFloors)", in.g.name, c, in.Floor(c)))
+		}
+		return 0
+	}
+	a := int(c) - 1
+	fl := len(in.inflight[a])
+	if n < fl {
+		panic(fmt.Sprintf("dag: job %q category %d: allotment %d below floor %d — non-preemptive jobs need a floor-respecting scheduler (sched.WithFloors)", in.g.name, c, n, fl))
+	}
+	used := 0
+	// Progress every in-flight task.
+	for id, rem := range in.inflight[a] {
+		used++
+		if rem == 1 {
+			delete(in.inflight[a], id)
+			in.finished = append(in.finished, id)
+		} else {
+			in.inflight[a][id] = rem - 1
+		}
+	}
+	// Start new tasks in pick order.
+	slots := n - fl
+	q := in.ready[a]
+	if slots > len(q) {
+		slots = len(q)
+	}
+	if slots > 0 {
+		in.order(q)
+		for _, id := range q[:slots] {
+			d := int32(in.g.Duration(id))
+			if d == 1 {
+				in.finished = append(in.finished, id)
+			} else {
+				in.inflight[a][id] = d - 1
+			}
+			used++
+		}
+		in.ready[a] = q[slots:]
+	}
+	return used
+}
+
+// order mirrors Instance.order for the ready queue.
+func (in *TimedInstance) order(q []TaskID) {
+	switch in.pick {
+	case PickFIFO:
+	case PickLIFO:
+		for i, j := 0, len(q)-1; i < j; i, j = i+1, j-1 {
+			q[i], q[j] = q[j], q[i]
+		}
+	case PickRandom:
+		in.rng.Shuffle(len(q), func(i, j int) { q[i], q[j] = q[j], q[i] })
+	case PickCPFirst:
+		sort.SliceStable(q, func(i, j int) bool { return in.heights[q[i]] > in.heights[q[j]] })
+	case PickCPLast:
+		sort.SliceStable(q, func(i, j int) bool { return in.heights[q[i]] < in.heights[q[j]] })
+	default:
+		panic(fmt.Sprintf("dag: unknown pick policy %d", in.pick))
+	}
+}
+
+// Advance releases successors of tasks that completed this step. Finished
+// tasks are processed in ID order so runs are deterministic even though
+// the in-flight set is a map.
+func (in *TimedInstance) Advance() {
+	if len(in.finished) == 0 {
+		return
+	}
+	sort.Slice(in.finished, func(i, j int) bool { return in.finished[i] < in.finished[j] })
+	in.done += len(in.finished)
+	for _, u := range in.finished {
+		for _, v := range in.g.succ[u] {
+			in.indeg[v]--
+			if in.indeg[v] == 0 {
+				c := in.g.cats[v]
+				in.ready[c-1] = append(in.ready[c-1], v)
+			}
+		}
+	}
+	in.finished = in.finished[:0]
+}
+
+// RemainingWork returns duration-weighted unfinished work per category:
+// in-flight remainders plus full durations of unstarted tasks.
+func (in *TimedInstance) RemainingWork() []int {
+	rem := make([]int, in.g.k)
+	for a := range in.inflight {
+		for _, r := range in.inflight[a] {
+			rem[a] += int(r)
+		}
+		for _, id := range in.ready[a] {
+			rem[a] += in.g.Duration(id)
+		}
+	}
+	for v := 0; v < in.g.NumTasks(); v++ {
+		if in.indeg[v] > 0 {
+			rem[in.g.cats[v]-1] += in.g.Duration(TaskID(v))
+		}
+	}
+	return rem
+}

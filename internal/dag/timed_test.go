@@ -1,0 +1,205 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetDurationAndAccessors(t *testing.T) {
+	g := New(2)
+	a := g.AddTask(1)
+	b := g.AddTask(2)
+	g.MustEdge(a, b)
+	if g.Timed() {
+		t.Error("unit graph reports Timed")
+	}
+	if g.Duration(a) != 1 {
+		t.Errorf("default duration %d", g.Duration(a))
+	}
+	g.SetDuration(a, 3)
+	if !g.Timed() || g.Duration(a) != 3 || g.Duration(b) != 1 {
+		t.Error("SetDuration not reflected")
+	}
+	// Tasks added after SetDuration default to 1.
+	c := g.AddTask(1)
+	g.SetDuration(c, 2)
+	if g.Duration(b) != 1 || g.Duration(c) != 2 {
+		t.Error("late task durations wrong")
+	}
+	tw := g.TimedWorkVector()
+	if tw[0] != 5 || tw[1] != 1 {
+		t.Errorf("TimedWorkVector = %v, want [5 1]", tw)
+	}
+	// a(3) → b(1): weighted span 4 (c is parallel, weight 2).
+	if g.TimedSpan() != 4 {
+		t.Errorf("TimedSpan = %d, want 4", g.TimedSpan())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SetDuration(0) accepted")
+			}
+		}()
+		g.SetDuration(a, 0)
+	}()
+}
+
+func TestCloneCopiesDurations(t *testing.T) {
+	g := UniformChain(1, 3, 1)
+	g.SetDuration(0, 4)
+	c := g.Clone()
+	if c.Duration(0) != 4 {
+		t.Error("clone lost durations")
+	}
+	c.SetDuration(1, 9)
+	if g.Duration(1) != 1 {
+		t.Error("clone shares duration slice")
+	}
+}
+
+func TestTimedInstanceNonPreemptiveExecution(t *testing.T) {
+	// Chain a(2) → b(3), category 1, one processor.
+	g := New(1)
+	a, b := g.AddTask(1), g.AddTask(1)
+	g.MustEdge(a, b)
+	g.SetDuration(a, 2)
+	g.SetDuration(b, 3)
+	in := NewTimedInstance(g, PickFIFO, 0)
+	if in.Desire(1) != 1 || in.Floor(1) != 0 {
+		t.Fatalf("initial desire/floor %d/%d", in.Desire(1), in.Floor(1))
+	}
+	// Step 1: start a.
+	if used := in.Execute(1, 1); used != 1 {
+		t.Fatalf("step 1 used %d", used)
+	}
+	in.Advance()
+	if in.Floor(1) != 1 {
+		t.Fatalf("a in flight: floor %d", in.Floor(1))
+	}
+	// Step 2: a finishes its 2nd step; b not ready until Advance.
+	in.Execute(1, 1)
+	in.Advance()
+	if in.Floor(1) != 0 || in.Desire(1) != 1 {
+		t.Fatalf("after a: floor %d desire %d", in.Floor(1), in.Desire(1))
+	}
+	// Steps 3–5: b.
+	for s := 0; s < 3; s++ {
+		in.Execute(1, 1)
+		in.Advance()
+	}
+	if !in.Done() {
+		t.Fatal("not done after 5 steps (weighted span)")
+	}
+}
+
+func TestTimedInstancePanicsBelowFloor(t *testing.T) {
+	g := New(1)
+	g.SetDuration(g.AddTask(1), 5)
+	in := NewTimedInstance(g, PickFIFO, 0)
+	in.Execute(1, 1)
+	in.Advance()
+	defer func() {
+		if recover() == nil {
+			t.Error("allotment below floor accepted")
+		}
+	}()
+	in.Execute(1, 0)
+}
+
+func TestTimedInstanceRemainingWork(t *testing.T) {
+	g := New(1)
+	a := g.AddTask(1)
+	b := g.AddTask(1)
+	g.MustEdge(a, b)
+	g.SetDuration(a, 3)
+	g.SetDuration(b, 2)
+	in := NewTimedInstance(g, PickFIFO, 0)
+	if rw := in.RemainingWork(); rw[0] != 5 {
+		t.Fatalf("initial remaining %v", rw)
+	}
+	in.Execute(1, 1)
+	in.Advance()
+	if rw := in.RemainingWork(); rw[0] != 4 {
+		t.Fatalf("after 1 step remaining %v", rw)
+	}
+}
+
+func TestExpandDurationsEquivalence(t *testing.T) {
+	g := ForkJoin(2, 3, 1, 2, 1)
+	g.SetDuration(0, 2) // fork
+	g.SetDuration(2, 4) // one body task
+	e := ExpandDurations(g)
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Span() != g.TimedSpan() {
+		t.Errorf("expanded span %d != timed span %d", e.Span(), g.TimedSpan())
+	}
+	ew, tw := e.WorkVector(), g.TimedWorkVector()
+	for a := range ew {
+		if ew[a] != tw[a] {
+			t.Errorf("category %d: expanded work %d != timed work %d", a+1, ew[a], tw[a])
+		}
+	}
+}
+
+// TestQuickTimedUnlimitedProcessorsHitsWeightedSpan: with caps covering
+// every floor and desire, the non-preemptive run finishes in exactly
+// TimedSpan steps.
+func TestQuickTimedUnlimitedProcessors(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := Random(2, RandomOpts{Tasks: 1 + rng.Intn(30), EdgeProb: 0.2, Window: 6}, rng)
+		for id := 0; id < g.NumTasks(); id++ {
+			g.SetDuration(TaskID(id), 1+rng.Intn(4))
+		}
+		in := NewTimedInstance(g, PickFIFO, seed)
+		steps := 0
+		for !in.Done() {
+			steps++
+			if steps > g.TimedSpan()+1 {
+				return false
+			}
+			for c := 1; c <= 2; c++ {
+				in.Execute(Category(c), g.NumTasks())
+			}
+			in.Advance()
+		}
+		return steps == g.TimedSpan()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickTimedDeterminism: two identical runs take identical step counts
+// even with constrained processors (map-order hazards are sorted away).
+func TestQuickTimedDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		run := func() int {
+			rng := rand.New(rand.NewSource(seed))
+			g := Random(1, RandomOpts{Tasks: 1 + rng.Intn(25), EdgeProb: 0.2, Window: 5}, rng)
+			for id := 0; id < g.NumTasks(); id++ {
+				g.SetDuration(TaskID(id), 1+rng.Intn(3))
+			}
+			in := NewTimedInstance(g, PickFIFO, seed)
+			steps := 0
+			for !in.Done() {
+				steps++
+				if steps > 10*g.TimedSpan()*g.NumTasks()+10 {
+					return -1
+				}
+				// Grant floor + up to 2 extra slots.
+				in.Execute(1, in.Floor(1)+2)
+				in.Advance()
+			}
+			return steps
+		}
+		a, b := run(), run()
+		return a == b && a > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,96 @@
+package dag
+
+import "fmt"
+
+// TopoOrder returns the tasks in a topological order (Kahn's algorithm,
+// smallest-ID-first among ready tasks, so the order is deterministic).
+// It returns an error naming one task on a cycle if the graph is cyclic.
+func (g *Graph) TopoOrder() ([]TaskID, error) {
+	n := g.NumTasks()
+	indeg := make([]int32, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = int32(len(g.pred[v]))
+	}
+	// A simple FIFO queue keeps the order deterministic; tasks enter in ID
+	// order initially and in completion order afterwards.
+	queue := make([]TaskID, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, TaskID(v))
+		}
+	}
+	order := make([]TaskID, 0, n)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range g.succ[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(order) != n {
+		for v := 0; v < n; v++ {
+			if indeg[v] > 0 {
+				return nil, fmt.Errorf("dag: graph %q has a cycle through task %d", g.name, v)
+			}
+		}
+	}
+	return order, nil
+}
+
+// Levels partitions the tasks into precedence levels: level 0 holds the
+// sources, and each task sits one past its deepest predecessor. This is the
+// schedule an infinite-processor machine would follow, so len(Levels()) is
+// the span for valid graphs.
+func (g *Graph) Levels() ([][]TaskID, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	depth := make([]int, g.NumTasks())
+	max := 0
+	for _, u := range order {
+		for _, v := range g.succ[u] {
+			if d := depth[u] + 1; d > depth[v] {
+				depth[v] = d
+			}
+		}
+		if depth[u] > max {
+			max = depth[u]
+		}
+	}
+	if g.NumTasks() == 0 {
+		return nil, nil
+	}
+	levels := make([][]TaskID, max+1)
+	for _, u := range order {
+		levels[depth[u]] = append(levels[depth[u]], u)
+	}
+	return levels, nil
+}
+
+// heights returns, for every task, the number of vertices on the longest
+// chain starting at that task (inclusive), i.e. its remaining-span
+// contribution. Used by the critical-path task pickers. The graph must be
+// acyclic.
+func (g *Graph) heights() ([]int32, error) {
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	h := make([]int32, g.NumTasks())
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		best := int32(0)
+		for _, v := range g.succ[u] {
+			if h[v] > best {
+				best = h[v]
+			}
+		}
+		h[u] = best + 1
+	}
+	return h, nil
+}

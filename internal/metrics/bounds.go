@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"krad/internal/sim"
+)
+
+// MakespanLowerBound computes the Section 4 lower bound on the optimal
+// makespan T*(J):
+//
+//	T*(J) ≥ max( max_i (r(Ji) + T∞(Ji)),  max_α ⌈T1(J,α)/Pα⌉ )
+//
+// from a run's job table (work, span, release are schedule-independent).
+func MakespanLowerBound(r *sim.Result) int64 {
+	var lb int64
+	for _, j := range r.Jobs {
+		if v := j.Release + int64(j.Span); v > lb {
+			lb = v
+		}
+	}
+	for a, w := range r.TotalWork() {
+		v := ceilDiv(int64(w), int64(r.Caps[a]))
+		if v > lb {
+			lb = v
+		}
+	}
+	return lb
+}
+
+// MakespanUpperBound computes the Lemma 2 guarantee for runs with no idle
+// intervals:
+//
+//	T(J) ≤ Σα T1(J,α)/Pα + (1 − 1/Pmax)·max_i (T∞(Ji) + r(Ji))
+//
+// as a float (the bound is real-valued). Experiments assert the measured
+// makespan never exceeds it.
+func MakespanUpperBound(r *sim.Result) float64 {
+	var sum float64
+	for a, w := range r.TotalWork() {
+		sum += float64(w) / float64(r.Caps[a])
+	}
+	pmax := 0
+	for _, p := range r.Caps {
+		if p > pmax {
+			pmax = p
+		}
+	}
+	var spanTerm int64
+	for _, j := range r.Jobs {
+		if v := int64(j.Span) + j.Release; v > spanTerm {
+			spanTerm = v
+		}
+	}
+	return sum + (1-1/float64(pmax))*float64(spanTerm)
+}
+
+// MakespanCompetitiveLimit returns K + 1 − 1/Pmax, the proven competitive
+// ratio of K-RAD (Theorem 3) and the lower bound for any deterministic
+// online non-clairvoyant algorithm (Theorem 1).
+func MakespanCompetitiveLimit(k int, caps []int) float64 {
+	pmax := 0
+	for _, p := range caps {
+		if p > pmax {
+			pmax = p
+		}
+	}
+	return float64(k) + 1 - 1/float64(pmax)
+}
+
+// ResponseLowerBound computes the Section 6 lower bound on the optimal
+// total response time R*(J)·|J| for a batched job set:
+//
+//	R*(J) ≥ max( T∞(J),  max_α swa(J,α) )
+//
+// (total response time form; divide by |J| for the mean).
+func ResponseLowerBound(r *sim.Result) float64 {
+	lb := float64(r.AggregateSpan())
+	works := make([]int, len(r.Jobs))
+	for a := 0; a < r.K; a++ {
+		for i, j := range r.Jobs {
+			works[i] = j.Work[a]
+		}
+		if v := SquashedWorkArea(works, r.Caps[a]); v > lb {
+			lb = v
+		}
+	}
+	return lb
+}
+
+// ResponseUpperBoundLight computes the right-hand side of Inequality (5),
+// the Theorem 5 guarantee for batched sets under light workload:
+//
+//	R(J) ≤ (2 − 2/(|J|+1))·Σα swa(J,α) + T∞(J)
+func ResponseUpperBoundLight(r *sim.Result) float64 {
+	n := float64(len(r.Jobs))
+	c := 2 - 2/(n+1)
+	var swaSum float64
+	works := make([]int, len(r.Jobs))
+	for a := 0; a < r.K; a++ {
+		for i, j := range r.Jobs {
+			works[i] = j.Work[a]
+		}
+		swaSum += SquashedWorkArea(works, r.Caps[a])
+	}
+	return c*swaSum + float64(r.AggregateSpan())
+}
+
+// ResponseCompetitiveLimitLight returns 2K + 1 − 2K/(|J|+1), the Theorem 5
+// competitive ratio under light workload.
+func ResponseCompetitiveLimitLight(k, n int) float64 {
+	return float64(2*k) + 1 - float64(2*k)/float64(n+1)
+}
+
+// ResponseCompetitiveLimit returns 4K + 1 − 4K/(|J|+1), the Theorem 6
+// competitive ratio for arbitrary batched workloads.
+func ResponseCompetitiveLimit(k, n int) float64 {
+	return float64(4*k) + 1 - float64(4*k)/float64(n+1)
+}
+
+// Ratios bundles a run's measured-versus-bound report.
+type Ratios struct {
+	// Makespan is T(J); MakespanLB the Section 4 lower bound; their
+	// quotient MakespanRatio upper-bounds the true competitive ratio.
+	Makespan      int64
+	MakespanLB    int64
+	MakespanRatio float64
+	// MakespanBound is K + 1 − 1/Pmax.
+	MakespanBound float64
+
+	// TotalResponse is R(J); ResponseLB the Section 6 lower bound; their
+	// quotient ResponseRatio upper-bounds the true MRT competitive ratio.
+	TotalResponse int64
+	ResponseLB    float64
+	ResponseRatio float64
+	// ResponseBound is the applicable theorem bound: Theorem 5's if the
+	// run stayed in the light-workload regime, Theorem 6's otherwise.
+	ResponseBound float64
+	// LightLoad records which regime applied.
+	LightLoad bool
+}
+
+// ComputeRatios evaluates a run against all the paper's bounds.
+func ComputeRatios(r *sim.Result) Ratios {
+	out := Ratios{
+		Makespan:      r.Makespan,
+		MakespanLB:    MakespanLowerBound(r),
+		MakespanBound: MakespanCompetitiveLimit(r.K, r.Caps),
+		TotalResponse: r.TotalResponse(),
+		ResponseLB:    ResponseLowerBound(r),
+		LightLoad:     !r.EverOverloaded(),
+	}
+	if out.MakespanLB > 0 {
+		out.MakespanRatio = float64(out.Makespan) / float64(out.MakespanLB)
+	}
+	if out.ResponseLB > 0 {
+		out.ResponseRatio = float64(out.TotalResponse) / out.ResponseLB
+	}
+	if out.LightLoad {
+		out.ResponseBound = ResponseCompetitiveLimitLight(r.K, len(r.Jobs))
+	} else {
+		out.ResponseBound = ResponseCompetitiveLimit(r.K, len(r.Jobs))
+	}
+	return out
+}
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }

@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"krad/internal/sched"
+)
+
+// Churn quantifies how much processor reassignment a scheduler causes —
+// the hidden cost the paper's model treats as free and real systems pay in
+// migrations, cache refills and context switches. For each step and
+// category, the churn is half the L1 distance between consecutive
+// allotment vectors (half, because every processor that leaves one job
+// joins another or the idle pool); completions and arrivals naturally
+// contribute their allotments.
+type Churn struct {
+	k    int
+	prev map[int][]int
+	// Total is Σ over steps and categories of reassigned processors.
+	Total int64
+	// Steps counts observed scheduling decisions.
+	Steps int64
+}
+
+// NewChurn creates a churn accumulator for k categories.
+func NewChurn(k int) *Churn {
+	return &Churn{k: k, prev: make(map[int][]int)}
+}
+
+// Observer returns the sim.Config.Observer-compatible callback.
+func (c *Churn) Observer() func(t int64, jobs []sched.JobView, allot [][]int) {
+	return func(t int64, jobs []sched.JobView, allot [][]int) {
+		c.Steps++
+		seen := make(map[int]bool, len(jobs))
+		var moved int64
+		for i, j := range jobs {
+			seen[j.ID] = true
+			prev := c.prev[j.ID]
+			for a := 0; a < c.k; a++ {
+				var p int
+				if prev != nil {
+					p = prev[a]
+				}
+				d := allot[i][a] - p
+				if d < 0 {
+					d = -d
+				}
+				moved += int64(d)
+			}
+			row := c.prev[j.ID]
+			if row == nil {
+				row = make([]int, c.k)
+				c.prev[j.ID] = row
+			}
+			copy(row, allot[i])
+		}
+		// Jobs that vanished (completed) release their whole allotment.
+		for id, row := range c.prev {
+			if !seen[id] {
+				for _, v := range row {
+					moved += int64(v)
+				}
+				delete(c.prev, id)
+			}
+		}
+		c.Total += moved / 2
+	}
+}
+
+// PerStep returns mean reassigned processors per scheduling step.
+func (c *Churn) PerStep() float64 {
+	if c.Steps == 0 {
+		return 0
+	}
+	return float64(c.Total) / float64(c.Steps)
+}

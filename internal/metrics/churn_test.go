@@ -1,0 +1,56 @@
+package metrics
+
+import (
+	"testing"
+
+	"krad/internal/sched"
+)
+
+func TestChurnStableAllotmentsAreFree(t *testing.T) {
+	c := NewChurn(1)
+	obs := c.Observer()
+	jobs := []sched.JobView{{ID: 0, Desire: []int{2}}, {ID: 1, Desire: []int{2}}}
+	allot := [][]int{{2}, {2}}
+	obs(1, jobs, allot) // first step: 4 moved in, churn (4)/2 = 2
+	obs(2, jobs, allot) // unchanged: 0
+	obs(3, jobs, allot)
+	if c.Total != 2 {
+		t.Errorf("Total = %d, want 2 (initial assignment only)", c.Total)
+	}
+	if c.Steps != 3 {
+		t.Errorf("Steps = %d", c.Steps)
+	}
+}
+
+func TestChurnCountsReassignment(t *testing.T) {
+	c := NewChurn(1)
+	obs := c.Observer()
+	jobs := []sched.JobView{{ID: 0, Desire: []int{4}}, {ID: 1, Desire: []int{4}}}
+	obs(1, jobs, [][]int{{4}, {0}}) // job0 takes 4: churn 2
+	obs(2, jobs, [][]int{{0}, {4}}) // all 4 move: churn 4
+	if c.Total != 2+4 {
+		t.Errorf("Total = %d, want 6", c.Total)
+	}
+}
+
+func TestChurnCompletionsReleaseAllotment(t *testing.T) {
+	c := NewChurn(1)
+	obs := c.Observer()
+	obs(1, []sched.JobView{{ID: 0, Desire: []int{3}}}, [][]int{{3}})
+	// Job 0 completed; job 1 appears with the same 3 processors.
+	obs(2, []sched.JobView{{ID: 1, Desire: []int{3}}}, [][]int{{3}})
+	// Step 1: 3/2 = 1 (integer halving). Step 2: job1 gains 3, job0 releases 3 → 6/2 = 3.
+	if c.Total != 1+3 {
+		t.Errorf("Total = %d, want 4", c.Total)
+	}
+	if c.PerStep() != 2 {
+		t.Errorf("PerStep = %v, want 2", c.PerStep())
+	}
+}
+
+func TestChurnEmpty(t *testing.T) {
+	c := NewChurn(2)
+	if c.PerStep() != 0 {
+		t.Error("PerStep on empty churn")
+	}
+}

@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSqSumKnownValues(t *testing.T) {
+	cases := []struct {
+		in   []int
+		want int64
+	}{
+		{nil, 0},
+		{[]int{5}, 5},
+		{[]int{1, 2}, 1*2 + 2*1},          // sorted 1,2: weights 2,1
+		{[]int{3, 1, 2}, 1*3 + 2*2 + 3*1}, // sorted 1,2,3: weights 3,2,1
+		{[]int{4, 4, 4}, 4*3 + 4*2 + 4*1},
+		{[]int{0, 0, 7}, 7},
+	}
+	for _, c := range cases {
+		if got := SqSum(c.in); got != c.want {
+			t.Errorf("SqSum(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSqSumDoesNotMutate(t *testing.T) {
+	in := []int{3, 1, 2}
+	SqSum(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestSqSumPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on negative value")
+		}
+	}()
+	SqSum([]int{1, -2})
+}
+
+// TestQuickSqSumMinimizesOverPermutations verifies the equivalence of
+// Definition 4 (ascending order) and Equation (4) (minimum over all
+// permutations) on random inputs: no random permutation may beat it.
+func TestQuickSqSumMinimizesOverPermutations(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = rng.Intn(50)
+		}
+		best := SqSum(vals)
+		perm := make([]int, n)
+		for trial := 0; trial < 30; trial++ {
+			for i, p := range rng.Perm(n) {
+				perm[i] = p
+			}
+			if SqSumPermuted(vals, perm) < best {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSqSumSuperadditive: adding work never decreases the squashed sum.
+func TestQuickSqSumMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = rng.Intn(40)
+			b[i] = a[i] + rng.Intn(5)
+		}
+		return SqSum(b) >= SqSum(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSquashedWorkArea(t *testing.T) {
+	// works {2, 4} on 2 processors: sq-sum = 2·2 + 4·1 = 8; swa = 4.
+	if got := SquashedWorkArea([]int{2, 4}, 2); got != 4 {
+		t.Errorf("swa = %v, want 4", got)
+	}
+}
+
+func TestCheckLemma4KnownCase(t *testing.T) {
+	// a = {0,0}, s = {2,2}, h = 2: l = 2, P = 4.
+	// sq-sum(b) = 2·2+2·1 = 6 ≥ sq-sum(a) + 4·3/2 = 6. Tight.
+	left, right, ok := CheckLemma4([]int{0, 0}, []int{2, 2}, 2)
+	if !ok {
+		t.Fatal("hypothesis rejected")
+	}
+	if left < right {
+		t.Errorf("Lemma 4 violated: %v < %v", left, right)
+	}
+	if left != 6 || right != 6 {
+		t.Errorf("left=%v right=%v, want 6/6", left, right)
+	}
+}
+
+func TestCheckLemma4RejectsBadHypothesis(t *testing.T) {
+	if _, _, ok := CheckLemma4([]int{1}, []int{1}, 3); ok {
+		t.Error("accepted l = 0")
+	}
+	if _, _, ok := CheckLemma4([]int{1}, []int{0}, 3); ok {
+		t.Error("accepted negative s")
+	}
+	if _, _, ok := CheckLemma4([]int{0}, []int{9}, 3); ok {
+		t.Error("accepted s > h")
+	}
+	if _, _, ok := CheckLemma4([]int{0, 0}, []int{1}, 1); ok {
+		t.Error("accepted mismatched lengths")
+	}
+}
+
+// TestQuickLemma4Holds validates Lemma 4 itself on random instances — the
+// supporting lemma behind the Theorem 5 induction.
+func TestQuickLemma4Holds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		h := 1 + rng.Intn(6)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = rng.Intn(30)
+			s := rng.Intn(h + 1)
+			if i == 0 {
+				s = h // force l ≥ 1 so the hypothesis holds
+			}
+			b[i] = a[i] + s
+		}
+		left, right, ok := CheckLemma4(a, b, h)
+		if !ok {
+			return false
+		}
+		return left >= right
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	N             int
+	Min, Max      float64
+	Mean, StdDev  float64
+	P50, P90, P99 float64
+}
+
+// Summarize computes descriptive statistics. An empty sample yields the
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	n := float64(len(xs))
+	s.Mean = sum / n
+	variance := sumSq/n - s.Mean*s.Mean
+	if variance > 0 {
+		s.StdDev = math.Sqrt(variance)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.P50 = Percentile(sorted, 0.50)
+	s.P90 = Percentile(sorted, 0.90)
+	s.P99 = Percentile(sorted, 0.99)
+	return s
+}
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of a sorted sample using
+// linear interpolation between closest ranks. Panics if the sample is
+// empty or p is outside [0, 1].
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("metrics: Percentile of empty sample")
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("metrics: Percentile p=%v outside [0,1]", p))
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String formats the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.3g mean=%.3g p50=%.3g p90=%.3g p99=%.3g max=%.3g sd=%.3g",
+		s.N, s.Min, s.Mean, s.P50, s.P90, s.P99, s.Max, s.StdDev)
+}
+
+// MaxFloat returns the maximum of a non-empty sample.
+func MaxFloat(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

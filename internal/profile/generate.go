@@ -1,0 +1,63 @@
+package profile
+
+import (
+	"fmt"
+	"math/rand"
+
+	"krad/internal/sim"
+)
+
+// GenOpts parameterizes Generate.
+type GenOpts struct {
+	// K is the number of resource categories.
+	K int
+	// Jobs is the number of profile jobs to draw.
+	Jobs int
+	// MinPhases and MaxPhases bound each job's phase count.
+	MinPhases, MaxPhases int
+	// MaxParallelism bounds each phase's per-category task count; phases
+	// draw counts uniformly from [0, MaxParallelism], re-rolling empty
+	// phases.
+	MaxParallelism int
+	// Seed makes the set reproducible.
+	Seed int64
+}
+
+// Generate draws a batched set of profile jobs as engine-ready specs.
+// Because profiles store counts rather than tasks, MaxParallelism can be
+// set in the millions without memory cost.
+func Generate(opts GenOpts) ([]sim.JobSpec, error) {
+	if opts.K < 1 || opts.Jobs < 1 {
+		return nil, fmt.Errorf("profile: Generate needs K ≥ 1 and Jobs ≥ 1, got K=%d Jobs=%d", opts.K, opts.Jobs)
+	}
+	if opts.MinPhases < 1 || opts.MaxPhases < opts.MinPhases {
+		return nil, fmt.Errorf("profile: phase bounds [%d,%d] invalid", opts.MinPhases, opts.MaxPhases)
+	}
+	if opts.MaxParallelism < 1 {
+		return nil, fmt.Errorf("profile: MaxParallelism=%d, need ≥ 1", opts.MaxParallelism)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	specs := make([]sim.JobSpec, opts.Jobs)
+	for i := range specs {
+		nPhases := opts.MinPhases + rng.Intn(opts.MaxPhases-opts.MinPhases+1)
+		phases := make([]Phase, nPhases)
+		for p := range phases {
+			tasks := make([]int, opts.K)
+			total := 0
+			for a := range tasks {
+				tasks[a] = rng.Intn(opts.MaxParallelism + 1)
+				total += tasks[a]
+			}
+			if total == 0 {
+				tasks[rng.Intn(opts.K)] = 1 + rng.Intn(opts.MaxParallelism)
+			}
+			phases[p] = Phase{Tasks: tasks}
+		}
+		job, err := New(opts.K, fmt.Sprintf("profile-%d", i), phases)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = sim.JobSpec{Source: job}
+	}
+	return specs, nil
+}

@@ -1,0 +1,269 @@
+package profile
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"krad/internal/core"
+	"krad/internal/dag"
+	"krad/internal/sim"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		k      int
+		phases []Phase
+	}{
+		{"bad k", 0, []Phase{{Tasks: []int{}}}},
+		{"no phases", 2, nil},
+		{"wrong shape", 2, []Phase{{Tasks: []int{1}}}},
+		{"negative", 2, []Phase{{Tasks: []int{1, -1}}}},
+		{"empty phase", 2, []Phase{{Tasks: []int{0, 0}}}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.k, "x", c.phases); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestJobMetrics(t *testing.T) {
+	j := MustNew(2, "j", []Phase{
+		{Tasks: []int{3, 0}},
+		{Tasks: []int{0, 5}},
+		{Tasks: []int{2, 2}},
+	})
+	if j.Span() != 3 {
+		t.Errorf("Span = %d, want 3", j.Span())
+	}
+	wv := j.WorkVector()
+	if wv[0] != 5 || wv[1] != 7 {
+		t.Errorf("WorkVector = %v", wv)
+	}
+	if j.TotalTasks() != 12 {
+		t.Errorf("TotalTasks = %d", j.TotalTasks())
+	}
+	if j.K() != 2 || j.Name() != "j" || j.Phases() != 3 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestNewCopiesPhases(t *testing.T) {
+	tasks := []int{2, 1}
+	j := MustNew(2, "j", []Phase{{Tasks: tasks}})
+	tasks[0] = 99
+	if j.WorkVector()[0] != 2 {
+		t.Error("New did not copy phase slices")
+	}
+}
+
+func TestRuntimeBarrierSemantics(t *testing.T) {
+	j := MustNew(2, "j", []Phase{
+		{Tasks: []int{2, 0}},
+		{Tasks: []int{0, 3}},
+	})
+	r := j.NewRuntime(dag.PickFIFO, 0)
+	if r.Desire(1) != 2 || r.Desire(2) != 0 {
+		t.Fatalf("initial desires %d/%d", r.Desire(1), r.Desire(2))
+	}
+	// Execute one of two phase-1 tasks: barrier holds.
+	if got := r.Execute(1, 1); got != 1 {
+		t.Fatalf("Execute = %d", got)
+	}
+	r.Advance()
+	if r.Desire(2) != 0 {
+		t.Fatal("phase 2 released before phase 1 finished")
+	}
+	// Finish phase 1; phase 2 releases only after Advance.
+	r.Execute(1, 5)
+	if r.Desire(2) != 0 {
+		t.Fatal("phase 2 released mid-step")
+	}
+	r.Advance()
+	if r.Desire(1) != 0 || r.Desire(2) != 3 {
+		t.Fatalf("after barrier: desires %d/%d", r.Desire(1), r.Desire(2))
+	}
+	r.Execute(2, 3)
+	r.Advance()
+	if !r.Done() {
+		t.Fatal("not done")
+	}
+}
+
+func TestRuntimeBadInputs(t *testing.T) {
+	j := MustNew(1, "j", []Phase{{Tasks: []int{1}}})
+	r := j.NewRuntime(dag.PickFIFO, 0)
+	if r.Execute(0, 1) != 0 || r.Execute(2, 1) != 0 || r.Execute(1, 0) != 0 {
+		t.Error("bad inputs executed tasks")
+	}
+	if r.Desire(0) != 0 || r.Desire(5) != 0 {
+		t.Error("bad category desire nonzero")
+	}
+	r.Advance() // no-op when nothing ran
+	if r.Done() {
+		t.Error("done without executing")
+	}
+}
+
+func TestRemainingWork(t *testing.T) {
+	j := MustNew(2, "j", []Phase{
+		{Tasks: []int{2, 1}},
+		{Tasks: []int{0, 4}},
+	})
+	r := j.NewRuntime(dag.PickFIFO, 0)
+	rw := r.RemainingWork()
+	if rw[0] != 2 || rw[1] != 5 {
+		t.Fatalf("initial remaining %v", rw)
+	}
+	r.Execute(1, 2)
+	r.Execute(2, 1)
+	r.Advance()
+	rw = r.RemainingWork()
+	if rw[0] != 0 || rw[1] != 4 {
+		t.Fatalf("after phase 1 remaining %v", rw)
+	}
+}
+
+func TestToGraphMatchesMetrics(t *testing.T) {
+	j := MustNew(3, "j", []Phase{
+		{Tasks: []int{2, 1, 0}},
+		{Tasks: []int{0, 0, 4}},
+		{Tasks: []int{1, 1, 1}},
+	})
+	g := j.ToGraph()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Span() != j.Span() {
+		t.Errorf("graph span %d != profile span %d", g.Span(), j.Span())
+	}
+	gw, jw := g.WorkVector(), j.WorkVector()
+	for a := range gw {
+		if gw[a] != jw[a] {
+			t.Errorf("category %d: graph work %d != profile work %d", a+1, gw[a], jw[a])
+		}
+	}
+}
+
+// TestQuickProfileEquivalentToDenseLayeredDAG is the semantic equivalence
+// property: a profile job and its expanded dense-layered K-DAG produce
+// identical makespans and responses under K-RAD on the same machine.
+func TestQuickProfileEquivalentToDenseLayeredDAG(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(3)
+		caps := make([]int, k)
+		for i := range caps {
+			caps[i] = 1 + rng.Intn(4)
+		}
+		nJobs := 1 + rng.Intn(5)
+		var profSpecs, dagSpecs []sim.JobSpec
+		for i := 0; i < nJobs; i++ {
+			nPhases := 1 + rng.Intn(4)
+			phases := make([]Phase, nPhases)
+			for p := range phases {
+				tasks := make([]int, k)
+				total := 0
+				for a := range tasks {
+					tasks[a] = rng.Intn(5)
+					total += tasks[a]
+				}
+				if total == 0 {
+					tasks[rng.Intn(k)] = 1
+				}
+				phases[p] = Phase{Tasks: tasks}
+			}
+			j := MustNew(k, "p", phases)
+			profSpecs = append(profSpecs, sim.JobSpec{Source: j})
+			dagSpecs = append(dagSpecs, sim.JobSpec{Graph: j.ToGraph()})
+		}
+		run := func(specs []sim.JobSpec) *sim.Result {
+			res, err := sim.Run(sim.Config{
+				K: k, Caps: caps, Scheduler: core.NewKRAD(k),
+				Pick: dag.PickFIFO, ValidateAllotments: true,
+			}, specs)
+			if err != nil {
+				t.Logf("run error: %v", err)
+				return nil
+			}
+			return res
+		}
+		a, b := run(profSpecs), run(dagSpecs)
+		if a == nil || b == nil {
+			return false
+		}
+		if a.Makespan != b.Makespan || a.TotalResponse() != b.TotalResponse() {
+			t.Logf("seed %d: profile makespan=%d resp=%d; dag makespan=%d resp=%d",
+				seed, a.Makespan, a.TotalResponse(), b.Makespan, b.TotalResponse())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []GenOpts{
+		{K: 0, Jobs: 1, MinPhases: 1, MaxPhases: 1, MaxParallelism: 1},
+		{K: 1, Jobs: 0, MinPhases: 1, MaxPhases: 1, MaxParallelism: 1},
+		{K: 1, Jobs: 1, MinPhases: 0, MaxPhases: 1, MaxParallelism: 1},
+		{K: 1, Jobs: 1, MinPhases: 3, MaxPhases: 1, MaxParallelism: 1},
+		{K: 1, Jobs: 1, MinPhases: 1, MaxPhases: 1, MaxParallelism: 0},
+	}
+	for i, o := range bad {
+		if _, err := Generate(o); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateHugeParallelismIsCheap(t *testing.T) {
+	// A million-task-wide phase costs one int: this must be instant.
+	specs, err := Generate(GenOpts{
+		K: 2, Jobs: 10, MinPhases: 2, MaxPhases: 5,
+		MaxParallelism: 1_000_000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range specs {
+		total += s.Source.TotalTasks()
+	}
+	if total < 1_000_000 {
+		t.Errorf("expected millions of tasks, got %d", total)
+	}
+}
+
+func TestProfileJobsRunThroughEngine(t *testing.T) {
+	specs, err := Generate(GenOpts{
+		K: 2, Jobs: 20, MinPhases: 1, MaxPhases: 6, MaxParallelism: 50, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(sim.Config{
+		K: 2, Caps: []int{8, 8}, Scheduler: core.NewKRAD(2),
+		ValidateAllotments: true,
+	}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan == 0 {
+		t.Error("zero makespan")
+	}
+}
+
+func TestProfileRejectsTraceTasks(t *testing.T) {
+	specs, _ := Generate(GenOpts{K: 1, Jobs: 1, MinPhases: 1, MaxPhases: 1, MaxParallelism: 3, Seed: 1})
+	_, err := sim.Run(sim.Config{
+		K: 1, Caps: []int{2}, Scheduler: core.NewKRAD(1), Trace: sim.TraceTasks,
+	}, specs)
+	if err == nil {
+		t.Error("TraceTasks accepted for profile jobs")
+	}
+}

@@ -1,0 +1,86 @@
+package sched
+
+import "fmt"
+
+// WithFloors makes any scheduler valid for non-preemptive jobs: every
+// job's allotment floor (processors pinned by in-flight multi-step tasks)
+// is granted first, and the wrapped scheduler partitions only the residual
+// capacity over the residual desires. For unit-task workloads (all floors
+// zero) the wrapper is the identity.
+//
+// This is the standard way two-level systems retrofit malleable-job
+// schedulers onto non-preemptive tasks; experiment E16 measures what the
+// lost reallocation freedom costs against the paper's bounds.
+type floored struct {
+	inner Scheduler
+}
+
+// WithFloors wraps inner; see the type comment.
+func WithFloors(inner Scheduler) Scheduler { return &floored{inner: inner} }
+
+// Name implements Scheduler.
+func (f *floored) Name() string { return f.inner.Name() + "+floors" }
+
+// Allot implements Scheduler.
+func (f *floored) Allot(t int64, jobs []JobView, caps []int) [][]int {
+	// Fast path: no floors anywhere.
+	any := false
+	for _, j := range jobs {
+		if j.Floor != nil {
+			for _, v := range j.Floor {
+				if v > 0 {
+					any = true
+					break
+				}
+			}
+		}
+		if any {
+			break
+		}
+	}
+	if !any {
+		return f.inner.Allot(t, jobs, caps)
+	}
+
+	residualCaps := append([]int(nil), caps...)
+	residual := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		d := append([]int(nil), j.Desire...)
+		if j.Floor != nil {
+			for a, fl := range j.Floor {
+				d[a] -= fl
+				if d[a] < 0 {
+					d[a] = 0
+				}
+				residualCaps[a] -= fl
+			}
+		}
+		residual[i] = JobView{ID: j.ID, Desire: d}
+	}
+	for a, c := range residualCaps {
+		if c < 0 {
+			panic(fmt.Sprintf("sched: category %d floors exceed capacity %d — jobs hold more processors than exist", a+1, caps[a]))
+		}
+	}
+	out := f.inner.Allot(t, residual, residualCaps)
+	for i, j := range jobs {
+		if j.Floor != nil {
+			for a, fl := range j.Floor {
+				out[i][a] += fl
+			}
+		}
+	}
+	return out
+}
+
+// JobsDone forwards completions.
+func (f *floored) JobsDone(ids []int) {
+	if c, ok := f.inner.(Completer); ok {
+		c.JobsDone(ids)
+	}
+}
+
+var (
+	_ Scheduler = (*floored)(nil)
+	_ Completer = (*floored)(nil)
+)

@@ -1,0 +1,79 @@
+package sched
+
+// Quantized wraps a scheduler so that allotments are only recomputed every
+// L steps — modelling the scheduling quantum of real two-level systems,
+// where reallocating processors between jobs has a cost and the OS-level
+// allocator runs periodically rather than every time unit (the setting of
+// the RAD lineage's two-level schedulers). Between quantum boundaries each
+// job keeps its cached allotment, clamped to its current desire so
+// processors are never assigned to tasks that do not exist; jobs arriving
+// mid-quantum wait for the next boundary.
+//
+// L = 1 is exactly the inner scheduler. Larger L trades bound tightness
+// for reallocation frequency; experiment E13 measures that trade-off.
+type Quantized struct {
+	inner   Scheduler
+	l       int64
+	started bool
+	nextAt  int64
+	cache   map[int][]int
+}
+
+// NewQuantized wraps inner with scheduling quantum l ≥ 1.
+func NewQuantized(inner Scheduler, l int64) *Quantized {
+	if l < 1 {
+		panic("sched: quantum must be ≥ 1")
+	}
+	return &Quantized{inner: inner, l: l, cache: make(map[int][]int)}
+}
+
+// Name implements Scheduler.
+func (q *Quantized) Name() string { return q.inner.Name() + "-quantized" }
+
+// Allot implements Scheduler.
+func (q *Quantized) Allot(t int64, jobs []JobView, caps []int) [][]int {
+	if !q.started || t >= q.nextAt {
+		// Quantum boundary: recompute and cache by job ID.
+		out := q.inner.Allot(t, jobs, caps)
+		clear(q.cache)
+		for i, j := range jobs {
+			q.cache[j.ID] = out[i]
+		}
+		q.started = true
+		q.nextAt = t + q.l
+		return out
+	}
+	// Mid-quantum: replay the cached rows, clamped to current desires.
+	allot := make([][]int, len(jobs))
+	for i, j := range jobs {
+		row := make([]int, len(caps))
+		if cached, ok := q.cache[j.ID]; ok {
+			for a := range row {
+				v := cached[a]
+				if v > j.Desire[a] {
+					v = j.Desire[a]
+				}
+				row[a] = v
+			}
+		}
+		allot[i] = row
+	}
+	return allot
+}
+
+// JobsDone forwards completions to the inner scheduler and drops cached
+// rows so a finished job's processors return to the pool at the next
+// boundary.
+func (q *Quantized) JobsDone(ids []int) {
+	for _, id := range ids {
+		delete(q.cache, id)
+	}
+	if c, ok := q.inner.(Completer); ok {
+		c.JobsDone(ids)
+	}
+}
+
+var (
+	_ Scheduler = (*Quantized)(nil)
+	_ Completer = (*Quantized)(nil)
+)

@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"testing"
+)
+
+// countingSched counts inner invocations and gives everyone one processor.
+type countingSched struct {
+	calls int
+	done  [][]int
+}
+
+func (c *countingSched) Name() string { return "counting" }
+
+func (c *countingSched) Allot(t int64, jobs []JobView, caps []int) [][]int {
+	c.calls++
+	out := make([][]int, len(jobs))
+	left := caps[0]
+	for i := range jobs {
+		out[i] = make([]int, len(caps))
+		if left > 0 {
+			out[i][0] = 1
+			left--
+		}
+	}
+	return out
+}
+
+func (c *countingSched) JobsDone(ids []int) { c.done = append(c.done, ids) }
+
+func TestQuantizedValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("quantum 0 accepted")
+		}
+	}()
+	NewQuantized(&countingSched{}, 0)
+}
+
+func TestQuantizedRecomputesEveryLSteps(t *testing.T) {
+	inner := &countingSched{}
+	q := NewQuantized(inner, 4)
+	jobs := []JobView{{ID: 0, Desire: []int{5}}}
+	for step := int64(1); step <= 12; step++ {
+		q.Allot(step, jobs, []int{2})
+	}
+	if inner.calls != 3 {
+		t.Errorf("inner called %d times over 12 steps with L=4, want 3", inner.calls)
+	}
+	if q.Name() != "counting-quantized" {
+		t.Errorf("Name = %q", q.Name())
+	}
+}
+
+func TestQuantizedClampsToDesire(t *testing.T) {
+	inner := &countingSched{}
+	q := NewQuantized(inner, 8)
+	// Boundary: desire 5 → cached 1.
+	jobs := []JobView{{ID: 0, Desire: []int{5}}}
+	q.Allot(1, jobs, []int{2})
+	// Mid-quantum the desire drops to zero: allotment must clamp.
+	jobs[0].Desire = []int{0}
+	allot := q.Allot(2, jobs, []int{2})
+	if allot[0][0] != 0 {
+		t.Errorf("allotment %d exceeds desire 0", allot[0][0])
+	}
+}
+
+func TestQuantizedNewArrivalsWaitForBoundary(t *testing.T) {
+	inner := &countingSched{}
+	q := NewQuantized(inner, 4)
+	q.Allot(1, []JobView{{ID: 0, Desire: []int{1}}}, []int{2})
+	// Job 1 arrives mid-quantum: nothing until step 5.
+	jobs := []JobView{{ID: 0, Desire: []int{1}}, {ID: 1, Desire: []int{1}}}
+	allot := q.Allot(2, jobs, []int{2})
+	if allot[1][0] != 0 {
+		t.Errorf("mid-quantum arrival served: %v", allot)
+	}
+	allot = q.Allot(5, jobs, []int{2})
+	if allot[1][0] != 1 {
+		t.Errorf("boundary did not admit the arrival: %v", allot)
+	}
+}
+
+func TestQuantizedForwardsCompletions(t *testing.T) {
+	inner := &countingSched{}
+	q := NewQuantized(inner, 2)
+	q.Allot(1, []JobView{{ID: 0, Desire: []int{1}}}, []int{1})
+	q.JobsDone([]int{0})
+	if len(inner.done) != 1 || inner.done[0][0] != 0 {
+		t.Errorf("completions not forwarded: %v", inner.done)
+	}
+	if len(q.cache) != 0 {
+		t.Error("cache not cleared on completion")
+	}
+}
+
+func TestQuantizedLOneMatchesInner(t *testing.T) {
+	a := &countingSched{}
+	q := NewQuantized(a, 1)
+	b := &countingSched{}
+	jobs := []JobView{{ID: 0, Desire: []int{3}}, {ID: 1, Desire: []int{3}}}
+	for step := int64(1); step <= 5; step++ {
+		x := q.Allot(step, jobs, []int{1})
+		y := b.Allot(step, jobs, []int{1})
+		for i := range jobs {
+			if x[i][0] != y[i][0] {
+				t.Fatalf("step %d: quantized(1) diverged", step)
+			}
+		}
+	}
+	if a.calls != b.calls {
+		t.Errorf("call counts differ: %d vs %d", a.calls, b.calls)
+	}
+}

@@ -1,0 +1,201 @@
+// Package sched defines the scheduling interface of the K-resource model
+// (Section 2 of the paper) and shared helpers. A Scheduler observes, at
+// each time step, only the identities and instantaneous per-category
+// desires of the active jobs — never release times, parallelism profiles,
+// or remaining work — and returns integer allotments bounded by the
+// per-category processor counts. That restriction is what "online
+// non-clairvoyant" means; clairvoyant baselines must opt in explicitly via
+// the Clairvoyant interface.
+package sched
+
+import (
+	"fmt"
+)
+
+// JobView is the scheduler-visible snapshot of one active job at one step.
+type JobView struct {
+	// ID is the engine-assigned job identifier. IDs are assigned in
+	// submission order, so ascending ID is ascending arrival order — the
+	// queue order RAD's round-robin uses.
+	ID int
+	// Desire[α−1] is d(Ji, α, t): the number of ready α-tasks.
+	Desire []int
+	// Floor[α−1] is the job's non-preemptive allotment floor: processors
+	// occupied by in-flight multi-step tasks that cannot be taken away
+	// this step. Nil for unit-task jobs (every floor zero). Valid
+	// allotments satisfy allot ≥ floor; use WithFloors to make any
+	// scheduler floor-respecting.
+	Floor []int
+}
+
+// TotalDesire returns Σα Desire[α].
+func (j JobView) TotalDesire() int {
+	n := 0
+	for _, d := range j.Desire {
+		n += d
+	}
+	return n
+}
+
+// Scheduler computes processor allotments each step.
+type Scheduler interface {
+	// Name identifies the algorithm in traces and reports.
+	Name() string
+	// Allot returns, for each job in jobs (same order), an allotment
+	// vector indexed by α−1, such that for every category α the column
+	// sum is at most caps[α−1]. jobs contains exactly the active
+	// (released, uncompleted) jobs at step t, in ascending ID order.
+	// Implementations must not retain jobs or the returned slices.
+	Allot(t int64, jobs []JobView, caps []int) [][]int
+}
+
+// Completer is implemented by stateful schedulers (such as RAD's
+// round-robin marking) that want to drop per-job state when jobs finish.
+// The engine calls JobsDone after each step with the IDs of jobs that
+// completed during the step.
+type Completer interface {
+	JobsDone(ids []int)
+}
+
+// Oracle exposes clairvoyant per-job information. Only baselines labelled
+// clairvoyant receive one; the algorithms under study never see it.
+type Oracle interface {
+	// RemainingWork returns the unexecuted task count of the job per
+	// category (indexed α−1).
+	RemainingWork(jobID int) []int
+	// ReleaseTime returns the job's release time.
+	ReleaseTime(jobID int) int64
+}
+
+// Clairvoyant is implemented by schedulers that require an Oracle. The
+// engine injects it before the run starts.
+type Clairvoyant interface {
+	SetOracle(Oracle)
+}
+
+// ValidateAllotments checks the Section 2 validity conditions on a
+// scheduler's output: one allotment row per job, rows shaped like caps,
+// non-negative entries, and per-category column sums within capacity.
+// It returns a descriptive error on the first violation.
+func ValidateAllotments(jobs []JobView, caps []int, allot [][]int) error {
+	if len(allot) != len(jobs) {
+		return fmt.Errorf("sched: %d allotment rows for %d jobs", len(allot), len(jobs))
+	}
+	sums := make([]int, len(caps))
+	for i, row := range allot {
+		if len(row) != len(caps) {
+			return fmt.Errorf("sched: job %d allotment row has %d categories, want %d", jobs[i].ID, len(row), len(caps))
+		}
+		for a, v := range row {
+			if v < 0 {
+				return fmt.Errorf("sched: job %d category %d negative allotment %d", jobs[i].ID, a+1, v)
+			}
+			if jobs[i].Floor != nil && v < jobs[i].Floor[a] {
+				return fmt.Errorf("sched: job %d category %d allotment %d below non-preemptive floor %d", jobs[i].ID, a+1, v, jobs[i].Floor[a])
+			}
+			sums[a] += v
+		}
+	}
+	for a, s := range sums {
+		if s > caps[a] {
+			return fmt.Errorf("sched: category %d total allotment %d exceeds capacity %d", a+1, s, caps[a])
+		}
+	}
+	return nil
+}
+
+// CatJob is the single-category projection of a JobView used by
+// per-category schedulers.
+type CatJob struct {
+	ID     int
+	Desire int
+}
+
+// CategoryScheduler allocates the processors of one resource category among
+// the jobs that currently desire them. RAD is a CategoryScheduler; K-RAD is
+// K of them glued together by PerCategory.
+type CategoryScheduler interface {
+	Name() string
+	// Allot returns one allotment per job (same order). jobs contains
+	// exactly the α-active jobs (desire > 0) in ascending ID order; p is
+	// the category's processor count.
+	Allot(t int64, jobs []CatJob, p int) []int
+}
+
+// CategoryCompleter mirrors Completer for per-category schedulers.
+type CategoryCompleter interface {
+	JobsDone(ids []int)
+}
+
+// PerCategory lifts K independent CategoryScheduler instances (one per
+// resource category) into a full Scheduler. This is exactly the structure
+// of K-RAD: "assigns one RAD scheduler to each category α of processors".
+type PerCategory struct {
+	name string
+	cats []CategoryScheduler
+}
+
+// NewPerCategory builds a Scheduler from per-category schedulers. The slice
+// index is α−1.
+func NewPerCategory(name string, cats []CategoryScheduler) *PerCategory {
+	return &PerCategory{name: name, cats: cats}
+}
+
+// Name returns the composite scheduler's name.
+func (p *PerCategory) Name() string { return p.name }
+
+// Category returns the scheduler responsible for category α (1-based),
+// mainly for tests and ablations.
+func (p *PerCategory) Category(alpha int) CategoryScheduler { return p.cats[alpha-1] }
+
+// Allot projects the jobs onto each category (keeping only α-active jobs,
+// preserving ID order), delegates to that category's scheduler, and
+// reassembles the full allotment matrix.
+func (p *PerCategory) Allot(t int64, jobs []JobView, caps []int) [][]int {
+	if len(caps) != len(p.cats) {
+		panic(fmt.Sprintf("sched: PerCategory %q built for K=%d but given %d capacities", p.name, len(p.cats), len(caps)))
+	}
+	allot := make([][]int, len(jobs))
+	rows := make([]int, 0, len(jobs)*len(caps))
+	if len(jobs)*len(caps) > 0 {
+		rows = make([]int, len(jobs)*len(caps))
+	}
+	for i := range jobs {
+		allot[i] = rows[i*len(caps) : (i+1)*len(caps) : (i+1)*len(caps)]
+	}
+	catJobs := make([]CatJob, 0, len(jobs))
+	idx := make([]int, 0, len(jobs))
+	for a := range p.cats {
+		catJobs = catJobs[:0]
+		idx = idx[:0]
+		for i, j := range jobs {
+			if j.Desire[a] > 0 {
+				catJobs = append(catJobs, CatJob{ID: j.ID, Desire: j.Desire[a]})
+				idx = append(idx, i)
+			}
+		}
+		out := p.cats[a].Allot(t, catJobs, caps[a])
+		if len(out) != len(catJobs) {
+			panic(fmt.Sprintf("sched: category %d scheduler %q returned %d allotments for %d jobs", a+1, p.cats[a].Name(), len(out), len(catJobs)))
+		}
+		for j, v := range out {
+			allot[idx[j]][a] = v
+		}
+	}
+	return allot
+}
+
+// JobsDone forwards completion notifications to every per-category
+// scheduler that cares.
+func (p *PerCategory) JobsDone(ids []int) {
+	for _, c := range p.cats {
+		if cc, ok := c.(CategoryCompleter); ok {
+			cc.JobsDone(ids)
+		}
+	}
+}
+
+var (
+	_ Scheduler = (*PerCategory)(nil)
+	_ Completer = (*PerCategory)(nil)
+)

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// resultJSON is the stable on-disk schema for run results — consumed by
+// plotting scripts and downstream tooling. It mirrors Result but keeps
+// only serializable, schema-stable fields.
+type resultJSON struct {
+	Scheduler  string          `json:"scheduler"`
+	K          int             `json:"k"`
+	Caps       []int           `json:"caps"`
+	Makespan   int64           `json:"makespan"`
+	TotalResp  int64           `json:"total_response"`
+	MeanResp   float64         `json:"mean_response"`
+	Overloaded []bool          `json:"overloaded"`
+	Util       []float64       `json:"utilization"`
+	Jobs       []jobResultJSON `json:"jobs"`
+}
+
+type jobResultJSON struct {
+	ID         int   `json:"id"`
+	Release    int64 `json:"release"`
+	Completion int64 `json:"completion"`
+	Response   int64 `json:"response"`
+	Work       []int `json:"work"`
+	Span       int   `json:"span"`
+}
+
+// WriteJSON serializes the result (without traces) for downstream
+// analysis. The schema is stable: scheduler, machine shape, makespan,
+// response aggregates, per-job outcomes.
+func (r *Result) WriteJSON(w io.Writer) error {
+	out := resultJSON{
+		Scheduler:  r.Scheduler,
+		K:          r.K,
+		Caps:       r.Caps,
+		Makespan:   r.Makespan,
+		TotalResp:  r.TotalResponse(),
+		MeanResp:   r.MeanResponse(),
+		Overloaded: r.Overloaded,
+		Util:       r.Utilization(),
+	}
+	for _, j := range r.Jobs {
+		out.Jobs = append(out.Jobs, jobResultJSON{
+			ID:         j.ID,
+			Release:    j.Release,
+			Completion: j.Completion,
+			Response:   j.Response(),
+			Work:       j.Work,
+			Span:       j.Span,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ReadResultJSON parses a result written by WriteJSON back into a Result
+// (Trace is nil; derived fields recompute from the job table).
+func ReadResultJSON(r io.Reader) (*Result, error) {
+	var in resultJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Scheduler:  in.Scheduler,
+		K:          in.K,
+		Caps:       in.Caps,
+		Makespan:   in.Makespan,
+		Overloaded: in.Overloaded,
+	}
+	for _, j := range in.Jobs {
+		res.Jobs = append(res.Jobs, JobResult{
+			ID:         j.ID,
+			Release:    j.Release,
+			Completion: j.Completion,
+			Work:       j.Work,
+			Span:       j.Span,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"krad/internal/core"
+	"krad/internal/dag"
+)
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	specs := []JobSpec{
+		{Graph: dag.ForkJoin(2, 4, 1, 2, 1)},
+		{Graph: dag.RoundRobinChain(2, 5), Release: 2},
+	}
+	res, err := Run(Config{
+		K: 2, Caps: []int{2, 2}, Scheduler: core.NewKRAD(2), ValidateAllotments: true,
+	}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadResultJSON(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Scheduler != res.Scheduler || back.Makespan != res.Makespan {
+		t.Errorf("header fields changed: %+v", back)
+	}
+	if back.TotalResponse() != res.TotalResponse() {
+		t.Errorf("responses changed: %d vs %d", back.TotalResponse(), res.TotalResponse())
+	}
+	if len(back.Jobs) != len(res.Jobs) {
+		t.Fatalf("job count changed")
+	}
+	for i := range res.Jobs {
+		if back.Jobs[i].Completion != res.Jobs[i].Completion ||
+			back.Jobs[i].Span != res.Jobs[i].Span {
+			t.Errorf("job %d changed: %+v vs %+v", i, back.Jobs[i], res.Jobs[i])
+		}
+	}
+	// Derived metrics recompute identically.
+	aw, bw := res.TotalWork(), back.TotalWork()
+	for a := range aw {
+		if aw[a] != bw[a] {
+			t.Errorf("work changed in category %d", a+1)
+		}
+	}
+}
+
+func TestReadResultJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadResultJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}

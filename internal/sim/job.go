@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"krad/internal/dag"
+)
+
+// JobSource describes a job's static shape and mints runtime instances for
+// a run. Two implementations ship with the library: K-DAG jobs (JobSpec's
+// Graph field, wrapping internal/dag) and compact parallelism-profile jobs
+// (internal/profile) for very large simulations.
+type JobSource interface {
+	// Name labels the job in traces and errors.
+	Name() string
+	// K returns the number of resource categories the job was built for.
+	K() int
+	// WorkVector returns T1(Ji, α) per category (indexed α−1).
+	WorkVector() []int
+	// Span returns T∞(Ji).
+	Span() int
+	// TotalTasks returns the total unit-task count (Σ WorkVector).
+	TotalTasks() int
+	// NewRuntime creates a fresh runtime instance. pick applies to
+	// representations where ready tasks are distinguishable; seed feeds
+	// randomized pickers.
+	NewRuntime(pick dag.PickPolicy, seed int64) RuntimeJob
+}
+
+// RuntimeJob is the engine's view of one executing job: report desires,
+// execute allotted tasks, advance at step boundaries.
+type RuntimeJob interface {
+	// Desire returns d(Ji, α, t), the count of ready α-tasks.
+	Desire(c dag.Category) int
+	// Execute runs up to n ready α-tasks during the current step and
+	// returns how many ran. Completions take effect at Advance.
+	Execute(c dag.Category, n int) int
+	// Advance ends the time step, releasing successors of completed tasks.
+	Advance()
+	// Done reports whether all tasks have executed.
+	Done() bool
+	// RemainingWork returns unexecuted task counts per category (used by
+	// the clairvoyant oracle only).
+	RemainingWork() []int
+}
+
+// TaskRuntime is implemented by runtimes that can report which concrete
+// tasks ran — required for TraceTasks-level recording (Gantt charts and
+// schedule re-validation).
+type TaskRuntime interface {
+	RuntimeJob
+	// ExecuteTasks is Execute returning the executed task IDs.
+	ExecuteTasks(c dag.Category, n int) []dag.TaskID
+}
+
+// FloorRuntime is implemented by non-preemptive runtimes whose in-flight
+// multi-step tasks pin processors: Floor reports how many α-processors
+// the job must keep this step. The engine forwards floors to the
+// scheduler through sched.JobView; pair such jobs with a floor-respecting
+// scheduler (sched.WithFloors).
+type FloorRuntime interface {
+	RuntimeJob
+	Floor(c dag.Category) int
+}
+
+// graphSource adapts a *dag.Graph to JobSource.
+type graphSource struct {
+	g *dag.Graph
+}
+
+// GraphSource wraps a K-DAG as a JobSource. JobSpec.Graph does this
+// implicitly; the explicit form exists for mixed-source job sets.
+func GraphSource(g *dag.Graph) JobSource { return graphSource{g} }
+
+func (s graphSource) Name() string      { return s.g.Name() }
+func (s graphSource) K() int            { return s.g.K() }
+func (s graphSource) WorkVector() []int { return s.g.WorkVector() }
+func (s graphSource) Span() int         { return s.g.Span() }
+func (s graphSource) TotalTasks() int   { return s.g.NumTasks() }
+
+func (s graphSource) NewRuntime(pick dag.PickPolicy, seed int64) RuntimeJob {
+	return &graphRuntime{inst: dag.NewInstance(s.g, pick, seed)}
+}
+
+// graphRuntime adapts *dag.Instance to TaskRuntime.
+type graphRuntime struct {
+	inst *dag.Instance
+}
+
+func (r *graphRuntime) Desire(c dag.Category) int { return r.inst.Desire(c) }
+func (r *graphRuntime) Execute(c dag.Category, n int) int {
+	return len(r.inst.Execute(c, n))
+}
+func (r *graphRuntime) ExecuteTasks(c dag.Category, n int) []dag.TaskID {
+	return r.inst.Execute(c, n)
+}
+func (r *graphRuntime) Advance()             { r.inst.Advance() }
+func (r *graphRuntime) Done() bool           { return r.inst.Done() }
+func (r *graphRuntime) RemainingWork() []int { return r.inst.RemainingWork() }
+func (r *graphRuntime) RemainingSpan() int   { return r.inst.RemainingSpan() }
+
+var (
+	_ JobSource   = graphSource{}
+	_ TaskRuntime = (*graphRuntime)(nil)
+)
+
+// timedSource adapts a duration-annotated *dag.Graph to JobSource with
+// non-preemptive semantics (dag.TimedInstance). Work and span are
+// duration-weighted, so the metrics package's lower bounds remain valid.
+type timedSource struct {
+	g *dag.Graph
+}
+
+// TimedGraphSource wraps a K-DAG with task durations for non-preemptive
+// execution. TraceTasks recording is unsupported (a multi-step task has no
+// single execution step); use aggregate tracing.
+func TimedGraphSource(g *dag.Graph) JobSource { return timedSource{g} }
+
+func (s timedSource) Name() string      { return s.g.Name() + "-timed" }
+func (s timedSource) K() int            { return s.g.K() }
+func (s timedSource) WorkVector() []int { return s.g.TimedWorkVector() }
+func (s timedSource) Span() int         { return s.g.TimedSpan() }
+
+// TotalTasks returns duration-weighted total work (processor-steps), which
+// is what the engine's runaway guard and throughput accounting need.
+func (s timedSource) TotalTasks() int {
+	n := 0
+	for _, w := range s.g.TimedWorkVector() {
+		n += w
+	}
+	return n
+}
+
+func (s timedSource) NewRuntime(pick dag.PickPolicy, seed int64) RuntimeJob {
+	return &timedRuntime{inst: dag.NewTimedInstance(s.g, pick, seed)}
+}
+
+// timedRuntime adapts *dag.TimedInstance to FloorRuntime.
+type timedRuntime struct {
+	inst *dag.TimedInstance
+}
+
+func (r *timedRuntime) Desire(c dag.Category) int         { return r.inst.Desire(c) }
+func (r *timedRuntime) Floor(c dag.Category) int          { return r.inst.Floor(c) }
+func (r *timedRuntime) Execute(c dag.Category, n int) int { return r.inst.Execute(c, n) }
+func (r *timedRuntime) Advance()                          { r.inst.Advance() }
+func (r *timedRuntime) Done() bool                        { return r.inst.Done() }
+func (r *timedRuntime) RemainingWork() []int              { return r.inst.RemainingWork() }
+
+var (
+	_ JobSource    = timedSource{}
+	_ FloorRuntime = (*timedRuntime)(nil)
+)

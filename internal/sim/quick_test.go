@@ -1,0 +1,148 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"krad/internal/baselines"
+	"krad/internal/core"
+	"krad/internal/dag"
+	"krad/internal/sched"
+	"krad/internal/sim"
+	"krad/internal/workload"
+)
+
+// TestQuickEverySchedulerProducesValidSchedules is the central safety
+// property of the whole system: for random workloads, random machines and
+// every scheduler, the engine's recorded schedule satisfies the Section 2
+// validity conditions, re-checked independently from the trace.
+func TestQuickEverySchedulerProducesValidSchedules(t *testing.T) {
+	factories := []func(k int) sched.Scheduler{
+		func(k int) sched.Scheduler { return core.NewKRAD(k) },
+		func(k int) sched.Scheduler { return baselines.NewDEQOnly(k) },
+		func(k int) sched.Scheduler { return baselines.NewRROnly(k) },
+		func(k int) sched.Scheduler { return baselines.NewEQUI(k) },
+		func(k int) sched.Scheduler { return baselines.NewFCFS(k) },
+		func(k int) sched.Scheduler { return baselines.NewGreedyDesire(k) },
+		func(k int) sched.Scheduler { return baselines.NewLAPS(k, 0.5) },
+		func(k int) sched.Scheduler { return baselines.NewGang(3) },
+		func(k int) sched.Scheduler { return sched.NewQuantized(core.NewKRAD(k), 4) },
+	}
+	f := func(seed int64, schedRaw, pickRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(3)
+		caps := make([]int, k)
+		for i := range caps {
+			caps[i] = 1 + rng.Intn(5)
+		}
+		mix := workload.Mix{
+			K: k, Jobs: 1 + rng.Intn(12), MinSize: 1, MaxSize: 25,
+			Seed: seed,
+		}
+		var specs []sim.JobSpec
+		var err error
+		if rng.Intn(2) == 0 {
+			ws, gerr := mix.Generate()
+			specs, err = ws, gerr
+		} else {
+			ws, gerr := mix.GenerateOnline(workload.Uniform(0, 6))
+			specs, err = ws, gerr
+		}
+		if err != nil {
+			return false
+		}
+		pick := dag.PickPolicy(int(pickRaw) % 5)
+		res, err := sim.Run(sim.Config{
+			K: k, Caps: caps,
+			Scheduler:          factories[int(schedRaw)%len(factories)](k),
+			Pick:               pick,
+			Seed:               seed,
+			Trace:              sim.TraceTasks,
+			ValidateAllotments: true,
+		}, specs)
+		if err != nil {
+			t.Logf("seed %d: run: %v", seed, err)
+			return false
+		}
+		if err := sim.ValidateSchedule(specs, res); err != nil {
+			t.Logf("seed %d: validate: %v", seed, err)
+			return false
+		}
+		// Responses non-negative; makespan = max completion.
+		var maxC int64
+		for _, j := range res.Jobs {
+			if j.Response() <= 0 {
+				return false
+			}
+			if j.Completion > maxC {
+				maxC = j.Completion
+			}
+		}
+		return maxC == res.Makespan
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickKRADBoundsOnRandomInstances re-checks the paper's makespan
+// bound machinery end to end on random batched sets: makespan is at least
+// the Section 4 lower bound and at most Lemma 2's upper bound.
+func TestQuickKRADBoundsOnRandomInstances(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(4)
+		caps := make([]int, k)
+		pmax := 1
+		for i := range caps {
+			caps[i] = 1 + rng.Intn(6)
+			if caps[i] > pmax {
+				pmax = caps[i]
+			}
+		}
+		specs, err := workload.Mix{
+			K: k, Jobs: 1 + rng.Intn(20), MinSize: 1, MaxSize: 40, Seed: seed,
+		}.Generate()
+		if err != nil {
+			return false
+		}
+		res, err := sim.Run(sim.Config{
+			K: k, Caps: caps, Scheduler: core.NewKRAD(k), ValidateAllotments: true,
+		}, specs)
+		if err != nil {
+			return false
+		}
+		// Lower bound: max(span, per-category work/P).
+		var lb int64
+		for _, j := range res.Jobs {
+			if int64(j.Span) > lb {
+				lb = int64(j.Span)
+			}
+		}
+		for a, w := range res.TotalWork() {
+			if v := int64((w + caps[a] - 1) / caps[a]); v > lb {
+				lb = v
+			}
+		}
+		if res.Makespan < lb {
+			return false
+		}
+		// Lemma 2 upper bound.
+		var sum float64
+		for a, w := range res.TotalWork() {
+			sum += float64(w) / float64(caps[a])
+		}
+		var maxSpan int64
+		for _, j := range res.Jobs {
+			if int64(j.Span) > maxSpan {
+				maxSpan = int64(j.Span)
+			}
+		}
+		ub := sum + (1-1/float64(pmax))*float64(maxSpan)
+		return float64(res.Makespan) <= ub+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,117 @@
+package sim
+
+import "fmt"
+
+// JobResult is the per-job outcome of a run.
+type JobResult struct {
+	// ID is the engine-assigned job identifier (arrival order).
+	ID int
+	// Release is r(Ji).
+	Release int64
+	// Completion is T(Ji), the step at which the job's last task executed.
+	Completion int64
+	// Work[α−1] is T1(Ji, α).
+	Work []int
+	// Span is T∞(Ji).
+	Span int
+}
+
+// Response returns R(Ji) = T(Ji) − r(Ji).
+func (j JobResult) Response() int64 { return j.Completion - j.Release }
+
+// TotalWork returns T1(Ji) = Σα T1(Ji, α).
+func (j JobResult) TotalWork() int {
+	n := 0
+	for _, w := range j.Work {
+		n += w
+	}
+	return n
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	// Scheduler is the name of the algorithm that produced the schedule.
+	Scheduler string
+	// K and Caps echo the run configuration.
+	K    int
+	Caps []int
+	// Speed echoes the augmentation factor (≥ 1).
+	Speed int
+	// Makespan is T(J) = max completion time.
+	Makespan int64
+	// Jobs holds per-job outcomes in ID order.
+	Jobs []JobResult
+	// Overloaded[α−1] reports whether |J(α,t)| > Pα held at any step —
+	// i.e. whether the run left the "light workload" regime of Theorem 5
+	// for that category.
+	Overloaded []bool
+	// Trace is the per-step record, if tracing was enabled.
+	Trace *Trace
+}
+
+// TotalResponse returns R(J) = Σ R(Ji).
+func (r *Result) TotalResponse() int64 {
+	var sum int64
+	for _, j := range r.Jobs {
+		sum += j.Response()
+	}
+	return sum
+}
+
+// MeanResponse returns R̄(J) = R(J)/|J|.
+func (r *Result) MeanResponse() float64 {
+	if len(r.Jobs) == 0 {
+		return 0
+	}
+	return float64(r.TotalResponse()) / float64(len(r.Jobs))
+}
+
+// TotalWork returns T1(J, α) for every α (indexed α−1), summed over jobs.
+func (r *Result) TotalWork() []int {
+	w := make([]int, r.K)
+	for _, j := range r.Jobs {
+		for a, v := range j.Work {
+			w[a] += v
+		}
+	}
+	return w
+}
+
+// AggregateSpan returns T∞(J) = Σ T∞(Ji).
+func (r *Result) AggregateSpan() int {
+	s := 0
+	for _, j := range r.Jobs {
+		s += j.Span
+	}
+	return s
+}
+
+// EverOverloaded reports whether any category ever exceeded its processor
+// count in α-active jobs (the Theorem 6 "heavy workload" regime).
+func (r *Result) EverOverloaded() bool {
+	for _, o := range r.Overloaded {
+		if o {
+			return true
+		}
+	}
+	return false
+}
+
+// Utilization returns, per category, the fraction of processor-steps spent
+// executing tasks over the whole run: T1(J,α) / (Pα · T(J)).
+func (r *Result) Utilization() []float64 {
+	u := make([]float64, r.K)
+	if r.Makespan == 0 {
+		return u
+	}
+	for a, w := range r.TotalWork() {
+		u[a] = float64(w) / (float64(r.Caps[a]) * float64(r.Makespan))
+	}
+	return u
+}
+
+// String summarizes the run.
+func (r *Result) String() string {
+	return fmt.Sprintf("Result(%s K=%d jobs=%d makespan=%d meanResp=%.2f)",
+		r.Scheduler, r.K, len(r.Jobs), r.Makespan, r.MeanResponse())
+}

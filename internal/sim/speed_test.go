@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"testing"
+
+	"krad/internal/core"
+	"krad/internal/dag"
+)
+
+func TestSpeedAugmentationChain(t *testing.T) {
+	// A chain of 12 unit tasks on one processor: speed s finishes in
+	// ⌈12/s⌉ steps.
+	for _, s := range []int{1, 2, 3, 4} {
+		res, err := Run(Config{
+			K: 1, Caps: []int{1}, Scheduler: core.NewKRAD(1),
+			Speed: s, ValidateAllotments: true, Trace: TraceTasks,
+		}, []JobSpec{{Graph: dag.UniformChain(1, 12, 1)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64((12 + s - 1) / s)
+		if res.Makespan != want {
+			t.Errorf("speed %d: makespan %d, want %d", s, res.Makespan, want)
+		}
+		if res.Speed != s {
+			t.Errorf("speed %d not echoed: %d", s, res.Speed)
+		}
+		if err := ValidateSchedule([]JobSpec{{Graph: dag.UniformChain(1, 12, 1)}}, res); err != nil {
+			t.Errorf("speed %d: %v", s, err)
+		}
+	}
+}
+
+func TestSpeedZeroIsNormal(t *testing.T) {
+	g := dag.ForkJoin(1, 4, 1, 1, 1)
+	a, err := Run(Config{K: 1, Caps: []int{2}, Scheduler: core.NewKRAD(1), Speed: 0}, []JobSpec{{Graph: g}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{K: 1, Caps: []int{2}, Scheduler: core.NewKRAD(1), Speed: 1}, []JobSpec{{Graph: g}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan {
+		t.Errorf("speed 0 (%d) != speed 1 (%d)", a.Makespan, b.Makespan)
+	}
+	if a.Speed != 1 {
+		t.Errorf("speed 0 echoed as %d", a.Speed)
+	}
+}
+
+func TestSpeedNegativeRejected(t *testing.T) {
+	_, err := Run(Config{K: 1, Caps: []int{1}, Scheduler: core.NewKRAD(1), Speed: -1},
+		[]JobSpec{{Graph: dag.Singleton(1, 1)}})
+	if err == nil {
+		t.Error("negative speed accepted")
+	}
+}
+
+func TestSpeedAugmentationNeverHurts(t *testing.T) {
+	// Doubling speed never increases makespan or total response on the
+	// same workload and scheduler.
+	specs := []JobSpec{
+		{Graph: dag.MapReduce(2, 8, 4, 1, 1, 2, 2)},
+		{Graph: dag.RoundRobinChain(2, 10)},
+		{Graph: dag.ForkJoin(2, 6, 1, 2, 1)},
+	}
+	var prevMs, prevResp int64 = 1 << 50, 1 << 50
+	for _, s := range []int{1, 2, 4} {
+		res, err := Run(Config{
+			K: 2, Caps: []int{2, 2}, Scheduler: core.NewKRAD(2), Speed: s,
+			ValidateAllotments: true,
+		}, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Makespan > prevMs || res.TotalResponse() > prevResp {
+			t.Errorf("speed %d regressed: makespan %d (prev %d), resp %d (prev %d)",
+				s, res.Makespan, prevMs, res.TotalResponse(), prevResp)
+		}
+		prevMs, prevResp = res.Makespan, res.TotalResponse()
+	}
+}

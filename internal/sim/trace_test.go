@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"krad/internal/core"
+	"krad/internal/dag"
+)
+
+func traceRun(t *testing.T, level TraceLevel) (*Result, []JobSpec) {
+	t.Helper()
+	specs := []JobSpec{
+		{Graph: dag.ForkJoin(2, 4, 1, 2, 1)},
+		{Graph: dag.RoundRobinChain(2, 6)},
+	}
+	res, err := Run(Config{
+		K: 2, Caps: []int{3, 3}, Scheduler: core.NewKRAD(2),
+		Pick: dag.PickFIFO, Trace: level, ValidateAllotments: true,
+	}, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, specs
+}
+
+func TestTraceNoneRecordsNothing(t *testing.T) {
+	res, _ := traceRun(t, TraceNone)
+	if len(res.Trace.Steps) != 0 || len(res.Trace.Tasks) != 0 {
+		t.Errorf("TraceNone recorded %d steps, %d tasks", len(res.Trace.Steps), len(res.Trace.Tasks))
+	}
+}
+
+func TestTraceStepsAggregates(t *testing.T) {
+	res, _ := traceRun(t, TraceSteps)
+	if int64(len(res.Trace.Steps)) != res.Makespan {
+		t.Fatalf("%d step rows for makespan %d", len(res.Trace.Steps), res.Makespan)
+	}
+	// Executed totals must equal the total work.
+	sums := make([]int, 2)
+	completed := 0
+	for _, s := range res.Trace.Steps {
+		for a, e := range s.Executed {
+			sums[a] += e
+		}
+		completed += s.Completed
+	}
+	for a, w := range res.TotalWork() {
+		if sums[a] != w {
+			t.Errorf("category %d: trace executed %d, work %d", a+1, sums[a], w)
+		}
+	}
+	if completed != len(res.Jobs) {
+		t.Errorf("trace recorded %d completions for %d jobs", completed, len(res.Jobs))
+	}
+	// Step numbers strictly increase.
+	var prev int64
+	for _, s := range res.Trace.Steps {
+		if s.Step <= prev {
+			t.Fatalf("step sequence not increasing at %d", s.Step)
+		}
+		prev = s.Step
+	}
+}
+
+func TestTraceTasksRecordsEveryTask(t *testing.T) {
+	res, specs := traceRun(t, TraceTasks)
+	total := 0
+	for _, s := range specs {
+		total += s.Graph.NumTasks()
+	}
+	if len(res.Trace.Tasks) != total {
+		t.Errorf("recorded %d task events, want %d", len(res.Trace.Tasks), total)
+	}
+	if err := ValidateSchedule(specs, res); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceCSV(t *testing.T) {
+	res, _ := traceRun(t, TraceSteps)
+	var b strings.Builder
+	if err := res.Trace.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != len(res.Trace.Steps)+1 {
+		t.Errorf("%d CSV lines for %d steps", len(lines), len(res.Trace.Steps))
+	}
+	if !strings.HasPrefix(lines[0], "step,active,completed,exec_cat1,exec_cat2") {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestGanttRendersAndDegrades(t *testing.T) {
+	res, _ := traceRun(t, TraceTasks)
+	g := res.Trace.Gantt(len(res.Jobs), 0)
+	if !strings.Contains(g, "job   0") || !strings.Contains(g, "job   1") {
+		t.Errorf("gantt missing rows:\n%s", g)
+	}
+	// Category digits must appear.
+	if !strings.Contains(g, "1") || !strings.Contains(g, "2") {
+		t.Errorf("gantt missing category digits:\n%s", g)
+	}
+	// Width truncation.
+	trunc := res.Trace.Gantt(len(res.Jobs), 3)
+	if !strings.Contains(trunc, "1..3") {
+		t.Errorf("truncated gantt header wrong:\n%s", trunc)
+	}
+	// Wrong level degrades gracefully.
+	res2, _ := traceRun(t, TraceSteps)
+	if !strings.Contains(res2.Trace.Gantt(2, 0), "not recorded") {
+		t.Error("missing degradation message")
+	}
+}
+
+func TestValidateScheduleDetectsCorruption(t *testing.T) {
+	res, specs := traceRun(t, TraceTasks)
+	if err := ValidateSchedule(specs, res); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt: duplicate execution.
+	res.Trace.Tasks = append(res.Trace.Tasks, res.Trace.Tasks[0])
+	if err := ValidateSchedule(specs, res); err == nil {
+		t.Error("duplicate execution not detected")
+	}
+	res.Trace.Tasks = res.Trace.Tasks[:len(res.Trace.Tasks)-1]
+
+	// Corrupt: drop an event (task never executed).
+	dropped := res.Trace.Tasks[3]
+	res.Trace.Tasks = append(res.Trace.Tasks[:3], res.Trace.Tasks[4:]...)
+	if err := ValidateSchedule(specs, res); err == nil {
+		t.Error("missing execution not detected")
+	}
+	res.Trace.Tasks = append(res.Trace.Tasks, dropped)
+
+	// Corrupt: category mismatch.
+	saved := res.Trace.Tasks[0].Cat
+	res.Trace.Tasks[0].Cat = saved%2 + 1
+	if err := ValidateSchedule(specs, res); err == nil || !strings.Contains(err.Error(), "functional-heterogeneity") {
+		t.Errorf("category violation not detected: %v", err)
+	}
+	res.Trace.Tasks[0].Cat = saved
+
+	// Corrupt: move an event before its predecessor.
+	for i, e := range res.Trace.Tasks {
+		g := specs[e.Job].Graph
+		if len(g.Predecessors(e.Task)) > 0 && e.Step > 1 {
+			res.Trace.Tasks[i].Step = 1
+			if err := ValidateSchedule(specs, res); err == nil {
+				t.Error("precedence violation not detected")
+			}
+			res.Trace.Tasks[i].Step = e.Step
+			break
+		}
+	}
+
+	// Wrong trace level refused.
+	res2, specs2 := traceRun(t, TraceSteps)
+	if err := ValidateSchedule(specs2, res2); err == nil {
+		t.Error("accepted TraceSteps-level result")
+	}
+}
+
+func TestValidateScheduleDetectsCapacityViolation(t *testing.T) {
+	res, specs := traceRun(t, TraceTasks)
+	// Pile every category-1 event onto one step.
+	count := 0
+	for i, e := range res.Trace.Tasks {
+		if e.Cat == 1 && specs[e.Job].Graph.InDegree(e.Task) == 0 {
+			res.Trace.Tasks[i].Step = 1
+			count++
+		}
+	}
+	if count < 2 {
+		t.Skip("not enough root category-1 tasks to overload")
+	}
+	// With caps[0] = 3 this only violates if count > 3; force smaller cap.
+	res.Caps[0] = 1
+	err := ValidateSchedule(specs, res)
+	if err == nil {
+		t.Error("capacity violation not detected")
+	}
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"krad/internal/dag"
+)
+
+// ValidateSchedule independently re-checks a TraceTasks-level run against
+// the Section 2 definition of a valid schedule:
+//
+//  1. τ maps every task of every job to exactly one time step;
+//  2. precedence: for every edge u ≺ v, τ(u) < τ(v);
+//  3. category matching and capacity: at every step, the number of α-tasks
+//     executing is at most Pα (processor assignment πα then exists by
+//     counting);
+//  4. no job executes before its release: τ(v) > r(Ji);
+//  5. recorded completion times equal max τ over each job's tasks.
+//
+// Pass the same specs (in the same order) that were passed to Run; the
+// function re-applies the engine's stable release-time sort so indices line
+// up with result.Jobs.
+func ValidateSchedule(specs []JobSpec, result *Result) error {
+	if result.Trace == nil || result.Trace.level < TraceTasks {
+		return fmt.Errorf("sim: ValidateSchedule requires a TraceTasks-level trace")
+	}
+	if len(specs) != len(result.Jobs) {
+		return fmt.Errorf("sim: %d specs for %d job results", len(specs), len(result.Jobs))
+	}
+	ordered := make([]JobSpec, len(specs))
+	copy(ordered, specs)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Release < ordered[j].Release })
+	specs = ordered
+
+	// τ per job, plus per-step per-category load.
+	tau := make([][]int64, len(specs))
+	for i, s := range specs {
+		tau[i] = make([]int64, s.Graph.NumTasks())
+	}
+	type stepCat struct {
+		step int64
+		cat  dag.Category
+	}
+	load := make(map[stepCat]int)
+
+	for _, e := range result.Trace.Tasks {
+		if e.Job < 0 || e.Job >= len(specs) {
+			return fmt.Errorf("sim: trace references unknown job %d", e.Job)
+		}
+		g := specs[e.Job].Graph
+		if e.Task < 0 || int(e.Task) >= g.NumTasks() {
+			return fmt.Errorf("sim: trace references unknown task %d of job %d", e.Task, e.Job)
+		}
+		if g.Category(e.Task) != e.Cat {
+			return fmt.Errorf("sim: job %d task %d executed as category %d but is category %d — functional-heterogeneity violation",
+				e.Job, e.Task, e.Cat, g.Category(e.Task))
+		}
+		if tau[e.Job][e.Task] != 0 {
+			return fmt.Errorf("sim: job %d task %d executed twice (steps %d and %d)", e.Job, e.Task, tau[e.Job][e.Task], e.Step)
+		}
+		if e.Step <= result.Jobs[e.Job].Release {
+			return fmt.Errorf("sim: job %d task %d executed at step %d before release %d", e.Job, e.Task, e.Step, result.Jobs[e.Job].Release)
+		}
+		tau[e.Job][e.Task] = e.Step
+		load[stepCat{e.Step, e.Cat}]++
+	}
+
+	// 1. completeness and 5. completion times.
+	for i, s := range specs {
+		var last int64
+		for v := 0; v < s.Graph.NumTasks(); v++ {
+			if tau[i][v] == 0 {
+				return fmt.Errorf("sim: job %d task %d never executed", i, v)
+			}
+			if tau[i][v] > last {
+				last = tau[i][v]
+			}
+		}
+		if last != result.Jobs[i].Completion {
+			return fmt.Errorf("sim: job %d completion recorded as %d but last task ran at %d", i, result.Jobs[i].Completion, last)
+		}
+	}
+
+	// 2. precedence. Under speed augmentation a successor may run in a
+	// later micro-round of the same step, so the strict inequality of the
+	// unit-speed model relaxes to ≤ within a step.
+	for i, s := range specs {
+		g := s.Graph
+		for u := 0; u < g.NumTasks(); u++ {
+			for _, v := range g.Successors(dag.TaskID(u)) {
+				if tau[i][u] > tau[i][v] || (result.Speed <= 1 && tau[i][u] == tau[i][v]) {
+					return fmt.Errorf("sim: job %d edge %d→%d violated: τ(u)=%d, τ(v)=%d", i, u, v, tau[i][u], tau[i][v])
+				}
+			}
+		}
+	}
+
+	// 3. capacity — under speed augmentation each processor completes
+	// Speed tasks per step.
+	speed := result.Speed
+	if speed < 1 {
+		speed = 1
+	}
+	for sc, n := range load {
+		if n > result.Caps[sc.cat-1]*speed {
+			return fmt.Errorf("sim: step %d category %d ran %d tasks on %d processors (speed %d)", sc.step, sc.cat, n, result.Caps[sc.cat-1], speed)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"krad/internal/sim"
+)
+
+// Preset is a named, fully parameterized workload used by the CLI tools
+// and documentation — reproducible from its name and a seed alone.
+type Preset struct {
+	// Name identifies the preset (see Presets).
+	Name string
+	// Description says what the workload models.
+	Description string
+	// K is the resource-category count the preset assumes.
+	K int
+	// Caps is the machine the preset was tuned for (callers may override).
+	Caps []int
+	// Build materializes the job set for a seed.
+	Build func(seed int64) ([]sim.JobSpec, error)
+}
+
+// presets is the registry, keyed by name.
+var presets = map[string]Preset{}
+
+func register(p Preset) {
+	if _, dup := presets[p.Name]; dup {
+		panic(fmt.Sprintf("workload: duplicate preset %q", p.Name))
+	}
+	presets[p.Name] = p
+}
+
+func init() {
+	register(Preset{
+		Name:        "numerical-batch",
+		Description: "batched numerical kernels: CPU-dominant map-reduce and fork-join jobs with a vector-unit tail",
+		K:           3,
+		Caps:        []int{8, 4, 2},
+		Build: func(seed int64) ([]sim.JobSpec, error) {
+			return Mix{
+				K: 3, Jobs: 48,
+				Shapes:  []Shape{ShapeForkJoin, ShapeMapReduce, ShapeLayered},
+				MinSize: 10, MaxSize: 90,
+				CatWeights: []float64{6, 3, 1},
+				Seed:       seed,
+			}.Generate()
+		},
+	})
+	register(Preset{
+		Name:        "io-server",
+		Description: "online I/O-heavy service: pipelines and chains arriving as a Poisson stream, I/O processors the bottleneck",
+		K:           3,
+		Caps:        []int{8, 4, 2},
+		Build: func(seed int64) ([]sim.JobSpec, error) {
+			return Mix{
+				K: 3, Jobs: 120,
+				Shapes:  []Shape{ShapePipeline, ShapeChain},
+				MinSize: 4, MaxSize: 40,
+				CatWeights: []float64{2, 1, 3},
+				Seed:       seed,
+			}.GenerateOnline(Poisson(2.0))
+		},
+	})
+	register(Preset{
+		Name:        "vector-mix",
+		Description: "mixed scientific load with a strong vector-unit component and bursty submissions",
+		K:           3,
+		Caps:        []int{4, 8, 2},
+		Build: func(seed int64) ([]sim.JobSpec, error) {
+			return Mix{
+				K: 3, Jobs: 80,
+				MinSize: 8, MaxSize: 70,
+				CatWeights: []float64{2, 5, 1},
+				Seed:       seed,
+			}.GenerateOnline(Bursty(8, 30))
+		},
+	})
+	register(Preset{
+		Name:        "overload-storm",
+		Description: "a batched storm of small jobs far exceeding every category's processor count — the round-robin regime",
+		K:           2,
+		Caps:        []int{2, 2},
+		Build: func(seed int64) ([]sim.JobSpec, error) {
+			return Mix{
+				K: 2, Jobs: 150,
+				MinSize: 2, MaxSize: 12,
+				Seed: seed,
+			}.Generate()
+		},
+	})
+	register(Preset{
+		Name:        "light-wide",
+		Description: "a handful of very wide jobs on a wide machine — the pure DEQ space-sharing regime",
+		K:           2,
+		Caps:        []int{16, 16},
+		Build: func(seed int64) ([]sim.JobSpec, error) {
+			return Mix{
+				K: 2, Jobs: 6,
+				Shapes:  []Shape{ShapeForkJoin, ShapeMapReduce},
+				MinSize: 40, MaxSize: 160,
+				Seed: seed,
+			}.Generate()
+		},
+	})
+}
+
+// PresetNames lists registered presets, sorted.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for n := range presets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FindPreset looks a preset up by name.
+func FindPreset(name string) (Preset, error) {
+	p, ok := presets[name]
+	if !ok {
+		return Preset{}, fmt.Errorf("workload: unknown preset %q (have %v)", name, PresetNames())
+	}
+	return p, nil
+}

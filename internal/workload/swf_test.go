@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"krad/internal/dag"
+)
+
+const sampleSWF = `; sample log
+; header comment
+1 0 0 120 4 -1 -1 4 120 -1 1 1 1 1 1 1 -1 -1
+2 60 0 600 8 -1 -1 8 600 -1 1 1 1 2 1 2 -1 -1
+
+3 90 0 -1 4 -1 -1 4 -1 -1 0 1 1 1 1 1 -1 -1
+4 120 0 60 -1 -1 -1 2 60 -1 1 1 1 1 1 3 -1 -1
+`
+
+func TestParseSWFBasics(t *testing.T) {
+	specs, recs, err := ParseSWF(strings.NewReader(sampleSWF), SWFOptions{K: 2, TimeScale: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 3 has run time −1 → skipped; 3 usable records remain.
+	if len(specs) != 3 || len(recs) != 3 {
+		t.Fatalf("%d specs, %d records; want 3 each", len(specs), len(recs))
+	}
+	// Job 1: 120 s at scale 60 → 2 steps × 4 procs, release 0.
+	if recs[0].JobID != 1 || recs[0].Procs != 4 {
+		t.Errorf("rec0 = %+v", recs[0])
+	}
+	if specs[0].Release != 0 || specs[0].Source.Span() != 2 {
+		t.Errorf("spec0 release %d span %d", specs[0].Release, specs[0].Source.Span())
+	}
+	wv := specs[0].Source.WorkVector()
+	if wv[0]+wv[1] != 8 {
+		t.Errorf("spec0 work %v, want total 8", wv)
+	}
+	// Job 2: release 60/60 = 1, span 10.
+	if specs[1].Release != 1 || specs[1].Source.Span() != 10 {
+		t.Errorf("spec1 release %d span %d", specs[1].Release, specs[1].Source.Span())
+	}
+	// Job 4: allocated −1 falls back to requested 2; 60 s → 1 step.
+	if recs[2].Procs != 2 || specs[2].Source.Span() != 1 {
+		t.Errorf("rec2 procs %d span %d", recs[2].Procs, specs[2].Source.Span())
+	}
+}
+
+func TestParseSWFCategoryAssignment(t *testing.T) {
+	byPartition := func(rec SWFRecord, _ int) dag.Category {
+		return dag.Category((rec.Partition-1)%3 + 1)
+	}
+	specs, recs, err := ParseSWF(strings.NewReader(sampleSWF), SWFOptions{
+		K: 3, TimeScale: 60, Category: byPartition,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range specs {
+		wantCat := (recs[i].Partition-1)%3 + 1
+		wv := s.Source.WorkVector()
+		for a := range wv {
+			if a+1 == wantCat && wv[a] == 0 {
+				t.Errorf("job %d: no work in partition category %d", i, wantCat)
+			}
+			if a+1 != wantCat && wv[a] != 0 {
+				t.Errorf("job %d: unexpected work in category %d", i, a+1)
+			}
+		}
+	}
+}
+
+func TestParseSWFOptionsValidation(t *testing.T) {
+	if _, _, err := ParseSWF(strings.NewReader(sampleSWF), SWFOptions{K: 0, TimeScale: 1}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, _, err := ParseSWF(strings.NewReader(sampleSWF), SWFOptions{K: 1, TimeScale: 0}); err == nil {
+		t.Error("TimeScale=0 accepted")
+	}
+	if _, _, err := ParseSWF(strings.NewReader("1 2 3"), SWFOptions{K: 1, TimeScale: 1}); err == nil {
+		t.Error("short line accepted")
+	}
+	if _, _, err := ParseSWF(strings.NewReader("a b c d e f g h i j k l m n o p q r"), SWFOptions{K: 1, TimeScale: 1}); err == nil {
+		t.Error("non-numeric accepted")
+	}
+	if _, _, err := ParseSWF(strings.NewReader("; only comments\n"), SWFOptions{K: 1, TimeScale: 1}); err == nil {
+		t.Error("empty log accepted")
+	}
+}
+
+func TestParseSWFMaxJobsAndMaxProcs(t *testing.T) {
+	specs, recs, err := ParseSWF(strings.NewReader(sampleSWF), SWFOptions{
+		K: 1, TimeScale: 60, MaxJobs: 1, MaxProcs: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 {
+		t.Fatalf("MaxJobs ignored: %d specs", len(specs))
+	}
+	if recs[0].Procs != 2 {
+		t.Errorf("MaxProcs ignored: %d", recs[0].Procs)
+	}
+}
+
+func TestSyntheticSWFRoundTrip(t *testing.T) {
+	var b strings.Builder
+	if err := WriteSyntheticSWF(&b, 40, 7); err != nil {
+		t.Fatal(err)
+	}
+	specs, recs, err := ParseSWF(strings.NewReader(b.String()), SWFOptions{K: 3, TimeScale: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 40 || len(recs) != 40 {
+		t.Fatalf("round trip lost jobs: %d/%d", len(specs), len(recs))
+	}
+	var prev int64 = -1
+	for i, s := range specs {
+		if s.Release < prev {
+			t.Fatalf("job %d release %d < previous %d", i, s.Release, prev)
+		}
+		prev = s.Release
+		if s.Source.TotalTasks() < 1 {
+			t.Fatalf("job %d empty", i)
+		}
+	}
+	if err := WriteSyntheticSWF(&b, 0, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+}

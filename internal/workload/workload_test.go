@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMixValidation(t *testing.T) {
+	cases := []Mix{
+		{K: 0, Jobs: 1, MinSize: 1, MaxSize: 2},
+		{K: 1, Jobs: 0, MinSize: 1, MaxSize: 2},
+		{K: 1, Jobs: 1, MinSize: 0, MaxSize: 2},
+		{K: 1, Jobs: 1, MinSize: 5, MaxSize: 2},
+		{K: 2, Jobs: 1, MinSize: 1, MaxSize: 2, CatWeights: []float64{1}},
+	}
+	for i, m := range cases {
+		if _, err := m.Generate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, m)
+		}
+	}
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	m := Mix{K: 3, Jobs: 20, MinSize: 5, MaxSize: 40, Seed: 99}
+	a, err := m.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Graph.NumTasks() != b[i].Graph.NumTasks() ||
+			a[i].Graph.NumEdges() != b[i].Graph.NumEdges() ||
+			a[i].Graph.Span() != b[i].Graph.Span() {
+			t.Fatalf("job %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	a, _ := Mix{K: 2, Jobs: 30, MinSize: 5, MaxSize: 50, Seed: 1}.Generate()
+	b, _ := Mix{K: 2, Jobs: 30, MinSize: 5, MaxSize: 50, Seed: 2}.Generate()
+	same := true
+	for i := range a {
+		if a[i].Graph.NumTasks() != b[i].Graph.NumTasks() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical job sizes")
+	}
+}
+
+func TestQuickGeneratedJobsAreValid(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := 1 + int(kRaw)%4
+		m := Mix{K: k, Jobs: 10, MinSize: 1, MaxSize: 30, Seed: seed}
+		specs, err := m.Generate()
+		if err != nil {
+			return false
+		}
+		for _, s := range specs {
+			if s.Graph.Validate() != nil {
+				return false
+			}
+			if s.Graph.K() != k {
+				return false
+			}
+			if s.Release != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleShapeMixes(t *testing.T) {
+	for _, s := range AllShapes {
+		m := Mix{K: 2, Jobs: 5, Shapes: []Shape{s}, MinSize: 4, MaxSize: 20, Seed: 3}
+		specs, err := m.Generate()
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		for _, spec := range specs {
+			if err := spec.Graph.Validate(); err != nil {
+				t.Errorf("%v: %v", s, err)
+			}
+		}
+		if s.String() == "" {
+			t.Errorf("shape %d has empty name", s)
+		}
+	}
+}
+
+func TestGenerateOnlineNondecreasingReleases(t *testing.T) {
+	m := Mix{K: 2, Jobs: 50, MinSize: 2, MaxSize: 10, Seed: 7}
+	specs, err := m.GenerateOnline(Poisson(3.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev int64
+	for i, s := range specs {
+		if s.Release < prev {
+			t.Fatalf("job %d release %d < previous %d", i, s.Release, prev)
+		}
+		prev = s.Release
+	}
+	if prev == 0 {
+		t.Error("all releases zero — arrival process inert")
+	}
+}
+
+func TestUniformArrivals(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := Uniform(2, 5)
+	for i := 0; i < 100; i++ {
+		g := p(rng)
+		if g < 2 || g > 5 {
+			t.Fatalf("gap %d outside [2,5]", g)
+		}
+	}
+}
+
+func TestBurstyArrivals(t *testing.T) {
+	p := Bursty(3, 10)
+	rng := rand.New(rand.NewSource(1))
+	gaps := make([]int64, 9)
+	for i := range gaps {
+		gaps[i] = p(rng)
+	}
+	// Jobs 1..3 in burst one (gaps 0,0,0), job 4 starts burst two (gap 10).
+	want := []int64{0, 0, 0, 10, 0, 0, 10, 0, 0}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Fatalf("gaps = %v, want %v", gaps, want)
+		}
+	}
+}
+
+func TestArrivalProcessPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"poisson":  func() { Poisson(0) },
+		"uniform":  func() { Uniform(3, 1) },
+		"bursty":   func() { Bursty(0, 1) },
+		"negative": func() { Uniform(-1, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCatWeightsBiasCategories(t *testing.T) {
+	// Weight category 1 overwhelmingly: most tasks should land there.
+	m := Mix{
+		K: 2, Jobs: 20, MinSize: 10, MaxSize: 30,
+		Shapes:     []Shape{ShapeChain},
+		CatWeights: []float64{1000, 1},
+		Seed:       5,
+	}
+	specs, err := m.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c1, c2 int
+	for _, s := range specs {
+		wv := s.Graph.WorkVector()
+		c1 += wv[0]
+		c2 += wv[1]
+	}
+	if c1 <= c2*10 {
+		t.Errorf("weights ignored: cat1=%d cat2=%d", c1, c2)
+	}
+}

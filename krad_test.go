@@ -1,0 +1,126 @@
+package krad_test
+
+import (
+	"testing"
+
+	"krad"
+)
+
+// TestQuickstartFlow exercises the documented facade end to end: build a
+// K-DAG by hand, schedule it with K-RAD, and check the paper's bounds.
+func TestQuickstartFlow(t *testing.T) {
+	job := krad.NewGraph(2).Named("etl")
+	read := job.AddTask(2)    // I/O: read input
+	decode := job.AddTask(1)  // CPU: decode
+	crunchA := job.AddTask(1) // CPU: parallel crunch
+	crunchB := job.AddTask(1)
+	write := job.AddTask(2) // I/O: write output
+	job.MustEdge(read, decode)
+	job.MustEdge(decode, crunchA)
+	job.MustEdge(decode, crunchB)
+	job.MustEdge(crunchA, write)
+	job.MustEdge(crunchB, write)
+	if err := job.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := krad.Run(krad.Config{
+		K:                  2,
+		Caps:               []int{4, 2},
+		Scheduler:          krad.NewKRAD(2),
+		Pick:               krad.PickFIFO,
+		Trace:              krad.TraceTasks,
+		ValidateAllotments: true,
+	}, []krad.JobSpec{{Graph: job}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 4 { // span: read → decode → crunch×2 → write
+		t.Errorf("makespan %d, want 4", res.Makespan)
+	}
+	if err := krad.ValidateSchedule([]krad.JobSpec{{Graph: job}}, res); err != nil {
+		t.Error(err)
+	}
+	if failures := krad.CheckAll(res); len(failures) != 0 {
+		t.Errorf("bound failures: %v", failures)
+	}
+}
+
+// TestFacadeSchedulersInterop runs every exported scheduler through the
+// engine on the same workload.
+func TestFacadeSchedulersInterop(t *testing.T) {
+	specs, err := krad.Mix{K: 2, Jobs: 12, MinSize: 3, MaxSize: 25, Seed: 2}.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []krad.Scheduler{
+		krad.NewKRAD(2), krad.NewDEQOnly(2), krad.NewRROnly(2),
+		krad.NewEQUI(2), krad.NewFCFS(2), krad.NewGreedyDesire(2), krad.NewSJF(),
+	} {
+		res, err := krad.Run(krad.Config{
+			K: 2, Caps: []int{3, 3}, Scheduler: s, ValidateAllotments: true,
+		}, specs)
+		if err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+			continue
+		}
+		if bc := krad.CheckTheorem3(res); res.Makespan < krad.MakespanLowerBound(res) {
+			t.Errorf("%s: makespan below lower bound (%v)", s.Name(), bc)
+		}
+	}
+}
+
+// TestAdversarialFacade reproduces the Theorem 1 shape through the facade.
+func TestAdversarialFacade(t *testing.T) {
+	adv, err := krad.NewAdversarial(3, 4, []int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(bigLast bool, pick krad.PickPolicy) int64 {
+		jobs := adv.JobSet(bigLast)
+		specs := make([]krad.JobSpec, len(jobs))
+		for i, g := range jobs {
+			specs[i] = krad.JobSpec{Graph: g}
+		}
+		res, err := krad.Run(krad.Config{
+			K: 3, Caps: []int{2, 2, 2}, Scheduler: krad.NewKRAD(3), Pick: pick,
+		}, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	tAdv := run(true, krad.PickCPLast)
+	tGood := run(false, krad.PickCPFirst)
+	if tGood != int64(adv.OptimalMakespan()) {
+		t.Errorf("benign makespan %d, want closed-form %d", tGood, adv.OptimalMakespan())
+	}
+	if tAdv != int64(adv.WorstCaseMakespan()) {
+		t.Errorf("adversarial makespan %d, want paper's %d", tAdv, adv.WorstCaseMakespan())
+	}
+	ratio := float64(tAdv) / float64(tGood)
+	if ratio > adv.LimitRatio() {
+		t.Errorf("ratio %.3f exceeds limit %.3f", ratio, adv.LimitRatio())
+	}
+	if ratio < 2.0 {
+		t.Errorf("ratio %.3f suspiciously low for K=3, m=4", ratio)
+	}
+}
+
+// TestExperimentSuiteThroughFacade smoke-runs the registry via the facade.
+func TestExperimentSuiteThroughFacade(t *testing.T) {
+	if len(krad.Experiments()) != 21 {
+		t.Fatalf("%d experiments, want 21", len(krad.Experiments()))
+	}
+	e, err := krad.FindExperiment("E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := e.Run(krad.ExperimentOptions{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Render() == "" || tbl.Markdown() == "" {
+		t.Error("empty rendering")
+	}
+}
