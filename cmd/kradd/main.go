@@ -1,0 +1,157 @@
+// Command kradd runs the online scheduler service: a long-lived daemon
+// around internal/server that admits jobs over HTTP while the virtual
+// clock runs, streams per-step events, and exposes Prometheus metrics.
+//
+// Endpoints (see internal/server for the wire formats):
+//
+//	POST   /v1/jobs      submit a dag-encoded job     → 201 {id, release}
+//	GET    /v1/jobs/{id} job lifecycle status
+//	DELETE /v1/jobs/{id} cancel a pending/active job
+//	GET    /v1/events    SSE stream of step events
+//	GET    /metrics      Prometheus text exposition
+//	GET    /healthz      liveness + service stats
+//
+// Usage:
+//
+//	kradd -addr :8080 -k 3 -caps 4,4,4 -sched k-rad -step 50ms -queue 256
+//
+// With -step 0 the clock free-runs: steps execute as fast as the hardware
+// allows whenever work is queued, so submitted jobs drain immediately. A
+// positive -step paces the virtual clock against wall time, which is what
+// makes the event stream watchable.
+//
+// SIGINT/SIGTERM trigger a graceful drain: admission stops, in-flight
+// jobs run to completion (bounded by -drain), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"krad/internal/analysis"
+	"krad/internal/dag"
+	"krad/internal/server"
+	"krad/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kradd: ")
+	var (
+		addrFlag  = flag.String("addr", ":8080", "HTTP listen address")
+		kFlag     = flag.Int("k", 3, "number of resource categories")
+		capsFlag  = flag.String("caps", "4,4,4", "per-category processor counts, comma-separated")
+		schedFlag = flag.String("sched", "k-rad", fmt.Sprintf("scheduler: one of %v", analysis.SchedulerNames()))
+		pickFlag  = flag.String("pick", "fifo", "task pick policy: fifo, lifo, random, cp-first, cp-last")
+		seedFlag  = flag.Int64("seed", 1, "scheduler/pick-policy seed")
+		stepFlag  = flag.Duration("step", 0, "wall-clock duration of one virtual step (0 = free-running)")
+		queueFlag = flag.Int("queue", 256, "admission bound: max in-flight (pending + active) jobs")
+		bufFlag   = flag.Int("event-buffer", 64, "per-subscriber event channel capacity")
+		drainFlag = flag.Duration("drain", 30*time.Second, "max time to drain in-flight jobs at shutdown")
+		parFlag   = flag.Bool("parallel", false, "parallelize each step's execution phase")
+	)
+	flag.Parse()
+
+	caps, err := parseInts(*capsFlag)
+	if err != nil || len(caps) != *kFlag {
+		log.Fatalf("-caps must list exactly K=%d integers: %v", *kFlag, err)
+	}
+	scheduler, err := analysis.NewScheduler(*schedFlag, *kFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pick, err := parsePick(*pickFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	svc, err := server.New(server.Config{
+		Sim: sim.Config{
+			K: *kFlag, Caps: caps, Scheduler: scheduler, Pick: pick,
+			Seed: *seedFlag, ValidateAllotments: true, Parallel: *parFlag,
+		},
+		MaxInFlight:      *queueFlag,
+		StepEvery:        *stepFlag,
+		SubscriberBuffer: *bufFlag,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc.Start()
+
+	srv := &http.Server{
+		Addr:              *addrFlag,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("listening on %s (K=%d caps=%v sched=%s step=%v queue=%d)",
+		*addrFlag, *kFlag, caps, *schedFlag, *stepFlag, *queueFlag)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down: draining in-flight jobs (up to %v)", *drainFlag)
+	drainCtx, stop := context.WithTimeout(context.Background(), *drainFlag)
+	defer stop()
+	// Close first so the drain happens while the HTTP surface still
+	// answers status queries; then shut the listener down.
+	if err := svc.Close(drainCtx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Err(); err != nil {
+		log.Fatalf("step loop failed: %v", err)
+	}
+	log.Print("bye")
+	_ = os.Stdout.Sync()
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parsePick(s string) (dag.PickPolicy, error) {
+	switch s {
+	case "fifo":
+		return dag.PickFIFO, nil
+	case "lifo":
+		return dag.PickLIFO, nil
+	case "random":
+		return dag.PickRandom, nil
+	case "cp-first":
+		return dag.PickCPFirst, nil
+	case "cp-last":
+		return dag.PickCPLast, nil
+	}
+	return 0, fmt.Errorf("unknown pick policy %q", s)
+}

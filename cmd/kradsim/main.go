@@ -13,7 +13,9 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -50,7 +52,7 @@ func main() {
 		saveFlag   = flag.String("save", "", "write the job set to a JSON file (usable later with -load)")
 		ganttFlag  = flag.Bool("gantt", false, "print an ASCII Gantt chart (small runs only)")
 		csvFlag    = flag.String("csv", "", "write the per-step trace as CSV to this file")
-		jsonFlag   = flag.String("json", "", "write the run result as JSON to this file")
+		jsonFlag   = flag.String("json", "", `write the run result + competitive ratios as JSON to this file ("-" = stdout, suppressing the report)`)
 		parFlag    = flag.Bool("parallel", false, "parallelize the execution phase")
 	)
 	flag.Parse()
@@ -137,19 +139,16 @@ func main() {
 		log.Fatal(err)
 	}
 
-	report(res)
+	if *jsonFlag != "-" {
+		report(res)
+	}
 	if *jsonFlag != "" {
-		f, err := os.Create(*jsonFlag)
-		if err != nil {
+		if err := writeRunJSON(*jsonFlag, res); err != nil {
 			log.Fatal(err)
 		}
-		if err := res.WriteJSON(f); err != nil {
-			log.Fatal(err)
+		if *jsonFlag != "-" {
+			fmt.Printf("result written to %s\n", *jsonFlag)
 		}
-		if err := f.Close(); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("result written to %s\n", *jsonFlag)
 	}
 	if *ganttFlag {
 		fmt.Println()
@@ -168,6 +167,40 @@ func main() {
 		}
 		fmt.Printf("trace written to %s\n", *csvFlag)
 	}
+}
+
+// writeRunJSON emits one machine-readable JSON object holding the full
+// run result (jobs, makespan, responses, utilization) plus the paper's
+// lower bounds and competitive ratios. path "-" writes to stdout.
+func writeRunJSON(path string, res *sim.Result) error {
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		return err
+	}
+	var obj map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &obj); err != nil {
+		return err
+	}
+	r := metrics.ComputeRatios(res)
+	obj["ratios"] = map[string]any{
+		"makespan_lb":    r.MakespanLB,
+		"makespan_ratio": r.MakespanRatio,
+		"makespan_bound": r.MakespanBound,
+		"response_lb":    r.ResponseLB,
+		"response_ratio": r.ResponseRatio,
+		"response_bound": r.ResponseBound,
+		"light_load":     r.LightLoad,
+	}
+	data, err := json.MarshalIndent(obj, "", " ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 func report(res *sim.Result) {
@@ -312,7 +345,7 @@ func loadSpecs(path string) ([]sim.JobSpec, error) {
 	}
 	var jobs []jobJSON
 	if err := json.Unmarshal(data, &jobs); err != nil {
-		return nil, fmt.Errorf("parse %s: %w", path, err)
+		return nil, fmt.Errorf("parse %s: %s", path, describeJSONError(data, err))
 	}
 	specs := make([]sim.JobSpec, len(jobs))
 	for i, j := range jobs {
@@ -322,4 +355,32 @@ func loadSpecs(path string) ([]sim.JobSpec, error) {
 		specs[i] = sim.JobSpec{Graph: j.Graph, Release: j.Release}
 	}
 	return specs, nil
+}
+
+// describeJSONError turns encoding/json's byte-offset errors into a
+// line:column position and reminds the user of the expected file format.
+func describeJSONError(data []byte, err error) string {
+	const hint = `expected [{"release": R, "graph": {"k": K, "categories": [...], "edges": [[u,v], ...]}}, ...]`
+	var offset int64 = -1
+	var syn *json.SyntaxError
+	var typ *json.UnmarshalTypeError
+	switch {
+	case errors.As(err, &syn):
+		offset = syn.Offset
+	case errors.As(err, &typ):
+		offset = typ.Offset
+	}
+	if offset < 0 || offset > int64(len(data)) {
+		return fmt.Sprintf("%v (%s)", err, hint)
+	}
+	line, col := 1, 1
+	for _, b := range data[:offset] {
+		if b == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Sprintf("line %d, column %d: %v (%s)", line, col, err, hint)
 }

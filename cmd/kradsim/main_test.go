@@ -1,10 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"krad/internal/core"
 	"krad/internal/dag"
 	"krad/internal/sim"
 )
@@ -112,6 +115,81 @@ func TestLoadSpecsErrors(t *testing.T) {
 	}
 	if _, err := loadSpecs(noGraph); err == nil {
 		t.Error("graph-less job accepted")
+	}
+}
+
+func TestLoadSpecsMalformedJSONMessage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	// Syntax error on line 2: the message must point at it and remind the
+	// user of the expected format — this is what kradsim prints before
+	// exiting non-zero.
+	body := "[\n {\"release\": 0, \"graph\": {bad}}\n]"
+	if err := os.WriteFile(bad, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := loadSpecs(bad)
+	if err == nil {
+		t.Fatal("malformed file accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{bad, "line 2", `"graph"`, "expected"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+
+	// Type errors (valid JSON, wrong shape) get located too.
+	typo := filepath.Join(dir, "typo.json")
+	if err := os.WriteFile(typo, []byte(`[{"release": "soon"}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = loadSpecs(typo)
+	if err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("type error not located: %v", err)
+	}
+}
+
+func TestWriteRunJSONIncludesRatios(t *testing.T) {
+	res, err := sim.Run(sim.Config{
+		K: 2, Caps: []int{2, 2}, Scheduler: core.NewKRAD(2),
+		Pick: dag.PickFIFO, ValidateAllotments: true,
+	}, []sim.JobSpec{
+		{Graph: dag.UniformChain(2, 4, 1)},
+		{Graph: dag.UniformChain(2, 3, 2), Release: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := writeRunJSON(path, res); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var obj map[string]any
+	if err := json.Unmarshal(data, &obj); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	ratios, ok := obj["ratios"].(map[string]any)
+	if !ok {
+		t.Fatalf("no ratios object in %v", obj)
+	}
+	for _, key := range []string{
+		"makespan_lb", "makespan_ratio", "makespan_bound",
+		"response_lb", "response_ratio", "response_bound", "light_load",
+	} {
+		if _, ok := ratios[key]; !ok {
+			t.Errorf("ratios missing %q", key)
+		}
+	}
+	if mr := ratios["makespan_ratio"].(float64); mr < 1 {
+		t.Errorf("makespan ratio %v < 1", mr)
+	}
+	if ms := obj["makespan"].(float64); int64(ms) != res.Makespan {
+		t.Errorf("makespan %v, want %d", ms, res.Makespan)
 	}
 }
 

@@ -1,0 +1,259 @@
+// Liveclient demonstrates the online scheduler service: it submits a
+// trickle of randomly generated jobs to a kradd server over HTTP while
+// the virtual clock runs, follows the SSE event stream, and reports each
+// job's response time and slowdown against its solo execution bound.
+//
+// By default it self-hosts a server in-process so the demo is one command:
+//
+//	go run ./examples/liveclient
+//
+// Point it at a running daemon instead with:
+//
+//	go run ./cmd/kradd -addr :8080 -step 10ms &
+//	go run ./examples/liveclient -addr http://localhost:8080
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"krad/internal/core"
+	"krad/internal/dag"
+	"krad/internal/server"
+	"krad/internal/sim"
+	"krad/internal/workload"
+)
+
+const (
+	demoK = 2
+)
+
+var demoCaps = []int{4, 2}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("liveclient: ")
+	var (
+		addrFlag = flag.String("addr", "", "kradd base URL (empty = self-host an in-process server)")
+		jobsFlag = flag.Int("jobs", 12, "number of jobs to trickle in")
+		gapFlag  = flag.Duration("gap", 150*time.Millisecond, "wall-clock gap between submissions")
+		seedFlag = flag.Int64("seed", 7, "workload seed")
+	)
+	flag.Parse()
+
+	base := *addrFlag
+	if base == "" {
+		base = selfHost()
+		fmt.Printf("self-hosted kradd at %s (K=%d caps=%v, k-rad, 5ms/step)\n\n", base, demoK, demoCaps)
+	}
+	base = strings.TrimRight(base, "/")
+
+	// The machine shape comes from the server, not from assumptions.
+	stats, err := fetchStats(base)
+	if err != nil {
+		log.Fatalf("cannot reach %s: %v (start one with: go run ./cmd/kradd)", base, err)
+	}
+	fmt.Printf("server: scheduler=%s K=%d caps=%v\n", stats.Scheduler, stats.K, stats.Caps)
+
+	// Generate the job mix client-side; the server only sees DAGs.
+	mix := workload.Mix{K: stats.K, Jobs: *jobsFlag, MinSize: 4, MaxSize: 24, Seed: *seedFlag}
+	specs, err := mix.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Follow the event stream while submitting.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	events := make(chan server.Event, 1024)
+	go streamEvents(ctx, base, events)
+
+	ids := make([]int, 0, len(specs))
+	for i, spec := range specs {
+		id, err := submit(base, spec.Graph)
+		if err != nil {
+			log.Fatalf("submit job %d: %v", i, err)
+		}
+		ids = append(ids, id)
+		fmt.Printf("submitted job %2d  tasks=%-3d span=%-3d work=%v\n",
+			id, spec.Graph.NumTasks(), spec.Graph.Span(), spec.Graph.WorkVector())
+		time.Sleep(*gapFlag)
+	}
+
+	// Wait for every submitted job to complete, watching the stream.
+	want := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	deadline := time.After(30 * time.Second)
+	var steps int
+	for len(want) > 0 {
+		select {
+		case ev := <-events:
+			steps++
+			for _, id := range ev.Completed {
+				if want[id] {
+					delete(want, id)
+					fmt.Printf("  step %4d: job %d done (%d still running)\n", ev.Step, id, len(want))
+				}
+			}
+		case <-deadline:
+			log.Fatalf("timed out; %d jobs unfinished", len(want))
+		}
+	}
+	fmt.Printf("\nall %d jobs completed (watched %d step events)\n\n", len(ids), steps)
+
+	// Per-job report: response vs the solo lower bound
+	// max(span, max_α ceil(work_α / P_α)) — the best any schedule could do
+	// for that job alone on this machine.
+	type row struct {
+		id, solo       int64
+		response, slow float64
+	}
+	rows := make([]row, 0, len(ids))
+	for _, id := range ids {
+		st, err := fetchJob(base, id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		solo := int64(st.Span)
+		for a, w := range st.Work {
+			if lb := int64((w + stats.Caps[a] - 1) / stats.Caps[a]); lb > solo {
+				solo = lb
+			}
+		}
+		rows = append(rows, row{
+			id: int64(id), solo: solo,
+			response: float64(st.Response),
+			slow:     float64(st.Response) / float64(solo),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].slow > rows[j].slow })
+	fmt.Println("job  response  solo-bound  slowdown")
+	for _, r := range rows {
+		fmt.Printf("%3d  %8.0f  %10d  %7.2fx\n", r.id, r.response, r.solo, r.slow)
+	}
+}
+
+// selfHost starts an in-process kradd on a loopback port and returns its
+// base URL. The 5ms step pace keeps the virtual clock slow enough that
+// the trickle of submissions genuinely interleaves with execution.
+func selfHost() string {
+	svc, err := server.New(server.Config{
+		Sim: sim.Config{
+			K: demoK, Caps: demoCaps, Scheduler: core.NewKRAD(demoK),
+			Pick: dag.PickFIFO, ValidateAllotments: true,
+		},
+		StepEvery: 5 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc.Start()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = http.Serve(ln, svc.Handler()) }()
+	return "http://" + ln.Addr().String()
+}
+
+// jobStatus mirrors the GET /v1/jobs/{id} wire form.
+type jobStatus struct {
+	ID       int    `json:"id"`
+	State    string `json:"state"`
+	Release  int64  `json:"release"`
+	Response int64  `json:"response"`
+	Work     []int  `json:"work"`
+	Span     int    `json:"span"`
+}
+
+func submit(base string, g *dag.Graph) (int, error) {
+	body, err := json.Marshal(map[string]any{"graph": g})
+	if err != nil {
+		return -1, err
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return -1, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return -1, fmt.Errorf("status %s", resp.Status)
+	}
+	var out struct {
+		ID int `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return -1, err
+	}
+	return out.ID, nil
+}
+
+func fetchJob(base string, id int) (jobStatus, error) {
+	var st jobStatus
+	resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d", base, id))
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("job %d: status %s", id, resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
+func fetchStats(base string) (server.Stats, error) {
+	var out struct {
+		Stats server.Stats `json:"stats"`
+	}
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return out.Stats, err
+	}
+	defer resp.Body.Close()
+	err = json.NewDecoder(resp.Body).Decode(&out)
+	return out.Stats, err
+}
+
+// streamEvents is a minimal SSE client: it forwards each "data:" payload
+// on /v1/events as a decoded server.Event.
+func streamEvents(ctx context.Context, base string, out chan<- server.Event) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/events", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatalf("event stream: %v", err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev server.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			continue
+		}
+		select {
+		case out <- ev:
+		case <-ctx.Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+
+	"krad/internal/sim"
+	"krad/internal/workload"
+)
+
+// TestParallelExecutionEquivalence checks sim.Config.Parallel's contract
+// for every registered scheduler: parallelizing the execution phase must
+// not change a single observable — per-job completions, makespan, or the
+// per-step trace. Randomized schedulers are covered too, since they are
+// deterministically seeded and the scheduling phase stays sequential.
+func TestParallelExecutionEquivalence(t *testing.T) {
+	mix := workload.Mix{K: 3, Jobs: 14, MinSize: 4, MaxSize: 30, Seed: 42}
+	specs, err := mix.GenerateOnline(workload.Poisson(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := []int{3, 2, 2}
+
+	for _, name := range SchedulerNames() {
+		t.Run(name, func(t *testing.T) {
+			run := func(parallel bool) *sim.Result {
+				s, err := NewScheduler(name, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := sim.Run(sim.Config{
+					K: 3, Caps: caps, Scheduler: s, Seed: 5,
+					Trace: sim.TraceSteps, ValidateAllotments: true,
+					Parallel: parallel, Workers: 4,
+				}, specs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			serial, par := run(false), run(true)
+
+			if serial.Makespan != par.Makespan {
+				t.Errorf("makespan serial=%d parallel=%d", serial.Makespan, par.Makespan)
+			}
+			if !reflect.DeepEqual(serial.Jobs, par.Jobs) {
+				t.Error("per-job results diverge under Parallel")
+			}
+			if !reflect.DeepEqual(serial.Overloaded, par.Overloaded) {
+				t.Error("overload markers diverge under Parallel")
+			}
+			if !reflect.DeepEqual(serial.Trace.Steps, par.Trace.Steps) {
+				t.Error("step traces diverge under Parallel")
+			}
+		})
+	}
+}

@@ -1,0 +1,195 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"krad/internal/dag"
+	"krad/internal/sim"
+)
+
+// submitRequest is the POST /v1/jobs body: a K-DAG in the internal/dag
+// JSON encoding plus an optional absolute virtual release time (0 or
+// omitted means "now").
+type submitRequest struct {
+	Graph   *dag.Graph `json:"graph"`
+	Release int64      `json:"release,omitempty"`
+}
+
+// jobJSON is the wire form of a job's lifecycle status.
+type jobJSON struct {
+	ID          int    `json:"id"`
+	State       string `json:"state"`
+	Release     int64  `json:"release"`
+	Completion  int64  `json:"completion,omitempty"`
+	Response    int64  `json:"response,omitempty"`
+	CancelledAt int64  `json:"cancelled_at,omitempty"`
+	Work        []int  `json:"work"`
+	Span        int    `json:"span"`
+}
+
+func toJobJSON(st sim.JobStatus) jobJSON {
+	return jobJSON{
+		ID:          st.ID,
+		State:       st.Phase.String(),
+		Release:     st.Release,
+		Completion:  st.Completion,
+		Response:    st.Response(),
+		CancelledAt: st.CancelledAt,
+		Work:        st.Work,
+		Span:        st.Span,
+	}
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/jobs      submit a dag-encoded job     → 201 {id, release}
+//	GET    /v1/jobs/{id} job lifecycle status         → 200 jobJSON
+//	DELETE /v1/jobs/{id} cancel a pending/active job  → 200 jobJSON
+//	GET    /v1/events    SSE stream of step events
+//	GET    /metrics      Prometheus text exposition
+//	GET    /healthz      liveness + service stats
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job JSON: %v", err)
+		return
+	}
+	if req.Graph == nil {
+		writeError(w, http.StatusBadRequest, "job has no graph")
+		return
+	}
+	id, err := s.Submit(sim.JobSpec{Graph: req.Graph, Release: req.Release})
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st, _ := s.Job(id)
+	writeJSON(w, http.StatusCreated, map[string]any{"id": id, "release": st.Release})
+}
+
+// jobID parses the {id} path segment.
+func jobID(r *http.Request) (int, error) {
+	return strconv.Atoi(r.PathValue("id"))
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	id, err := jobID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad job id %q", r.PathValue("id"))
+		return
+	}
+	st, ok := s.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %d", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, toJobJSON(st))
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id, err := jobID(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad job id %q", r.PathValue("id"))
+		return
+	}
+	if _, ok := s.Job(id); !ok {
+		writeError(w, http.StatusNotFound, "no job %d", id)
+		return
+	}
+	if err := s.Cancel(id); err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	st, _ := s.Job(id)
+	writeJSON(w, http.StatusOK, toJobJSON(st))
+}
+
+// handleEvents streams step events as Server-Sent Events until the client
+// disconnects or the service shuts down. Each event is
+//
+//	event: step
+//	data: {"step":..,"executed":[..],...}
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	ch, cancel := s.Subscribe()
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	for {
+		select {
+		case ev, open := <-ch:
+			if !open {
+				return
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: step\ndata: %s\n\n", data); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.WriteMetrics(w)
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	status := "ok"
+	if err := s.Err(); err != nil {
+		status = "degraded: " + err.Error()
+	} else if st.Draining {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": status, "stats": st})
+}

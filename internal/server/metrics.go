@@ -1,0 +1,129 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// histogram is a fixed-bucket cumulative histogram matching the Prometheus
+// exposition model: counts[i] is the number of observations ≤ bounds[i],
+// rendered with cumulative le labels plus a +Inf bucket.
+type histogram struct {
+	bounds []float64
+	counts []uint64 // per-bucket (non-cumulative); len(bounds)+1, last is +Inf
+	count  uint64
+	sum    float64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.count++
+	h.sum += v
+}
+
+// responseBuckets covers response times from one virtual step into the
+// tens of thousands, doubling per bucket.
+func responseBuckets() []float64 {
+	b := make([]float64, 0, 16)
+	for v := 1.0; v <= 32768; v *= 2 {
+		b = append(b, v)
+	}
+	return b
+}
+
+// WriteMetrics renders the service's state in the Prometheus text
+// exposition format (version 0.0.4): step counter, job lifecycle
+// counters, queue/backpressure gauges, per-category utilization, and the
+// response-time histogram.
+func (s *Service) WriteMetrics(w io.Writer) error {
+	s.mu.Lock()
+	snap := s.eng.Snapshot()
+	steps := s.steps
+	submitted, completed, cancelled, rejected := s.submitted, s.completed, s.cancelled, s.rejected
+	hist := *s.respHist
+	counts := append([]uint64(nil), s.respHist.counts...)
+	util := snap.Utilization()
+	s.mu.Unlock()
+	s.subMu.Lock()
+	dropped := s.eventsDropped
+	subscribers := len(s.subs)
+	s.subMu.Unlock()
+
+	var b strings.Builder
+	metric := func(name, help, typ string, v any, labels string) {
+		// HELP/TYPE emitted once per family: callers group label variants.
+		if help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		}
+		fmt.Fprintf(&b, "%s%s %v\n", name, labels, v)
+	}
+
+	metric("krad_steps_total", "Virtual scheduler steps executed.", "counter", steps, "")
+	metric("krad_virtual_time", "Current virtual clock (last executed step).", "gauge", snap.Now, "")
+	metric("krad_jobs_submitted_total", "Jobs admitted.", "counter", submitted, "")
+	metric("krad_jobs_completed_total", "Jobs completed.", "counter", completed, "")
+	metric("krad_jobs_cancelled_total", "Jobs cancelled.", "counter", cancelled, "")
+	metric("krad_jobs_rejected_total", "Submissions rejected by admission backpressure.", "counter", rejected, "")
+	metric("krad_jobs_active", "Jobs currently executing.", "gauge", snap.Active, "")
+	metric("krad_jobs_pending", "Admitted jobs awaiting release.", "gauge", snap.Pending, "")
+	metric("krad_queue_depth", "In-flight jobs (pending + active) against the admission bound.", "gauge", snap.Active+snap.Pending, "")
+	metric("krad_events_dropped_total", "Step events dropped on slow subscribers.", "counter", dropped, "")
+	metric("krad_event_subscribers", "Connected event subscribers.", "gauge", subscribers, "")
+
+	first := true
+	for a, u := range util {
+		help := ""
+		if first {
+			help = "Cumulative busy fraction per resource category."
+			first = false
+		}
+		metric("krad_utilization", help, "gauge", fmt.Sprintf("%g", u), fmt.Sprintf(`{category="%d"}`, a+1))
+	}
+
+	fmt.Fprintf(&b, "# HELP krad_response_steps Job response times in virtual steps.\n# TYPE krad_response_steps histogram\n")
+	var cum uint64
+	for i, bound := range hist.bounds {
+		cum += counts[i]
+		fmt.Fprintf(&b, "krad_response_steps_bucket{le=\"%g\"} %d\n", bound, cum)
+	}
+	cum += counts[len(hist.bounds)]
+	fmt.Fprintf(&b, "krad_response_steps_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(&b, "krad_response_steps_sum %g\n", hist.sum)
+	fmt.Fprintf(&b, "krad_response_steps_count %d\n", hist.count)
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// quantile is unused by the exposition format but handy for tests: the
+// upper bound of the bucket containing the q-quantile observation.
+func (h *histogram) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return math.Inf(1)
+		}
+	}
+	return math.Inf(1)
+}

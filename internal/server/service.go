@@ -1,0 +1,415 @@
+// Package server wraps the incremental simulation engine (internal/sim's
+// Engine) in a goroutine-safe, long-running scheduler service: a step loop
+// driving the virtual clock, bounded job admission with backpressure,
+// per-job lifecycle tracking with response-time accounting, a subscriber
+// fan-out for per-step events, and graceful shutdown that drains in-flight
+// jobs. The HTTP/JSON surface exposed by cmd/kradd lives in http.go; the
+// Prometheus text metrics in metrics.go.
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"krad/internal/metrics"
+	"krad/internal/sim"
+)
+
+// Service errors returned by Submit and Cancel.
+var (
+	// ErrQueueFull means the admission bound (Config.MaxInFlight) was hit:
+	// the service sheds load until running jobs drain.
+	ErrQueueFull = errors.New("server: admission queue full")
+	// ErrClosed means the service is shutting down and no longer admits.
+	ErrClosed = errors.New("server: service closed")
+)
+
+// Config parameterizes a Service.
+type Config struct {
+	// Sim is the engine configuration: machine shape, scheduler, policies.
+	// Trace should normally stay sim.TraceNone for long-running services —
+	// traces grow without bound.
+	Sim sim.Config
+	// MaxInFlight bounds admitted-but-unfinished jobs (pending + active).
+	// Submissions beyond it fail with ErrQueueFull. 0 means 256.
+	MaxInFlight int
+	// StepEvery is the real-time duration of one virtual step. 0 steps as
+	// fast as the hardware allows whenever work is queued (useful for
+	// tests and batch-like drains).
+	StepEvery time.Duration
+	// SubscriberBuffer is each event subscriber's channel capacity; events
+	// beyond it are dropped for that subscriber (counted, never blocking
+	// the step loop). 0 means 64.
+	SubscriberBuffer int
+}
+
+// Event is one step's happenings, fanned out to subscribers.
+type Event struct {
+	// Step is the virtual clock after the step executed.
+	Step int64 `json:"step"`
+	// Executed[α−1] counts α-tasks executed this step.
+	Executed []int `json:"executed"`
+	// Released and Completed list job IDs changing state at this step.
+	Released  []int `json:"released,omitempty"`
+	Completed []int `json:"completed,omitempty"`
+	// Active and Pending count jobs after the step.
+	Active  int `json:"active"`
+	Pending int `json:"pending"`
+}
+
+// Stats is a point-in-time service summary.
+type Stats struct {
+	Now       int64   `json:"now"`
+	Steps     int64   `json:"steps"`
+	K         int     `json:"k"`
+	Caps      []int   `json:"caps"`
+	Scheduler string  `json:"scheduler"`
+	Submitted int64   `json:"submitted"`
+	Completed int64   `json:"completed"`
+	Cancelled int64   `json:"cancelled"`
+	Rejected  int64   `json:"rejected"`
+	Active    int     `json:"active"`
+	Pending   int     `json:"pending"`
+	InFlight  int     `json:"in_flight"`
+	MaxInFlight int   `json:"max_in_flight"`
+	Draining  bool    `json:"draining"`
+	// Utilization[α−1] is the cumulative busy fraction of category α.
+	Utilization []float64 `json:"utilization"`
+	// Response summarizes completed jobs' response times (virtual steps).
+	Response metrics.Summary `json:"response"`
+	// EventsDropped counts events discarded on slow subscribers.
+	EventsDropped int64 `json:"events_dropped"`
+}
+
+// Service is the long-running scheduler: one engine, one step-loop
+// goroutine, any number of submitting/querying/subscribing goroutines.
+type Service struct {
+	cfg Config
+
+	mu        sync.Mutex // guards eng and the counters below
+	eng       *sim.Engine
+	started   bool
+	closed    bool
+	stepErr   error
+	steps     int64
+	submitted int64
+	completed int64
+	cancelled int64
+	rejected  int64
+	responses []float64
+	respHist  *histogram
+
+	subMu         sync.Mutex
+	subs          map[int]chan Event
+	nextSub       int
+	subsClosed    bool
+	eventsDropped int64
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New builds a Service around a fresh engine. Call Start to begin
+// stepping.
+func New(cfg Config) (*Service, error) {
+	eng, err := sim.NewEngine(cfg.Sim)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 256
+	}
+	if cfg.SubscriberBuffer <= 0 {
+		cfg.SubscriberBuffer = 64
+	}
+	return &Service{
+		cfg:      cfg,
+		eng:      eng,
+		respHist: newHistogram(responseBuckets()),
+		subs:     make(map[int]chan Event),
+		wake:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// Start launches the step loop. Extra calls are no-ops, as is starting a
+// closed service. A service that is never started still serves
+// submissions, queries and cancellations — the clock just never moves
+// (useful in tests).
+func (s *Service) Start() {
+	s.mu.Lock()
+	if s.started || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	go s.loop()
+}
+
+// Submit admits a job to the live engine and returns its assigned ID. A
+// zero Release means "now" (the current virtual step); a positive Release
+// is an absolute virtual time and must not lie in the past. Note that the
+// engine fast-forwards idle virtual-time gaps, so a future release delays
+// a job relative to other admitted work, not relative to wall-clock time.
+// Admission is bounded: once MaxInFlight jobs are pending or active,
+// Submit fails fast with ErrQueueFull so callers can shed or retry.
+func (s *Service) Submit(spec sim.JobSpec) (int, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return -1, ErrClosed
+	}
+	if s.eng.Remaining() >= s.cfg.MaxInFlight {
+		s.rejected++
+		s.mu.Unlock()
+		return -1, ErrQueueFull
+	}
+	if spec.Release == 0 {
+		spec.Release = s.eng.Now()
+	}
+	id, err := s.eng.Admit(spec)
+	if err == nil {
+		s.submitted++
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return -1, err
+	}
+	s.kick()
+	return id, nil
+}
+
+// Cancel withdraws a pending or active job; its processors are free from
+// the next step.
+func (s *Service) Cancel(id int) error {
+	s.mu.Lock()
+	err := s.eng.Cancel(id)
+	if err == nil {
+		s.cancelled++
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// Job returns a job's lifecycle status.
+func (s *Service) Job(id int) (sim.JobStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.eng.Job(id)
+}
+
+// Err returns the step loop's fatal error, if one occurred (e.g. a broken
+// scheduler tripping allotment validation). The service stops stepping
+// after a fatal error but keeps serving status queries.
+func (s *Service) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stepErr
+}
+
+// Stats summarizes the service.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	snap := s.eng.Snapshot()
+	st := Stats{
+		Now:         snap.Now,
+		Steps:       s.steps,
+		K:           snap.K,
+		Caps:        snap.Caps,
+		Scheduler:   s.cfg.Sim.Scheduler.Name(),
+		Submitted:   s.submitted,
+		Completed:   s.completed,
+		Cancelled:   s.cancelled,
+		Rejected:    s.rejected,
+		Active:      snap.Active,
+		Pending:     snap.Pending,
+		InFlight:    snap.Active + snap.Pending,
+		MaxInFlight: s.cfg.MaxInFlight,
+		Draining:    s.closed,
+		Utilization: snap.Utilization(),
+		Response:    metrics.Summarize(s.responses),
+	}
+	s.mu.Unlock()
+	s.subMu.Lock()
+	st.EventsDropped = s.eventsDropped
+	s.subMu.Unlock()
+	return st
+}
+
+// Subscribe registers an event listener. The returned cancel function
+// unsubscribes and closes the channel; the channel also closes when the
+// service shuts down. Slow subscribers lose events rather than slowing
+// the step loop.
+func (s *Service) Subscribe() (<-chan Event, func()) {
+	ch := make(chan Event, s.cfg.SubscriberBuffer)
+	s.subMu.Lock()
+	if s.subsClosed {
+		s.subMu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	id := s.nextSub
+	s.nextSub++
+	s.subs[id] = ch
+	s.subMu.Unlock()
+	cancel := func() {
+		s.subMu.Lock()
+		if c, ok := s.subs[id]; ok {
+			delete(s.subs, id)
+			close(c)
+		}
+		s.subMu.Unlock()
+	}
+	return ch, cancel
+}
+
+// Close stops admission, drains in-flight jobs (stepping until the engine
+// is idle), then stops the loop and closes subscriber channels. If ctx
+// expires first, the loop is stopped immediately, abandoning unfinished
+// jobs.
+func (s *Service) Close(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	started := s.started
+	s.mu.Unlock()
+	if !started {
+		if !already {
+			s.closeSubs()
+			close(s.done)
+		}
+		return nil
+	}
+	s.kick()
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		close(s.stop)
+		<-s.done
+		return ctx.Err()
+	}
+}
+
+// kick wakes the loop if it is parked.
+func (s *Service) kick() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// loop is the single goroutine that owns stepping. Each iteration: if the
+// engine has work, execute one step under the lock and fan the event out;
+// otherwise park until a submission (or shutdown) arrives.
+func (s *Service) loop() {
+	defer close(s.done)
+	defer s.closeSubs()
+	var tick *time.Ticker
+	if s.cfg.StepEvery > 0 {
+		tick = time.NewTicker(s.cfg.StepEvery)
+		defer tick.Stop()
+	}
+	for {
+		s.mu.Lock()
+		if s.stepErr != nil {
+			s.mu.Unlock()
+			// A fatal step error ends stepping; wait for shutdown.
+			select {
+			case <-s.stop:
+				return
+			case <-s.wake:
+				s.mu.Lock()
+				if s.closed {
+					s.mu.Unlock()
+					return
+				}
+				s.mu.Unlock()
+				continue
+			}
+		}
+		idle := s.eng.Idle()
+		closing := s.closed
+		if idle {
+			s.mu.Unlock()
+			if closing {
+				return // drained: all admitted work finished
+			}
+			select {
+			case <-s.wake:
+			case <-s.stop:
+				return
+			}
+			continue
+		}
+		info, err := s.eng.Step()
+		if err != nil {
+			s.stepErr = err
+			s.mu.Unlock()
+			continue
+		}
+		s.steps++
+		for _, id := range info.Completed {
+			st, _ := s.eng.Job(id)
+			r := float64(st.Completion - st.Release)
+			s.responses = append(s.responses, r)
+			s.respHist.observe(r)
+			s.completed++
+		}
+		pending := s.eng.Snapshot().Pending
+		s.mu.Unlock()
+
+		s.publish(Event{
+			Step:      info.Step,
+			Executed:  info.Executed,
+			Released:  info.Released,
+			Completed: info.Completed,
+			Active:    info.Active,
+			Pending:   pending,
+		})
+
+		if tick != nil {
+			select {
+			case <-tick.C:
+			case <-s.stop:
+				return
+			}
+		} else {
+			select {
+			case <-s.stop:
+				return
+			default:
+			}
+		}
+	}
+}
+
+// publish fans an event out to every subscriber, dropping (and counting)
+// on full buffers so a stalled reader never blocks the clock.
+func (s *Service) publish(ev Event) {
+	s.subMu.Lock()
+	for _, ch := range s.subs {
+		select {
+		case ch <- ev:
+		default:
+			s.eventsDropped++
+		}
+	}
+	s.subMu.Unlock()
+}
+
+// closeSubs closes every subscriber channel at shutdown.
+func (s *Service) closeSubs() {
+	s.subMu.Lock()
+	s.subsClosed = true
+	for id, ch := range s.subs {
+		delete(s.subs, id)
+		close(ch)
+	}
+	s.subMu.Unlock()
+}

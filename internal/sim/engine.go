@@ -6,12 +6,18 @@
 // tasks. The engine enforces the paper's schedule-validity conditions
 // (precedence, category matching, capacity) and records the metrics the
 // competitive analysis is stated in: makespan and response times.
+//
+// Two entry points exist. Run simulates a fully known batch job set and is
+// what the experiment suite uses. Engine is the incremental form of the
+// same machine: jobs can be admitted (and cancelled) while the clock is
+// running, which is what the online scheduler service (internal/server)
+// builds on. Run is a thin loop over Engine, so both paths produce
+// identical schedules for identical job sets.
 package sim
 
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"krad/internal/dag"
 	"krad/internal/sched"
@@ -80,99 +86,61 @@ type Config struct {
 	Workers int
 }
 
-// jobState is the engine's bookkeeping for one job.
-type jobState struct {
-	id        int
-	release   int64
-	rt        RuntimeJob
-	taskRT    TaskRuntime  // non-nil when the runtime reports task IDs
-	floorRT   FloorRuntime // non-nil when the runtime pins processors
-	work      []int
-	span      int
-	completed int64 // 0 while running (completion steps are ≥ 1)
-}
-
 // Run simulates the job set under cfg and returns the collected results.
 // The specs may be given in any order; the engine sorts them by release
 // time (stable, so equal releases keep submission order) and assigns job
 // IDs 0, 1, 2, ... in that order — ascending ID is ascending arrival order,
 // which is the queue order RAD's round-robin relies on.
+//
+// Run is implemented as a thin loop over Engine: admit every job, step
+// until all of them complete.
 func Run(cfg Config, specs []JobSpec) (*Result, error) {
 	if err := checkConfig(&cfg, specs); err != nil {
 		return nil, err
 	}
 
-	// Sort by release, stably, and build runtime state.
+	// Sort by release, stably, so Admit assigns IDs in release order
+	// (equal releases keep submission order).
 	ordered := make([]JobSpec, len(specs))
 	copy(ordered, specs)
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Release < ordered[j].Release })
 
-	jobs := make([]*jobState, len(ordered))
-	totalWork := int64(0)
-	maxRelease := int64(0)
-	for i, s := range ordered {
-		src := s.source()
-		rt := src.NewRuntime(cfg.Pick, cfg.Seed+int64(i))
-		js := &jobState{
-			id:      i,
-			release: s.Release,
-			rt:      rt,
-			work:    src.WorkVector(),
-			span:    src.Span(),
-		}
-		js.taskRT, _ = rt.(TaskRuntime)
-		js.floorRT, _ = rt.(FloorRuntime)
-		if cfg.Trace >= TraceTasks && js.taskRT == nil {
-			return nil, fmt.Errorf("sim: job %d (%s) runtime cannot report task IDs; TraceTasks requires DAG-backed jobs", i, src.Name())
-		}
-		jobs[i] = js
-		totalWork += int64(src.TotalTasks())
-		if s.Release > maxRelease {
-			maxRelease = s.Release
-		}
-	}
-	maxSteps := cfg.MaxSteps
-	if maxSteps == 0 {
-		maxSteps = 4*(totalWork+maxRelease) + 64
-	}
-
-	if cl, ok := cfg.Scheduler.(sched.Clairvoyant); ok {
-		cl.SetOracle(oracle(jobs))
-	}
-
-	tr := newTrace(cfg.Trace, cfg.K)
-	eng := &engine{cfg: cfg, jobs: jobs, trace: tr}
-	if err := eng.run(maxSteps); err != nil {
+	eng, err := NewEngine(cfg)
+	if err != nil {
 		return nil, err
 	}
-
-	speed := cfg.Speed
-	if speed < 1 {
-		speed = 1
-	}
-	res := &Result{
-		Scheduler:  cfg.Scheduler.Name(),
-		K:          cfg.K,
-		Caps:       append([]int(nil), cfg.Caps...),
-		Speed:      speed,
-		Makespan:   eng.makespan,
-		Overloaded: eng.overloaded,
-		Trace:      tr,
-	}
-	res.Jobs = make([]JobResult, len(jobs))
-	for i, j := range jobs {
-		res.Jobs[i] = JobResult{
-			ID:         j.id,
-			Release:    j.release,
-			Completion: j.completed,
-			Work:       j.work,
-			Span:       j.span,
+	for _, s := range ordered {
+		if _, err := eng.Admit(s); err != nil {
+			return nil, err
 		}
 	}
-	return res, nil
+	for eng.Remaining() > 0 {
+		if _, err := eng.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return eng.Result(), nil
 }
 
+// checkConfig validates a batch run: the configuration itself plus every
+// spec, reporting spec errors by their index in the caller's slice.
 func checkConfig(cfg *Config, specs []JobSpec) error {
+	if err := checkEngineConfig(cfg); err != nil {
+		return err
+	}
+	if len(specs) == 0 {
+		return fmt.Errorf("sim: empty job set")
+	}
+	for i, s := range specs {
+		if err := checkSpec(cfg, s, i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkEngineConfig validates the job-independent part of a Config.
+func checkEngineConfig(cfg *Config) error {
 	if cfg.K < 1 {
 		return fmt.Errorf("sim: config K=%d, need ≥ 1", cfg.K)
 	}
@@ -190,226 +158,26 @@ func checkConfig(cfg *Config, specs []JobSpec) error {
 	if cfg.Speed < 0 {
 		return fmt.Errorf("sim: config Speed=%d, need ≥ 0", cfg.Speed)
 	}
-	if len(specs) == 0 {
-		return fmt.Errorf("sim: empty job set")
-	}
-	for i, s := range specs {
-		if s.Graph == nil && s.Source == nil {
-			return fmt.Errorf("sim: job %d has neither graph nor source", i)
-		}
-		if s.Graph != nil && s.Source != nil {
-			return fmt.Errorf("sim: job %d sets both graph and source", i)
-		}
-		src := s.source()
-		if src.K() != cfg.K {
-			return fmt.Errorf("sim: job %d (%s) declared for K=%d, run has K=%d", i, src.Name(), src.K(), cfg.K)
-		}
-		if src.TotalTasks() == 0 {
-			return fmt.Errorf("sim: job %d (%s) is empty", i, src.Name())
-		}
-		if s.Release < 0 {
-			return fmt.Errorf("sim: job %d has negative release %d", i, s.Release)
-		}
-	}
 	return nil
 }
 
-// engine is the per-run mutable state.
-type engine struct {
-	cfg        Config
-	jobs       []*jobState
-	trace      *Trace
-	makespan   int64
-	overloaded []bool
-}
-
-func (e *engine) run(maxSteps int64) error {
-	e.overloaded = make([]bool, e.cfg.K)
-	next := 0 // first job not yet released, in e.jobs order
-	active := make([]*jobState, 0, len(e.jobs))
-	remaining := len(e.jobs)
-
-	views := make([]sched.JobView, 0, len(e.jobs))
-	var doneIDs []int
-
-	for t := int64(1); ; t++ {
-		if t > maxSteps {
-			return fmt.Errorf("sim: scheduler %q exceeded %d steps with %d jobs unfinished — likely a non-work-conserving allotment bug", e.cfg.Scheduler.Name(), maxSteps, remaining)
-		}
-		// Release: a job released at r is schedulable from step r+1.
-		for next < len(e.jobs) && e.jobs[next].release < t {
-			active = append(active, e.jobs[next])
-			next = next + 1
-		}
-		if len(active) == 0 {
-			if next == len(e.jobs) {
-				break // all done
-			}
-			// Idle interval: fast-forward to the next release.
-			t = e.jobs[next].release // loop's t++ lands on release+1
-			continue
-		}
-
-		// Snapshot desires (and non-preemptive floors, when the runtime
-		// has them).
-		views = views[:0]
-		for _, j := range active {
-			d := make([]int, e.cfg.K)
-			for a := 1; a <= e.cfg.K; a++ {
-				d[a-1] = j.rt.Desire(dag.Category(a))
-			}
-			v := sched.JobView{ID: j.id, Desire: d}
-			if j.floorRT != nil {
-				fl := make([]int, e.cfg.K)
-				any := false
-				for a := 1; a <= e.cfg.K; a++ {
-					fl[a-1] = j.floorRT.Floor(dag.Category(a))
-					if fl[a-1] > 0 {
-						any = true
-					}
-				}
-				if any {
-					v.Floor = fl
-				}
-			}
-			views = append(views, v)
-		}
-		for a := 0; a < e.cfg.K; a++ {
-			activeCount := 0
-			for _, v := range views {
-				if v.Desire[a] > 0 {
-					activeCount++
-				}
-			}
-			if activeCount > e.cfg.Caps[a] {
-				e.overloaded[a] = true
-			}
-		}
-
-		allot := e.cfg.Scheduler.Allot(t, views, e.cfg.Caps)
-		if e.cfg.Observer != nil {
-			e.cfg.Observer(t, views, allot)
-		}
-		if e.cfg.ValidateAllotments {
-			if err := sched.ValidateAllotments(views, e.cfg.Caps, allot); err != nil {
-				return fmt.Errorf("sim: step %d: %w", t, err)
-			}
-		} else if len(allot) != len(views) {
-			return fmt.Errorf("sim: step %d: scheduler returned %d rows for %d jobs", t, len(allot), len(views))
-		}
-
-		// Execute. Each job consumes min(allotment, desire) ready tasks per
-		// category; completed tasks release successors at the step (or
-		// micro-round, under speed augmentation) boundary.
-		rounds := e.cfg.Speed
-		if rounds < 1 {
-			rounds = 1
-		}
-		for round := 0; round < rounds; round++ {
-			if e.cfg.Parallel && e.trace.level < TraceTasks {
-				e.executeParallel(t, active, allot)
-			} else {
-				e.executeSerial(t, active, allot)
-			}
-			for _, j := range active {
-				j.rt.Advance()
-			}
-		}
-
-		// Step boundary: detect completions.
-		doneIDs = doneIDs[:0]
-		out := active[:0]
-		for _, j := range active {
-			if j.rt.Done() {
-				j.completed = t
-				if t > e.makespan {
-					e.makespan = t
-				}
-				doneIDs = append(doneIDs, j.id)
-				remaining--
-			} else {
-				out = append(out, j)
-			}
-		}
-		active = out
-		if len(doneIDs) > 0 {
-			if c, ok := e.cfg.Scheduler.(sched.Completer); ok {
-				c.JobsDone(doneIDs)
-			}
-		}
-		e.trace.endStep(t, len(active)+len(doneIDs), len(doneIDs))
-		if remaining == 0 {
-			break
-		}
+// checkSpec validates one job spec; i labels it in error messages.
+func checkSpec(cfg *Config, s JobSpec, i int) error {
+	if s.Graph == nil && s.Source == nil {
+		return fmt.Errorf("sim: job %d has neither graph nor source", i)
+	}
+	if s.Graph != nil && s.Source != nil {
+		return fmt.Errorf("sim: job %d sets both graph and source", i)
+	}
+	src := s.source()
+	if src.K() != cfg.K {
+		return fmt.Errorf("sim: job %d (%s) declared for K=%d, run has K=%d", i, src.Name(), src.K(), cfg.K)
+	}
+	if src.TotalTasks() == 0 {
+		return fmt.Errorf("sim: job %d (%s) is empty", i, src.Name())
+	}
+	if s.Release < 0 {
+		return fmt.Errorf("sim: job %d has negative release %d", i, s.Release)
 	}
 	return nil
-}
-
-func (e *engine) executeSerial(t int64, active []*jobState, allot [][]int) {
-	taskLevel := e.trace.level >= TraceTasks
-	for i, j := range active {
-		for a := 0; a < e.cfg.K; a++ {
-			n := allot[i][a]
-			if n == 0 {
-				continue
-			}
-			if taskLevel {
-				run := j.taskRT.ExecuteTasks(dag.Category(a+1), n)
-				e.trace.record(t, j.id, a+1, run)
-			} else {
-				e.trace.add(t, a+1, j.rt.Execute(dag.Category(a+1), n))
-			}
-		}
-	}
-}
-
-// executeParallel runs the execution phase over a fixed worker pool. Job
-// instances are independent, so this is race-free; per-step aggregate trace
-// counts are merged per worker. Results are bit-identical to serial runs.
-func (e *engine) executeParallel(t int64, active []*jobState, allot [][]int) {
-	workers := e.cfg.Workers
-	if workers <= 0 {
-		workers = 8
-	}
-	if workers > len(active) {
-		workers = len(active)
-	}
-	if workers <= 1 {
-		e.executeSerial(t, active, allot)
-		return
-	}
-	counts := make([][]int, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			local := make([]int, e.cfg.K)
-			for i := w; i < len(active); i += workers {
-				j := active[i]
-				for a := 0; a < e.cfg.K; a++ {
-					if n := allot[i][a]; n > 0 {
-						local[a] += j.rt.Execute(dag.Category(a+1), n)
-					}
-				}
-			}
-			counts[w] = local
-		}(w)
-	}
-	wg.Wait()
-	for _, local := range counts {
-		e.trace.recordCounts(t, local)
-	}
-}
-
-// oracle adapts the engine's job table to sched.Oracle for clairvoyant
-// baselines.
-type oracle []*jobState
-
-func (o oracle) RemainingWork(jobID int) []int {
-	return o[jobID].rt.RemainingWork()
-}
-
-func (o oracle) ReleaseTime(jobID int) int64 {
-	return o[jobID].release
 }

@@ -1,0 +1,587 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"krad/internal/dag"
+	"krad/internal/sched"
+)
+
+// JobPhase is a job's position in the admit → release → complete lifecycle.
+type JobPhase int
+
+const (
+	// JobPending means admitted but not yet released (release time ahead
+	// of the clock).
+	JobPending JobPhase = iota
+	// JobActive means released and executing.
+	JobActive
+	// JobDone means every task has executed.
+	JobDone
+	// JobCancelled means the job was withdrawn before completing; its
+	// processors were freed at the following step.
+	JobCancelled
+)
+
+// String returns the lowercase phase name used in status reports.
+func (p JobPhase) String() string {
+	switch p {
+	case JobPending:
+		return "pending"
+	case JobActive:
+		return "active"
+	case JobDone:
+		return "done"
+	case JobCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("JobPhase(%d)", int(p))
+	}
+}
+
+// JobStatus is the externally visible state of one admitted job.
+type JobStatus struct {
+	ID      int
+	Release int64
+	Phase   JobPhase
+	// Completion is the step the job finished at (0 while unfinished).
+	Completion int64
+	// CancelledAt is the clock value when Cancel was called (0 otherwise).
+	CancelledAt int64
+	// Work[α−1] is T1(Ji, α); Span is T∞(Ji).
+	Work []int
+	Span int
+}
+
+// Response returns completion − release for finished jobs and 0 otherwise.
+func (s JobStatus) Response() int64 {
+	if s.Phase != JobDone {
+		return 0
+	}
+	return s.Completion - s.Release
+}
+
+// StepInfo reports what one Engine.Step call did.
+type StepInfo struct {
+	// Step is the clock after the call (the step just executed, or the
+	// unchanged clock when Idle).
+	Step int64
+	// Idle is true when the engine had nothing to do: no active jobs and
+	// no pending releases. The clock does not advance on idle calls.
+	Idle bool
+	// Executed[α−1] counts the α-tasks executed during the step.
+	Executed []int
+	// Released lists job IDs that became active at this step.
+	Released []int
+	// Completed lists job IDs that finished at this step.
+	Completed []int
+	// Active is the number of jobs still running after the step.
+	Active int
+}
+
+// EngineSnapshot is a point-in-time summary of an Engine.
+type EngineSnapshot struct {
+	Now  int64
+	K    int
+	Caps []int
+	// Admitted = Pending + Active + Completed + Cancelled.
+	Admitted  int
+	Pending   int
+	Active    int
+	Completed int
+	Cancelled int
+	// Makespan is the latest completion step seen so far.
+	Makespan int64
+	// ExecutedTotal[α−1] is the cumulative α-tasks executed.
+	ExecutedTotal []int64
+}
+
+// Utilization returns, per category, the fraction of processor-steps spent
+// executing tasks up to Now: ExecutedTotal[α] / (Pα · Now).
+func (s EngineSnapshot) Utilization() []float64 {
+	u := make([]float64, s.K)
+	if s.Now == 0 {
+		return u
+	}
+	for a, w := range s.ExecutedTotal {
+		u[a] = float64(w) / (float64(s.Caps[a]) * float64(s.Now))
+	}
+	return u
+}
+
+// jobState is the engine's bookkeeping for one job.
+type jobState struct {
+	id          int
+	release     int64
+	rt          RuntimeJob
+	taskRT      TaskRuntime  // non-nil when the runtime reports task IDs
+	floorRT     FloorRuntime // non-nil when the runtime pins processors
+	work        []int
+	span        int
+	phase       JobPhase
+	completed   int64 // 0 while running (completion steps are ≥ 1)
+	cancelledAt int64
+}
+
+// Engine is the incremental form of the simulator: the same machine Run
+// drives, but with jobs admitted (and cancelled) while the clock runs.
+// An Engine is NOT goroutine-safe — callers that share one across
+// goroutines must serialize access (internal/server does).
+type Engine struct {
+	cfg Config
+
+	now        int64
+	jobs       []*jobState // all admitted jobs, indexed by ID
+	pending    []*jobState // admitted, not yet released; sorted by (release, ID)
+	active     []*jobState // released, unfinished; ascending ID
+	remaining  int         // admitted − completed − cancelled
+	completedN int
+	cancelledN int
+
+	totalWork  int64 // total admitted unit tasks (feeds the runaway bound)
+	maxRelease int64
+
+	trace      *Trace
+	makespan   int64
+	overloaded []bool
+	execTotal  []int64
+
+	// reused per-step buffers
+	views    []sched.JobView
+	doneIDs  []int
+	stepExec []int
+}
+
+// NewEngine validates the job-independent configuration and returns an
+// empty engine at clock 0. Jobs arrive through Admit; time advances
+// through Step.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := checkEngineConfig(&cfg); err != nil {
+		return nil, err
+	}
+	cfg.Caps = append([]int(nil), cfg.Caps...)
+	e := &Engine{
+		cfg:        cfg,
+		trace:      newTrace(cfg.Trace, cfg.K),
+		overloaded: make([]bool, cfg.K),
+		execTotal:  make([]int64, cfg.K),
+		stepExec:   make([]int, cfg.K),
+	}
+	if cl, ok := cfg.Scheduler.(sched.Clairvoyant); ok {
+		cl.SetOracle(engineOracle{e})
+	}
+	return e, nil
+}
+
+// Now returns the clock: the index of the last executed step (0 before the
+// first step).
+func (e *Engine) Now() int64 { return e.now }
+
+// Remaining returns the number of admitted jobs that have neither
+// completed nor been cancelled.
+func (e *Engine) Remaining() int { return e.remaining }
+
+// Idle reports whether the engine has nothing to do: no active jobs and no
+// pending releases.
+func (e *Engine) Idle() bool { return len(e.active) == 0 && len(e.pending) == 0 }
+
+// Admit adds a job to the running engine and returns its assigned ID.
+// IDs are assigned in admission order, so admitting jobs in release order
+// reproduces Run's ID assignment exactly. The release time must not lie in
+// the past (release ≥ Now); a job released at r becomes schedulable at
+// step r+1.
+func (e *Engine) Admit(spec JobSpec) (int, error) {
+	id := len(e.jobs)
+	if err := checkSpec(&e.cfg, spec, id); err != nil {
+		return -1, err
+	}
+	if spec.Release < e.now {
+		return -1, fmt.Errorf("sim: job %d release %d is in the past (clock is at %d)", id, spec.Release, e.now)
+	}
+	src := spec.source()
+	rt := src.NewRuntime(e.cfg.Pick, e.cfg.Seed+int64(id))
+	js := &jobState{
+		id:      id,
+		release: spec.Release,
+		rt:      rt,
+		work:    src.WorkVector(),
+		span:    src.Span(),
+		phase:   JobPending,
+	}
+	js.taskRT, _ = rt.(TaskRuntime)
+	js.floorRT, _ = rt.(FloorRuntime)
+	if e.cfg.Trace >= TraceTasks && js.taskRT == nil {
+		return -1, fmt.Errorf("sim: job %d (%s) runtime cannot report task IDs; TraceTasks requires DAG-backed jobs", id, src.Name())
+	}
+	e.jobs = append(e.jobs, js)
+	e.insertPending(js)
+	e.remaining++
+	e.totalWork += int64(src.TotalTasks())
+	if spec.Release > e.maxRelease {
+		e.maxRelease = spec.Release
+	}
+	return id, nil
+}
+
+// Cancel withdraws an unfinished job. A pending job simply never releases;
+// an active job is removed from the schedule, so the processors it held
+// are available to the scheduler from the next step on. Completed or
+// already-cancelled jobs cannot be cancelled.
+func (e *Engine) Cancel(id int) error {
+	if id < 0 || id >= len(e.jobs) {
+		return fmt.Errorf("sim: no job %d", id)
+	}
+	js := e.jobs[id]
+	switch js.phase {
+	case JobDone:
+		return fmt.Errorf("sim: job %d already completed at step %d", id, js.completed)
+	case JobCancelled:
+		return fmt.Errorf("sim: job %d already cancelled", id)
+	case JobPending:
+		e.pending = removeJob(e.pending, js)
+	case JobActive:
+		e.active = removeJob(e.active, js)
+	}
+	js.phase = JobCancelled
+	js.cancelledAt = e.now
+	e.remaining--
+	e.cancelledN++
+	if c, ok := e.cfg.Scheduler.(sched.Completer); ok {
+		c.JobsDone([]int{id})
+	}
+	return nil
+}
+
+// Job returns the status of an admitted job.
+func (e *Engine) Job(id int) (JobStatus, bool) {
+	if id < 0 || id >= len(e.jobs) {
+		return JobStatus{}, false
+	}
+	js := e.jobs[id]
+	return JobStatus{
+		ID:          js.id,
+		Release:     js.release,
+		Phase:       js.phase,
+		Completion:  js.completed,
+		CancelledAt: js.cancelledAt,
+		Work:        append([]int(nil), js.work...),
+		Span:        js.span,
+	}, true
+}
+
+// Snapshot summarizes the engine's current state.
+func (e *Engine) Snapshot() EngineSnapshot {
+	return EngineSnapshot{
+		Now:           e.now,
+		K:             e.cfg.K,
+		Caps:          append([]int(nil), e.cfg.Caps...),
+		Admitted:      len(e.jobs),
+		Pending:       len(e.pending),
+		Active:        len(e.active),
+		Completed:     e.completedN,
+		Cancelled:     e.cancelledN,
+		Makespan:      e.makespan,
+		ExecutedTotal: append([]int64(nil), e.execTotal...),
+	}
+}
+
+// maxStepsBound is the runaway guard: the configured MaxSteps, or the
+// automatic bound derived from the work admitted so far.
+func (e *Engine) maxStepsBound() int64 {
+	if e.cfg.MaxSteps != 0 {
+		return e.cfg.MaxSteps
+	}
+	return 4*(e.totalWork+e.maxRelease) + 64
+}
+
+// Step advances the clock by one executed step: it releases due jobs
+// (fast-forwarding over idle intervals, exactly like Run), asks the
+// scheduler for allotments, executes them, and detects completions. When
+// the engine is idle it returns StepInfo{Idle: true} without advancing the
+// clock, so a live service's virtual time freezes while empty.
+func (e *Engine) Step() (StepInfo, error) {
+	var released []int
+	for {
+		if e.Idle() {
+			return StepInfo{Step: e.now, Idle: true, Released: released}, nil
+		}
+		t := e.now + 1
+		if t > e.maxStepsBound() {
+			return StepInfo{}, fmt.Errorf("sim: scheduler %q exceeded %d steps with %d jobs unfinished — likely a non-work-conserving allotment bug", e.cfg.Scheduler.Name(), e.maxStepsBound(), e.remaining)
+		}
+		// Release: a job released at r is schedulable from step r+1.
+		for len(e.pending) > 0 && e.pending[0].release < t {
+			js := e.pending[0]
+			e.pending = e.pending[1:]
+			js.phase = JobActive
+			e.insertActive(js)
+			released = append(released, js.id)
+		}
+		if len(e.active) == 0 {
+			// Idle interval: fast-forward to the next release (the loop's
+			// t = now+1 then lands on release+1).
+			e.now = e.pending[0].release
+			continue
+		}
+		e.now = t
+		break
+	}
+	info, err := e.executeStep(e.now)
+	if err != nil {
+		return StepInfo{}, err
+	}
+	info.Released = released
+	return info, nil
+}
+
+// executeStep runs the scheduling and execution phases of step t over the
+// active set.
+func (e *Engine) executeStep(t int64) (StepInfo, error) {
+	// Snapshot desires (and non-preemptive floors, when the runtime has
+	// them).
+	e.views = e.views[:0]
+	for _, j := range e.active {
+		d := make([]int, e.cfg.K)
+		for a := 1; a <= e.cfg.K; a++ {
+			d[a-1] = j.rt.Desire(dag.Category(a))
+		}
+		v := sched.JobView{ID: j.id, Desire: d}
+		if j.floorRT != nil {
+			fl := make([]int, e.cfg.K)
+			any := false
+			for a := 1; a <= e.cfg.K; a++ {
+				fl[a-1] = j.floorRT.Floor(dag.Category(a))
+				if fl[a-1] > 0 {
+					any = true
+				}
+			}
+			if any {
+				v.Floor = fl
+			}
+		}
+		e.views = append(e.views, v)
+	}
+	for a := 0; a < e.cfg.K; a++ {
+		activeCount := 0
+		for _, v := range e.views {
+			if v.Desire[a] > 0 {
+				activeCount++
+			}
+		}
+		if activeCount > e.cfg.Caps[a] {
+			e.overloaded[a] = true
+		}
+	}
+
+	allot := e.cfg.Scheduler.Allot(t, e.views, e.cfg.Caps)
+	if e.cfg.Observer != nil {
+		e.cfg.Observer(t, e.views, allot)
+	}
+	if e.cfg.ValidateAllotments {
+		if err := sched.ValidateAllotments(e.views, e.cfg.Caps, allot); err != nil {
+			return StepInfo{}, fmt.Errorf("sim: step %d: %w", t, err)
+		}
+	} else if len(allot) != len(e.views) {
+		return StepInfo{}, fmt.Errorf("sim: step %d: scheduler returned %d rows for %d jobs", t, len(allot), len(e.views))
+	}
+
+	// Execute. Each job consumes min(allotment, desire) ready tasks per
+	// category; completed tasks release successors at the step (or
+	// micro-round, under speed augmentation) boundary.
+	for a := range e.stepExec {
+		e.stepExec[a] = 0
+	}
+	rounds := e.cfg.Speed
+	if rounds < 1 {
+		rounds = 1
+	}
+	for round := 0; round < rounds; round++ {
+		if e.cfg.Parallel && e.trace.level < TraceTasks {
+			e.executeParallel(t, e.active, allot)
+		} else {
+			e.executeSerial(t, e.active, allot)
+		}
+		for _, j := range e.active {
+			j.rt.Advance()
+		}
+	}
+	for a, n := range e.stepExec {
+		e.execTotal[a] += int64(n)
+	}
+
+	// Step boundary: detect completions.
+	e.doneIDs = e.doneIDs[:0]
+	out := e.active[:0]
+	for _, j := range e.active {
+		if j.rt.Done() {
+			j.completed = t
+			j.phase = JobDone
+			if t > e.makespan {
+				e.makespan = t
+			}
+			e.doneIDs = append(e.doneIDs, j.id)
+			e.remaining--
+			e.completedN++
+		} else {
+			out = append(out, j)
+		}
+	}
+	e.active = out
+	if len(e.doneIDs) > 0 {
+		if c, ok := e.cfg.Scheduler.(sched.Completer); ok {
+			c.JobsDone(e.doneIDs)
+		}
+	}
+	e.trace.endStep(t, len(e.active)+len(e.doneIDs), len(e.doneIDs))
+
+	return StepInfo{
+		Step:      t,
+		Executed:  append([]int(nil), e.stepExec...),
+		Completed: append([]int(nil), e.doneIDs...),
+		Active:    len(e.active),
+	}, nil
+}
+
+// Result assembles the run outcome from the jobs admitted so far: makespan,
+// per-job completions (cancelled jobs report Completion 0), overload flags
+// and the trace. It may be called at any point; Run calls it once all jobs
+// have completed.
+func (e *Engine) Result() *Result {
+	speed := e.cfg.Speed
+	if speed < 1 {
+		speed = 1
+	}
+	res := &Result{
+		Scheduler:  e.cfg.Scheduler.Name(),
+		K:          e.cfg.K,
+		Caps:       append([]int(nil), e.cfg.Caps...),
+		Speed:      speed,
+		Makespan:   e.makespan,
+		Overloaded: append([]bool(nil), e.overloaded...),
+		Trace:      e.trace,
+	}
+	res.Jobs = make([]JobResult, len(e.jobs))
+	for i, j := range e.jobs {
+		res.Jobs[i] = JobResult{
+			ID:         j.id,
+			Release:    j.release,
+			Completion: j.completed,
+			Work:       j.work,
+			Span:       j.span,
+		}
+	}
+	return res
+}
+
+// insertPending inserts into the pending queue, keeping (release, ID)
+// order — the stable-sort order Run admits in.
+func (e *Engine) insertPending(js *jobState) {
+	i := sort.Search(len(e.pending), func(i int) bool {
+		p := e.pending[i]
+		if p.release != js.release {
+			return p.release > js.release
+		}
+		return p.id > js.id
+	})
+	e.pending = append(e.pending, nil)
+	copy(e.pending[i+1:], e.pending[i:])
+	e.pending[i] = js
+}
+
+// insertActive inserts into the active set, keeping ascending ID order —
+// the order the Scheduler contract requires views in. In batch runs
+// releases happen in ID order so this is an append.
+func (e *Engine) insertActive(js *jobState) {
+	i := sort.Search(len(e.active), func(i int) bool { return e.active[i].id > js.id })
+	e.active = append(e.active, nil)
+	copy(e.active[i+1:], e.active[i:])
+	e.active[i] = js
+}
+
+// removeJob deletes js from a slice, preserving order.
+func removeJob(list []*jobState, js *jobState) []*jobState {
+	for i, p := range list {
+		if p == js {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+func (e *Engine) executeSerial(t int64, active []*jobState, allot [][]int) {
+	taskLevel := e.trace.level >= TraceTasks
+	for i, j := range active {
+		for a := 0; a < e.cfg.K; a++ {
+			n := allot[i][a]
+			if n == 0 {
+				continue
+			}
+			if taskLevel {
+				run := j.taskRT.ExecuteTasks(dag.Category(a+1), n)
+				e.trace.record(t, j.id, a+1, run)
+				e.stepExec[a] += len(run)
+			} else {
+				ran := j.rt.Execute(dag.Category(a+1), n)
+				e.trace.add(t, a+1, ran)
+				e.stepExec[a] += ran
+			}
+		}
+	}
+}
+
+// executeParallel runs the execution phase over a fixed worker pool. Job
+// instances are independent, so this is race-free; per-step aggregate trace
+// counts are merged per worker. Results are bit-identical to serial runs.
+func (e *Engine) executeParallel(t int64, active []*jobState, allot [][]int) {
+	workers := e.cfg.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	if workers > len(active) {
+		workers = len(active)
+	}
+	if workers <= 1 {
+		e.executeSerial(t, active, allot)
+		return
+	}
+	counts := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]int, e.cfg.K)
+			for i := w; i < len(active); i += workers {
+				j := active[i]
+				for a := 0; a < e.cfg.K; a++ {
+					if n := allot[i][a]; n > 0 {
+						local[a] += j.rt.Execute(dag.Category(a+1), n)
+					}
+				}
+			}
+			counts[w] = local
+		}(w)
+	}
+	wg.Wait()
+	for _, local := range counts {
+		e.trace.recordCounts(t, local)
+		for a, c := range local {
+			e.stepExec[a] += c
+		}
+	}
+}
+
+// engineOracle adapts the engine's job table to sched.Oracle for
+// clairvoyant baselines. It reads through the engine so jobs admitted
+// after SetOracle are visible.
+type engineOracle struct{ e *Engine }
+
+func (o engineOracle) RemainingWork(jobID int) []int {
+	return o.e.jobs[jobID].rt.RemainingWork()
+}
+
+func (o engineOracle) ReleaseTime(jobID int) int64 {
+	return o.e.jobs[jobID].release
+}

@@ -1,0 +1,317 @@
+package sim
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"krad/internal/baselines"
+	"krad/internal/core"
+	"krad/internal/dag"
+	"krad/internal/sched"
+)
+
+// onlineSpecs is a small heterogeneous workload with clustered and gapped
+// release times, exercising same-step releases and idle fast-forwards.
+func onlineSpecs() []JobSpec {
+	return []JobSpec{
+		{Graph: dag.RoundRobinChain(3, 9), Release: 0},
+		{Graph: dag.ForkJoin(3, 5, 1, 2, 3), Release: 0},
+		{Graph: dag.UniformChain(3, 6, 2), Release: 1},
+		{Graph: dag.ForkJoin(3, 4, 2, 1, 2), Release: 3},
+		{Graph: dag.RoundRobinChain(3, 5), Release: 3},
+		{Graph: dag.UniformChain(3, 4, 1), Release: 7},
+		{Graph: dag.ForkJoin(3, 6, 3, 3, 3), Release: 20},
+		{Graph: dag.RoundRobinChain(3, 7), Release: 20},
+		{Graph: dag.UniformChain(3, 5, 3), Release: 21},
+		{Graph: dag.Singleton(3, 2), Release: 50},
+	}
+}
+
+// TestJITAdmissionMatchesBatchRun is the online = offline equivalence
+// check: admitting each job just before its release, while the clock is
+// running, must reproduce the batch Run schedule bit for bit.
+func TestJITAdmissionMatchesBatchRun(t *testing.T) {
+	mkCfg := func(s sched.Scheduler) Config {
+		return Config{
+			K: 3, Caps: []int{2, 2, 2}, Scheduler: s,
+			Pick: dag.PickFIFO, Trace: TraceSteps, ValidateAllotments: true,
+		}
+	}
+	schedulers := map[string]func() sched.Scheduler{
+		"k-rad": func() sched.Scheduler { return core.NewKRAD(3) },
+		"sjf":   func() sched.Scheduler { return baselines.NewSJF() },
+	}
+	for name, mk := range schedulers {
+		batch, err := Run(mkCfg(mk()), onlineSpecs())
+		if err != nil {
+			t.Fatalf("%s: batch: %v", name, err)
+		}
+
+		eng, err := NewEngine(mkCfg(mk()))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		queue := onlineSpecs()
+		sort.SliceStable(queue, func(i, j int) bool { return queue[i].Release < queue[j].Release })
+		for {
+			// Admit jobs the moment the clock reaches their release; when
+			// the engine would otherwise go idle, admit the whole next
+			// arrival batch so the fast-forward cannot jump past it.
+			for len(queue) > 0 && queue[0].Release <= eng.Now() {
+				if _, err := eng.Admit(queue[0]); err != nil {
+					t.Fatalf("%s: admit at t=%d: %v", name, eng.Now(), err)
+				}
+				queue = queue[1:]
+			}
+			if eng.Idle() && len(queue) > 0 {
+				r := queue[0].Release
+				for len(queue) > 0 && queue[0].Release == r {
+					if _, err := eng.Admit(queue[0]); err != nil {
+						t.Fatalf("%s: admit at t=%d: %v", name, eng.Now(), err)
+					}
+					queue = queue[1:]
+				}
+			}
+			if eng.Remaining() == 0 && len(queue) == 0 {
+				break
+			}
+			if _, err := eng.Step(); err != nil {
+				t.Fatalf("%s: step: %v", name, err)
+			}
+		}
+		live := eng.Result()
+
+		if live.Makespan != batch.Makespan {
+			t.Errorf("%s: makespan %d, batch %d", name, live.Makespan, batch.Makespan)
+		}
+		if !reflect.DeepEqual(live.Jobs, batch.Jobs) {
+			t.Errorf("%s: job tables differ:\nlive  %+v\nbatch %+v", name, live.Jobs, batch.Jobs)
+		}
+		if !reflect.DeepEqual(live.Overloaded, batch.Overloaded) {
+			t.Errorf("%s: overloaded %v, batch %v", name, live.Overloaded, batch.Overloaded)
+		}
+		if !reflect.DeepEqual(live.Trace.Steps, batch.Trace.Steps) {
+			t.Errorf("%s: step traces differ (%d vs %d rows)", name, len(live.Trace.Steps), len(batch.Trace.Steps))
+		}
+	}
+}
+
+func TestAdmitPastReleaseErrorsCleanly(t *testing.T) {
+	eng, err := NewEngine(Config{
+		K: 1, Caps: []int{1}, Scheduler: core.NewKRAD(1), ValidateAllotments: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Admit(JobSpec{Graph: dag.UniformChain(1, 10, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if eng.Now() != 4 {
+		t.Fatalf("clock at %d, want 4", eng.Now())
+	}
+
+	_, err = eng.Admit(JobSpec{Graph: dag.Singleton(1, 1), Release: 3})
+	if err == nil || !strings.Contains(err.Error(), "in the past") {
+		t.Fatalf("past release accepted: %v", err)
+	}
+	// The failed admission must leave no trace: no job slot, unchanged
+	// clock, and the run must finish exactly as if it never happened.
+	if snap := eng.Snapshot(); snap.Admitted != 1 {
+		t.Errorf("failed admit registered a job: %+v", snap)
+	}
+	if eng.Now() != 4 {
+		t.Errorf("failed admit moved the clock to %d", eng.Now())
+	}
+	for eng.Remaining() > 0 {
+		if _, err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st, _ := eng.Job(0); st.Completion != 10 {
+		t.Errorf("job 0 completed at %d, want 10", st.Completion)
+	}
+}
+
+func TestCancelFreesProcessorsNextStep(t *testing.T) {
+	type obs struct {
+		ids   []int
+		allot []int // per-view total allotment across categories
+	}
+	var seen []obs
+	cfg := Config{
+		K: 1, Caps: []int{1}, Scheduler: core.NewKRAD(1),
+		Pick: dag.PickFIFO, ValidateAllotments: true,
+		Observer: func(tm int64, jobs []sched.JobView, allot [][]int) {
+			o := obs{}
+			for i, v := range jobs {
+				o.ids = append(o.ids, v.ID)
+				o.allot = append(o.allot, allot[i][0])
+			}
+			seen = append(seen, o)
+		},
+	}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := eng.Admit(JobSpec{Graph: dag.UniformChain(1, 12, 1)})
+	b, _ := eng.Admit(JobSpec{Graph: dag.UniformChain(1, 12, 1)})
+	for i := 0; i < 4; i++ {
+		if _, err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var execA int
+	for _, o := range seen {
+		for i, id := range o.ids {
+			if id == a {
+				execA += o.allot[i]
+			}
+		}
+	}
+	if err := eng.Cancel(b); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := eng.Job(b); st.Phase != JobCancelled || st.CancelledAt != 4 {
+		t.Errorf("job b status %+v", st)
+	}
+	if eng.Remaining() != 1 {
+		t.Errorf("remaining %d, want 1", eng.Remaining())
+	}
+
+	// From the very next step the cancelled job is out of the schedule and
+	// the survivor holds the whole machine.
+	pre := len(seen)
+	for eng.Remaining() > 0 {
+		if _, err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, o := range seen[pre:] {
+		if len(o.ids) != 1 || o.ids[0] != a {
+			t.Fatalf("cancelled job still scheduled: %+v", o)
+		}
+		if o.allot[0] != 1 {
+			t.Fatalf("survivor not given full capacity: %+v", o)
+		}
+	}
+	st, _ := eng.Job(a)
+	want := int64(4 + (12 - execA))
+	if st.Completion != want {
+		t.Errorf("survivor completed at %d, want %d (executed %d of 12 before the cancel)", st.Completion, want, execA)
+	}
+
+	// Cancelled jobs appear in the result with no completion.
+	res := eng.Result()
+	if res.Jobs[b].Completion != 0 {
+		t.Errorf("cancelled job has completion %d", res.Jobs[b].Completion)
+	}
+}
+
+func TestCancelPendingAndInvalidCancels(t *testing.T) {
+	eng, err := NewEngine(Config{
+		K: 1, Caps: []int{1}, Scheduler: core.NewKRAD(1), ValidateAllotments: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := eng.Admit(JobSpec{Graph: dag.Singleton(1, 1)})
+	b, _ := eng.Admit(JobSpec{Graph: dag.Singleton(1, 1), Release: 100})
+
+	if err := eng.Cancel(b); err != nil {
+		t.Fatalf("cancel pending: %v", err)
+	}
+	if err := eng.Cancel(b); err == nil {
+		t.Error("double cancel accepted")
+	}
+	if err := eng.Cancel(99); err == nil {
+		t.Error("cancel of unknown job accepted")
+	}
+
+	for eng.Remaining() > 0 {
+		if _, err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The pending job never releases: the engine is idle, not waiting on
+	// the phantom release at 100.
+	info, err := eng.Step()
+	if err != nil || !info.Idle {
+		t.Errorf("engine not idle after drain: %+v, %v", info, err)
+	}
+	if eng.Now() != 1 {
+		t.Errorf("clock at %d, want 1 (only job a's single step)", eng.Now())
+	}
+	if err := eng.Cancel(a); err == nil {
+		t.Error("cancel of completed job accepted")
+	}
+}
+
+func TestIdleEngineClockFrozen(t *testing.T) {
+	eng, err := NewEngine(Config{
+		K: 2, Caps: []int{1, 1}, Scheduler: core.NewKRAD(2), ValidateAllotments: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		info, err := eng.Step()
+		if err != nil || !info.Idle {
+			t.Fatalf("idle step %d: %+v, %v", i, info, err)
+		}
+	}
+	if eng.Now() != 0 {
+		t.Fatalf("idle steps advanced the clock to %d", eng.Now())
+	}
+
+	id, err := eng.Admit(JobSpec{Graph: dag.Singleton(2, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := eng.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Idle || info.Step != 1 || len(info.Completed) != 1 || info.Completed[0] != id {
+		t.Errorf("first real step: %+v", info)
+	}
+	if len(info.Released) != 1 || info.Released[0] != id {
+		t.Errorf("release not reported: %+v", info)
+	}
+	if info.Executed[0] != 1 || info.Executed[1] != 0 {
+		t.Errorf("executed %v, want [1 0]", info.Executed)
+	}
+
+	snap := eng.Snapshot()
+	if snap.Completed != 1 || snap.Active != 0 || snap.Pending != 0 || snap.Admitted != 1 {
+		t.Errorf("snapshot %+v", snap)
+	}
+	if u := snap.Utilization(); u[0] != 1 || u[1] != 0 {
+		t.Errorf("utilization %v, want [1 0]", u)
+	}
+	st, ok := eng.Job(id)
+	if !ok || st.Phase != JobDone || st.Response() != 1 {
+		t.Errorf("job status %+v", st)
+	}
+	if _, ok := eng.Job(42); ok {
+		t.Error("unknown job reported")
+	}
+}
+
+func TestJobPhaseStrings(t *testing.T) {
+	want := map[JobPhase]string{
+		JobPending: "pending", JobActive: "active", JobDone: "done", JobCancelled: "cancelled",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), s)
+		}
+	}
+}

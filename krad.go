@@ -183,6 +183,35 @@ const (
 // Run simulates a job set under the given configuration.
 var Run = sim.Run
 
+// Incremental engine (internal/sim): admit and cancel jobs while the
+// virtual clock runs. Run is a thin batch driver over it, so batch and
+// online schedules of the same workload are identical. internal/server
+// wraps the engine as a goroutine-safe HTTP service (see cmd/kradd).
+type (
+	// Engine steps one simulation incrementally; not goroutine-safe.
+	Engine = sim.Engine
+	// JobStatus is one job's live lifecycle state.
+	JobStatus = sim.JobStatus
+	// JobPhase is a job's lifecycle phase (pending/active/done/cancelled).
+	JobPhase = sim.JobPhase
+	// StepInfo reports what one Engine.Step executed.
+	StepInfo = sim.StepInfo
+	// EngineSnapshot is a point-in-time engine summary.
+	EngineSnapshot = sim.EngineSnapshot
+)
+
+// NewEngine builds an incremental engine from a Config (Parallel and
+// MaxSteps apply; jobs arrive via Engine.Admit instead of a spec slice).
+var NewEngine = sim.NewEngine
+
+// Job lifecycle phases reported by JobStatus.Phase.
+const (
+	JobPending   = sim.JobPending
+	JobActive    = sim.JobActive
+	JobDone      = sim.JobDone
+	JobCancelled = sim.JobCancelled
+)
+
 // JobSource admits alternative job representations (see ProfileJob);
 // JobSpec.Graph covers the common K-DAG case.
 type JobSource = sim.JobSource
