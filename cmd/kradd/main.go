@@ -4,16 +4,24 @@
 //
 // Endpoints (see internal/server for the wire formats):
 //
-//	POST   /v1/jobs      submit a dag-encoded job     → 201 {id, release}
-//	GET    /v1/jobs/{id} job lifecycle status
-//	DELETE /v1/jobs/{id} cancel a pending/active job
-//	GET    /v1/events    SSE stream of step events
-//	GET    /metrics      Prometheus text exposition
-//	GET    /healthz      liveness + service stats
+//	POST   /v1/jobs       submit a dag-encoded job          → 201 {id, release, shard}
+//	POST   /v1/jobs/batch submit many jobs atomically       → 201 {ids, shard}
+//	GET    /v1/jobs/{id}  job lifecycle status
+//	DELETE /v1/jobs/{id}  cancel a pending/active job
+//	GET    /v1/events     SSE stream of step events (all shards)
+//	GET    /metrics       Prometheus text exposition (fleet + per-shard)
+//	GET    /healthz       liveness + aggregated service stats
 //
 // Usage:
 //
 //	kradd -addr :8080 -k 3 -caps 4,4,4 -sched k-rad -step 50ms -queue 256
+//	kradd -addr :8080 -shards 4 -placement hash -queue 1024
+//
+// With -shards N the daemon runs N independent simulation engines behind
+// one admission front-end; -placement picks how submissions are routed
+// (round-robin, hash on the X-Krad-Placement-Key header, least-loaded).
+// -caps and -queue keep their meaning: caps describe each shard's
+// machine, and the queue bound is shared across the fleet.
 //
 // With -step 0 the clock free-runs: steps execute as fast as the hardware
 // allows whenever work is queued, so submitted jobs drain immediately. A
@@ -40,6 +48,7 @@ import (
 
 	"krad/internal/analysis"
 	"krad/internal/dag"
+	"krad/internal/sched"
 	"krad/internal/server"
 	"krad/internal/sim"
 )
@@ -59,6 +68,9 @@ func main() {
 		bufFlag   = flag.Int("event-buffer", 64, "per-subscriber event channel capacity")
 		drainFlag = flag.Duration("drain", 30*time.Second, "max time to drain in-flight jobs at shutdown")
 		parFlag   = flag.Bool("parallel", false, "parallelize each step's execution phase")
+		shardFlag = flag.Int("shards", 1, "number of independent engine shards")
+		placeFlag = flag.String("placement", server.PlaceRoundRobin,
+			"shard placement policy: round-robin, hash, least-loaded")
 	)
 	flag.Parse()
 
@@ -83,6 +95,15 @@ func main() {
 		MaxInFlight:      *queueFlag,
 		StepEvery:        *stepFlag,
 		SubscriberBuffer: *bufFlag,
+		Shards:           *shardFlag,
+		Placement:        *placeFlag,
+		// Each shard needs its own scheduler instance: K-RAD and the
+		// clairvoyant variants carry per-engine state. The name and K
+		// were validated above, so the factory cannot fail.
+		NewScheduler: func() sched.Scheduler {
+			s, _ := analysis.NewScheduler(*schedFlag, *kFlag)
+			return s
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -100,8 +121,8 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("listening on %s (K=%d caps=%v sched=%s step=%v queue=%d)",
-		*addrFlag, *kFlag, caps, *schedFlag, *stepFlag, *queueFlag)
+	log.Printf("listening on %s (K=%d caps=%v sched=%s step=%v queue=%d shards=%d placement=%s)",
+		*addrFlag, *kFlag, caps, *schedFlag, *stepFlag, *queueFlag, *shardFlag, *placeFlag)
 
 	select {
 	case err := <-errCh:

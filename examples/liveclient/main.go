@@ -11,6 +11,19 @@
 //
 //	go run ./cmd/kradd -addr :8080 -step 10ms &
 //	go run ./examples/liveclient -addr http://localhost:8080
+//
+// With -burst the client submits every job up front through
+// POST /v1/jobs/batch (one batch per shard, so round-robin placement
+// spreads them evenly), then measures how fast the fleet drains the
+// backlog. Against a self-hosted server this demonstrates the sharding
+// payoff directly:
+//
+//	go run ./examples/liveclient -burst -jobs 64 -shards 1
+//	go run ./examples/liveclient -burst -jobs 64 -shards 4
+//
+// In every mode the client audits itself before exiting: each submitted
+// job ID is fetched back and must be in state "done". A silently lost
+// submission makes the process exit non-zero.
 package main
 
 import (
@@ -29,6 +42,7 @@ import (
 
 	"krad/internal/core"
 	"krad/internal/dag"
+	"krad/internal/sched"
 	"krad/internal/server"
 	"krad/internal/sim"
 	"krad/internal/workload"
@@ -44,17 +58,27 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("liveclient: ")
 	var (
-		addrFlag = flag.String("addr", "", "kradd base URL (empty = self-host an in-process server)")
-		jobsFlag = flag.Int("jobs", 12, "number of jobs to trickle in")
-		gapFlag  = flag.Duration("gap", 150*time.Millisecond, "wall-clock gap between submissions")
-		seedFlag = flag.Int64("seed", 7, "workload seed")
+		addrFlag   = flag.String("addr", "", "kradd base URL (empty = self-host an in-process server)")
+		jobsFlag   = flag.Int("jobs", 12, "number of jobs to submit")
+		gapFlag    = flag.Duration("gap", 150*time.Millisecond, "wall-clock gap between submissions (trickle mode)")
+		seedFlag   = flag.Int64("seed", 7, "workload seed")
+		shardsFlag = flag.Int("shards", 1, "self-host: number of engine shards")
+		placeFlag  = flag.String("placement", server.PlaceRoundRobin, "self-host: shard placement policy")
+		burstFlag  = flag.Bool("burst", false, "submit all jobs up front via /v1/jobs/batch and measure drain throughput")
 	)
 	flag.Parse()
 
 	base := *addrFlag
 	if base == "" {
-		base = selfHost()
-		fmt.Printf("self-hosted kradd at %s (K=%d caps=%v, k-rad, 5ms/step)\n\n", base, demoK, demoCaps)
+		// The trickle demo paces the clock so submissions interleave with
+		// execution; the burst demo free-runs to measure raw throughput.
+		step := 5 * time.Millisecond
+		if *burstFlag {
+			step = 0
+		}
+		base = selfHost(*shardsFlag, *placeFlag, step)
+		fmt.Printf("self-hosted kradd at %s (K=%d caps=%v, k-rad, shards=%d placement=%s)\n\n",
+			base, demoK, demoCaps, *shardsFlag, *placeFlag)
 	}
 	base = strings.TrimRight(base, "/")
 
@@ -63,7 +87,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("cannot reach %s: %v (start one with: go run ./cmd/kradd)", base, err)
 	}
-	fmt.Printf("server: scheduler=%s K=%d caps=%v\n", stats.Scheduler, stats.K, stats.Caps)
+	fmt.Printf("server: scheduler=%s K=%d caps=%v shards=%d placement=%s\n",
+		stats.Scheduler, stats.K, stats.Caps, stats.Shards, stats.Placement)
 
 	// Generate the job mix client-side; the server only sees DAGs.
 	mix := workload.Mix{K: stats.K, Jobs: *jobsFlag, MinSize: 4, MaxSize: 24, Seed: *seedFlag}
@@ -72,7 +97,51 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Follow the event stream while submitting.
+	var ids []int
+	if *burstFlag {
+		ids = runBurst(base, stats, specs)
+	} else {
+		ids = runTrickle(base, specs, *gapFlag)
+	}
+
+	// Audit every submission: fetch each ID back and require it done. A
+	// job the server handed an ID for but never finished is a lost
+	// submission — report it and exit non-zero.
+	perShard := make(map[int]int)
+	lost := 0
+	for _, id := range ids {
+		st, err := fetchJob(base, id)
+		switch {
+		case err != nil:
+			log.Printf("job %d: %v", id, err)
+			lost++
+		case st.State != "done":
+			log.Printf("job %d: state %q, want done", id, st.State)
+			lost++
+		default:
+			perShard[server.ShardOf(id)]++
+		}
+	}
+	shards := stats.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	fmt.Println("\nper-shard completions:")
+	for s := 0; s < shards; s++ {
+		fmt.Printf("  shard %d: %3d jobs\n", s, perShard[s])
+	}
+	if lost > 0 {
+		log.Fatalf("%d of %d submissions lost", lost, len(ids))
+	}
+
+	if !*burstFlag {
+		report(base, stats, ids)
+	}
+}
+
+// runTrickle submits jobs one at a time with a wall-clock gap, watching
+// the SSE stream for their completions.
+func runTrickle(base string, specs []sim.JobSpec, gap time.Duration) []int {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	events := make(chan server.Event, 1024)
@@ -87,7 +156,7 @@ func main() {
 		ids = append(ids, id)
 		fmt.Printf("submitted job %2d  tasks=%-3d span=%-3d work=%v\n",
 			id, spec.Graph.NumTasks(), spec.Graph.Span(), spec.Graph.WorkVector())
-		time.Sleep(*gapFlag)
+		time.Sleep(gap)
 	}
 
 	// Wait for every submitted job to complete, watching the stream.
@@ -111,11 +180,60 @@ func main() {
 			log.Fatalf("timed out; %d jobs unfinished", len(want))
 		}
 	}
-	fmt.Printf("\nall %d jobs completed (watched %d step events)\n\n", len(ids), steps)
+	fmt.Printf("\nall %d jobs completed (watched %d step events)\n", len(ids), steps)
+	return ids
+}
 
-	// Per-job report: response vs the solo lower bound
-	// max(span, max_α ceil(work_α / P_α)) — the best any schedule could do
-	// for that job alone on this machine.
+// runBurst submits the whole workload at once — one batch per shard via
+// POST /v1/jobs/batch — then polls aggregate stats until the fleet has
+// drained the backlog, reporting virtual steps per wall-clock second.
+func runBurst(base string, before server.Stats, specs []sim.JobSpec) []int {
+	shards := before.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	var ids []int
+	for b := 0; b < shards; b++ {
+		var graphs []*dag.Graph
+		for i := b; i < len(specs); i += shards {
+			graphs = append(graphs, specs[i].Graph)
+		}
+		if len(graphs) == 0 {
+			continue
+		}
+		batchIDs, shard, err := submitBatch(base, graphs)
+		if err != nil {
+			log.Fatalf("batch %d: %v", b, err)
+		}
+		fmt.Printf("batch %d → shard %d (%d jobs)\n", b, shard, len(batchIDs))
+		ids = append(ids, batchIDs...)
+	}
+
+	start := time.Now()
+	deadline := start.Add(60 * time.Second)
+	cur := before
+	for cur.Completed-before.Completed < int64(len(ids)) {
+		if time.Now().After(deadline) {
+			log.Printf("timed out: %d/%d completed", cur.Completed-before.Completed, len(ids))
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+		var err error
+		if cur, err = fetchStats(base); err != nil {
+			log.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	steps := cur.Steps - before.Steps
+	fmt.Printf("\ndrained %d jobs in %v — %d virtual steps, %.0f steps/s aggregate\n",
+		len(ids), elapsed.Round(time.Millisecond), steps, float64(steps)/elapsed.Seconds())
+	return ids
+}
+
+// report prints each job's response time against its solo lower bound
+// max(span, max_α ceil(work_α / P_α)) — the best any schedule could do
+// for that job alone on one shard's machine.
+func report(base string, stats server.Stats, ids []int) {
 	type row struct {
 		id, solo       int64
 		response, slow float64
@@ -139,22 +257,25 @@ func main() {
 		})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].slow > rows[j].slow })
-	fmt.Println("job  response  solo-bound  slowdown")
+	fmt.Println("\njob  response  solo-bound  slowdown")
 	for _, r := range rows {
 		fmt.Printf("%3d  %8.0f  %10d  %7.2fx\n", r.id, r.response, r.solo, r.slow)
 	}
 }
 
 // selfHost starts an in-process kradd on a loopback port and returns its
-// base URL. The 5ms step pace keeps the virtual clock slow enough that
-// the trickle of submissions genuinely interleaves with execution.
-func selfHost() string {
+// base URL. Each shard gets its own K-RAD instance — schedulers are
+// stateful and must not be shared across engines.
+func selfHost(shards int, placement string, stepEvery time.Duration) string {
 	svc, err := server.New(server.Config{
 		Sim: sim.Config{
 			K: demoK, Caps: demoCaps, Scheduler: core.NewKRAD(demoK),
 			Pick: dag.PickFIFO, ValidateAllotments: true,
 		},
-		StepEvery: 5 * time.Millisecond,
+		StepEvery:    stepEvery,
+		Shards:       shards,
+		Placement:    placement,
+		NewScheduler: func() sched.Scheduler { return core.NewKRAD(demoK) },
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -198,6 +319,38 @@ func submit(base string, g *dag.Graph) (int, error) {
 		return -1, err
 	}
 	return out.ID, nil
+}
+
+// submitBatch posts one all-or-nothing batch; the server admits every
+// job onto a single shard under one engine lock.
+func submitBatch(base string, graphs []*dag.Graph) ([]int, int, error) {
+	jobs := make([]map[string]any, len(graphs))
+	for i, g := range graphs {
+		jobs[i] = map[string]any{"graph": g}
+	}
+	body, err := json.Marshal(map[string]any{"jobs": jobs})
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := http.Post(base+"/v1/jobs/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return nil, 0, fmt.Errorf("status %s", resp.Status)
+	}
+	var out struct {
+		IDs   []int `json:"ids"`
+		Shard int   `json:"shard"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, 0, err
+	}
+	if len(out.IDs) != len(graphs) {
+		return nil, 0, fmt.Errorf("submitted %d jobs, got %d ids", len(graphs), len(out.IDs))
+	}
+	return out.IDs, out.Shard, nil
 }
 
 func fetchJob(base string, id int) (jobStatus, error) {

@@ -1,0 +1,78 @@
+package server
+
+import "sync"
+
+// fanout is the pool-wide event bus: every shard's step loop publishes
+// into it, every subscriber reads a merged stream. Slow subscribers lose
+// events (counted) rather than ever blocking a step loop.
+type fanout struct {
+	buf int
+
+	mu      sync.Mutex
+	subs    map[int]chan Event
+	next    int
+	closed  bool
+	dropped int64
+}
+
+func newFanout(buf int) *fanout {
+	return &fanout{buf: buf, subs: make(map[int]chan Event)}
+}
+
+// subscribe registers a listener. The returned cancel function
+// unsubscribes and closes the channel; the channel also closes when the
+// fanout shuts down.
+func (f *fanout) subscribe() (<-chan Event, func()) {
+	ch := make(chan Event, f.buf)
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	id := f.next
+	f.next++
+	f.subs[id] = ch
+	f.mu.Unlock()
+	cancel := func() {
+		f.mu.Lock()
+		if c, ok := f.subs[id]; ok {
+			delete(f.subs, id)
+			close(c)
+		}
+		f.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// publish fans an event out to every subscriber, dropping (and counting)
+// on full buffers.
+func (f *fanout) publish(ev Event) {
+	f.mu.Lock()
+	for _, ch := range f.subs {
+		select {
+		case ch <- ev:
+		default:
+			f.dropped++
+		}
+	}
+	f.mu.Unlock()
+}
+
+// stats reports the subscriber count and cumulative drops.
+func (f *fanout) stats() (subscribers int, dropped int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.subs), f.dropped
+}
+
+// close closes every subscriber channel and refuses new subscriptions.
+func (f *fanout) close() {
+	f.mu.Lock()
+	f.closed = true
+	for id, ch := range f.subs {
+		delete(f.subs, id)
+		close(ch)
+	}
+	f.mu.Unlock()
+}

@@ -4,12 +4,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
+	"time"
 
 	"krad/internal/dag"
 	"krad/internal/sim"
 )
+
+// PlacementKeyHeader is the request header carrying the client's shard
+// affinity key. Under the "hash" placement policy, submissions with equal
+// keys land on the same shard; other policies ignore it.
+const PlacementKeyHeader = "X-Krad-Placement-Key"
 
 // submitRequest is the POST /v1/jobs body: a K-DAG in the internal/dag
 // JSON encoding plus an optional absolute virtual release time (0 or
@@ -17,6 +24,23 @@ import (
 type submitRequest struct {
 	Graph   *dag.Graph `json:"graph"`
 	Release int64      `json:"release,omitempty"`
+}
+
+// batchRequest is the POST /v1/jobs/batch body: a burst of jobs admitted
+// all-or-nothing on one shard under a single engine lock acquisition.
+type batchRequest struct {
+	Jobs []submitRequest `json:"jobs"`
+}
+
+// retryAfterSeconds derives the 503 Retry-After value from the step pace:
+// one virtual step of queue drain, ceiled to whole seconds, never below
+// the 1-second floor the header's resolution imposes.
+func retryAfterSeconds(stepEvery time.Duration) string {
+	secs := int64(math.Ceil(stepEvery.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // jobJSON is the wire form of a job's lifecycle status.
@@ -46,15 +70,20 @@ func toJobJSON(st sim.JobStatus) jobJSON {
 
 // Handler returns the service's HTTP API:
 //
-//	POST   /v1/jobs      submit a dag-encoded job     → 201 {id, release}
-//	GET    /v1/jobs/{id} job lifecycle status         → 200 jobJSON
-//	DELETE /v1/jobs/{id} cancel a pending/active job  → 200 jobJSON
-//	GET    /v1/events    SSE stream of step events
-//	GET    /metrics      Prometheus text exposition
-//	GET    /healthz      liveness + service stats
+//	POST   /v1/jobs       submit a dag-encoded job      → 201 {id, release, shard}
+//	POST   /v1/jobs/batch submit a burst all-or-nothing → 201 {ids, shard}
+//	GET    /v1/jobs/{id}  job lifecycle status          → 200 jobJSON
+//	DELETE /v1/jobs/{id}  cancel a pending/active job   → 200 jobJSON
+//	GET    /v1/events     SSE stream of step events (all shards)
+//	GET    /metrics       Prometheus text exposition
+//	GET    /healthz       liveness + service stats
+//
+// Submissions honor the X-Krad-Placement-Key header (see
+// PlacementKeyHeader).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/jobs/batch", s.handleSubmitBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/events", s.handleEvents)
@@ -84,21 +113,58 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "job has no graph")
 		return
 	}
-	id, err := s.Submit(sim.JobSpec{Graph: req.Graph, Release: req.Release})
-	switch {
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	case errors.Is(err, ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	case err != nil:
-		writeError(w, http.StatusBadRequest, "%v", err)
+	id, err := s.SubmitKeyed(r.Header.Get(PlacementKeyHeader), sim.JobSpec{Graph: req.Graph, Release: req.Release})
+	if !s.writeSubmitError(w, err) {
 		return
 	}
 	st, _ := s.Job(id)
-	writeJSON(w, http.StatusCreated, map[string]any{"id": id, "release": st.Release})
+	writeJSON(w, http.StatusCreated, map[string]any{"id": id, "release": st.Release, "shard": ShardOf(id)})
+}
+
+func (s *Service) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid batch JSON: %v", err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "batch has no jobs")
+		return
+	}
+	specs := make([]sim.JobSpec, len(req.Jobs))
+	for i, j := range req.Jobs {
+		if j.Graph == nil {
+			writeError(w, http.StatusBadRequest, "batch job %d has no graph", i)
+			return
+		}
+		specs[i] = sim.JobSpec{Graph: j.Graph, Release: j.Release}
+	}
+	ids, err := s.SubmitBatch(r.Header.Get(PlacementKeyHeader), specs)
+	if !s.writeSubmitError(w, err) {
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"ids": ids, "shard": ShardOf(ids[0])})
+}
+
+// writeSubmitError maps admission errors onto HTTP responses, reporting
+// whether the submission succeeded. Queue-full responses carry a
+// Retry-After derived from the step pace, so pacing-aware clients back
+// off for at least one virtual step of drain.
+func (s *Service) writeSubmitError(w http.ResponseWriter, err error) bool {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", s.retryAfter)
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return false
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return false
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return false
+	}
+	return true
 }
 
 // jobID parses the {id} path segment.

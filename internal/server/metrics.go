@@ -31,6 +31,17 @@ func (h *histogram) observe(v float64) {
 	h.sum += v
 }
 
+// merge folds o's observations into h. Both histograms must share the
+// same bucket bounds (every shard uses responseBuckets, so cross-shard
+// merges are exact, not approximate).
+func (h *histogram) merge(o *histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.count += o.count
+	h.sum += o.sum
+}
+
 // responseBuckets covers response times from one virtual step into the
 // tens of thousands, doubling per bucket.
 func responseBuckets() []float64 {
@@ -42,22 +53,40 @@ func responseBuckets() []float64 {
 }
 
 // WriteMetrics renders the service's state in the Prometheus text
-// exposition format (version 0.0.4): step counter, job lifecycle
-// counters, queue/backpressure gauges, per-category utilization, and the
-// response-time histogram.
+// exposition format (version 0.0.4). Fleet-wide families keep the
+// pre-sharding names (counters summed, the response histogram merged
+// bucket-by-bucket across shards, utilization weighted by per-shard
+// elapsed time); per-shard krad_shard_* series labelled {shard="i"}
+// expose each engine individually.
 func (s *Service) WriteMetrics(w io.Writer) error {
-	s.mu.Lock()
-	snap := s.eng.Snapshot()
-	steps := s.steps
-	submitted, completed, cancelled, rejected := s.submitted, s.completed, s.cancelled, s.rejected
-	hist := *s.respHist
-	counts := append([]uint64(nil), s.respHist.counts...)
-	util := snap.Utilization()
-	s.mu.Unlock()
-	s.subMu.Lock()
-	dropped := s.eventsDropped
-	subscribers := len(s.subs)
-	s.subMu.Unlock()
+	views := make([]shardView, len(s.shards))
+	for i, sh := range s.shards {
+		views[i] = sh.view()
+	}
+	subscribers, dropped := s.fan.stats()
+
+	var steps, submitted, completed, cancelled, rejected, elapsed int64
+	var maxNow int64
+	active, pending := 0, 0
+	execTotal := make([]int64, s.cfg.Sim.K)
+	hist := newHistogram(responseBuckets())
+	for _, v := range views {
+		steps += v.steps
+		submitted += v.submitted
+		completed += v.completed
+		cancelled += v.cancelled
+		rejected += v.rejected
+		active += v.snap.Active
+		pending += v.snap.Pending
+		elapsed += v.snap.Now
+		if v.snap.Now > maxNow {
+			maxNow = v.snap.Now
+		}
+		for a, w := range v.snap.ExecutedTotal {
+			execTotal[a] += w
+		}
+		hist.merge(&v.hist)
+	}
 
 	var b strings.Builder
 	metric := func(name, help, typ string, v any, labels string) {
@@ -68,35 +97,65 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		fmt.Fprintf(&b, "%s%s %v\n", name, labels, v)
 	}
 
-	metric("krad_steps_total", "Virtual scheduler steps executed.", "counter", steps, "")
-	metric("krad_virtual_time", "Current virtual clock (last executed step).", "gauge", snap.Now, "")
+	metric("krad_shards", "Independent scheduler engines behind the admission front-end.", "gauge", len(views), "")
+	metric("krad_steps_total", "Virtual scheduler steps executed (all shards).", "counter", steps, "")
+	metric("krad_virtual_time", "Furthest shard virtual clock (last executed step).", "gauge", maxNow, "")
 	metric("krad_jobs_submitted_total", "Jobs admitted.", "counter", submitted, "")
 	metric("krad_jobs_completed_total", "Jobs completed.", "counter", completed, "")
 	metric("krad_jobs_cancelled_total", "Jobs cancelled.", "counter", cancelled, "")
 	metric("krad_jobs_rejected_total", "Submissions rejected by admission backpressure.", "counter", rejected, "")
-	metric("krad_jobs_active", "Jobs currently executing.", "gauge", snap.Active, "")
-	metric("krad_jobs_pending", "Admitted jobs awaiting release.", "gauge", snap.Pending, "")
-	metric("krad_queue_depth", "In-flight jobs (pending + active) against the admission bound.", "gauge", snap.Active+snap.Pending, "")
+	metric("krad_jobs_active", "Jobs currently executing.", "gauge", active, "")
+	metric("krad_jobs_pending", "Admitted jobs awaiting release.", "gauge", pending, "")
+	metric("krad_queue_depth", "In-flight jobs (pending + active) against the admission bound.", "gauge", active+pending, "")
 	metric("krad_events_dropped_total", "Step events dropped on slow subscribers.", "counter", dropped, "")
 	metric("krad_event_subscribers", "Connected event subscribers.", "gauge", subscribers, "")
 
 	first := true
-	for a, u := range util {
+	for a := 0; a < s.cfg.Sim.K; a++ {
+		u := 0.0
+		if elapsed > 0 {
+			u = float64(execTotal[a]) / (float64(views[0].snap.Caps[a]) * float64(elapsed))
+		}
 		help := ""
 		if first {
-			help = "Cumulative busy fraction per resource category."
+			help = "Cumulative busy fraction per resource category, weighted across shards."
 			first = false
 		}
 		metric("krad_utilization", help, "gauge", fmt.Sprintf("%g", u), fmt.Sprintf(`{category="%d"}`, a+1))
 	}
 
-	fmt.Fprintf(&b, "# HELP krad_response_steps Job response times in virtual steps.\n# TYPE krad_response_steps histogram\n")
+	// Per-shard series: one labelled sample per engine.
+	perShard := []struct {
+		name, help, typ string
+		value           func(v shardView) any
+	}{
+		{"krad_shard_steps_total", "Virtual steps executed by one shard.", "counter", func(v shardView) any { return v.steps }},
+		{"krad_shard_virtual_time", "One shard's virtual clock.", "gauge", func(v shardView) any { return v.snap.Now }},
+		{"krad_shard_jobs_submitted_total", "Jobs admitted to one shard.", "counter", func(v shardView) any { return v.submitted }},
+		{"krad_shard_jobs_completed_total", "Jobs completed on one shard.", "counter", func(v shardView) any { return v.completed }},
+		{"krad_shard_jobs_cancelled_total", "Jobs cancelled on one shard.", "counter", func(v shardView) any { return v.cancelled }},
+		{"krad_shard_jobs_rejected_total", "Submissions rejected by one shard's admission bound.", "counter", func(v shardView) any { return v.rejected }},
+		{"krad_shard_jobs_active", "Jobs currently executing on one shard.", "gauge", func(v shardView) any { return v.snap.Active }},
+		{"krad_shard_jobs_pending", "Admitted jobs awaiting release on one shard.", "gauge", func(v shardView) any { return v.snap.Pending }},
+		{"krad_shard_queue_depth", "One shard's in-flight jobs against its admission share.", "gauge", func(v shardView) any { return v.snap.Active + v.snap.Pending }},
+	}
+	for _, m := range perShard {
+		for i, v := range views {
+			help := ""
+			if i == 0 {
+				help = m.help
+			}
+			metric(m.name, help, m.typ, m.value(v), fmt.Sprintf(`{shard="%d"}`, v.idx))
+		}
+	}
+
+	fmt.Fprintf(&b, "# HELP krad_response_steps Job response times in virtual steps (all shards).\n# TYPE krad_response_steps histogram\n")
 	var cum uint64
 	for i, bound := range hist.bounds {
-		cum += counts[i]
+		cum += hist.counts[i]
 		fmt.Fprintf(&b, "krad_response_steps_bucket{le=\"%g\"} %d\n", bound, cum)
 	}
-	cum += counts[len(hist.bounds)]
+	cum += hist.counts[len(hist.bounds)]
 	fmt.Fprintf(&b, "krad_response_steps_bucket{le=\"+Inf\"} %d\n", cum)
 	fmt.Fprintf(&b, "krad_response_steps_sum %g\n", hist.sum)
 	fmt.Fprintf(&b, "krad_response_steps_count %d\n", hist.count)

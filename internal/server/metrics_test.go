@@ -1,0 +1,79 @@
+package server
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramQuantile is the table-driven contract for the test-support
+// quantile: empty, single-bucket, boundary, and overflow(+Inf)-bucket
+// behavior.
+func TestHistogramQuantile(t *testing.T) {
+	cases := []struct {
+		name    string
+		bounds  []float64
+		observe []float64
+		q       float64
+		want    float64
+	}{
+		{"empty histogram", []float64{1, 2, 4}, nil, 0.5, 0},
+		{"empty histogram q=1", []float64{1, 2, 4}, nil, 1, 0},
+		{"single bucket", []float64{10}, []float64{3, 4, 5}, 0.5, 10},
+		{"single bucket q=0", []float64{10}, []float64{3}, 0, 10},
+		{"all in first bucket", []float64{1, 2, 4}, []float64{0.5, 1, 1}, 0.99, 1},
+		{"median on boundary", []float64{1, 2, 4}, []float64{1, 2, 2, 4}, 0.5, 2},
+		{"upper quantile", []float64{1, 2, 4}, []float64{1, 1, 1, 3}, 0.9, 4},
+		{"overflow bucket", []float64{1, 2, 4}, []float64{100}, 0.5, math.Inf(1)},
+		{"overflow tail only at q=1", []float64{1, 2, 4}, []float64{1, 1, 1, 99}, 0.75, 1},
+		{"q=1 reaches overflow", []float64{1, 2, 4}, []float64{1, 1, 1, 99}, 1, math.Inf(1)},
+		{"no bounds at all", nil, []float64{7}, 0.5, math.Inf(1)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			h := newHistogram(c.bounds)
+			for _, v := range c.observe {
+				h.observe(v)
+			}
+			got := h.quantile(c.q)
+			if got != c.want && !(math.IsInf(got, 1) && math.IsInf(c.want, 1)) {
+				t.Errorf("quantile(%g) = %g, want %g", c.q, got, c.want)
+			}
+		})
+	}
+}
+
+// TestHistogramMergeMatchesOracle checks the cross-shard merge against a
+// single histogram observing every sample directly: identical buckets,
+// count and sum — the merge is exact, not approximate.
+func TestHistogramMergeMatchesOracle(t *testing.T) {
+	shardSamples := [][]float64{
+		{1, 2, 3, 1000},
+		{0.5, 8, 8, 8, 40000}, // includes an overflow observation
+		{},                    // an idle shard contributes nothing
+		{7, 7, 7},
+	}
+	oracle := newHistogram(responseBuckets())
+	merged := newHistogram(responseBuckets())
+	for _, samples := range shardSamples {
+		sh := newHistogram(responseBuckets())
+		for _, v := range samples {
+			sh.observe(v)
+			oracle.observe(v)
+		}
+		merged.merge(sh)
+	}
+	if merged.count != oracle.count || merged.sum != oracle.sum {
+		t.Errorf("merged count=%d sum=%g, oracle count=%d sum=%g",
+			merged.count, merged.sum, oracle.count, oracle.sum)
+	}
+	for i := range oracle.counts {
+		if merged.counts[i] != oracle.counts[i] {
+			t.Errorf("bucket %d: merged %d, oracle %d", i, merged.counts[i], oracle.counts[i])
+		}
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1} {
+		if m, o := merged.quantile(q), oracle.quantile(q); m != o && !(math.IsInf(m, 1) && math.IsInf(o, 1)) {
+			t.Errorf("quantile(%g): merged %g, oracle %g", q, m, o)
+		}
+	}
+}

@@ -1,19 +1,29 @@
 // Package server wraps the incremental simulation engine (internal/sim's
-// Engine) in a goroutine-safe, long-running scheduler service: a step loop
-// driving the virtual clock, bounded job admission with backpressure,
-// per-job lifecycle tracking with response-time accounting, a subscriber
-// fan-out for per-step events, and graceful shutdown that drains in-flight
-// jobs. The HTTP/JSON surface exposed by cmd/kradd lives in http.go; the
-// Prometheus text metrics in metrics.go.
+// Engine) in a goroutine-safe, long-running scheduler service. The
+// architecture is layered: a shard (shard.go) is one engine plus the step
+// loop driving its virtual clock — bounded job admission with
+// backpressure, per-job lifecycle tracking with response-time accounting,
+// graceful drain. The Service is the admission front-end over N such
+// shards: it routes submissions through a pluggable Placement policy
+// (placement.go), namespaces job IDs so queries and cancellations reach
+// the owning shard without broadcast, fans every shard's step events into
+// one subscriber stream (fanout.go), and aggregates per-shard counters
+// into fleet-wide Stats and Prometheus metrics (metrics.go). K-RAD's
+// per-category analysis holds per machine, so a fleet of independent
+// engines preserves the paper's bounds shard by shard while step loops
+// scale across cores. The HTTP/JSON surface exposed by cmd/kradd lives in
+// http.go.
 package server
 
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
 	"krad/internal/metrics"
+	"krad/internal/sched"
 	"krad/internal/sim"
 )
 
@@ -30,10 +40,28 @@ var (
 type Config struct {
 	// Sim is the engine configuration: machine shape, scheduler, policies.
 	// Trace should normally stay sim.TraceNone for long-running services —
-	// traces grow without bound.
+	// traces grow without bound. Every shard gets an identical machine;
+	// shard i's engine seed is offset so PickRandom streams do not repeat
+	// across shards (shard 0 keeps the configured seed exactly). An
+	// Observer, if set, is invoked concurrently from every shard's step
+	// loop and must be goroutine-safe when Shards > 1.
 	Sim sim.Config
-	// MaxInFlight bounds admitted-but-unfinished jobs (pending + active).
-	// Submissions beyond it fail with ErrQueueFull. 0 means 256.
+	// Shards is the number of independent engines behind the admission
+	// front-end. 0 or 1 means a single engine, which is observationally
+	// identical to the pre-sharding service.
+	Shards int
+	// NewScheduler constructs one scheduler per shard. Required when
+	// Shards > 1: schedulers are stateful (K-RAD's round-robin queue,
+	// clairvoyant oracles), so independent step loops must not share one
+	// instance. When set it overrides Sim.Scheduler; with a single shard
+	// it may stay nil and Sim.Scheduler is used as-is.
+	NewScheduler func() sched.Scheduler
+	// Placement names the shard-routing policy: "round-robin" (default),
+	// "hash" (client-keyed affinity), or "least-loaded" (fewest in-flight).
+	Placement string
+	// MaxInFlight bounds admitted-but-unfinished jobs (pending + active)
+	// across the whole fleet; each shard gets an equal share (rounded up).
+	// Submissions beyond a shard's share fail with ErrQueueFull. 0 means 256.
 	MaxInFlight int
 	// StepEvery is the real-time duration of one virtual step. 0 steps as
 	// fast as the hardware allows whenever work is queued (useful for
@@ -41,31 +69,41 @@ type Config struct {
 	StepEvery time.Duration
 	// SubscriberBuffer is each event subscriber's channel capacity; events
 	// beyond it are dropped for that subscriber (counted, never blocking
-	// the step loop). 0 means 64.
+	// any step loop). 0 means 64.
 	SubscriberBuffer int
 }
 
-// Event is one step's happenings, fanned out to subscribers.
+// Event is one step's happenings on one shard, fanned out to subscribers.
 type Event struct {
-	// Step is the virtual clock after the step executed.
+	// Shard identifies the engine that stepped (omitted for shard 0, so a
+	// single-shard stream matches the pre-sharding wire format).
+	Shard int `json:"shard,omitempty"`
+	// Step is the shard's virtual clock after the step executed.
 	Step int64 `json:"step"`
 	// Executed[α−1] counts α-tasks executed this step.
 	Executed []int `json:"executed"`
-	// Released and Completed list job IDs changing state at this step.
+	// Released and Completed list namespaced job IDs changing state at
+	// this step.
 	Released  []int `json:"released,omitempty"`
 	Completed []int `json:"completed,omitempty"`
-	// Active and Pending count jobs after the step.
+	// Active and Pending count the shard's jobs after the step.
 	Active  int `json:"active"`
 	Pending int `json:"pending"`
 }
 
-// Stats is a point-in-time service summary.
+// Stats is a point-in-time service summary, aggregated across shards:
+// counters are sums, Now is the furthest shard clock, Utilization is
+// weighted by per-shard elapsed time, and Response merges every shard's
+// completed-job response times.
 type Stats struct {
 	Now       int64   `json:"now"`
 	Steps     int64   `json:"steps"`
 	K         int     `json:"k"`
+	// Caps is the per-shard machine shape (every shard is identical).
 	Caps      []int   `json:"caps"`
 	Scheduler string  `json:"scheduler"`
+	Shards    int     `json:"shards"`
+	Placement string  `json:"placement"`
 	Submitted int64   `json:"submitted"`
 	Completed int64   `json:"completed"`
 	Cancelled int64   `json:"cancelled"`
@@ -83,62 +121,73 @@ type Stats struct {
 	EventsDropped int64 `json:"events_dropped"`
 }
 
-// Service is the long-running scheduler: one engine, one step-loop
-// goroutine, any number of submitting/querying/subscribing goroutines.
+// Service is the long-running scheduler front-end: N shards (each one
+// engine plus one step-loop goroutine), one placement policy, any number
+// of submitting/querying/subscribing goroutines.
 type Service struct {
-	cfg Config
+	cfg        Config
+	shards     []*shard
+	place      Placement
+	fan        *fanout
+	schedName  string
+	retryAfter string // whole seconds for 503 Retry-After, from StepEvery
 
-	mu        sync.Mutex // guards eng and the counters below
-	eng       *sim.Engine
-	started   bool
-	closed    bool
-	stepErr   error
-	steps     int64
-	submitted int64
-	completed int64
-	cancelled int64
-	rejected  int64
-	responses []float64
-	respHist  *histogram
-
-	subMu         sync.Mutex
-	subs          map[int]chan Event
-	nextSub       int
-	subsClosed    bool
-	eventsDropped int64
-
-	wake chan struct{}
-	stop chan struct{}
-	done chan struct{}
+	mu      sync.Mutex
+	started bool
+	closed  bool
 }
 
-// New builds a Service around a fresh engine. Call Start to begin
+// New builds a Service around Shards fresh engines. Call Start to begin
 // stepping.
 func New(cfg Config) (*Service, error) {
-	eng, err := sim.NewEngine(cfg.Sim)
-	if err != nil {
-		return nil, err
-	}
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = 256
 	}
 	if cfg.SubscriberBuffer <= 0 {
 		cfg.SubscriberBuffer = 64
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards > 1 && cfg.NewScheduler == nil {
+		return nil, errors.New("server: Shards > 1 requires Config.NewScheduler — shards must not share one stateful scheduler instance")
+	}
+	place, err := NewPlacement(cfg.Placement)
+	if err != nil {
+		return nil, err
+	}
+	fan := newFanout(cfg.SubscriberBuffer)
+	perShard := (cfg.MaxInFlight + cfg.Shards - 1) / cfg.Shards
+	shards := make([]*shard, cfg.Shards)
+	schedName := ""
+	for i := range shards {
+		simCfg := cfg.Sim
+		simCfg.Seed += int64(i) << shardIDBits
+		if cfg.NewScheduler != nil {
+			simCfg.Scheduler = cfg.NewScheduler()
+		}
+		if i == 0 && simCfg.Scheduler != nil {
+			schedName = simCfg.Scheduler.Name()
+		}
+		sh, err := newShard(i, simCfg, perShard, cfg.StepEvery, fan)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = sh
+	}
 	return &Service{
-		cfg:      cfg,
-		eng:      eng,
-		respHist: newHistogram(responseBuckets()),
-		subs:     make(map[int]chan Event),
-		wake:     make(chan struct{}, 1),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		cfg:        cfg,
+		shards:     shards,
+		place:      place,
+		fan:        fan,
+		schedName:  schedName,
+		retryAfter: retryAfterSeconds(cfg.StepEvery),
 	}, nil
 }
 
-// Start launches the step loop. Extra calls are no-ops, as is starting a
-// closed service. A service that is never started still serves
-// submissions, queries and cancellations — the clock just never moves
+// Start launches every shard's step loop. Extra calls are no-ops, as is
+// starting a closed service. A service that is never started still serves
+// submissions, queries and cancellations — the clocks just never move
 // (useful in tests).
 func (s *Service) Start() {
 	s.mu.Lock()
@@ -148,268 +197,205 @@ func (s *Service) Start() {
 	}
 	s.started = true
 	s.mu.Unlock()
-	go s.loop()
+	for _, sh := range s.shards {
+		sh.start()
+	}
 }
 
-// Submit admits a job to the live engine and returns its assigned ID. A
-// zero Release means "now" (the current virtual step); a positive Release
-// is an absolute virtual time and must not lie in the past. Note that the
-// engine fast-forwards idle virtual-time gaps, so a future release delays
-// a job relative to other admitted work, not relative to wall-clock time.
-// Admission is bounded: once MaxInFlight jobs are pending or active,
-// Submit fails fast with ErrQueueFull so callers can shed or retry.
+// Shards returns the number of engines behind the front-end.
+func (s *Service) Shards() int { return len(s.shards) }
+
+// Submit admits a job via the placement policy (with no affinity key) and
+// returns its namespaced ID. A zero Release means "now" (the owning
+// shard's current virtual step); a positive Release is an absolute
+// virtual time and must not lie in the past. Note that engines
+// fast-forward idle virtual-time gaps, so a future release delays a job
+// relative to other work on its shard, not relative to wall-clock time.
+// Admission is bounded per shard: once a shard's share of MaxInFlight is
+// pending or active, submissions placed there fail fast with ErrQueueFull
+// so callers can shed or retry.
 func (s *Service) Submit(spec sim.JobSpec) (int, error) {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return -1, ErrClosed
-	}
-	if s.eng.Remaining() >= s.cfg.MaxInFlight {
-		s.rejected++
-		s.mu.Unlock()
-		return -1, ErrQueueFull
-	}
-	if spec.Release == 0 {
-		spec.Release = s.eng.Now()
-	}
-	id, err := s.eng.Admit(spec)
-	if err == nil {
-		s.submitted++
-	}
-	s.mu.Unlock()
+	return s.SubmitKeyed("", spec)
+}
+
+// SubmitKeyed is Submit with a placement affinity key: under the "hash"
+// policy, equal keys land on the same shard.
+func (s *Service) SubmitKeyed(key string, spec sim.JobSpec) (int, error) {
+	sh, err := s.pick(key)
 	if err != nil {
 		return -1, err
 	}
-	s.kick()
-	return id, nil
+	local, err := sh.submit(spec)
+	if err != nil {
+		return -1, err
+	}
+	return composeID(sh.idx, local), nil
+}
+
+// SubmitBatch admits every spec — or none — on a single shard chosen by
+// the placement policy, under one engine lock acquisition
+// (sim.Engine.AdmitBatch). It returns the namespaced IDs in spec order.
+// The whole batch must fit the shard's admission bound or it is rejected
+// with ErrQueueFull.
+func (s *Service) SubmitBatch(key string, specs []sim.JobSpec) ([]int, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	sh, err := s.pick(key)
+	if err != nil {
+		return nil, err
+	}
+	// Copy: the shard normalizes zero releases in place.
+	own := append([]sim.JobSpec(nil), specs...)
+	ids, err := sh.submitBatch(own)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = composeID(sh.idx, id)
+	}
+	return out, nil
+}
+
+// pick routes one submission: closed-check, then placement.
+func (s *Service) pick(key string) (*shard, error) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if len(s.shards) == 1 {
+		return s.shards[0], nil
+	}
+	loads := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		loads[i] = sh.inFlight()
+	}
+	return s.shards[s.place.Pick(key, loads)], nil
+}
+
+// shardFor resolves a namespaced job ID to its owning shard.
+func (s *Service) shardFor(id int) (*shard, bool) {
+	idx := ShardOf(id)
+	if idx < 0 || idx >= len(s.shards) {
+		return nil, false
+	}
+	return s.shards[idx], true
 }
 
 // Cancel withdraws a pending or active job; its processors are free from
-// the next step.
+// the owning shard's next step.
 func (s *Service) Cancel(id int) error {
-	s.mu.Lock()
-	err := s.eng.Cancel(id)
-	if err == nil {
-		s.cancelled++
+	sh, ok := s.shardFor(id)
+	if !ok {
+		return fmt.Errorf("server: no job %d", id)
 	}
-	s.mu.Unlock()
-	return err
+	return sh.cancel(LocalID(id))
 }
 
-// Job returns a job's lifecycle status.
+// Job returns a job's lifecycle status; the returned ID is the namespaced
+// one the job was submitted under.
 func (s *Service) Job(id int) (sim.JobStatus, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.eng.Job(id)
+	sh, ok := s.shardFor(id)
+	if !ok {
+		return sim.JobStatus{}, false
+	}
+	st, ok := sh.job(LocalID(id))
+	if ok {
+		st.ID = id
+	}
+	return st, ok
 }
 
-// Err returns the step loop's fatal error, if one occurred (e.g. a broken
-// scheduler tripping allotment validation). The service stops stepping
-// after a fatal error but keeps serving status queries.
+// Err returns the step loops' fatal errors, if any occurred (e.g. a
+// broken scheduler tripping allotment validation). A shard stops stepping
+// after a fatal error but the service keeps serving status queries.
 func (s *Service) Err() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stepErr
+	errs := make([]error, len(s.shards))
+	for i, sh := range s.shards {
+		errs[i] = sh.err()
+	}
+	return errors.Join(errs...)
 }
 
-// Stats summarizes the service.
+// Stats summarizes the service across every shard.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
-	snap := s.eng.Snapshot()
-	st := Stats{
-		Now:         snap.Now,
-		Steps:       s.steps,
-		K:           snap.K,
-		Caps:        snap.Caps,
-		Scheduler:   s.cfg.Sim.Scheduler.Name(),
-		Submitted:   s.submitted,
-		Completed:   s.completed,
-		Cancelled:   s.cancelled,
-		Rejected:    s.rejected,
-		Active:      snap.Active,
-		Pending:     snap.Pending,
-		InFlight:    snap.Active + snap.Pending,
-		MaxInFlight: s.cfg.MaxInFlight,
-		Draining:    s.closed,
-		Utilization: snap.Utilization(),
-		Response:    metrics.Summarize(s.responses),
-	}
+	draining := s.closed
 	s.mu.Unlock()
-	s.subMu.Lock()
-	st.EventsDropped = s.eventsDropped
-	s.subMu.Unlock()
+
+	st := Stats{
+		K:           s.cfg.Sim.K,
+		Scheduler:   s.schedName,
+		Shards:      len(s.shards),
+		Placement:   s.place.Name(),
+		Draining:    draining,
+		Utilization: make([]float64, s.cfg.Sim.K),
+	}
+	execTotal := make([]int64, s.cfg.Sim.K)
+	var elapsed int64
+	var responses []float64
+	for _, sh := range s.shards {
+		v := sh.view()
+		if st.Caps == nil {
+			st.Caps = v.snap.Caps
+		}
+		if v.snap.Now > st.Now {
+			st.Now = v.snap.Now
+		}
+		st.Steps += v.steps
+		st.Submitted += v.submitted
+		st.Completed += v.completed
+		st.Cancelled += v.cancelled
+		st.Rejected += v.rejected
+		st.Active += v.snap.Active
+		st.Pending += v.snap.Pending
+		st.MaxInFlight += sh.maxInFlight
+		elapsed += v.snap.Now
+		for a, w := range v.snap.ExecutedTotal {
+			execTotal[a] += w
+		}
+		responses = append(responses, v.responses...)
+	}
+	st.InFlight = st.Active + st.Pending
+	if elapsed > 0 {
+		for a, w := range execTotal {
+			st.Utilization[a] = float64(w) / (float64(st.Caps[a]) * float64(elapsed))
+		}
+	}
+	st.Response = metrics.Summarize(responses)
+	_, st.EventsDropped = s.fan.stats()
 	return st
 }
 
-// Subscribe registers an event listener. The returned cancel function
-// unsubscribes and closes the channel; the channel also closes when the
-// service shuts down. Slow subscribers lose events rather than slowing
-// the step loop.
+// Subscribe registers an event listener over the merged stream of every
+// shard's step events. The returned cancel function unsubscribes and
+// closes the channel; the channel also closes when the service shuts
+// down. Slow subscribers lose events rather than slowing any step loop.
 func (s *Service) Subscribe() (<-chan Event, func()) {
-	ch := make(chan Event, s.cfg.SubscriberBuffer)
-	s.subMu.Lock()
-	if s.subsClosed {
-		s.subMu.Unlock()
-		close(ch)
-		return ch, func() {}
-	}
-	id := s.nextSub
-	s.nextSub++
-	s.subs[id] = ch
-	s.subMu.Unlock()
-	cancel := func() {
-		s.subMu.Lock()
-		if c, ok := s.subs[id]; ok {
-			delete(s.subs, id)
-			close(c)
-		}
-		s.subMu.Unlock()
-	}
-	return ch, cancel
+	return s.fan.subscribe()
 }
 
-// Close stops admission, drains in-flight jobs (stepping until the engine
-// is idle), then stops the loop and closes subscriber channels. If ctx
-// expires first, the loop is stopped immediately, abandoning unfinished
-// jobs.
+// Close stops admission, drains in-flight jobs on every shard in
+// parallel (stepping until each engine is idle), then stops the loops and
+// closes subscriber channels. If ctx expires first, the remaining loops
+// are stopped immediately, abandoning unfinished jobs.
 func (s *Service) Close(ctx context.Context) error {
 	s.mu.Lock()
-	already := s.closed
 	s.closed = true
-	started := s.started
 	s.mu.Unlock()
-	if !started {
-		if !already {
-			s.closeSubs()
-			close(s.done)
-		}
-		return nil
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			errs[i] = sh.close(ctx)
+		}(i, sh)
 	}
-	s.kick()
-	select {
-	case <-s.done:
-		return nil
-	case <-ctx.Done():
-		close(s.stop)
-		<-s.done
-		return ctx.Err()
-	}
-}
-
-// kick wakes the loop if it is parked.
-func (s *Service) kick() {
-	select {
-	case s.wake <- struct{}{}:
-	default:
-	}
-}
-
-// loop is the single goroutine that owns stepping. Each iteration: if the
-// engine has work, execute one step under the lock and fan the event out;
-// otherwise park until a submission (or shutdown) arrives.
-func (s *Service) loop() {
-	defer close(s.done)
-	defer s.closeSubs()
-	var tick *time.Ticker
-	if s.cfg.StepEvery > 0 {
-		tick = time.NewTicker(s.cfg.StepEvery)
-		defer tick.Stop()
-	}
-	for {
-		s.mu.Lock()
-		if s.stepErr != nil {
-			s.mu.Unlock()
-			// A fatal step error ends stepping; wait for shutdown.
-			select {
-			case <-s.stop:
-				return
-			case <-s.wake:
-				s.mu.Lock()
-				if s.closed {
-					s.mu.Unlock()
-					return
-				}
-				s.mu.Unlock()
-				continue
-			}
-		}
-		idle := s.eng.Idle()
-		closing := s.closed
-		if idle {
-			s.mu.Unlock()
-			if closing {
-				return // drained: all admitted work finished
-			}
-			select {
-			case <-s.wake:
-			case <-s.stop:
-				return
-			}
-			continue
-		}
-		info, err := s.eng.Step()
-		if err != nil {
-			s.stepErr = err
-			s.mu.Unlock()
-			continue
-		}
-		s.steps++
-		for _, id := range info.Completed {
-			st, _ := s.eng.Job(id)
-			r := float64(st.Completion - st.Release)
-			s.responses = append(s.responses, r)
-			s.respHist.observe(r)
-			s.completed++
-		}
-		pending := s.eng.Snapshot().Pending
-		s.mu.Unlock()
-
-		s.publish(Event{
-			Step:      info.Step,
-			Executed:  info.Executed,
-			Released:  info.Released,
-			Completed: info.Completed,
-			Active:    info.Active,
-			Pending:   pending,
-		})
-
-		if tick != nil {
-			select {
-			case <-tick.C:
-			case <-s.stop:
-				return
-			}
-		} else {
-			select {
-			case <-s.stop:
-				return
-			default:
-			}
-		}
-	}
-}
-
-// publish fans an event out to every subscriber, dropping (and counting)
-// on full buffers so a stalled reader never blocks the clock.
-func (s *Service) publish(ev Event) {
-	s.subMu.Lock()
-	for _, ch := range s.subs {
-		select {
-		case ch <- ev:
-		default:
-			s.eventsDropped++
-		}
-	}
-	s.subMu.Unlock()
-}
-
-// closeSubs closes every subscriber channel at shutdown.
-func (s *Service) closeSubs() {
-	s.subMu.Lock()
-	s.subsClosed = true
-	for id, ch := range s.subs {
-		delete(s.subs, id)
-		close(ch)
-	}
-	s.subMu.Unlock()
+	wg.Wait()
+	s.fan.close()
+	return errors.Join(errs...)
 }

@@ -1,0 +1,331 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"krad/internal/sim"
+)
+
+// shard is one independent scheduling engine and the goroutine that steps
+// it: the pre-sharding Service extracted whole. Each shard owns its own
+// sim.Engine, admission bound, lifecycle counters and response histogram;
+// the Service front-end routes submissions across shards and aggregates
+// their state. K-RAD's per-category analysis holds per machine, so every
+// shard preserves the paper's bounds independently.
+type shard struct {
+	idx         int
+	maxInFlight int
+	stepEvery   time.Duration
+	fan         *fanout
+
+	mu        sync.Mutex // guards eng and the counters below
+	eng       *sim.Engine
+	started   bool
+	closed    bool
+	stepErr   error
+	steps     int64
+	submitted int64
+	completed int64
+	cancelled int64
+	rejected  int64
+	responses []float64
+	respHist  *histogram
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+// shardView is a locked snapshot of one shard's counters, taken for
+// Stats and /metrics aggregation.
+type shardView struct {
+	idx       int
+	snap      sim.EngineSnapshot
+	steps     int64
+	submitted int64
+	completed int64
+	cancelled int64
+	rejected  int64
+	stepErr   error
+	responses []float64
+	hist      histogram // counts copied; safe to merge
+}
+
+func newShard(idx int, simCfg sim.Config, maxInFlight int, stepEvery time.Duration, fan *fanout) (*shard, error) {
+	eng, err := sim.NewEngine(simCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &shard{
+		idx:         idx,
+		maxInFlight: maxInFlight,
+		stepEvery:   stepEvery,
+		fan:         fan,
+		eng:         eng,
+		respHist:    newHistogram(responseBuckets()),
+		wake:        make(chan struct{}, 1),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}, nil
+}
+
+// start launches the step loop. Extra calls are no-ops, as is starting a
+// closed shard. A shard that is never started still serves submissions,
+// queries and cancellations — the clock just never moves (useful in
+// tests).
+func (sh *shard) start() {
+	sh.mu.Lock()
+	if sh.started || sh.closed {
+		sh.mu.Unlock()
+		return
+	}
+	sh.started = true
+	sh.mu.Unlock()
+	go sh.loop()
+}
+
+// submit admits one job and returns its engine-local ID.
+func (sh *shard) submit(spec sim.JobSpec) (int, error) {
+	ids, err := sh.submitBatch([]sim.JobSpec{spec})
+	if err != nil {
+		return -1, err
+	}
+	return ids[0], nil
+}
+
+// submitBatch admits every spec — or none — under one lock acquisition,
+// returning engine-local IDs. The whole batch is rejected with
+// ErrQueueFull when it does not fit the shard's admission bound, and each
+// member counts as a rejection.
+func (sh *shard) submitBatch(specs []sim.JobSpec) ([]int, error) {
+	sh.mu.Lock()
+	if sh.closed {
+		sh.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if sh.eng.Remaining()+len(specs) > sh.maxInFlight {
+		sh.rejected += int64(len(specs))
+		sh.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	for i := range specs {
+		if specs[i].Release == 0 {
+			specs[i].Release = sh.eng.Now()
+		}
+	}
+	ids, err := sh.eng.AdmitBatch(specs)
+	if err == nil {
+		sh.submitted += int64(len(ids))
+	}
+	sh.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	sh.kick()
+	return ids, nil
+}
+
+// cancel withdraws a pending or active job (engine-local ID); its
+// processors are free from the next step.
+func (sh *shard) cancel(id int) error {
+	sh.mu.Lock()
+	err := sh.eng.Cancel(id)
+	if err == nil {
+		sh.cancelled++
+	}
+	sh.mu.Unlock()
+	return err
+}
+
+// job returns a job's lifecycle status by engine-local ID.
+func (sh *shard) job(id int) (sim.JobStatus, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.eng.Job(id)
+}
+
+// err returns the step loop's fatal error, if one occurred.
+func (sh *shard) err() error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.stepErr
+}
+
+// inFlight returns the shard's pending + active job count (the placement
+// load signal).
+func (sh *shard) inFlight() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.eng.Remaining()
+}
+
+// view snapshots the shard's counters for aggregation.
+func (sh *shard) view() shardView {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	v := shardView{
+		idx:       sh.idx,
+		snap:      sh.eng.Snapshot(),
+		steps:     sh.steps,
+		submitted: sh.submitted,
+		completed: sh.completed,
+		cancelled: sh.cancelled,
+		rejected:  sh.rejected,
+		stepErr:   sh.stepErr,
+		responses: append([]float64(nil), sh.responses...),
+		hist:      *sh.respHist,
+	}
+	v.hist.counts = append([]uint64(nil), sh.respHist.counts...)
+	return v
+}
+
+// close stops admission and drains in-flight jobs (the loop keeps
+// stepping until the engine is idle). If ctx expires first, the loop is
+// stopped immediately, abandoning unfinished jobs.
+func (sh *shard) close(ctx context.Context) error {
+	sh.mu.Lock()
+	already := sh.closed
+	sh.closed = true
+	started := sh.started
+	sh.mu.Unlock()
+	if !started {
+		if !already {
+			close(sh.done)
+		}
+		return nil
+	}
+	sh.kick()
+	select {
+	case <-sh.done:
+		return nil
+	case <-ctx.Done():
+		close(sh.stop)
+		<-sh.done
+		return ctx.Err()
+	}
+}
+
+// kick wakes the loop if it is parked.
+func (sh *shard) kick() {
+	select {
+	case sh.wake <- struct{}{}:
+	default:
+	}
+}
+
+// stepOnce executes one engine step if work is queued: the clock
+// advances, counters update, and the step event fans out with namespaced
+// job IDs. It reports false without stepping when the engine is idle or a
+// previous step failed fatally. The loop drives it; tests that need a
+// hand-driven clock call it directly instead of start.
+func (sh *shard) stepOnce() (bool, error) {
+	sh.mu.Lock()
+	if sh.stepErr != nil {
+		err := sh.stepErr
+		sh.mu.Unlock()
+		return false, err
+	}
+	if sh.eng.Idle() {
+		sh.mu.Unlock()
+		return false, nil
+	}
+	info, err := sh.eng.Step()
+	if err != nil {
+		sh.stepErr = err
+		sh.mu.Unlock()
+		return false, err
+	}
+	sh.steps++
+	for _, id := range info.Completed {
+		st, _ := sh.eng.Job(id)
+		r := float64(st.Completion - st.Release)
+		sh.responses = append(sh.responses, r)
+		sh.respHist.observe(r)
+		sh.completed++
+	}
+	pending := sh.eng.Snapshot().Pending
+	sh.mu.Unlock()
+
+	sh.fan.publish(Event{
+		Shard:     sh.idx,
+		Step:      info.Step,
+		Executed:  info.Executed,
+		Released:  sh.namespace(info.Released),
+		Completed: sh.namespace(info.Completed),
+		Active:    info.Active,
+		Pending:   pending,
+	})
+	return true, nil
+}
+
+// namespace rewrites engine-local job IDs into pool-wide IDs. For shard 0
+// this is the identity, preserving the single-shard wire format.
+func (sh *shard) namespace(ids []int) []int {
+	if sh.idx == 0 || len(ids) == 0 {
+		return ids
+	}
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = composeID(sh.idx, id)
+	}
+	return out
+}
+
+// loop is the single goroutine that owns stepping. Each iteration: if the
+// engine has work, execute one step and fan the event out; otherwise park
+// until a submission (or shutdown) arrives. After a fatal step error the
+// loop stops stepping but stays up for shutdown.
+func (sh *shard) loop() {
+	defer close(sh.done)
+	var tick *time.Ticker
+	if sh.stepEvery > 0 {
+		tick = time.NewTicker(sh.stepEvery)
+		defer tick.Stop()
+	}
+	for {
+		progressed, err := sh.stepOnce()
+		if err != nil {
+			select {
+			case <-sh.stop:
+				return
+			case <-sh.wake:
+				sh.mu.Lock()
+				closed := sh.closed
+				sh.mu.Unlock()
+				if closed {
+					return
+				}
+				continue
+			}
+		}
+		if !progressed {
+			sh.mu.Lock()
+			closing := sh.closed
+			sh.mu.Unlock()
+			if closing {
+				return // drained: all admitted work finished
+			}
+			select {
+			case <-sh.wake:
+			case <-sh.stop:
+				return
+			}
+			continue
+		}
+		if tick != nil {
+			select {
+			case <-tick.C:
+			case <-sh.stop:
+				return
+			}
+		} else {
+			select {
+			case <-sh.stop:
+				return
+			default:
+			}
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"krad/internal/core"
+	"krad/internal/dag"
+)
+
+// TestAdmitBatchMatchesSerialAdmit checks that one AdmitBatch call is
+// observationally identical to the same specs admitted one Admit at a
+// time: same IDs, same schedule, same completions.
+func TestAdmitBatchMatchesSerialAdmit(t *testing.T) {
+	mkCfg := func() Config {
+		return Config{
+			K: 3, Caps: []int{2, 2, 2}, Scheduler: core.NewKRAD(3),
+			Pick: dag.PickFIFO, ValidateAllotments: true,
+		}
+	}
+	specs := onlineSpecs()
+
+	serial, err := NewEngine(mkCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serialIDs := make([]int, len(specs))
+	for i, s := range specs {
+		id, err := serial.Admit(s)
+		if err != nil {
+			t.Fatalf("serial admit %d: %v", i, err)
+		}
+		serialIDs[i] = id
+	}
+
+	batch, err := NewEngine(mkCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchIDs, err := batch.AdmitBatch(specs)
+	if err != nil {
+		t.Fatalf("AdmitBatch: %v", err)
+	}
+	if !reflect.DeepEqual(serialIDs, batchIDs) {
+		t.Fatalf("IDs differ: serial %v batch %v", serialIDs, batchIDs)
+	}
+
+	for serial.Remaining() > 0 || batch.Remaining() > 0 {
+		si, err := serial.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bi, err := batch.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(si, bi) {
+			t.Fatalf("step diverged: serial %+v batch %+v", si, bi)
+		}
+	}
+	sr, br := serial.Result(), batch.Result()
+	if sr.Makespan != br.Makespan || !reflect.DeepEqual(sr.Jobs, br.Jobs) {
+		t.Fatalf("results diverged: serial %+v batch %+v", sr, br)
+	}
+}
+
+// TestAdmitBatchAllOrNothing checks the atomicity contract: a batch with
+// one invalid spec admits nothing and leaves the engine untouched.
+func TestAdmitBatchAllOrNothing(t *testing.T) {
+	cfg := Config{
+		K: 2, Caps: []int{2, 2}, Scheduler: core.NewKRAD(2),
+		Pick: dag.PickFIFO, ValidateAllotments: true,
+	}
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Admit(JobSpec{Graph: dag.Singleton(2, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	before := eng.Snapshot()
+
+	bad := []JobSpec{
+		{Graph: dag.Singleton(2, 1)},
+		{Graph: dag.Singleton(3, 1)}, // K mismatch: invalidates the batch
+		{Graph: dag.Singleton(2, 2)},
+	}
+	ids, err := eng.AdmitBatch(bad)
+	if err == nil {
+		t.Fatalf("batch with K-mismatched member admitted: ids %v", ids)
+	}
+	if after := eng.Snapshot(); !reflect.DeepEqual(before, after) {
+		t.Errorf("failed batch mutated engine: before %+v after %+v", before, after)
+	}
+
+	// Past releases are rejected batch-wide too.
+	for eng.Remaining() > 0 {
+		if _, err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if eng.Now() == 0 {
+		t.Fatal("clock did not advance")
+	}
+	if _, err := eng.AdmitBatch([]JobSpec{
+		{Graph: dag.Singleton(2, 1), Release: eng.Now()},
+		{Graph: dag.Singleton(2, 1), Release: eng.Now() - 1},
+	}); err == nil {
+		t.Error("past-release batch member accepted")
+	}
+	if got := eng.Snapshot().Admitted; got != 1 {
+		t.Errorf("admitted %d jobs, want 1", got)
+	}
+
+	// The engine still works after rejected batches: a valid batch admits
+	// with sequential IDs continuing from the serial admission.
+	ids, err = eng.AdmitBatch([]JobSpec{
+		{Graph: dag.Singleton(2, 1), Release: eng.Now()},
+		{Graph: dag.Singleton(2, 2), Release: eng.Now() + 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []int{1, 2}) {
+		t.Errorf("batch IDs %v, want [1 2]", ids)
+	}
+	if ids, err = eng.AdmitBatch(nil); err != nil || ids != nil {
+		t.Errorf("empty batch: ids %v err %v", ids, err)
+	}
+	for eng.Remaining() > 0 {
+		if _, err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := eng.Snapshot().Completed; got != 3 {
+		t.Errorf("completed %d, want 3", got)
+	}
+}

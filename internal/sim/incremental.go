@@ -193,12 +193,50 @@ func (e *Engine) Idle() bool { return len(e.active) == 0 && len(e.pending) == 0 
 // the past (release ≥ Now); a job released at r becomes schedulable at
 // step r+1.
 func (e *Engine) Admit(spec JobSpec) (int, error) {
-	id := len(e.jobs)
-	if err := checkSpec(&e.cfg, spec, id); err != nil {
+	js, tasks, err := e.prepare(spec, len(e.jobs))
+	if err != nil {
 		return -1, err
 	}
+	e.commit(js, tasks)
+	return js.id, nil
+}
+
+// AdmitBatch admits every spec under one validation pass, assigning IDs in
+// slice order. It is all-or-nothing: if any spec is invalid, no job is
+// admitted and the engine is unchanged. Besides atomicity, the point is
+// contention: callers that serialize engine access (internal/server) pay
+// one lock acquisition for the whole burst instead of one per job.
+func (e *Engine) AdmitBatch(specs []JobSpec) ([]int, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	base := len(e.jobs)
+	states := make([]*jobState, len(specs))
+	taskCounts := make([]int, len(specs))
+	for i, spec := range specs {
+		js, tasks, err := e.prepare(spec, base+i)
+		if err != nil {
+			return nil, err
+		}
+		states[i], taskCounts[i] = js, tasks
+	}
+	ids := make([]int, len(specs))
+	for i, js := range states {
+		e.commit(js, taskCounts[i])
+		ids[i] = js.id
+	}
+	return ids, nil
+}
+
+// prepare validates one spec against the engine's clock and configuration
+// and builds its jobState without touching engine state, so a batch can
+// validate every member before admitting any.
+func (e *Engine) prepare(spec JobSpec, id int) (*jobState, int, error) {
+	if err := checkSpec(&e.cfg, spec, id); err != nil {
+		return nil, 0, err
+	}
 	if spec.Release < e.now {
-		return -1, fmt.Errorf("sim: job %d release %d is in the past (clock is at %d)", id, spec.Release, e.now)
+		return nil, 0, fmt.Errorf("sim: job %d release %d is in the past (clock is at %d)", id, spec.Release, e.now)
 	}
 	src := spec.source()
 	rt := src.NewRuntime(e.cfg.Pick, e.cfg.Seed+int64(id))
@@ -213,16 +251,20 @@ func (e *Engine) Admit(spec JobSpec) (int, error) {
 	js.taskRT, _ = rt.(TaskRuntime)
 	js.floorRT, _ = rt.(FloorRuntime)
 	if e.cfg.Trace >= TraceTasks && js.taskRT == nil {
-		return -1, fmt.Errorf("sim: job %d (%s) runtime cannot report task IDs; TraceTasks requires DAG-backed jobs", id, src.Name())
+		return nil, 0, fmt.Errorf("sim: job %d (%s) runtime cannot report task IDs; TraceTasks requires DAG-backed jobs", id, src.Name())
 	}
+	return js, src.TotalTasks(), nil
+}
+
+// commit registers a prepared jobState with the engine.
+func (e *Engine) commit(js *jobState, tasks int) {
 	e.jobs = append(e.jobs, js)
 	e.insertPending(js)
 	e.remaining++
-	e.totalWork += int64(src.TotalTasks())
-	if spec.Release > e.maxRelease {
-		e.maxRelease = spec.Release
+	e.totalWork += int64(tasks)
+	if js.release > e.maxRelease {
+		e.maxRelease = js.release
 	}
-	return id, nil
 }
 
 // Cancel withdraws an unfinished job. A pending job simply never releases;
