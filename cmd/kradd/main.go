@@ -10,12 +10,28 @@
 //	DELETE /v1/jobs/{id}  cancel a pending/active job
 //	GET    /v1/events     SSE stream of step events (all shards)
 //	GET    /metrics       Prometheus text exposition (fleet + per-shard)
-//	GET    /healthz       liveness + aggregated service stats
+//	GET    /healthz       liveness + aggregated service stats (always 200)
+//	GET    /readyz        readiness (503 while replaying, draining or
+//	                      journal-degraded)
 //
 // Usage:
 //
 //	kradd -addr :8080 -k 3 -caps 4,4,4 -sched k-rad -step 50ms -queue 256
 //	kradd -addr :8080 -shards 4 -placement hash -queue 1024
+//	kradd -addr :8080 -journal-dir /var/lib/kradd -fsync always
+//
+// With -journal-dir set, every committed mutation is write-ahead-journaled
+// (one file per shard) and replayed on startup, so a crash or restart
+// loses nothing that was acknowledged: job IDs, virtual time and scheduler
+// state come back bit-identical. -fsync picks the durability/latency
+// trade-off (always, interval, never); -snapshot-every bounds replay time
+// by compacting each journal to one snapshot record at idle points. A
+// journal the daemon cannot replay (corrupt interior record, version
+// mismatch, wrong shard count) is a fatal startup error — kradd exits
+// non-zero naming the file, offset and record rather than serving silently
+// forgotten state. The listener comes up before replay, answering
+// /healthz 200 and /readyz 503 so orchestrators keep the pod alive while
+// long replays run.
 //
 // With -shards N the daemon runs N independent simulation engines behind
 // one admission front-end; -placement picks how submissions are routed
@@ -43,15 +59,48 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"krad/internal/analysis"
 	"krad/internal/dag"
+	"krad/internal/journal"
 	"krad/internal/sched"
 	"krad/internal/server"
 	"krad/internal/sim"
 )
+
+// swapHandler atomically swaps the bootstrap handler for the real service
+// handler once startup (journal replay included) completes.
+type swapHandler struct{ h atomic.Value }
+
+func newSwapHandler(h http.Handler) *swapHandler {
+	s := &swapHandler{}
+	s.h.Store(h)
+	return s
+}
+
+func (s *swapHandler) swap(h http.Handler) { s.h.Store(h) }
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.h.Load().(http.Handler).ServeHTTP(w, r)
+}
+
+// bootstrapHandler serves while the journal replays: alive but not ready.
+func bootstrapHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"starting"}` + "\n"))
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"status":"unavailable","reason":"replaying journal"}` + "\n"))
+	})
+	return mux
+}
 
 func main() {
 	log.SetFlags(0)
@@ -71,6 +120,10 @@ func main() {
 		shardFlag = flag.Int("shards", 1, "number of independent engine shards")
 		placeFlag = flag.String("placement", server.PlaceRoundRobin,
 			"shard placement policy: round-robin, hash, least-loaded")
+		journalFlag  = flag.String("journal-dir", "", "write-ahead journal directory (empty = no durability)")
+		fsyncFlag    = flag.String("fsync", "always", "journal fsync policy: always, interval, never")
+		fsyncIntFlag = flag.Duration("fsync-interval", 100*time.Millisecond, "min spacing between fsyncs under -fsync=interval")
+		snapFlag     = flag.Int64("snapshot-every", 10000, "compact a shard journal after this many records at an idle point (0 = never)")
 	)
 	flag.Parse()
 
@@ -86,7 +139,36 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var journalCfg *server.JournalConfig
+	if *journalFlag != "" {
+		policy, err := journal.ParseSyncPolicy(*fsyncFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		journalCfg = &server.JournalConfig{
+			Dir:           *journalFlag,
+			Sync:          policy,
+			SyncInterval:  *fsyncIntFlag,
+			SnapshotEvery: *snapFlag,
+		}
+	}
 
+	// The listener comes up before the service: journal replay can take a
+	// while, and an orchestrator probing /healthz must see the process
+	// alive (200) but not ready (/readyz 503) until replay finishes. The
+	// bootstrap handler is swapped for the real one once New returns.
+	handler := newSwapHandler(bootstrapHandler())
+	srv := &http.Server{
+		Addr:              *addrFlag,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	if journalCfg != nil {
+		log.Printf("replaying journal from %s (fsync=%s snapshot-every=%d)", journalCfg.Dir, journalCfg.Sync, journalCfg.SnapshotEvery)
+	}
 	svc, err := server.New(server.Config{
 		Sim: sim.Config{
 			K: *kFlag, Caps: caps, Scheduler: scheduler, Pick: pick,
@@ -104,23 +186,20 @@ func main() {
 			s, _ := analysis.NewScheduler(*schedFlag, *kFlag)
 			return s
 		},
+		Journal: journalCfg,
 	})
 	if err != nil {
+		// A journal that cannot be replayed (corrupt record, version
+		// mismatch, shard-count mismatch) lands here: exit non-zero with
+		// the located error instead of serving forgotten state.
 		log.Fatal(err)
 	}
 	svc.Start()
-
-	srv := &http.Server{
-		Addr:              *addrFlag,
-		Handler:           svc.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
+	handler.swap(svc.Handler())
 
 	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer cancel()
 
-	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("listening on %s (K=%d caps=%v sched=%s step=%v queue=%d shards=%d placement=%s)",
 		*addrFlag, *kFlag, caps, *schedFlag, *stepFlag, *queueFlag, *shardFlag, *placeFlag)
 

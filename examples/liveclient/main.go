@@ -24,6 +24,12 @@
 // In every mode the client audits itself before exiting: each submitted
 // job ID is fetched back and must be in state "done". A silently lost
 // submission makes the process exit non-zero.
+//
+// Submissions that bounce with 503 (admission backpressure, or a daemon
+// whose journal disk has degraded) are retried: the client honors the
+// server's Retry-After hint, layered under capped exponential backoff
+// with jitter so a fleet of clients doesn't hammer in lockstep. The
+// final report counts how many retries the run needed.
 package main
 
 import (
@@ -34,9 +40,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -129,6 +137,11 @@ func main() {
 	fmt.Println("\nper-shard completions:")
 	for s := 0; s < shards; s++ {
 		fmt.Printf("  shard %d: %3d jobs\n", s, perShard[s])
+	}
+	if retries503 > 0 {
+		fmt.Printf("\nsubmission retries: %d (503 backpressure, Retry-After honored)\n", retries503)
+	} else {
+		fmt.Println("\nsubmission retries: 0")
 	}
 	if lost > 0 {
 		log.Fatalf("%d of %d submissions lost", lost, len(ids))
@@ -299,12 +312,55 @@ type jobStatus struct {
 	Span     int    `json:"span"`
 }
 
+// retries503 counts submissions that bounced with 503 and were retried.
+// Submissions run on one goroutine, so a plain counter suffices.
+var retries503 int
+
+// postRetry posts a JSON body, retrying 503 responses. Each retry waits
+// at least the server's Retry-After hint (whole seconds on the wire) and
+// at least the current backoff step — doubling from 25ms, capped at 2s —
+// plus up to 50% jitter so concurrent clients desynchronize. Any other
+// status, success or failure, is returned to the caller as-is.
+func postRetry(url string, body []byte) (*http.Response, error) {
+	backoff := 25 * time.Millisecond
+	const (
+		maxBackoff = 2 * time.Second
+		maxRetries = 20
+	)
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			return resp, nil
+		}
+		retryAfter := resp.Header.Get("Retry-After")
+		resp.Body.Close()
+		if attempt == maxRetries {
+			return nil, fmt.Errorf("giving up after %d retries: server still answering 503", maxRetries)
+		}
+		wait := backoff
+		if secs, err := strconv.Atoi(retryAfter); err == nil && secs > 0 {
+			if hint := time.Duration(secs) * time.Second; hint > wait {
+				wait = hint
+			}
+		}
+		wait += time.Duration(rand.Int63n(int64(wait)/2 + 1))
+		retries503++
+		time.Sleep(wait)
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
 func submit(base string, g *dag.Graph) (int, error) {
 	body, err := json.Marshal(map[string]any{"graph": g})
 	if err != nil {
 		return -1, err
 	}
-	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	resp, err := postRetry(base+"/v1/jobs", body)
 	if err != nil {
 		return -1, err
 	}
@@ -332,7 +388,7 @@ func submitBatch(base string, graphs []*dag.Graph) ([]int, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	resp, err := http.Post(base+"/v1/jobs/batch", "application/json", bytes.NewReader(body))
+	resp, err := postRetry(base+"/v1/jobs/batch", body)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -1,6 +1,10 @@
 package core
 
 import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
 	"krad/internal/sched"
 )
 
@@ -95,9 +99,43 @@ func (r *RAD) JobsDone(ids []int) {
 	}
 }
 
+// radState is the serialized form of a RAD's cross-step state.
+type radState struct {
+	Marked []int `json:"marked,omitempty"`
+	Rot    int   `json:"rot"`
+}
+
+// SnapshotState captures the round-robin marks and the bonus-service
+// rotation, the only state RAD carries between steps. Marked IDs are
+// sorted so the encoding is deterministic.
+func (r *RAD) SnapshotState() ([]byte, error) {
+	st := radState{Rot: r.rot}
+	for id := range r.marked {
+		st.Marked = append(st.Marked, id)
+	}
+	sort.Ints(st.Marked)
+	return json.Marshal(st)
+}
+
+// RestoreState rebuilds the marks and rotation from a SnapshotState
+// encoding.
+func (r *RAD) RestoreState(data []byte) error {
+	var st radState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("core: decode rad state: %w", err)
+	}
+	clear(r.marked)
+	for _, id := range st.Marked {
+		r.marked[id] = true
+	}
+	r.rot = st.Rot
+	return nil
+}
+
 var (
-	_ sched.CategoryScheduler = (*RAD)(nil)
-	_ sched.CategoryCompleter = (*RAD)(nil)
+	_ sched.CategoryScheduler   = (*RAD)(nil)
+	_ sched.CategoryCompleter   = (*RAD)(nil)
+	_ sched.CategorySnapshotter = (*RAD)(nil)
 )
 
 // NewKRAD returns the paper's K-RAD scheduler for k resource categories:

@@ -1,0 +1,86 @@
+package journal
+
+import (
+	"sync"
+	"syscall"
+)
+
+// FaultMode selects how a FaultFile fails once its budget is spent.
+type FaultMode int
+
+const (
+	// FaultErr fails the whole write with the configured error.
+	FaultErr FaultMode = iota
+	// FaultShortWrite writes the bytes that fit the budget and reports a
+	// short count with the configured error — the torn-write shape.
+	FaultShortWrite
+)
+
+// FaultFile wraps a File and injects a write failure once N total bytes
+// have been written through it — the test double for a filling disk. The
+// first write that would cross the budget fails (entirely or short, per
+// Mode) with Err; every later write fails immediately. Sync succeeds
+// until the first failed write and fails after it, like a real
+// filesystem reporting delayed allocation errors.
+type FaultFile struct {
+	// F is the underlying file (often a real *os.File in integration
+	// tests, or nil with Discard below for pure unit tests).
+	F File
+	// N is the byte budget before the fault fires.
+	N int64
+	// Err is the injected error; nil means syscall.ENOSPC.
+	Err error
+	// Mode picks the failure shape.
+	Mode FaultMode
+
+	mu      sync.Mutex
+	written int64
+	tripped bool
+}
+
+func (f *FaultFile) err() error {
+	if f.Err != nil {
+		return f.Err
+	}
+	return syscall.ENOSPC
+}
+
+// Write implements File with the injected failure.
+func (f *FaultFile) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.tripped {
+		return 0, f.err()
+	}
+	if f.written+int64(len(p)) <= f.N {
+		f.written += int64(len(p))
+		return f.F.Write(p)
+	}
+	f.tripped = true
+	if f.Mode == FaultShortWrite {
+		fit := f.N - f.written
+		if fit < 0 {
+			fit = 0
+		}
+		n, _ := f.F.Write(p[:fit])
+		f.written += int64(n)
+		return n, f.err()
+	}
+	return 0, f.err()
+}
+
+// Sync forwards to the underlying file until the fault fires.
+func (f *FaultFile) Sync() error {
+	f.mu.Lock()
+	tripped := f.tripped
+	f.mu.Unlock()
+	if tripped {
+		return f.err()
+	}
+	return f.F.Sync()
+}
+
+// Close closes the underlying file.
+func (f *FaultFile) Close() error { return f.F.Close() }
+
+var _ File = (*FaultFile)(nil)

@@ -1,0 +1,143 @@
+package journal
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"krad/internal/sim"
+)
+
+func faultOptions(mode FaultMode, budget int64, ff **FaultFile) Options {
+	return Options{
+		OpenAppend: func(p string) (File, error) {
+			f, err := os.OpenFile(p, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, err
+			}
+			*ff = &FaultFile{F: f, N: budget, Mode: mode}
+			return *ff, nil
+		},
+	}
+}
+
+func TestAppendENOSPCIsSticky(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.wal")
+	var ff *FaultFile
+	j, _, err := Open(path, faultOptions(FaultErr, 256, &ff))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var appended []Record
+	var failAt int = -1
+	for i := 0; i < 64; i++ {
+		rec := StepRecord(int64(i + 1))
+		if err := j.Append(rec); err != nil {
+			if !errors.Is(err, syscall.ENOSPC) {
+				t.Fatalf("append %d failed with %v, want ENOSPC", i, err)
+			}
+			failAt = i
+			break
+		}
+		appended = append(appended, rec)
+	}
+	if failAt < 0 {
+		t.Fatal("budget of 256 bytes never tripped")
+	}
+	// The failure latches: later appends fail without touching the file,
+	// and the error keeps unwrapping to ENOSPC.
+	if err := j.Append(StepRecord(999)); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append after trip: %v, want sticky ENOSPC", err)
+	}
+	if err := j.Err(); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Err() = %v, want ENOSPC", err)
+	}
+	if st := j.Stats(); st.Failed == "" {
+		t.Fatal("Stats().Failed is empty after a latched failure")
+	}
+	j.Close()
+
+	// Everything acknowledged before the failure survives reopen; the torn
+	// frame from the failed append is repaired away.
+	_, recs, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordsEqual(t, recs, appended)
+}
+
+func TestAppendShortWriteTornFrame(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.wal")
+	var ff *FaultFile
+	j, _, err := Open(path, faultOptions(FaultShortWrite, 100, &ff))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var appended []Record
+	for i := 0; i < 64; i++ {
+		rec := StepRecord(int64(i + 1))
+		if err := j.Append(rec); err != nil {
+			// A short write surfaces as io.ErrShortWrite wrapping the cause.
+			if !errors.Is(err, io.ErrShortWrite) && !errors.Is(err, syscall.ENOSPC) {
+				t.Fatalf("append %d failed with %v, want short-write or ENOSPC", i, err)
+			}
+			break
+		}
+		appended = append(appended, rec)
+	}
+	if len(appended) == 64 {
+		t.Fatal("budget of 100 bytes never tripped")
+	}
+	j.Close()
+
+	// The file now ends in a half-written frame — exactly a torn tail.
+	// Open must repair it and recover precisely the acknowledged records.
+	_, recs, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordsEqual(t, recs, appended)
+}
+
+func TestCompactFailureLatches(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.wal")
+	j, _, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := j.Append(StepRecord(int64(i + 1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Swap in an opener whose compact-side file has no space at all.
+	j.opts.OpenAppend = func(p string) (File, error) {
+		f, err := os.OpenFile(p, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		return &FaultFile{F: f, N: 0}, nil
+	}
+	cp := sim.EngineCheckpoint{Now: 5}
+	if err := j.Compact(Record{Type: TypeSnap, Snap: &cp}); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("compact onto a full disk: %v, want ENOSPC", err)
+	}
+	if err := j.Err(); err == nil {
+		t.Fatal("journal not latched after failed compaction")
+	}
+	j.Close()
+
+	// The original journal file is untouched by the failed compaction.
+	_, recs, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("original journal has %d records after failed compact, want 4", len(recs))
+	}
+}

@@ -1,0 +1,142 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"krad/internal/dag"
+	"krad/internal/sim"
+)
+
+// Type discriminates journal records. The five kinds mirror the engine's
+// committed mutations exactly: an engine driven through the same sequence
+// of admits, cancels and steps is bit-identical to the one that wrote the
+// journal (internal/sim's seeds are derived from job IDs, which replay in
+// order).
+type Type string
+
+const (
+	// TypeAdmit is a single-job admission (sim.Engine.Admit).
+	TypeAdmit Type = "admit"
+	// TypeBatch is an all-or-nothing burst admission (Engine.AdmitBatch).
+	TypeBatch Type = "batch"
+	// TypeCancel withdraws a pending or active job (Engine.Cancel).
+	TypeCancel Type = "cancel"
+	// TypeStep is one executed engine step; Now is the virtual clock after
+	// it ran, recorded so replay divergence is detected immediately.
+	TypeStep Type = "step"
+	// TypeSnap is an idle-point checkpoint written by compaction; it is
+	// only valid as the first record of a journal.
+	TypeSnap Type = "snap"
+)
+
+// JobRecord is one admitted job inside an admit/batch record. Release is
+// the absolute virtual release time after the server normalized "now"
+// releases, so replay does not depend on the clock at decode time.
+type JobRecord struct {
+	Release int64      `json:"release"`
+	Graph   *dag.Graph `json:"graph"`
+}
+
+// Record is one journaled engine mutation.
+type Record struct {
+	Type Type `json:"t"`
+	// Base is the engine-assigned ID of the first admitted job (admit and
+	// batch records); replay cross-checks it against the IDs the engine
+	// re-assigns.
+	Base int `json:"base,omitempty"`
+	// Jobs carries the admitted specs (admit: exactly one; batch: one or
+	// more).
+	Jobs []JobRecord `json:"jobs,omitempty"`
+	// ID is the cancelled job's engine-local ID (cancel records).
+	ID int `json:"id,omitempty"`
+	// Now is the virtual clock after the step executed (step records).
+	Now int64 `json:"now,omitempty"`
+	// Snap is the engine checkpoint (snap records).
+	Snap *sim.EngineCheckpoint `json:"snap,omitempty"`
+}
+
+// encodeRecord serializes a record payload (the framing — length prefix
+// and CRC — is the Journal's business, not the record's).
+func encodeRecord(r Record) ([]byte, error) {
+	if err := validateRecord(r); err != nil {
+		return nil, err
+	}
+	return json.Marshal(r)
+}
+
+// decodeRecord parses and validates one payload. Both directions validate
+// so a corrupt-but-CRC-valid record (impossible from torn writes, possible
+// from software bugs) is caught at the earliest boundary.
+func decodeRecord(payload []byte) (Record, error) {
+	var r Record
+	if err := json.Unmarshal(payload, &r); err != nil {
+		return Record{}, fmt.Errorf("journal: decode record: %w", err)
+	}
+	if err := validateRecord(r); err != nil {
+		return Record{}, err
+	}
+	return r, nil
+}
+
+func validateRecord(r Record) error {
+	switch r.Type {
+	case TypeAdmit:
+		if len(r.Jobs) != 1 {
+			return fmt.Errorf("journal: admit record has %d jobs, want 1", len(r.Jobs))
+		}
+	case TypeBatch:
+		if len(r.Jobs) == 0 {
+			return fmt.Errorf("journal: batch record has no jobs")
+		}
+	case TypeCancel, TypeStep:
+		if len(r.Jobs) != 0 || r.Snap != nil {
+			return fmt.Errorf("journal: %s record carries stray fields", r.Type)
+		}
+	case TypeSnap:
+		if r.Snap == nil {
+			return fmt.Errorf("journal: snap record has no checkpoint")
+		}
+	default:
+		return fmt.Errorf("journal: unknown record type %q", r.Type)
+	}
+	if r.Type == TypeAdmit || r.Type == TypeBatch {
+		if r.Base < 0 {
+			return fmt.Errorf("journal: %s record has negative base ID %d", r.Type, r.Base)
+		}
+		for i, j := range r.Jobs {
+			if j.Graph == nil {
+				return fmt.Errorf("journal: %s record job %d has no graph", r.Type, i)
+			}
+			if j.Release < 0 {
+				return fmt.Errorf("journal: %s record job %d has negative release %d", r.Type, i, j.Release)
+			}
+		}
+	}
+	return nil
+}
+
+// AdmitRecord builds the journal record for a committed admission: one
+// job as TypeAdmit, several as TypeBatch. base is the first assigned
+// engine-local ID; specs must be graph-backed with normalized (absolute)
+// release times.
+func AdmitRecord(base int, specs []sim.JobSpec) (Record, error) {
+	rec := Record{Type: TypeBatch, Base: base, Jobs: make([]JobRecord, len(specs))}
+	if len(specs) == 1 {
+		rec.Type = TypeAdmit
+	}
+	for i, s := range specs {
+		if s.Graph == nil {
+			return Record{}, fmt.Errorf("journal: job %d is not graph-backed; only dag jobs are journalable", base+i)
+		}
+		rec.Jobs[i] = JobRecord{Release: s.Release, Graph: s.Graph}
+	}
+	return rec, nil
+}
+
+// CancelRecord builds the record for a committed cancellation.
+func CancelRecord(id int) Record { return Record{Type: TypeCancel, ID: id} }
+
+// StepRecord builds the record for one executed step ending at virtual
+// time now.
+func StepRecord(now int64) Record { return Record{Type: TypeStep, Now: now} }

@@ -9,6 +9,7 @@
 package sched
 
 import (
+	"encoding/json"
 	"fmt"
 )
 
@@ -55,6 +56,27 @@ type Scheduler interface {
 // completed during the step.
 type Completer interface {
 	JobsDone(ids []int)
+}
+
+// Snapshotter is implemented by schedulers whose cross-step state can be
+// captured and later restored into a fresh instance. It exists for
+// durability: journal compaction (internal/journal) replaces a replay
+// prefix with a checkpoint, which is only sound when the scheduler's
+// state at the checkpoint — round-robin rotations, marks, queue
+// positions — travels with it. Schedulers that do not implement it are
+// still journaled and replayed exactly; their journals are just never
+// compacted. SnapshotState must return a self-contained encoding;
+// RestoreState must accept exactly what SnapshotState produced and may
+// assume a freshly constructed receiver.
+type Snapshotter interface {
+	SnapshotState() ([]byte, error)
+	RestoreState([]byte) error
+}
+
+// CategorySnapshotter mirrors Snapshotter for per-category schedulers.
+type CategorySnapshotter interface {
+	SnapshotState() ([]byte, error)
+	RestoreState([]byte) error
 }
 
 // Oracle exposes clairvoyant per-job information. Only baselines labelled
@@ -195,7 +217,49 @@ func (p *PerCategory) JobsDone(ids []int) {
 	}
 }
 
+// SnapshotState captures every per-category scheduler's state, failing if
+// any category scheduler does not implement CategorySnapshotter — partial
+// checkpoints would silently desynchronize replay.
+func (p *PerCategory) SnapshotState() ([]byte, error) {
+	states := make([][]byte, len(p.cats))
+	for i, c := range p.cats {
+		cs, ok := c.(CategorySnapshotter)
+		if !ok {
+			return nil, fmt.Errorf("sched: category %d scheduler %q does not support state snapshots", i+1, c.Name())
+		}
+		st, err := cs.SnapshotState()
+		if err != nil {
+			return nil, fmt.Errorf("sched: category %d scheduler %q: %w", i+1, c.Name(), err)
+		}
+		states[i] = st
+	}
+	return json.Marshal(states)
+}
+
+// RestoreState distributes a SnapshotState encoding back over the
+// per-category schedulers.
+func (p *PerCategory) RestoreState(data []byte) error {
+	var states [][]byte
+	if err := json.Unmarshal(data, &states); err != nil {
+		return fmt.Errorf("sched: decode per-category state: %w", err)
+	}
+	if len(states) != len(p.cats) {
+		return fmt.Errorf("sched: state has %d categories, scheduler %q has %d", len(states), p.name, len(p.cats))
+	}
+	for i, c := range p.cats {
+		cs, ok := c.(CategorySnapshotter)
+		if !ok {
+			return fmt.Errorf("sched: category %d scheduler %q does not support state snapshots", i+1, c.Name())
+		}
+		if err := cs.RestoreState(states[i]); err != nil {
+			return fmt.Errorf("sched: category %d scheduler %q: %w", i+1, c.Name(), err)
+		}
+	}
+	return nil
+}
+
 var (
-	_ Scheduler = (*PerCategory)(nil)
-	_ Completer = (*PerCategory)(nil)
+	_ Scheduler   = (*PerCategory)(nil)
+	_ Completer   = (*PerCategory)(nil)
+	_ Snapshotter = (*PerCategory)(nil)
 )

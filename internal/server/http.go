@@ -76,7 +76,10 @@ func toJobJSON(st sim.JobStatus) jobJSON {
 //	DELETE /v1/jobs/{id}  cancel a pending/active job   → 200 jobJSON
 //	GET    /v1/events     SSE stream of step events (all shards)
 //	GET    /metrics       Prometheus text exposition
-//	GET    /healthz       liveness + service stats
+//	GET    /healthz       liveness + service stats (always 200 while the
+//	                      process serves: draining and degraded are alive)
+//	GET    /readyz        readiness: 200 when accepting work, 503 while
+//	                      draining or journal-degraded
 //
 // Submissions honor the X-Krad-Placement-Key header (see
 // PlacementKeyHeader).
@@ -89,6 +92,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
 }
 
@@ -153,7 +157,7 @@ func (s *Service) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 // off for at least one virtual step of drain.
 func (s *Service) writeSubmitError(w http.ResponseWriter, err error) bool {
 	switch {
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDegraded):
 		w.Header().Set("Retry-After", s.retryAfter)
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return false
@@ -197,6 +201,11 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.Cancel(id); err != nil {
+		if errors.Is(err, ErrDegraded) {
+			w.Header().Set("Retry-After", s.retryAfter)
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
 		writeError(w, http.StatusConflict, "%v", err)
 		return
 	}
@@ -249,13 +258,30 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = s.WriteMetrics(w)
 }
 
+// handleHealthz is liveness: always 200 while the process can serve it.
+// Draining and journal-degraded states are reported in the body but are
+// not failures — the process is alive and finishing in-flight work.
+// Orchestrators that restart on failed liveness must not restart a
+// draining daemon; readiness (below) is what gates traffic.
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.Stats()
 	status := "ok"
 	if err := s.Err(); err != nil {
 		status = "degraded: " + err.Error()
+	} else if st.Journal != nil && st.Journal.Degraded > 0 {
+		status = "degraded: journal write failure"
 	} else if st.Draining {
 		status = "draining"
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": status, "stats": st})
+}
+
+// handleReadyz is readiness: 200 only when the service should receive
+// traffic, 503 (with a reason) while draining or journal-degraded.
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if ok, reason := s.Ready(); !ok {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "unavailable", "reason": reason})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }

@@ -1,0 +1,249 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"krad/internal/journal"
+	"krad/internal/sim"
+)
+
+// ErrDegraded means the shard's journal hit a write failure (full or
+// failing disk): nothing new can be made durable, so admissions and
+// cancellations are refused while jobs already in flight keep scheduling
+// from memory. The condition is sticky — it clears only by restarting the
+// process against a healthy disk, which replays the journal's intact
+// prefix.
+var ErrDegraded = errors.New("server: journal degraded, admission suspended")
+
+// JournalConfig enables write-ahead journaling of every committed engine
+// mutation, one journal file per shard, making the service crash-safe:
+// on startup each shard's journal is replayed through a fresh engine,
+// reconstructing job IDs, virtual time and scheduler state exactly.
+type JournalConfig struct {
+	// Dir holds the per-shard journal files (shard-000.wal, ...). Created
+	// if missing.
+	Dir string
+	// Sync is the fsync policy (the zero value, journal.SyncAlways, makes
+	// every acknowledged admission durable).
+	Sync journal.SyncPolicy
+	// SyncInterval spaces fsyncs under journal.SyncInterval; 0 means 100ms.
+	SyncInterval time.Duration
+	// SnapshotEvery compacts a shard's journal to one snapshot record when
+	// it exceeds this many records and the engine reaches an idle point.
+	// 0 disables compaction (the journal grows until restart). Compaction
+	// silently stays off for schedulers that cannot snapshot their state
+	// (sim.ErrCheckpointUnsupported) — replay then runs the full log,
+	// which is exact, just longer.
+	SnapshotEvery int64
+	// OpenAppend overrides how journal files are opened for writing. Tests
+	// inject fault injectors (journal.FaultFile) here; nil means real files.
+	OpenAppend func(path string) (journal.File, error)
+}
+
+// JournalStats aggregates per-shard journal state into Stats.
+type JournalStats struct {
+	// Dir is the journal directory.
+	Dir string `json:"dir"`
+	// Sync is the fsync policy's flag spelling.
+	Sync string `json:"sync"`
+	// Records, Appended, Compactions and SizeBytes sum the per-shard
+	// journal counters (see journal.Stats).
+	Records     int64 `json:"records"`
+	Appended    int64 `json:"appended"`
+	Compactions int64 `json:"compactions"`
+	SizeBytes   int64 `json:"size_bytes"`
+	// Degraded counts shards whose journal latched a write failure.
+	Degraded int `json:"degraded"`
+	// Errors carries each degraded shard's sticky failure, in shard order.
+	Errors []string `json:"errors,omitempty"`
+}
+
+// shardJournalPath names shard i's journal file inside dir.
+func shardJournalPath(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d.wal", i))
+}
+
+// openJournals opens (and replays) one journal per shard, attaching each
+// to its shard. Any failure — unreadable file, corrupt non-tail record,
+// replay divergence, stray journals from a larger fleet — is returned as
+// a located error so the caller (cmd/kradd) can exit non-zero instead of
+// serving silently forgotten state.
+func (s *Service) openJournals(jc *JournalConfig) error {
+	if err := os.MkdirAll(jc.Dir, 0o755); err != nil {
+		return fmt.Errorf("server: journal dir %s: %w", jc.Dir, err)
+	}
+	// A journal dir written by a larger fleet means the missing shards'
+	// acknowledged jobs would silently vanish: refuse to start.
+	strays, err := filepath.Glob(filepath.Join(jc.Dir, "shard-*.wal"))
+	if err != nil {
+		return fmt.Errorf("server: scan journal dir %s: %w", jc.Dir, err)
+	}
+	for _, p := range strays {
+		var idx int
+		if _, err := fmt.Sscanf(filepath.Base(p), "shard-%d.wal", &idx); err == nil && idx >= len(s.shards) {
+			return fmt.Errorf("server: journal %s belongs to shard %d but the service runs %d shard(s); refusing to drop its jobs (restart with the original -shards, or move the file away)", p, idx, len(s.shards))
+		}
+	}
+	opts := journal.Options{Sync: jc.Sync, Interval: jc.SyncInterval, OpenAppend: jc.OpenAppend}
+	for _, sh := range s.shards {
+		path := shardJournalPath(jc.Dir, sh.idx)
+		jn, recs, err := journal.Open(path, opts)
+		if err != nil {
+			return fmt.Errorf("server: shard %d: %w", sh.idx, err)
+		}
+		if err := sh.attachJournal(jn, jc.SnapshotEvery, recs); err != nil {
+			_ = jn.Close()
+			return fmt.Errorf("server: shard %d: replay %s: %w", sh.idx, path, err)
+		}
+	}
+	return nil
+}
+
+// attachJournal replays recs through the shard's fresh engine and rebuilds
+// the shard's lifecycle counters from the replayed state, then arms
+// journaling for all future mutations. Called from New, before the step
+// loop exists, so no locking races are possible — the lock is held for
+// the counter rebuild only out of uniformity.
+func (sh *shard) attachJournal(jn *journal.Journal, snapshotEvery int64, recs []journal.Record) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := journal.Replay(sh.eng, recs); err != nil {
+		return err
+	}
+	sh.jn = jn
+	sh.compactEvery = snapshotEvery
+	// Rebuild the counters Stats and /metrics report. Steps and rejections
+	// are process-local (a rejection admitted nothing durable), so they
+	// restart at zero; the job lifecycle counters and the response
+	// histogram are durable state and come back from the engine.
+	snap := sh.eng.Snapshot()
+	sh.submitted = int64(snap.Admitted)
+	sh.completed = int64(snap.Completed)
+	sh.cancelled = int64(snap.Cancelled)
+	sh.responses = sh.responses[:0]
+	sh.respHist = newHistogram(responseBuckets())
+	for id := 0; id < snap.Admitted; id++ {
+		st, ok := sh.eng.Job(id)
+		if !ok || st.Phase != sim.JobDone {
+			continue
+		}
+		r := float64(st.Completion - st.Release)
+		sh.responses = append(sh.responses, r)
+		sh.respHist.observe(r)
+	}
+	return nil
+}
+
+// journalAdmitLocked makes a committed admission durable. Called with the
+// shard lock held, immediately after AdmitBatch assigned ids. On journal
+// failure the admission is rolled back (the IDs were never returned to
+// the caller) and ErrDegraded is reported; the failure is sticky, so no
+// later admission can slip into the ID gap and diverge replay.
+func (sh *shard) journalAdmitLocked(ids []int, specs []sim.JobSpec) error {
+	rec, err := journal.AdmitRecord(ids[0], specs)
+	if err != nil {
+		// Non-journalable job shape (no graph): roll back, reject.
+		sh.rollbackLocked(ids)
+		return err
+	}
+	if err := sh.jn.Append(rec); err != nil {
+		sh.rollbackLocked(ids)
+		return fmt.Errorf("%w: %v", ErrDegraded, err)
+	}
+	return nil
+}
+
+// rollbackLocked withdraws just-admitted jobs whose journal append failed.
+// Cancel cannot fail here: the jobs were admitted under this same lock
+// acquisition, so they are still pending or active.
+func (sh *shard) rollbackLocked(ids []int) {
+	for _, id := range ids {
+		_ = sh.eng.Cancel(id)
+	}
+}
+
+// journalHealthyLocked reports whether mutations may be acknowledged.
+func (sh *shard) journalHealthyLocked() bool {
+	return sh.jn == nil || sh.jn.Err() == nil
+}
+
+// maybeCompact rewrites the journal as one snapshot record when the
+// engine is idle and the journal has grown past compactEvery records.
+// Schedulers that cannot snapshot their cross-step state disable
+// compaction on first refusal; anything else that fails latches the
+// journal (a half-compacted log must stop acknowledging).
+func (sh *shard) maybeCompact() {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.jn == nil || sh.compactEvery <= 0 || sh.compactOff {
+		return
+	}
+	if !sh.eng.Idle() || sh.jn.Err() != nil || sh.jn.RecordsSinceCompact() <= sh.compactEvery {
+		return
+	}
+	cp, err := sh.eng.Checkpoint()
+	if err != nil {
+		// ErrCheckpointUnsupported (or a trace-enabled engine): full replay
+		// stays exact, so just stop trying.
+		sh.compactOff = true
+		return
+	}
+	_ = sh.jn.Compact(journal.Record{Type: journal.TypeSnap, Snap: &cp})
+}
+
+// Ready reports whether the service should receive traffic: not draining,
+// every journal healthy. The bool is false with a reason otherwise. This
+// backs GET /readyz; liveness (GET /healthz) stays unconditionally 200 —
+// a degraded or draining service is still alive and still finishing
+// in-flight work.
+func (s *Service) Ready() (bool, string) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return false, "draining"
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		jn := sh.jn
+		sh.mu.Unlock()
+		if jn != nil {
+			if err := jn.Err(); err != nil {
+				return false, fmt.Sprintf("shard %d journal degraded: %v", sh.idx, err)
+			}
+		}
+	}
+	return true, ""
+}
+
+// journalStats aggregates journal state across shards, or nil when
+// journaling is disabled (keeping Stats bit-identical to a journal-free
+// build).
+func (s *Service) journalStats() *JournalStats {
+	if s.cfg.Journal == nil {
+		return nil
+	}
+	js := &JournalStats{Dir: s.cfg.Journal.Dir, Sync: s.cfg.Journal.Sync.String()}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		jn := sh.jn
+		sh.mu.Unlock()
+		if jn == nil {
+			continue
+		}
+		st := jn.Stats()
+		js.Records += st.Records
+		js.Appended += st.Appended
+		js.Compactions += st.Compactions
+		js.SizeBytes += st.SizeBytes
+		if st.Failed != "" {
+			js.Degraded++
+			js.Errors = append(js.Errors, fmt.Sprintf("shard %d: %s", sh.idx, st.Failed))
+		}
+	}
+	return js
+}

@@ -149,6 +149,17 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		}
 	}
 
+	// Journal families appear only when journaling is enabled, so a
+	// journal-free deployment's exposition stays bit-identical to builds
+	// before durability existed.
+	if js := s.journalStats(); js != nil {
+		metric("krad_journal_records", "Write-ahead journal records across shards (replay length of a crash right now).", "gauge", js.Records, "")
+		metric("krad_journal_appended_total", "Journal records appended since startup.", "counter", js.Appended, "")
+		metric("krad_journal_compactions_total", "Journal snapshot compactions since startup.", "counter", js.Compactions, "")
+		metric("krad_journal_size_bytes", "Journal file bytes across shards.", "gauge", js.SizeBytes, "")
+		metric("krad_journal_degraded_shards", "Shards whose journal latched a write failure (admission suspended).", "gauge", js.Degraded, "")
+	}
+
 	fmt.Fprintf(&b, "# HELP krad_response_steps Job response times in virtual steps (all shards).\n# TYPE krad_response_steps histogram\n")
 	var cum uint64
 	for i, bound := range hist.bounds {

@@ -396,9 +396,9 @@ func TestRetryAfterSeconds(t *testing.T) {
 		step time.Duration
 		want string
 	}{
-		{0, "1"},                      // free-running: floor
-		{10 * time.Millisecond, "1"},  // sub-second: floor
-		{time.Second, "1"},            // exact
+		{0, "1"},                       // free-running: floor
+		{10 * time.Millisecond, "1"},   // sub-second: floor
+		{time.Second, "1"},             // exact
 		{1500 * time.Millisecond, "2"}, // ceil
 		{3 * time.Second, "3"},
 	}

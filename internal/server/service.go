@@ -71,6 +71,12 @@ type Config struct {
 	// beyond it are dropped for that subscriber (counted, never blocking
 	// any step loop). 0 means 64.
 	SubscriberBuffer int
+	// Journal, when set, write-ahead-journals every committed mutation (one
+	// file per shard under Journal.Dir) and replays existing journals
+	// during New, making the service crash-safe. Nil disables durability
+	// entirely and the service behaves bit-identically to a journal-free
+	// build. See JournalConfig (journal.go).
+	Journal *JournalConfig
 }
 
 // Event is one step's happenings on one shard, fanned out to subscribers.
@@ -96,29 +102,33 @@ type Event struct {
 // weighted by per-shard elapsed time, and Response merges every shard's
 // completed-job response times.
 type Stats struct {
-	Now       int64   `json:"now"`
-	Steps     int64   `json:"steps"`
-	K         int     `json:"k"`
+	Now   int64 `json:"now"`
+	Steps int64 `json:"steps"`
+	K     int   `json:"k"`
 	// Caps is the per-shard machine shape (every shard is identical).
-	Caps      []int   `json:"caps"`
-	Scheduler string  `json:"scheduler"`
-	Shards    int     `json:"shards"`
-	Placement string  `json:"placement"`
-	Submitted int64   `json:"submitted"`
-	Completed int64   `json:"completed"`
-	Cancelled int64   `json:"cancelled"`
-	Rejected  int64   `json:"rejected"`
-	Active    int     `json:"active"`
-	Pending   int     `json:"pending"`
-	InFlight  int     `json:"in_flight"`
-	MaxInFlight int   `json:"max_in_flight"`
-	Draining  bool    `json:"draining"`
+	Caps        []int  `json:"caps"`
+	Scheduler   string `json:"scheduler"`
+	Shards      int    `json:"shards"`
+	Placement   string `json:"placement"`
+	Submitted   int64  `json:"submitted"`
+	Completed   int64  `json:"completed"`
+	Cancelled   int64  `json:"cancelled"`
+	Rejected    int64  `json:"rejected"`
+	Active      int    `json:"active"`
+	Pending     int    `json:"pending"`
+	InFlight    int    `json:"in_flight"`
+	MaxInFlight int    `json:"max_in_flight"`
+	Draining    bool   `json:"draining"`
 	// Utilization[α−1] is the cumulative busy fraction of category α.
 	Utilization []float64 `json:"utilization"`
 	// Response summarizes completed jobs' response times (virtual steps).
 	Response metrics.Summary `json:"response"`
 	// EventsDropped counts events discarded on slow subscribers.
 	EventsDropped int64 `json:"events_dropped"`
+	// Journal aggregates write-ahead journal state; nil (omitted on the
+	// wire) when journaling is disabled, keeping the journal-free Stats
+	// encoding bit-identical to builds before durability existed.
+	Journal *JournalStats `json:"journal,omitempty"`
 }
 
 // Service is the long-running scheduler front-end: N shards (each one
@@ -175,14 +185,22 @@ func New(cfg Config) (*Service, error) {
 		}
 		shards[i] = sh
 	}
-	return &Service{
+	s := &Service{
 		cfg:        cfg,
 		shards:     shards,
 		place:      place,
 		fan:        fan,
 		schedName:  schedName,
 		retryAfter: retryAfterSeconds(cfg.StepEvery),
-	}, nil
+	}
+	if cfg.Journal != nil {
+		// Replays each shard's journal through its fresh engine before any
+		// step loop exists; a corrupt or mismatched journal fails New.
+		if err := s.openJournals(cfg.Journal); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // Start launches every shard's step loop. Extra calls are no-ops, as is
@@ -367,6 +385,7 @@ func (s *Service) Stats() Stats {
 	}
 	st.Response = metrics.Summarize(responses)
 	_, st.EventsDropped = s.fan.stats()
+	st.Journal = s.journalStats()
 	return st
 }
 

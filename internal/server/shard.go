@@ -2,9 +2,11 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
+	"krad/internal/journal"
 	"krad/internal/sim"
 )
 
@@ -32,6 +34,15 @@ type shard struct {
 	rejected  int64
 	responses []float64
 	respHist  *histogram
+
+	// jn, when set, is the shard's write-ahead journal (see journal.go):
+	// every committed mutation is appended under the same lock acquisition
+	// that committed it, so the journal's record order IS the engine's
+	// mutation order. compactEvery and compactOff govern idle-point
+	// snapshot compaction.
+	jn           *journal.Journal
+	compactEvery int64
+	compactOff   bool
 
 	wake chan struct{}
 	stop chan struct{}
@@ -105,6 +116,13 @@ func (sh *shard) submitBatch(specs []sim.JobSpec) ([]int, error) {
 		sh.mu.Unlock()
 		return nil, ErrClosed
 	}
+	if !sh.journalHealthyLocked() {
+		// Degraded disk: nothing new can be made durable. Shed the
+		// submission; in-flight jobs keep scheduling from memory.
+		sh.rejected += int64(len(specs))
+		sh.mu.Unlock()
+		return nil, ErrDegraded
+	}
 	if sh.eng.Remaining()+len(specs) > sh.maxInFlight {
 		sh.rejected += int64(len(specs))
 		sh.mu.Unlock()
@@ -116,6 +134,12 @@ func (sh *shard) submitBatch(specs []sim.JobSpec) ([]int, error) {
 		}
 	}
 	ids, err := sh.eng.AdmitBatch(specs)
+	if err == nil && sh.jn != nil {
+		// Journal after commit, under the same lock acquisition: success
+		// means the IDs are durable and may be acknowledged; failure rolls
+		// the admission back before anyone saw the IDs.
+		err = sh.journalAdmitLocked(ids, specs)
+	}
 	if err == nil {
 		sh.submitted += int64(len(ids))
 	}
@@ -131,11 +155,24 @@ func (sh *shard) submitBatch(specs []sim.JobSpec) ([]int, error) {
 // processors are free from the next step.
 func (sh *shard) cancel(id int) error {
 	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.jn != nil {
+		// Journal before apply: once appended, the cancel is durable and
+		// Cancel below cannot fail (the precheck ran under this same lock).
+		if st, ok := sh.eng.Job(id); !ok || (st.Phase != sim.JobPending && st.Phase != sim.JobActive) {
+			return sh.eng.Cancel(id) // canonical not-found / terminal error
+		}
+		if !sh.journalHealthyLocked() {
+			return ErrDegraded
+		}
+		if err := sh.jn.Append(journal.CancelRecord(id)); err != nil {
+			return fmt.Errorf("%w: %v", ErrDegraded, err)
+		}
+	}
 	err := sh.eng.Cancel(id)
 	if err == nil {
 		sh.cancelled++
 	}
-	sh.mu.Unlock()
 	return err
 }
 
@@ -193,17 +230,31 @@ func (sh *shard) close(ctx context.Context) error {
 	if !started {
 		if !already {
 			close(sh.done)
+			sh.closeJournal()
 		}
 		return nil
 	}
 	sh.kick()
 	select {
 	case <-sh.done:
+		sh.closeJournal()
 		return nil
 	case <-ctx.Done():
 		close(sh.stop)
 		<-sh.done
+		sh.closeJournal()
 		return ctx.Err()
+	}
+}
+
+// closeJournal syncs and closes the shard's journal once the step loop has
+// exited (no appender can race it).
+func (sh *shard) closeJournal() {
+	sh.mu.Lock()
+	jn := sh.jn
+	sh.mu.Unlock()
+	if jn != nil {
+		_ = jn.Close()
 	}
 }
 
@@ -236,6 +287,15 @@ func (sh *shard) stepOnce() (bool, error) {
 		sh.stepErr = err
 		sh.mu.Unlock()
 		return false, err
+	}
+	if sh.jn != nil {
+		// Best-effort: a failed append latches the journal (degrading
+		// admission) but never stops the clock — in-flight jobs keep
+		// scheduling from memory. The un-journaled tail of steps is safe to
+		// lose: steps are deterministic, so a restarted engine re-derives
+		// them, and the sticky failure guarantees no later admission ever
+		// interleaves with the lost tail.
+		_ = sh.jn.Append(journal.StepRecord(info.Step))
 	}
 	sh.steps++
 	for _, id := range info.Completed {
@@ -307,6 +367,9 @@ func (sh *shard) loop() {
 			if closing {
 				return // drained: all admitted work finished
 			}
+			// Idle is the one instant the engine's state collapses to a
+			// small checkpoint; compact the journal before parking.
+			sh.maybeCompact()
 			select {
 			case <-sh.wake:
 			case <-sh.stop:

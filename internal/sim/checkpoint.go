@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"krad/internal/sched"
+)
+
+// ErrCheckpointUnsupported reports that the configured scheduler cannot
+// serialize its cross-step state (it does not implement
+// sched.Snapshotter), so idle-point checkpoints of this engine would not
+// reproduce the pre-checkpoint process bit-for-bit. Journal compaction
+// treats it as "keep the full journal" rather than as a failure.
+var ErrCheckpointUnsupported = errors.New("sim: scheduler does not support state snapshots")
+
+// CheckpointJob is one terminal (done or cancelled) job's record inside an
+// EngineCheckpoint: enough to keep status queries and response accounting
+// working across a restore, with no runtime state — terminal jobs have
+// none.
+type CheckpointJob struct {
+	ID          int      `json:"id"`
+	Release     int64    `json:"release"`
+	Phase       JobPhase `json:"phase"`
+	Completion  int64    `json:"completion,omitempty"`
+	CancelledAt int64    `json:"cancelled_at,omitempty"`
+	Work        []int    `json:"work"`
+	Span        int      `json:"span"`
+}
+
+// EngineCheckpoint is the complete state of an idle engine: the clock, the
+// terminal job table, cumulative counters, and the scheduler's serialized
+// cross-step state. An idle engine (no pending, no active jobs) is fully
+// described by these — every runtime object has been consumed — which is
+// what makes checkpoints exact rather than approximate: restoring one
+// into a fresh engine and driving it forward is bit-identical to having
+// kept the original engine.
+type EngineCheckpoint struct {
+	Now        int64           `json:"now"`
+	Makespan   int64           `json:"makespan"`
+	TotalWork  int64           `json:"total_work"`
+	MaxRelease int64           `json:"max_release"`
+	ExecTotal  []int64         `json:"exec_total"`
+	Overloaded []bool          `json:"overloaded,omitempty"`
+	SchedState []byte          `json:"sched_state,omitempty"`
+	Jobs       []CheckpointJob `json:"jobs,omitempty"`
+}
+
+// Checkpoint captures the engine's state at an idle instant. It fails if
+// the engine still has pending or active jobs (their runtime state is not
+// serializable) or with ErrCheckpointUnsupported if the scheduler cannot
+// snapshot its own state. Engines recording traces cannot be checkpointed:
+// the trace is not carried across a restore.
+func (e *Engine) Checkpoint() (EngineCheckpoint, error) {
+	if !e.Idle() {
+		return EngineCheckpoint{}, fmt.Errorf("sim: checkpoint requires an idle engine (%d pending, %d active)", len(e.pending), len(e.active))
+	}
+	if e.cfg.Trace != TraceNone {
+		return EngineCheckpoint{}, fmt.Errorf("sim: checkpoint requires TraceNone (trace state is not restorable)")
+	}
+	snap, ok := e.cfg.Scheduler.(sched.Snapshotter)
+	if !ok {
+		return EngineCheckpoint{}, fmt.Errorf("%w: %s", ErrCheckpointUnsupported, e.cfg.Scheduler.Name())
+	}
+	state, err := snap.SnapshotState()
+	if err != nil {
+		// Composite schedulers discover mid-snapshot that a member cannot
+		// serialize; either way the checkpoint cannot be taken, and callers
+		// (journal compaction) should fall back to full replay.
+		return EngineCheckpoint{}, fmt.Errorf("%w: %q: %v", ErrCheckpointUnsupported, e.cfg.Scheduler.Name(), err)
+	}
+	cp := EngineCheckpoint{
+		Now:        e.now,
+		Makespan:   e.makespan,
+		TotalWork:  e.totalWork,
+		MaxRelease: e.maxRelease,
+		ExecTotal:  append([]int64(nil), e.execTotal...),
+		Overloaded: append([]bool(nil), e.overloaded...),
+		SchedState: state,
+		Jobs:       make([]CheckpointJob, len(e.jobs)),
+	}
+	for i, js := range e.jobs {
+		cp.Jobs[i] = CheckpointJob{
+			ID:          js.id,
+			Release:     js.release,
+			Phase:       js.phase,
+			Completion:  js.completed,
+			CancelledAt: js.cancelledAt,
+			Work:        append([]int(nil), js.work...),
+			Span:        js.span,
+		}
+	}
+	return cp, nil
+}
+
+// Restore loads a checkpoint into a freshly constructed engine: the clock,
+// counters, terminal job table and scheduler state become exactly what
+// Checkpoint saw. Job IDs continue from the checkpointed table, so
+// admissions after a restore receive the same IDs the pre-checkpoint
+// process would have assigned.
+func (e *Engine) Restore(cp EngineCheckpoint) error {
+	if e.now != 0 || len(e.jobs) != 0 {
+		return fmt.Errorf("sim: restore requires a fresh engine (clock %d, %d jobs admitted)", e.now, len(e.jobs))
+	}
+	if cp.Now < 0 {
+		return fmt.Errorf("sim: checkpoint clock %d is negative", cp.Now)
+	}
+	if cp.ExecTotal != nil && len(cp.ExecTotal) != e.cfg.K {
+		return fmt.Errorf("sim: checkpoint has %d exec totals for K=%d", len(cp.ExecTotal), e.cfg.K)
+	}
+	if cp.Overloaded != nil && len(cp.Overloaded) != e.cfg.K {
+		return fmt.Errorf("sim: checkpoint has %d overload flags for K=%d", len(cp.Overloaded), e.cfg.K)
+	}
+	for i, j := range cp.Jobs {
+		if j.ID != i {
+			return fmt.Errorf("sim: checkpoint job %d has ID %d, want contiguous IDs", i, j.ID)
+		}
+		if j.Phase != JobDone && j.Phase != JobCancelled {
+			return fmt.Errorf("sim: checkpoint job %d is %s; only terminal jobs can be checkpointed", j.ID, j.Phase)
+		}
+		if len(j.Work) != e.cfg.K {
+			return fmt.Errorf("sim: checkpoint job %d has %d work categories for K=%d", j.ID, len(j.Work), e.cfg.K)
+		}
+	}
+	if cp.SchedState != nil {
+		snap, ok := e.cfg.Scheduler.(sched.Snapshotter)
+		if !ok {
+			return fmt.Errorf("%w: %s (checkpoint carries scheduler state)", ErrCheckpointUnsupported, e.cfg.Scheduler.Name())
+		}
+		if err := snap.RestoreState(cp.SchedState); err != nil {
+			return fmt.Errorf("sim: restore scheduler %q: %w", e.cfg.Scheduler.Name(), err)
+		}
+	}
+	e.now = cp.Now
+	e.makespan = cp.Makespan
+	e.totalWork = cp.TotalWork
+	e.maxRelease = cp.MaxRelease
+	if cp.ExecTotal != nil {
+		copy(e.execTotal, cp.ExecTotal)
+	}
+	if cp.Overloaded != nil {
+		copy(e.overloaded, cp.Overloaded)
+	}
+	e.jobs = make([]*jobState, len(cp.Jobs))
+	for i, j := range cp.Jobs {
+		js := &jobState{
+			id:          j.ID,
+			release:     j.Release,
+			work:        append([]int(nil), j.Work...),
+			span:        j.Span,
+			phase:       j.Phase,
+			completed:   j.Completion,
+			cancelledAt: j.CancelledAt,
+		}
+		e.jobs[i] = js
+		switch j.Phase {
+		case JobDone:
+			e.completedN++
+		case JobCancelled:
+			e.cancelledN++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"krad/internal/core"
+	"krad/internal/dag"
+)
+
+// ckptCfg is kradCfg without tracing: checkpoints require TraceNone.
+func ckptCfg(k int, caps ...int) Config {
+	cfg := kradCfg(k, caps...)
+	cfg.Trace = TraceNone
+	return cfg
+}
+
+// drive admits the specs and steps the engine until it is idle.
+func drive(t *testing.T, e *Engine, specs []JobSpec) {
+	t.Helper()
+	for _, s := range specs {
+		if _, err := e.Admit(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for !e.Idle() {
+		if _, err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRestoreContinuesBitIdentically is the invariant journal compaction
+// rests on: (run phase 1, checkpoint at idle, restore into a fresh
+// engine, run phase 2) must equal (run phase 1 then phase 2 on one
+// engine) step for step. Phase 1 overloads the machine so RAD's
+// round-robin rotation is mid-cycle state, the part a naive "jobs only"
+// checkpoint would lose.
+func TestRestoreContinuesBitIdentically(t *testing.T) {
+	phase1 := make([]JobSpec, 6) // 6 jobs on 2 processors: overloaded
+	for i := range phase1 {
+		phase1[i] = JobSpec{Graph: dag.UniformChain(1, 3+i%3, 1)}
+	}
+	phase2 := make([]JobSpec, 5)
+	for i := range phase2 {
+		phase2[i] = JobSpec{Graph: dag.UniformChain(1, 2+i, 1)}
+	}
+
+	// Reference: one uninterrupted engine.
+	ref, err := NewEngine(ckptCfg(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, ref, phase1)
+
+	// Checkpointed twin: same phase 1, checkpoint, restore elsewhere.
+	a, err := NewEngine(ckptCfg(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(t, a, phase1)
+	cp, err := a.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEngine(ckptCfg(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	if b.Now() != ref.Now() {
+		t.Fatalf("restored clock %d, want %d", b.Now(), ref.Now())
+	}
+
+	// Phase 2 must proceed identically on both engines.
+	for _, e := range []*Engine{ref, b} {
+		for i, s := range phase2 {
+			s.Release = e.Now()
+			id, err := e.Admit(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := len(phase1) + i; id != want {
+				t.Fatalf("admitted as job %d, want %d", id, want)
+			}
+		}
+	}
+	for !ref.Idle() {
+		ri, err := ref.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bi, err := b.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ri.Step != bi.Step || len(ri.Completed) != len(bi.Completed) {
+			t.Fatalf("step diverged: reference %+v, restored %+v", ri, bi)
+		}
+	}
+	if !b.Idle() {
+		t.Fatal("restored engine still busy after reference drained")
+	}
+	for id := 0; id < len(phase1)+len(phase2); id++ {
+		rs, ok1 := ref.Job(id)
+		bs, ok2 := b.Job(id)
+		if !ok1 || !ok2 {
+			t.Fatalf("job %d missing (ref %v, restored %v)", id, ok1, ok2)
+		}
+		if rs.Phase != bs.Phase || rs.Completion != bs.Completion || rs.Release != bs.Release {
+			t.Errorf("job %d diverged: reference %+v, restored %+v", id, rs, bs)
+		}
+	}
+	rsnap, bsnap := ref.Snapshot(), b.Snapshot()
+	if rsnap.Makespan != bsnap.Makespan || rsnap.Completed != bsnap.Completed || rsnap.Now != bsnap.Now {
+		t.Errorf("snapshots diverged: reference %+v, restored %+v", rsnap, bsnap)
+	}
+	for a := range rsnap.ExecutedTotal {
+		if rsnap.ExecutedTotal[a] != bsnap.ExecutedTotal[a] {
+			t.Errorf("exec totals diverged: reference %v, restored %v", rsnap.ExecutedTotal, bsnap.ExecutedTotal)
+		}
+	}
+}
+
+func TestCheckpointPreservesCancelledJobs(t *testing.T) {
+	e, err := NewEngine(ckptCfg(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Admit(JobSpec{Graph: dag.UniformChain(1, 4, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Admit(JobSpec{Graph: dag.UniformChain(1, 4, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Cancel(1); err != nil {
+		t.Fatal(err)
+	}
+	for !e.Idle() {
+		if _, err := e.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp, err := e.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEngine(ckptCfg(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := b.Job(1)
+	if !ok || st.Phase != JobCancelled {
+		t.Fatalf("restored job 1 = %+v (ok=%v), want cancelled", st, ok)
+	}
+	snap := b.Snapshot()
+	if snap.Cancelled != 1 || snap.Completed != 1 {
+		t.Fatalf("restored snapshot %+v, want 1 completed + 1 cancelled", snap)
+	}
+}
+
+func TestCheckpointRequiresIdle(t *testing.T) {
+	e, err := NewEngine(ckptCfg(1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Admit(JobSpec{Graph: dag.UniformChain(1, 2, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Checkpoint(); err == nil {
+		t.Fatal("checkpointed a busy engine")
+	}
+}
+
+func TestCheckpointUnsupportedScheduler(t *testing.T) {
+	cfg := ckptCfg(1, 2)
+	cfg.Scheduler = core.NewRandomKRAD(1, 7) // carries an unserializable RNG
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Checkpoint(); !errors.Is(err, ErrCheckpointUnsupported) {
+		t.Fatalf("err = %v, want ErrCheckpointUnsupported", err)
+	}
+}
+
+func TestRestoreRejectsBadCheckpoints(t *testing.T) {
+	fresh := func() *Engine {
+		e, err := NewEngine(ckptCfg(1, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	if err := fresh().Restore(EngineCheckpoint{Now: -1}); err == nil {
+		t.Error("accepted negative clock")
+	}
+	if err := fresh().Restore(EngineCheckpoint{Jobs: []CheckpointJob{{ID: 3, Phase: JobDone, Work: []int{1}}}}); err == nil {
+		t.Error("accepted gapped job IDs")
+	}
+	if err := fresh().Restore(EngineCheckpoint{Jobs: []CheckpointJob{{ID: 0, Phase: JobActive, Work: []int{1}}}}); err == nil {
+		t.Error("accepted non-terminal job")
+	}
+	e := fresh()
+	if _, err := e.Admit(JobSpec{Graph: dag.UniformChain(1, 2, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Restore(EngineCheckpoint{}); err == nil {
+		t.Error("accepted restore into a non-fresh engine")
+	}
+}
