@@ -1,0 +1,180 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"krad"
+)
+
+// microBench is one entry of the JSON benchmark registry: the scheduling
+// micro-benchmarks from the repo's bench_test.go, re-declared here so the
+// kradbench binary can run them without the test harness. Names match the
+// `go test -bench` names so numbers are comparable across both harnesses.
+type microBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// microBenches mirrors bench_test.go's scheduling primitives and engine
+// throughput targets (experiment-table benchmarks stay test-only: their
+// output is what kradbench's normal mode prints).
+func microBenches() []microBench {
+	var benches []microBench
+	add := func(name string, fn func(b *testing.B)) {
+		benches = append(benches, microBench{name: name, fn: fn})
+	}
+
+	add("BenchmarkProfileEngine", func(b *testing.B) {
+		specs, err := krad.GenerateProfiles(krad.ProfileGenOpts{
+			K: 3, Jobs: 64, MinPhases: 2, MaxPhases: 8, MaxParallelism: 100_000, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tasks := 0
+		for _, s := range specs {
+			tasks += s.Source.TotalTasks()
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := krad.Run(krad.Config{
+				K: 3, Caps: []int{256, 256, 256}, Scheduler: krad.NewKRAD(3),
+			}, specs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(tasks), "tasks/op")
+	})
+
+	for _, n := range []int{20, 100, 400} {
+		n := n
+		add(fmt.Sprintf("BenchmarkEngineRun/jobs=%d", n), func(b *testing.B) {
+			specs, err := krad.Mix{K: 3, Jobs: n, MinSize: 10, MaxSize: 50, Seed: 1}.Generate()
+			if err != nil {
+				b.Fatal(err)
+			}
+			tasks := 0
+			for _, s := range specs {
+				tasks += s.Graph.NumTasks()
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := krad.Run(krad.Config{
+					K: 3, Caps: []int{8, 8, 8}, Scheduler: krad.NewKRAD(3),
+				}, specs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(tasks), "tasks/op")
+		})
+	}
+
+	for _, size := range []int{4, 32, 256} {
+		for _, mult := range []struct {
+			label string
+			p     func(n int) int
+		}{
+			{"half", func(n int) int { return n / 2 }},
+			{"double", func(n int) int { return 2 * n }},
+		} {
+			size, p := size, mult.p(size)
+			add(fmt.Sprintf("BenchmarkDeq/jobs=%d/p=%d", size, p), func(b *testing.B) {
+				desires := make([]int, size)
+				for i := range desires {
+					desires[i] = 1 + i%13
+				}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					krad.Deq(desires, p, i)
+				}
+			})
+		}
+	}
+
+	for _, cfg := range []struct{ k, n int }{{1, 16}, {3, 64}, {3, 512}, {8, 256}} {
+		cfg := cfg
+		add(fmt.Sprintf("BenchmarkKRADAllot/K=%d/jobs=%d", cfg.k, cfg.n), func(b *testing.B) {
+			s := krad.NewKRAD(cfg.k)
+			caps := make([]int, cfg.k)
+			for i := range caps {
+				caps[i] = 8
+			}
+			jobs := make([]krad.JobView, cfg.n)
+			for i := range jobs {
+				d := make([]int, cfg.k)
+				for a := range d {
+					d[a] = (i + a) % 7
+				}
+				jobs[i] = krad.JobView{ID: i, Desire: d}
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s.Allot(int64(i), jobs, caps)
+			}
+		})
+	}
+	return benches
+}
+
+// benchResult is one benchmark's measurements in the JSON report.
+type benchResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	TasksPerOp  float64 `json:"tasks_per_op,omitempty"`
+}
+
+// benchReport is the file layout: environment header + per-benchmark rows,
+// comparable across commits (see BENCH_PR4.json for the recorded baseline).
+type benchReport struct {
+	GoOS       string        `json:"goos"`
+	GoArch     string        `json:"goarch"`
+	GoVersion  string        `json:"go_version"`
+	Note       string        `json:"note,omitempty"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// runJSONBenchmarks executes the registry under testing.Benchmark and
+// writes the report to path ("-" for stdout).
+func runJSONBenchmarks(path, note string) error {
+	report := benchReport{
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+		GoVersion: runtime.Version(),
+		Note:      note,
+	}
+	for _, mb := range microBenches() {
+		r := testing.Benchmark(mb.fn)
+		if r.N == 0 {
+			return fmt.Errorf("benchmark %s did not run (b.Fatal inside the loop?)", mb.name)
+		}
+		res := benchResult{
+			Name:        mb.name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if v, ok := r.Extra["tasks/op"]; ok {
+			res.TasksPerOp = v
+		}
+		fmt.Fprintf(os.Stderr, "%s\tN=%d\t%.0f ns/op\t%d allocs/op\n", mb.name, res.N, res.NsPerOp, res.AllocsPerOp)
+		report.Benchmarks = append(report.Benchmarks, res)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

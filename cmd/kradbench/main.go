@@ -6,6 +6,13 @@
 // Usage:
 //
 //	kradbench [-run E3,E4] [-quick] [-seed N] [-markdown] [-o file]
+//	kradbench -json bench.json [-note "post-PR4"]
+//
+// With -json the experiment suite is skipped: the scheduling
+// micro-benchmarks (the same workloads as `go test -bench`) run under
+// testing.Benchmark and a machine-readable report is written to the given
+// path ("-" for stdout). BENCH_PR4.json in the repo root records the
+// pre-optimization baseline in this format.
 package main
 
 import (
@@ -29,8 +36,17 @@ func main() {
 		seed     = flag.Int64("seed", 1, "workload seed")
 		markdown = flag.Bool("markdown", false, "emit markdown instead of plain text")
 		outPath  = flag.String("o", "", "write output to file instead of stdout")
+		jsonPath = flag.String("json", "", "run the scheduling micro-benchmarks and write a JSON report to this path (\"-\" for stdout), skipping the experiment suite")
+		note     = flag.String("note", "", "free-form note embedded in the -json report header")
 	)
 	flag.Parse()
+
+	if *jsonPath != "" {
+		if err := runJSONBenchmarks(*jsonPath, *note); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var out io.Writer = os.Stdout
 	if *outPath != "" {

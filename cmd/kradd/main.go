@@ -55,6 +55,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -124,6 +125,8 @@ func main() {
 		fsyncFlag    = flag.String("fsync", "always", "journal fsync policy: always, interval, never")
 		fsyncIntFlag = flag.Duration("fsync-interval", 100*time.Millisecond, "min spacing between fsyncs under -fsync=interval")
 		snapFlag     = flag.Int64("snapshot-every", 10000, "compact a shard journal after this many records at an idle point (0 = never)")
+		batchFlag    = flag.Int64("step-batch", 0, "max virtual steps per scheduling round under one lock and one journal append (0 = default 64, 1 = per-step events)")
+		pprofFlag    = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -158,9 +161,25 @@ func main() {
 	// alive (200) but not ready (/readyz 503) until replay finishes. The
 	// bootstrap handler is swapped for the real one once New returns.
 	handler := newSwapHandler(bootstrapHandler())
+	var root http.Handler = handler
+	if *pprofFlag {
+		// The profiling endpoints wrap the swap handler so they answer even
+		// during journal replay — profiling a slow replay is exactly when
+		// they are wanted. Off by default: they expose stacks and heap
+		// contents, so enabling them is an explicit operator decision.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		root = mux
+		log.Printf("pprof enabled at /debug/pprof/")
+	}
 	srv := &http.Server{
 		Addr:              *addrFlag,
-		Handler:           handler,
+		Handler:           root,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)
@@ -176,6 +195,7 @@ func main() {
 		},
 		MaxInFlight:      *queueFlag,
 		StepEvery:        *stepFlag,
+		StepBatch:        *batchFlag,
 		SubscriberBuffer: *bufFlag,
 		Shards:           *shardFlag,
 		Placement:        *placeFlag,

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"krad/internal/sched"
+)
+
+// TestDeqIntoAllocsZero pins the DEQ hot path at zero allocations once the
+// caller-owned buffers exist.
+func TestDeqIntoAllocsZero(t *testing.T) {
+	const n = 64
+	desires := make([]int, n)
+	for i := range desires {
+		desires[i] = 3 + i%17
+	}
+	allot := make([]int, n)
+	scratch := make([]int, n)
+	rot := 0
+	if avg := testing.AllocsPerRun(200, func() {
+		DeqInto(allot, scratch, desires, 41, rot)
+		rot++
+	}); avg != 0 {
+		t.Fatalf("DeqInto allocates %.1f per call; want 0", avg)
+	}
+}
+
+// TestRADAllotIntoAllocsZero pins RAD's steady-state AllotInto at zero
+// allocations, across both the DEQ and round-robin regimes.
+func TestRADAllotIntoAllocsZero(t *testing.T) {
+	cases := []struct {
+		name string
+		p    int
+	}{
+		{"deq", 128},    // |jobs| ≤ p: space sharing
+		{"overload", 7}, // |jobs| > p: round-robin cycles
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRAD()
+			jobs := make([]sched.CatJob, 32)
+			for i := range jobs {
+				jobs[i] = sched.CatJob{ID: i, Desire: 1 << 20} // never complete
+			}
+			dst := make([]int, len(jobs))
+			// Warm the scratch buffers and the mark slice.
+			for s := int64(1); s <= 4; s++ {
+				r.AllotInto(s, jobs, tc.p, dst)
+			}
+			s := int64(5)
+			if avg := testing.AllocsPerRun(200, func() {
+				r.AllotInto(s, jobs, tc.p, dst)
+				s++
+			}); avg != 0 {
+				t.Fatalf("AllotInto allocates %.1f per call; want 0", avg)
+			}
+		})
+	}
+}
+
+// TestRADAllotEmptyShared checks the empty-set early return shares one
+// allotment slice instead of allocating per step — idle categories are the
+// common case in long online runs.
+func TestRADAllotEmptyShared(t *testing.T) {
+	r := NewRAD()
+	a := r.Allot(1, nil, 8)
+	b := r.Allot(2, nil, 8)
+	if len(a) != 0 || len(b) != 0 {
+		t.Fatalf("empty Allot returned %v, %v; want empty", a, b)
+	}
+	if avg := testing.AllocsPerRun(100, func() { r.Allot(3, nil, 8) }); avg != 0 {
+		t.Fatalf("empty Allot allocates %.1f per call; want 0", avg)
+	}
+	if h := r.StableHorizon(); h != sched.Unbounded {
+		t.Fatalf("empty Allot horizon = %d; want Unbounded", h)
+	}
+	rr := NewRandomRAD(1)
+	if got := rr.Allot(1, nil, 8); len(got) != 0 {
+		t.Fatalf("RandomRAD empty Allot returned %v", got)
+	}
+	if h := rr.StableHorizon(); h != sched.Unbounded {
+		t.Fatalf("RandomRAD empty Allot horizon = %d; want Unbounded", h)
+	}
+}

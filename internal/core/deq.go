@@ -3,6 +3,8 @@
 // K-RAD — one RAD per resource category (Figure 2 of the paper).
 package core
 
+import "krad/internal/sched"
+
 // Deq distributes p processors among jobs with the given positive desires,
 // following the recursive DEQ procedure of Figure 2:
 //
@@ -26,8 +28,22 @@ func Deq(desires []int, p, rot int) []int {
 	if len(desires) == 0 || p <= 0 {
 		return allot
 	}
+	return DeqInto(allot, make([]int, len(desires)), desires, p, rot)
+}
+
+// DeqInto is the allocation-free form of Deq. allot and scratch are
+// caller-owned slices of len(desires); allot is overwritten with the
+// allotments and returned, scratch is clobbered. Hot paths (RAD.AllotInto,
+// the engine's step loop) reuse both across calls.
+func DeqInto(allot, scratch, desires []int, p, rot int) []int {
+	for i := range allot {
+		allot[i] = 0
+	}
+	if len(desires) == 0 || p <= 0 {
+		return allot
+	}
 	// live holds the indices of jobs still being partitioned.
-	live := make([]int, len(desires))
+	live := scratch
 	for i := range live {
 		live[i] = i
 	}
@@ -74,4 +90,95 @@ func Deq(desires []int, p, rot int) []int {
 		live = rest
 	}
 	return allot
+}
+
+// deqStableHorizon reports how many additional consecutive steps a DEQ
+// partition over jobs (the α-active set, positive desires) stays in
+// closed form under the engine's leap law: the active set does not change
+// and every job's desire shrinks by exactly its allotment per step. That
+// holds while every job remains strictly deprived — each then receives
+// the equal share ⌊p/n⌋, plus possibly one rotated remainder processor
+// (which moves with t but is exactly accounted by deqLeapTotals). The
+// horizon keeps every job deprived at every covered step AND strictly
+// positive after the last one (so no completion or phase boundary is
+// crossed mid-leap), using the worst-case per-step decrement share+1 when
+// a remainder exists. No jobs (or no processors) means the all-zero
+// output repeats indefinitely: sched.Unbounded.
+func deqStableHorizon(jobs []sched.CatJob, p int) int64 {
+	n := len(jobs)
+	if n == 0 || p <= 0 {
+		return sched.Unbounded
+	}
+	if n > p {
+		return 0
+	}
+	share, extra := p/n, p%n
+	// dec is the most a desire can drop per step; slack is the minimum
+	// entry desire that keeps a job deprived through the step and above
+	// zero after it.
+	dec, slack := share, share+1
+	if extra > 0 {
+		dec, slack = share+1, share+2
+	}
+	h := sched.Unbounded
+	for _, j := range jobs {
+		if j.Desire < slack {
+			return 0
+		}
+		if hj := int64((j.Desire - slack) / dec); hj < h {
+			h = hj
+		}
+	}
+	return h
+}
+
+// deqLeapTotals accumulates into dst (len(jobs), zeroed by the caller)
+// each job's total DEQ allotment over the n consecutive steps t..t+n−1,
+// assuming the all-deprived regime deqStableHorizon vouched for: every
+// job gets the equal share each step, and the p%len(jobs) remainder
+// processors rotate starting at position s%len(jobs) on step s (exactly
+// Deq's rot = int(s) rotation). The per-job bonus over the window is
+// computed in closed form, so a leap costs O(jobs) regardless of n.
+func deqLeapTotals(t int64, jobs []sched.CatJob, p int, n int64, dst []int) {
+	nj := len(jobs)
+	if nj == 0 || p <= 0 {
+		return
+	}
+	share, extra := p/nj, p%nj
+	for i := range jobs {
+		dst[i] = int(n) * share
+	}
+	if extra == 0 {
+		return
+	}
+	// Step s gives one bonus processor to positions (s+m) mod nj for
+	// m ∈ [0, extra): full cycles of nj steps serve every position extra
+	// times; the rem = n mod nj trailing steps serve a circular window.
+	cycles, rem := n/int64(nj), int(n%int64(nj))
+	for j := range jobs {
+		bonus := int64(extra) * cycles
+		if rem > 0 {
+			// Position j is served at step s iff (j−s) mod nj < extra.
+			// Over s ∈ [t, t+rem) the values (c−u) mod nj, u ∈ [0, rem),
+			// walk down the circle from c = (j−t) mod nj; count how many
+			// land in [0, extra).
+			c := int(((int64(j)-t)%int64(nj) + int64(nj)) % int64(nj))
+			lo := c - rem + 1
+			hi := c
+			if hi > extra-1 {
+				hi = extra - 1
+			}
+			if lo >= 0 {
+				if hi >= lo {
+					bonus += int64(hi - lo + 1)
+				}
+			} else {
+				bonus += int64(hi + 1) // [0, min(c, extra−1)]
+				if lo2 := lo + nj; extra-1 >= lo2 {
+					bonus += int64(extra - lo2) // [lo+nj, extra−1]
+				}
+			}
+		}
+		dst[j] += int(bonus)
+	}
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"encoding/json"
 	"fmt"
-	"sort"
 
 	"krad/internal/sched"
 )
@@ -18,21 +17,57 @@ import (
 // round-robin cycle". A RAD value is stateful and must not be shared
 // between concurrent simulations; K-RAD builds one RAD per category.
 type RAD struct {
-	marked map[int]bool
+	// gen and stamp hold the round-robin marks as a generation-stamped
+	// dense slice keyed by job ID: stamp[id] == gen means marked. Clearing
+	// every mark is gen++ — O(1) instead of O(marks) — and membership is
+	// one bounds check plus one load instead of a map probe. stamp grows
+	// to the largest job ID marked so far; JobsDone zeroes slots so the
+	// marks themselves cannot leak across job lifetimes.
+	gen   uint64
+	stamp []uint64
 	// rot rotates which marked jobs receive the cycle-completing "bonus"
 	// service (the move from Q′ to Q below). Figure 2 leaves the choice
 	// unspecified; rotating it keeps long-run service counts equal instead
 	// of systematically favoring the lowest job IDs.
 	rot int
+	// horizon is the leap-safety report of the most recent Allot/AllotInto
+	// call; see StableHorizon.
+	horizon int64
+	// Scratch reused across Allot calls; each call clobbers all of it.
+	q, qp, desires, deqAllot, deqScratch []int
 }
 
 // NewRAD returns a fresh single-category RAD scheduler.
-func NewRAD() *RAD {
-	return &RAD{marked: make(map[int]bool)}
-}
+func NewRAD() *RAD { return &RAD{gen: 1} }
 
 // Name implements sched.CategoryScheduler.
 func (r *RAD) Name() string { return "rad" }
+
+func (r *RAD) marked(id int) bool {
+	return id >= 0 && id < len(r.stamp) && r.stamp[id] == r.gen
+}
+
+func (r *RAD) mark(id int) {
+	if id >= len(r.stamp) {
+		grown := make([]uint64, id+1)
+		copy(grown, r.stamp)
+		r.stamp = grown
+	}
+	r.stamp[id] = r.gen
+}
+
+// emptyAllot is the shared zero-length allotment returned for empty job
+// sets so idle categories do not allocate every step.
+var emptyAllot = []int{}
+
+// growInts returns buf resliced to length n, reallocating only when the
+// capacity is insufficient.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n, n+n/2+8)
+	}
+	return buf[:n]
+}
 
 // Allot implements the RAD procedure of Figure 2 for one category:
 //
@@ -44,27 +79,48 @@ func (r *RAD) Name() string { return "rad" }
 //	              processors over Q with DEQ, and unmark all jobs (the
 //	              round-robin cycle, if any, is complete)
 func (r *RAD) Allot(t int64, jobs []sched.CatJob, p int) []int {
+	if len(jobs) == 0 {
+		r.horizon = sched.Unbounded
+		return emptyAllot
+	}
 	allot := make([]int, len(jobs))
+	r.AllotInto(t, jobs, p, allot)
+	return allot
+}
+
+// AllotInto is Allot writing into caller-owned storage: dst must have
+// len(jobs) entries and is fully overwritten. It implements
+// sched.CategoryIntoAllotter so PerCategory's hot path allocates nothing.
+func (r *RAD) AllotInto(t int64, jobs []sched.CatJob, p int, dst []int) {
+	for i := range dst {
+		dst[i] = 0
+	}
 	if len(jobs) == 0 || p <= 0 {
-		return allot
+		// No jobs (or no processors): the all-zero output repeats as long
+		// as the inputs do.
+		r.horizon = sched.Unbounded
+		return
 	}
 	// Split into Q (unmarked) and Q′ (marked), preserving ID order.
-	q := make([]int, 0, len(jobs))  // indices into jobs
-	qp := make([]int, 0, len(jobs)) // indices into jobs
+	q := growInts(r.q, len(jobs))[:0]
+	qp := growInts(r.qp, len(jobs))[:0]
 	for i, j := range jobs {
-		if r.marked[j.ID] {
+		if r.marked(j.ID) {
 			qp = append(qp, i)
 		} else {
 			q = append(q, i)
 		}
 	}
+	r.q, r.qp = q, qp
 	if len(q) > p {
 		// ROUND-ROBIN: first P jobs of Q get one processor each, marked.
+		// Mid-cycle state changes every step, so never leap over it.
+		r.horizon = 0
 		for _, i := range q[:p] {
-			allot[i] = 1
-			r.marked[jobs[i].ID] = true
+			dst[i] = 1
+			r.mark(jobs[i].ID)
 		}
-		return allot
+		return
 	}
 	// Cycle completes this step: fill Q from Q′ so no processor idles.
 	// The jobs moved over are chosen round-robin across cycles (see rot).
@@ -79,23 +135,50 @@ func (r *RAD) Allot(t int64, jobs []sched.CatJob, p int) []int {
 		}
 		r.rot += need
 	}
-	desires := make([]int, len(q))
+	// Leap safety: with no marks at entry this call was pure DEQ and left
+	// the marks and rotation untouched, so the horizon is DEQ's. A cycle
+	// completion (marks present) mutates rot — settle one step at a time.
+	if len(qp) == 0 {
+		r.horizon = deqStableHorizon(jobs, p)
+	} else {
+		r.horizon = 0
+	}
+	desires := growInts(r.desires, len(q))
 	for j, i := range q {
 		desires[j] = jobs[i].Desire
 	}
-	for j, a := range Deq(desires, p, int(t)) {
-		allot[q[j]] = a
+	r.desires = desires
+	r.deqAllot = growInts(r.deqAllot, len(q))
+	r.deqScratch = growInts(r.deqScratch, len(q))
+	for j, a := range DeqInto(r.deqAllot, r.deqScratch, desires, p, int(t)) {
+		dst[q[j]] = a
 	}
 	// Unmark all jobs: a new cycle starts next step if still overloaded.
-	clear(r.marked)
-	return allot
+	r.gen++
+}
+
+// StableHorizon implements sched.CategoryStable: it reports how many
+// additional consecutive steps after the most recent Allot call stay in
+// closed form, assuming the engine's leap law (unchanged α-active set,
+// every desire decreasing by exactly its allotment each step). Non-zero
+// only in DEQ mode with no round-robin marks and every job strictly
+// deprived — the regime where each step is the equal share plus a
+// t-rotated remainder that deqLeapTotals accounts for exactly.
+func (r *RAD) StableHorizon() int64 { return r.horizon }
+
+// LeapTotals implements sched.CategoryStable via the closed-form
+// all-deprived DEQ aggregate; see deqLeapTotals.
+func (r *RAD) LeapTotals(t int64, jobs []sched.CatJob, p int, n int64, dst []int) {
+	deqLeapTotals(t, jobs, p, n, dst)
 }
 
 // JobsDone drops marks of completed jobs so state cannot grow without
 // bound across long online runs.
 func (r *RAD) JobsDone(ids []int) {
 	for _, id := range ids {
-		delete(r.marked, id)
+		if id >= 0 && id < len(r.stamp) {
+			r.stamp[id] = 0
+		}
 	}
 }
 
@@ -107,13 +190,14 @@ type radState struct {
 
 // SnapshotState captures the round-robin marks and the bonus-service
 // rotation, the only state RAD carries between steps. Marked IDs are
-// sorted so the encoding is deterministic.
+// ascending (dense-slice order) so the encoding is deterministic.
 func (r *RAD) SnapshotState() ([]byte, error) {
 	st := radState{Rot: r.rot}
-	for id := range r.marked {
-		st.Marked = append(st.Marked, id)
+	for id, g := range r.stamp {
+		if g == r.gen {
+			st.Marked = append(st.Marked, id)
+		}
 	}
-	sort.Ints(st.Marked)
 	return json.Marshal(st)
 }
 
@@ -124,18 +208,25 @@ func (r *RAD) RestoreState(data []byte) error {
 	if err := json.Unmarshal(data, &st); err != nil {
 		return fmt.Errorf("core: decode rad state: %w", err)
 	}
-	clear(r.marked)
+	r.gen = 1
+	clear(r.stamp)
 	for _, id := range st.Marked {
-		r.marked[id] = true
+		if id < 0 {
+			return fmt.Errorf("core: rad state has negative job ID %d", id)
+		}
+		r.mark(id)
 	}
 	r.rot = st.Rot
+	r.horizon = 0
 	return nil
 }
 
 var (
-	_ sched.CategoryScheduler   = (*RAD)(nil)
-	_ sched.CategoryCompleter   = (*RAD)(nil)
-	_ sched.CategorySnapshotter = (*RAD)(nil)
+	_ sched.CategoryScheduler    = (*RAD)(nil)
+	_ sched.CategoryCompleter    = (*RAD)(nil)
+	_ sched.CategorySnapshotter  = (*RAD)(nil)
+	_ sched.CategoryIntoAllotter = (*RAD)(nil)
+	_ sched.CategoryStable       = (*RAD)(nil)
 )
 
 // NewKRAD returns the paper's K-RAD scheduler for k resource categories:

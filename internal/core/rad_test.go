@@ -146,8 +146,10 @@ func TestRADJobsDoneClearsMarks(t *testing.T) {
 	jobs := catJobs(1, 1, 1)
 	r.Allot(1, jobs, 2) // marks jobs 0, 1
 	r.JobsDone([]int{0, 1})
-	if len(r.marked) != 0 {
-		t.Errorf("marks not cleared: %v", r.marked)
+	for id := range jobs {
+		if r.marked(id) {
+			t.Errorf("job %d still marked after JobsDone", id)
+		}
 	}
 }
 

@@ -27,6 +27,10 @@ type RandomRAD struct {
 	// order is the current cycle's service order (job IDs), drawn when a
 	// new cycle begins.
 	order map[int]int
+	// horizon is the leap-safety report of the most recent Allot call; the
+	// DEQ branch draws no random numbers, so the same stability analysis
+	// as deterministic RAD applies (see RAD.StableHorizon).
+	horizon int64
 }
 
 // NewRandomRAD returns a randomized single-category RAD. Deterministic for
@@ -45,8 +49,13 @@ func (r *RandomRAD) Name() string { return "random-rad" }
 // Allot mirrors RAD.Allot with a per-cycle random permutation of the
 // unmarked queue.
 func (r *RandomRAD) Allot(t int64, jobs []sched.CatJob, p int) []int {
+	if len(jobs) == 0 {
+		r.horizon = sched.Unbounded
+		return emptyAllot
+	}
 	allot := make([]int, len(jobs))
-	if len(jobs) == 0 || p <= 0 {
+	if p <= 0 {
+		r.horizon = sched.Unbounded
 		return allot
 	}
 	q := make([]int, 0, len(jobs))
@@ -59,6 +68,7 @@ func (r *RandomRAD) Allot(t int64, jobs []sched.CatJob, p int) []int {
 		}
 	}
 	if len(q) > p {
+		r.horizon = 0
 		// Assign cycle positions lazily: jobs without a position in the
 		// current cycle draw one.
 		for _, i := range q {
@@ -85,6 +95,13 @@ func (r *RandomRAD) Allot(t int64, jobs []sched.CatJob, p int) []int {
 		}
 		r.rot += need
 	}
+	// Same leap-safety rule as RAD: stable only when this step was pure
+	// DEQ over a mark-free queue (the rng is untouched on this branch).
+	if len(qp) == 0 {
+		r.horizon = deqStableHorizon(jobs, p)
+	} else {
+		r.horizon = 0
+	}
 	desires := make([]int, len(q))
 	for j, i := range q {
 		desires[j] = jobs[i].Desire
@@ -95,6 +112,15 @@ func (r *RandomRAD) Allot(t int64, jobs []sched.CatJob, p int) []int {
 	clear(r.marked)
 	clear(r.order) // next overload starts a fresh random cycle
 	return allot
+}
+
+// StableHorizon implements sched.CategoryStable; see RAD.StableHorizon.
+func (r *RandomRAD) StableHorizon() int64 { return r.horizon }
+
+// LeapTotals implements sched.CategoryStable; the DEQ branch is identical
+// to deterministic RAD's, so the same closed form applies.
+func (r *RandomRAD) LeapTotals(t int64, jobs []sched.CatJob, p int, n int64, dst []int) {
+	deqLeapTotals(t, jobs, p, n, dst)
 }
 
 // JobsDone drops per-job state.
@@ -117,4 +143,5 @@ func NewRandomKRAD(k int, seed int64) *sched.PerCategory {
 var (
 	_ sched.CategoryScheduler = (*RandomRAD)(nil)
 	_ sched.CategoryCompleter = (*RandomRAD)(nil)
+	_ sched.CategoryStable    = (*RandomRAD)(nil)
 )

@@ -10,6 +10,7 @@ package dag
 
 import (
 	"fmt"
+	"sync/atomic"
 )
 
 // Category is a 1-based resource category index α ∈ {1, ..., K}.
@@ -35,6 +36,17 @@ type Graph struct {
 	durs []int32
 	// edge count, maintained incrementally.
 	edges int
+	// hmemo caches the static task heights (longest chain from each task),
+	// shared read-only by Span, CriticalPath, every Instance of this graph,
+	// and the CP pick policies. Mutators reset it; the atomic makes the
+	// post-build read path safe under concurrent queries.
+	hmemo atomic.Pointer[heightsResult]
+}
+
+// heightsResult is the cached outcome of one heights computation.
+type heightsResult struct {
+	h   []int32
+	err error
 }
 
 // New returns an empty K-DAG for k resource categories. k must be ≥ 1.
@@ -75,6 +87,7 @@ func (g *Graph) AddTask(c Category) TaskID {
 	g.cats = append(g.cats, c)
 	g.succ = append(g.succ, nil)
 	g.pred = append(g.pred, nil)
+	g.hmemo.Store(nil)
 	return id
 }
 
@@ -109,6 +122,7 @@ func (g *Graph) AddEdge(u, v TaskID) error {
 	g.succ[u] = append(g.succ[u], v)
 	g.pred[v] = append(g.pred[v], u)
 	g.edges++
+	g.hmemo.Store(nil)
 	return nil
 }
 

@@ -130,24 +130,55 @@ func (in *Instance) Executed() int { return in.executed }
 // Execute runs up to n ready tasks of category c during the current step,
 // selected by the pick policy, and returns the IDs of the tasks executed.
 // Successors do not become ready until Advance. Execute with n ≤ 0 is a
-// no-op returning nil.
+// no-op returning nil. Callers that only need the count should use
+// ExecuteCount, which skips materializing the ID slice.
 func (in *Instance) Execute(c Category, n int) []TaskID {
-	if n <= 0 || c < 1 || int(c) > in.g.k {
+	n = in.take(c, n)
+	if n == 0 {
 		return nil
+	}
+	run := append([]TaskID(nil), in.ready[c-1][:n]...)
+	in.finish(c, n)
+	return run
+}
+
+// ExecuteCount is Execute without the executed-ID result: the engine's
+// aggregate-trace hot path only consumes the count, and skipping the slice
+// copy keeps steady-state stepping allocation-free.
+func (in *Instance) ExecuteCount(c Category, n int) int {
+	n = in.take(c, n)
+	if n > 0 {
+		in.finish(c, n)
+	}
+	return n
+}
+
+// take validates an Execute request and orders the ready queue so the
+// tasks to run occupy its prefix, returning the clamped count (0 = no-op).
+func (in *Instance) take(c Category, n int) int {
+	if n <= 0 || c < 1 || int(c) > in.g.k {
+		return 0
 	}
 	q := in.ready[c-1]
-	if len(q) == 0 {
-		return nil
-	}
 	if n > len(q) {
 		n = len(q)
 	}
-	in.order(q)
-	run := append([]TaskID(nil), q[:n]...)
-	in.ready[c-1] = q[n:]
-	in.pending = append(in.pending, run...)
-	in.executed += len(run)
-	return run
+	if n > 0 {
+		in.order(q)
+	}
+	return n
+}
+
+// finish commits the first n ready c-tasks: they move to the pending set
+// and the queue compacts toward the front of its backing array, so the
+// array is reused forever instead of creeping forward allocation by
+// allocation as tasks are sliced off.
+func (in *Instance) finish(c Category, n int) {
+	q := in.ready[c-1]
+	in.pending = append(in.pending, q[:n]...)
+	in.executed += n
+	m := copy(q, q[n:])
+	in.ready[c-1] = q[:m]
 }
 
 // order arranges the ready queue so that the tasks to execute occupy the

@@ -26,13 +26,20 @@ func (g *Graph) TotalWork() int { return g.NumTasks() }
 
 // Span returns T∞(Ji): the number of vertices on the longest precedence
 // chain. The empty graph has span 0. Span panics on cyclic graphs; call
-// Validate first for untrusted data.
+// Validate first for untrusted data. Uses the memoized task heights, so
+// repeated calls (one per job admission) cost one allocation-free scan.
 func (g *Graph) Span() int {
-	levels, err := g.Levels()
+	h, err := g.heights()
 	if err != nil {
 		panic(err)
 	}
-	return len(levels)
+	best := int32(0)
+	for _, v := range h {
+		if v > best {
+			best = v
+		}
+	}
+	return int(best)
 }
 
 // CriticalPath returns one longest chain of tasks (ties broken toward

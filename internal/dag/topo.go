@@ -74,9 +74,20 @@ func (g *Graph) Levels() ([][]TaskID, error) {
 
 // heights returns, for every task, the number of vertices on the longest
 // chain starting at that task (inclusive), i.e. its remaining-span
-// contribution. Used by the critical-path task pickers. The graph must be
-// acyclic.
+// contribution. The result is memoized on the graph (mutators invalidate
+// it) and shared read-only by Span, the critical-path task pickers, and
+// every Instance — callers must not modify it.
 func (g *Graph) heights() ([]int32, error) {
+	if m := g.hmemo.Load(); m != nil {
+		return m.h, m.err
+	}
+	h, err := g.computeHeights()
+	g.hmemo.Store(&heightsResult{h: h, err: err})
+	return h, err
+}
+
+// computeHeights is the uncached heights computation.
+func (g *Graph) computeHeights() ([]int32, error) {
 	order, err := g.TopoOrder()
 	if err != nil {
 		return nil, err

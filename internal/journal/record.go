@@ -25,6 +25,13 @@ const (
 	// TypeStep is one executed engine step; Now is the virtual clock after
 	// it ran, recorded so replay divergence is detected immediately.
 	TypeStep Type = "step"
+	// TypeSteps is an aggregated batch of N ≥ 2 consecutive executed steps
+	// (one Engine.StepN call); Now is the clock after the last of them.
+	// Replay re-executes the batch with StepN, which is bit-identical to N
+	// single steps, so one record replaces N without weakening the
+	// cross-checks. Written by servers batching ticker catch-up; a journal
+	// may freely mix step and steps records.
+	TypeSteps Type = "steps"
 	// TypeSnap is an idle-point checkpoint written by compaction; it is
 	// only valid as the first record of a journal.
 	TypeSnap Type = "snap"
@@ -50,8 +57,12 @@ type Record struct {
 	Jobs []JobRecord `json:"jobs,omitempty"`
 	// ID is the cancelled job's engine-local ID (cancel records).
 	ID int `json:"id,omitempty"`
-	// Now is the virtual clock after the step executed (step records).
+	// Now is the virtual clock after the step executed (step and steps
+	// records).
 	Now int64 `json:"now,omitempty"`
+	// N is the number of steps covered by a steps record (≥ 2; plain step
+	// records omit it).
+	N int64 `json:"n,omitempty"`
 	// Snap is the engine checkpoint (snap records).
 	Snap *sim.EngineCheckpoint `json:"snap,omitempty"`
 }
@@ -90,8 +101,15 @@ func validateRecord(r Record) error {
 			return fmt.Errorf("journal: batch record has no jobs")
 		}
 	case TypeCancel, TypeStep:
-		if len(r.Jobs) != 0 || r.Snap != nil {
+		if len(r.Jobs) != 0 || r.Snap != nil || r.N != 0 {
 			return fmt.Errorf("journal: %s record carries stray fields", r.Type)
+		}
+	case TypeSteps:
+		if len(r.Jobs) != 0 || r.Snap != nil {
+			return fmt.Errorf("journal: steps record carries stray fields")
+		}
+		if r.N < 2 {
+			return fmt.Errorf("journal: steps record covers %d steps, want ≥ 2", r.N)
 		}
 	case TypeSnap:
 		if r.Snap == nil {
@@ -140,3 +158,14 @@ func CancelRecord(id int) Record { return Record{Type: TypeCancel, ID: id} }
 // StepRecord builds the record for one executed step ending at virtual
 // time now.
 func StepRecord(now int64) Record { return Record{Type: TypeStep, Now: now} }
+
+// StepsRecord builds the record for n consecutive executed steps ending at
+// virtual time now. n == 1 degrades to a plain step record, so journals
+// written by batching servers stay byte-compatible with single-step
+// readers whenever no batching actually happened.
+func StepsRecord(n, now int64) Record {
+	if n == 1 {
+		return StepRecord(now)
+	}
+	return Record{Type: TypeSteps, Now: now, N: n}
+}

@@ -52,16 +52,23 @@ func replayOne(eng *sim.Engine, rec Record, i int) error {
 		if err := eng.Cancel(rec.ID); err != nil {
 			return fmt.Errorf("journal: replay record %d (cancel %d): %w", i, rec.ID, err)
 		}
-	case TypeStep:
-		info, err := eng.Step()
+	case TypeStep, TypeSteps:
+		n := rec.N
+		if rec.Type == TypeStep {
+			n = 1
+		}
+		info, err := eng.StepN(n)
 		if err != nil {
-			return fmt.Errorf("journal: replay record %d (step): %w", i, err)
+			return fmt.Errorf("journal: replay record %d (%s): %w", i, rec.Type, err)
 		}
 		if info.Idle {
-			return fmt.Errorf("journal: replay record %d (step): engine is idle but the journal recorded a step to %d — journal does not match this configuration", i, rec.Now)
+			return fmt.Errorf("journal: replay record %d (%s): engine is idle but the journal recorded a step to %d — journal does not match this configuration", i, rec.Type, rec.Now)
+		}
+		if info.Steps != n {
+			return fmt.Errorf("journal: replay record %d (%s): engine executed %d of %d recorded steps — journal does not match this configuration", i, rec.Type, info.Steps, n)
 		}
 		if info.Step != rec.Now {
-			return fmt.Errorf("journal: replay record %d (step): engine stepped to %d, journal says %d — journal does not match this configuration", i, info.Step, rec.Now)
+			return fmt.Errorf("journal: replay record %d (%s): engine stepped to %d, journal says %d — journal does not match this configuration", i, rec.Type, info.Step, rec.Now)
 		}
 	default:
 		return fmt.Errorf("journal: replay record %d: unknown type %q", i, rec.Type)

@@ -215,6 +215,22 @@ func (r *runtime) Advance() {
 	}
 }
 
+// LeapTasks implements sim.LeapRuntime: several consecutive steps that
+// together executed total[α−1] α-tasks collapse to one subtraction per
+// category. The engine guarantees no phase boundary is crossed (remaining
+// stays positive wherever total is), so the intermediate Advance calls
+// would have been no-ops beyond clearing the per-step ran counters —
+// which stay zero here, exactly as the single steps would leave them.
+func (r *runtime) LeapTasks(total []int) {
+	for a, v := range total {
+		if v == 0 {
+			continue
+		}
+		r.remaining[a] -= v
+		r.executed += v
+	}
+}
+
 // Done implements sim.RuntimeJob.
 func (r *runtime) Done() bool { return r.executed == r.job.TotalTasks() }
 
@@ -239,4 +255,7 @@ func (r *runtime) RemainingWork() []int {
 	return out
 }
 
-var _ sim.JobSource = (*Job)(nil)
+var (
+	_ sim.JobSource   = (*Job)(nil)
+	_ sim.LeapRuntime = (*runtime)(nil)
+)

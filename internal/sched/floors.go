@@ -13,6 +13,10 @@ import "fmt"
 // lost reallocation freedom costs against the paper's bounds.
 type floored struct {
 	inner Scheduler
+	// lastFloors records whether the most recent Allot saw any non-zero
+	// floor; floors shift per step, so stability only forwards without
+	// them.
+	lastFloors bool
 }
 
 // WithFloors wraps inner; see the type comment.
@@ -38,6 +42,7 @@ func (f *floored) Allot(t int64, jobs []JobView, caps []int) [][]int {
 			break
 		}
 	}
+	f.lastFloors = any
 	if !any {
 		return f.inner.Allot(t, jobs, caps)
 	}
@@ -71,6 +76,26 @@ func (f *floored) Allot(t int64, jobs []JobView, caps []int) [][]int {
 		}
 	}
 	return out
+}
+
+// StableHorizon forwards the wrapped scheduler's stability report when the
+// last step was floor-free (the wrapper was the identity, so the inner
+// analysis applies verbatim); with floors in play it reports 0.
+func (f *floored) StableHorizon() int64 {
+	if f.lastFloors {
+		return 0
+	}
+	if s, ok := f.inner.(Stable); ok {
+		return s.StableHorizon()
+	}
+	return 0
+}
+
+// LeapTotals forwards to the wrapped scheduler. Only called after
+// StableHorizon reported > 0, which implies the last step was floor-free
+// and the inner scheduler is Stable.
+func (f *floored) LeapTotals(t int64, jobs []JobView, caps []int, n int64, dst [][]int) {
+	f.inner.(Stable).LeapTotals(t, jobs, caps, n, dst)
 }
 
 // JobsDone forwards completions.

@@ -11,6 +11,7 @@ package sched
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 )
 
 // JobView is the scheduler-visible snapshot of one active job at one step.
@@ -48,6 +49,100 @@ type Scheduler interface {
 	// (released, uncompleted) jobs at step t, in ascending ID order.
 	// Implementations must not retain jobs or the returned slices.
 	Allot(t int64, jobs []JobView, caps []int) [][]int
+}
+
+// Unbounded is the StableHorizon value meaning "no scheduler-imposed leap
+// limit". The engine still bounds leaps by pending releases, the caller's
+// step budget, and MaxSteps.
+const Unbounded int64 = math.MaxInt64
+
+// Stable is an optional Scheduler capability powering the engine's
+// event-leap.
+//
+// StableHorizon reports how many additional consecutive steps after the
+// most recent Allot call are in a stable regime: the scheduler's
+// cross-step state (marks, rotations, rng) does not change, every job's
+// desire stays strictly positive, and the per-step allotments are
+// computable in closed form by LeapTotals. The report assumes the
+// engine's leap law over those steps: (a) the active job set does not
+// change, and (b) every job's per-category desire decreases by exactly
+// its allotment each step (the regime profile-backed jobs are in
+// mid-phase). 0 means "do not leap this round"; Unbounded means no
+// scheduler-imposed limit. The value is consumed immediately after Allot
+// and invalidated by the next Allot call.
+//
+// LeapTotals accumulates into dst — shaped like the Allot result (one row
+// per job, len(caps) columns) and zeroed by the caller — the TOTAL
+// allotment each job receives over the n steps t..t+n−1, where t, jobs
+// and caps are exactly the arguments of that most recent Allot call and
+// 1 ≤ n ≤ StableHorizon()+1 (the call's own step plus the horizon). Each
+// covered step's column sums equal the Allot result's column sums, so
+// per-step aggregates (traces, utilization) reproduce exactly.
+type Stable interface {
+	StableHorizon() int64
+	LeapTotals(t int64, jobs []JobView, caps []int, n int64, dst [][]int)
+}
+
+// CategoryStable mirrors Stable for per-category schedulers, under the
+// same law restricted to the category's α-active jobs.
+type CategoryStable interface {
+	StableHorizon() int64
+	LeapTotals(t int64, jobs []CatJob, p int, n int64, dst []int)
+}
+
+// IntoAllotter is an optional Scheduler extension for allocation-free
+// stepping: AllotInto behaves exactly like Allot but writes the matrix
+// into caller-owned storage. dst has one row per job, each row of
+// len(caps); rows are fully overwritten. Callers own dst and may reuse it
+// across calls (see Matrix); implementations must not retain it.
+type IntoAllotter interface {
+	AllotInto(t int64, jobs []JobView, caps []int, dst [][]int)
+}
+
+// CategoryIntoAllotter mirrors IntoAllotter for per-category schedulers:
+// dst has len(jobs) entries and is fully overwritten.
+type CategoryIntoAllotter interface {
+	AllotInto(t int64, jobs []CatJob, p int, dst []int)
+}
+
+// Matrix is a reusable allotment matrix backed by a single flat []int, for
+// hot paths that call AllotWith every step without allocating.
+type Matrix struct {
+	rows [][]int
+	back []int
+}
+
+// Shape returns an n×k matrix of zeros, reusing the backing storage when
+// capacity allows. The returned rows alias the Matrix and are invalidated
+// by the next Shape call.
+func (m *Matrix) Shape(n, k int) [][]int {
+	if cap(m.back) < n*k {
+		m.back = make([]int, n*k, n*k+n*k/2+16)
+	}
+	m.back = m.back[:n*k]
+	for i := range m.back {
+		m.back[i] = 0
+	}
+	if cap(m.rows) < n {
+		m.rows = make([][]int, n, n+n/2+8)
+	}
+	m.rows = m.rows[:n]
+	for i := range m.rows {
+		m.rows[i] = m.back[i*k : (i+1)*k : (i+1)*k]
+	}
+	return m.rows
+}
+
+// AllotWith invokes s.AllotInto when implemented, reusing m's storage, and
+// falls back to plain Allot otherwise. The result is valid until m's next
+// Shape call (into path) or owned by the caller (fallback path).
+func AllotWith(s Scheduler, t int64, jobs []JobView, caps []int, m *Matrix) [][]int {
+	if ia, ok := s.(IntoAllotter); ok {
+		dst := m.Shape(len(jobs), len(caps))
+		ia.AllotInto(t, jobs, caps, dst)
+		return dst
+	}
+	return s.Allot(t, jobs, caps)
 }
 
 // Completer is implemented by stateful schedulers (such as RAD's
@@ -155,6 +250,11 @@ type CategoryCompleter interface {
 type PerCategory struct {
 	name string
 	cats []CategoryScheduler
+	// Scratch reused across AllotInto calls (single-simulation use only,
+	// like the category schedulers themselves).
+	catJobs []CatJob
+	idx     []int
+	catOut  []int
 }
 
 // NewPerCategory builds a Scheduler from per-category schedulers. The slice
@@ -172,11 +272,9 @@ func (p *PerCategory) Category(alpha int) CategoryScheduler { return p.cats[alph
 
 // Allot projects the jobs onto each category (keeping only α-active jobs,
 // preserving ID order), delegates to that category's scheduler, and
-// reassembles the full allotment matrix.
+// reassembles the full allotment matrix. The result is freshly allocated
+// (callers may retain it); hot paths use AllotInto via AllotWith instead.
 func (p *PerCategory) Allot(t int64, jobs []JobView, caps []int) [][]int {
-	if len(caps) != len(p.cats) {
-		panic(fmt.Sprintf("sched: PerCategory %q built for K=%d but given %d capacities", p.name, len(p.cats), len(caps)))
-	}
 	allot := make([][]int, len(jobs))
 	rows := make([]int, 0, len(jobs)*len(caps))
 	if len(jobs)*len(caps) > 0 {
@@ -185,8 +283,78 @@ func (p *PerCategory) Allot(t int64, jobs []JobView, caps []int) [][]int {
 	for i := range jobs {
 		allot[i] = rows[i*len(caps) : (i+1)*len(caps) : (i+1)*len(caps)]
 	}
-	catJobs := make([]CatJob, 0, len(jobs))
-	idx := make([]int, 0, len(jobs))
+	p.AllotInto(t, jobs, caps, allot)
+	return allot
+}
+
+// AllotInto implements IntoAllotter: the same projection as Allot, writing
+// into dst (one row per job, each row len(caps), fully overwritten) and
+// asking each category scheduler for its CategoryIntoAllotter fast path
+// before falling back to the allocating Allot.
+func (p *PerCategory) AllotInto(t int64, jobs []JobView, caps []int, dst [][]int) {
+	if len(caps) != len(p.cats) {
+		panic(fmt.Sprintf("sched: PerCategory %q built for K=%d but given %d capacities", p.name, len(p.cats), len(caps)))
+	}
+	catJobs := p.catJobs[:0]
+	idx := p.idx[:0]
+	for a := range p.cats {
+		catJobs = catJobs[:0]
+		idx = idx[:0]
+		for i, j := range jobs {
+			dst[i][a] = 0
+			if j.Desire[a] > 0 {
+				catJobs = append(catJobs, CatJob{ID: j.ID, Desire: j.Desire[a]})
+				idx = append(idx, i)
+			}
+		}
+		var out []int
+		if ia, ok := p.cats[a].(CategoryIntoAllotter); ok {
+			if cap(p.catOut) < len(catJobs) {
+				p.catOut = make([]int, len(catJobs), len(catJobs)*2+8)
+			}
+			out = p.catOut[:len(catJobs)]
+			ia.AllotInto(t, catJobs, caps[a], out)
+		} else {
+			out = p.cats[a].Allot(t, catJobs, caps[a])
+			if len(out) != len(catJobs) {
+				panic(fmt.Sprintf("sched: category %d scheduler %q returned %d allotments for %d jobs", a+1, p.cats[a].Name(), len(out), len(catJobs)))
+			}
+		}
+		for j, v := range out {
+			dst[idx[j]][a] = v
+		}
+	}
+	p.catJobs, p.idx = catJobs[:0], idx[:0]
+}
+
+// StableHorizon implements Stable: the composite is stable for as long as
+// every category is, so the horizon is the minimum over categories. A
+// category scheduler that does not report stability pins the horizon to 0.
+func (p *PerCategory) StableHorizon() int64 {
+	h := Unbounded
+	for _, c := range p.cats {
+		cs, ok := c.(CategoryStable)
+		if !ok {
+			return 0
+		}
+		if ch := cs.StableHorizon(); ch < h {
+			h = ch
+			if h == 0 {
+				return 0
+			}
+		}
+	}
+	return h
+}
+
+// LeapTotals implements Stable by re-projecting jobs per category (the
+// same projection Allot used — jobs must be the same slice contents) and
+// delegating to each category's CategoryStable. Only called when
+// StableHorizon reported ≥ n−1, which implies every category implements
+// CategoryStable.
+func (p *PerCategory) LeapTotals(t int64, jobs []JobView, caps []int, n int64, dst [][]int) {
+	catJobs := p.catJobs[:0]
+	idx := p.idx[:0]
 	for a := range p.cats {
 		catJobs = catJobs[:0]
 		idx = idx[:0]
@@ -196,15 +364,19 @@ func (p *PerCategory) Allot(t int64, jobs []JobView, caps []int) [][]int {
 				idx = append(idx, i)
 			}
 		}
-		out := p.cats[a].Allot(t, catJobs, caps[a])
-		if len(out) != len(catJobs) {
-			panic(fmt.Sprintf("sched: category %d scheduler %q returned %d allotments for %d jobs", a+1, p.cats[a].Name(), len(out), len(catJobs)))
+		if cap(p.catOut) < len(catJobs) {
+			p.catOut = make([]int, len(catJobs), len(catJobs)*2+8)
 		}
+		out := p.catOut[:len(catJobs)]
+		for i := range out {
+			out[i] = 0
+		}
+		p.cats[a].(CategoryStable).LeapTotals(t, catJobs, caps[a], n, out)
 		for j, v := range out {
-			allot[idx[j]][a] = v
+			dst[idx[j]][a] = v
 		}
 	}
-	return allot
+	p.catJobs, p.idx = catJobs[:0], idx[:0]
 }
 
 // JobsDone forwards completion notifications to every per-category
@@ -259,7 +431,9 @@ func (p *PerCategory) RestoreState(data []byte) error {
 }
 
 var (
-	_ Scheduler   = (*PerCategory)(nil)
-	_ Completer   = (*PerCategory)(nil)
-	_ Snapshotter = (*PerCategory)(nil)
+	_ Scheduler    = (*PerCategory)(nil)
+	_ Completer    = (*PerCategory)(nil)
+	_ Snapshotter  = (*PerCategory)(nil)
+	_ IntoAllotter = (*PerCategory)(nil)
+	_ Stable       = (*PerCategory)(nil)
 )

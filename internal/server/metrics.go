@@ -65,13 +65,14 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 	}
 	subscribers, dropped := s.fan.stats()
 
-	var steps, submitted, completed, cancelled, rejected, elapsed int64
+	var steps, leapSteps, submitted, completed, cancelled, rejected, elapsed int64
 	var maxNow int64
 	active, pending := 0, 0
 	execTotal := make([]int64, s.cfg.Sim.K)
 	hist := newHistogram(responseBuckets())
 	for _, v := range views {
 		steps += v.steps
+		leapSteps += v.snap.LeapSteps
 		submitted += v.submitted
 		completed += v.completed
 		cancelled += v.cancelled
@@ -99,6 +100,7 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 
 	metric("krad_shards", "Independent scheduler engines behind the admission front-end.", "gauge", len(views), "")
 	metric("krad_steps_total", "Virtual scheduler steps executed (all shards).", "counter", steps, "")
+	metric("krad_engine_leap_steps_total", "Virtual steps covered by event-leaps — executed in closed form without a fresh scheduling round (all shards).", "counter", leapSteps, "")
 	metric("krad_virtual_time", "Furthest shard virtual clock (last executed step).", "gauge", maxNow, "")
 	metric("krad_jobs_submitted_total", "Jobs admitted.", "counter", submitted, "")
 	metric("krad_jobs_completed_total", "Jobs completed.", "counter", completed, "")

@@ -67,6 +67,14 @@ type Config struct {
 	// fast as the hardware allows whenever work is queued (useful for
 	// tests and batch-like drains).
 	StepEvery time.Duration
+	// StepBatch caps how many virtual steps one step-loop iteration may
+	// execute under a single engine lock acquisition and journal append
+	// (sim.Engine.StepN, which event-leaps where provably safe). In
+	// free-run mode (StepEvery == 0) every iteration uses the full batch;
+	// in paced mode it bounds ticker catch-up after stalls. Batched steps
+	// fan out as one aggregated Event (Steps > 1). 0 means 64; 1 restores
+	// the one-step-per-iteration behavior and per-step events.
+	StepBatch int64
 	// SubscriberBuffer is each event subscriber's channel capacity; events
 	// beyond it are dropped for that subscriber (counted, never blocking
 	// any step loop). 0 means 64.
@@ -84,12 +92,18 @@ type Event struct {
 	// Shard identifies the engine that stepped (omitted for shard 0, so a
 	// single-shard stream matches the pre-sharding wire format).
 	Shard int `json:"shard,omitempty"`
-	// Step is the shard's virtual clock after the step executed.
+	// Step is the shard's virtual clock after the step (or batch of
+	// steps) executed.
 	Step int64 `json:"step"`
-	// Executed[α−1] counts α-tasks executed this step.
+	// Steps is the number of virtual steps this event aggregates: the
+	// shard's step loop batches catch-up work under one lock
+	// (Config.StepBatch), emitting one event per batch. Omitted when 1,
+	// so unbatched streams keep the pre-batching wire format.
+	Steps int64 `json:"steps,omitempty"`
+	// Executed[α−1] counts α-tasks executed over the event's steps.
 	Executed []int `json:"executed"`
-	// Released and Completed list namespaced job IDs changing state at
-	// this step.
+	// Released and Completed list namespaced job IDs changing state
+	// during the event's steps.
 	Released  []int `json:"released,omitempty"`
 	Completed []int `json:"completed,omitempty"`
 	// Active and Pending count the shard's jobs after the step.
@@ -156,6 +170,9 @@ func New(cfg Config) (*Service, error) {
 	if cfg.SubscriberBuffer <= 0 {
 		cfg.SubscriberBuffer = 64
 	}
+	if cfg.StepBatch <= 0 {
+		cfg.StepBatch = 64
+	}
 	if cfg.Shards <= 0 {
 		cfg.Shards = 1
 	}
@@ -179,7 +196,7 @@ func New(cfg Config) (*Service, error) {
 		if i == 0 && simCfg.Scheduler != nil {
 			schedName = simCfg.Scheduler.Name()
 		}
-		sh, err := newShard(i, simCfg, perShard, cfg.StepEvery, fan)
+		sh, err := newShard(i, simCfg, perShard, cfg.StepEvery, cfg.StepBatch, fan)
 		if err != nil {
 			return nil, err
 		}

@@ -154,6 +154,7 @@ func TestCancelPendingJob(t *testing.T) {
 func TestSlowSubscriberDropsEvents(t *testing.T) {
 	cfg := testConfig(1, 1)
 	cfg.SubscriberBuffer = 1
+	cfg.StepBatch = 1 // per-step events: the 50-step job must overflow the buffer
 	svc, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)

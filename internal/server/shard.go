@@ -20,6 +20,7 @@ type shard struct {
 	idx         int
 	maxInFlight int
 	stepEvery   time.Duration
+	stepBatch   int64 // max virtual steps per loop iteration (Config.StepBatch)
 	fan         *fanout
 
 	mu        sync.Mutex // guards eng and the counters below
@@ -64,15 +65,19 @@ type shardView struct {
 	hist      histogram // counts copied; safe to merge
 }
 
-func newShard(idx int, simCfg sim.Config, maxInFlight int, stepEvery time.Duration, fan *fanout) (*shard, error) {
+func newShard(idx int, simCfg sim.Config, maxInFlight int, stepEvery time.Duration, stepBatch int64, fan *fanout) (*shard, error) {
 	eng, err := sim.NewEngine(simCfg)
 	if err != nil {
 		return nil, err
+	}
+	if stepBatch < 1 {
+		stepBatch = 1
 	}
 	return &shard{
 		idx:         idx,
 		maxInFlight: maxInFlight,
 		stepEvery:   stepEvery,
+		stepBatch:   stepBatch,
 		fan:         fan,
 		eng:         eng,
 		respHist:    newHistogram(responseBuckets()),
@@ -266,27 +271,35 @@ func (sh *shard) kick() {
 	}
 }
 
-// stepOnce executes one engine step if work is queued: the clock
-// advances, counters update, and the step event fans out with namespaced
-// job IDs. It reports false without stepping when the engine is idle or a
-// previous step failed fatally. The loop drives it; tests that need a
-// hand-driven clock call it directly instead of start.
+// stepOnce executes exactly one engine step if work is queued. The loop
+// drives stepN; tests that need a hand-driven clock call stepOnce
+// directly instead of start.
 func (sh *shard) stepOnce() (bool, error) {
+	n, err := sh.stepN(1)
+	return n > 0, err
+}
+
+// stepN executes up to max engine steps under ONE lock acquisition and
+// ONE journal append: the clock advances (leaping where the engine proves
+// it safe), counters update, and a single aggregated event fans out with
+// namespaced job IDs. It reports 0 without stepping when the engine is
+// idle or a previous step failed fatally.
+func (sh *shard) stepN(max int64) (int64, error) {
 	sh.mu.Lock()
 	if sh.stepErr != nil {
 		err := sh.stepErr
 		sh.mu.Unlock()
-		return false, err
+		return 0, err
 	}
 	if sh.eng.Idle() {
 		sh.mu.Unlock()
-		return false, nil
+		return 0, nil
 	}
-	info, err := sh.eng.Step()
+	info, err := sh.eng.StepN(max)
 	if err != nil {
 		sh.stepErr = err
 		sh.mu.Unlock()
-		return false, err
+		return 0, err
 	}
 	if sh.jn != nil {
 		// Best-effort: a failed append latches the journal (degrading
@@ -294,10 +307,11 @@ func (sh *shard) stepOnce() (bool, error) {
 		// scheduling from memory. The un-journaled tail of steps is safe to
 		// lose: steps are deterministic, so a restarted engine re-derives
 		// them, and the sticky failure guarantees no later admission ever
-		// interleaves with the lost tail.
-		_ = sh.jn.Append(journal.StepRecord(info.Step))
+		// interleaves with the lost tail. A batch is one record: replay
+		// re-executes it with StepN, bit-identical to the original steps.
+		_ = sh.jn.Append(journal.StepsRecord(info.Steps, info.Step))
 	}
-	sh.steps++
+	sh.steps += info.Steps
 	for _, id := range info.Completed {
 		st, _ := sh.eng.Job(id)
 		r := float64(st.Completion - st.Release)
@@ -306,18 +320,25 @@ func (sh *shard) stepOnce() (bool, error) {
 		sh.completed++
 	}
 	pending := sh.eng.Snapshot().Pending
+	// info.Executed is an engine-owned buffer reused by the next step; the
+	// event outlives this call (async subscribers), so copy.
+	exec := append([]int(nil), info.Executed...)
 	sh.mu.Unlock()
 
-	sh.fan.publish(Event{
+	ev := Event{
 		Shard:     sh.idx,
 		Step:      info.Step,
-		Executed:  info.Executed,
+		Executed:  exec,
 		Released:  sh.namespace(info.Released),
 		Completed: sh.namespace(info.Completed),
 		Active:    info.Active,
 		Pending:   pending,
-	})
-	return true, nil
+	}
+	if info.Steps > 1 {
+		ev.Steps = info.Steps
+	}
+	sh.fan.publish(ev)
+	return info.Steps, nil
 }
 
 // namespace rewrites engine-local job IDs into pool-wide IDs. For shard 0
@@ -333,10 +354,20 @@ func (sh *shard) namespace(ids []int) []int {
 	return out
 }
 
-// loop is the single goroutine that owns stepping. Each iteration: if the
-// engine has work, execute one step and fan the event out; otherwise park
-// until a submission (or shutdown) arrives. After a fatal step error the
-// loop stops stepping but stays up for shutdown.
+// loop is the single goroutine that owns stepping. Each iteration
+// executes up to stepBatch steps under one lock and fans the aggregated
+// event out; with no work it parks until a submission (or shutdown)
+// arrives. After a fatal step error the loop stops stepping but stays up
+// for shutdown.
+//
+// Paced mode (stepEvery > 0) targets one virtual step per stepEvery of
+// wall time, anchored at the instant stepping (re)started: each iteration
+// owes elapsed/stepEvery + 1 − done steps. When the loop keeps up that is
+// exactly one step per tick, as before batching; when it falls behind
+// (GC pause, slow scheduling round, many shards per core) the deficit is
+// executed as one batched StepN — one lock, one journal append — instead
+// of a tick-by-tick crawl. The anchor resets whenever the engine goes
+// idle so an empty shard never accrues debt.
 func (sh *shard) loop() {
 	defer close(sh.done)
 	var tick *time.Ticker
@@ -344,8 +375,26 @@ func (sh *shard) loop() {
 		tick = time.NewTicker(sh.stepEvery)
 		defer tick.Stop()
 	}
+	var anchor time.Time // zero while idle
+	var anchored int64   // steps executed since anchor
+	owed := func() int64 {
+		return int64(time.Since(anchor)/sh.stepEvery) + 1 - anchored
+	}
 	for {
-		progressed, err := sh.stepOnce()
+		budget := sh.stepBatch
+		if tick != nil {
+			if anchor.IsZero() {
+				anchor, anchored = time.Now(), 0
+			}
+			budget = owed()
+			if budget < 1 {
+				budget = 1
+			}
+			if budget > sh.stepBatch {
+				budget = sh.stepBatch
+			}
+		}
+		did, err := sh.stepN(budget)
 		if err != nil {
 			select {
 			case <-sh.stop:
@@ -360,7 +409,8 @@ func (sh *shard) loop() {
 				continue
 			}
 		}
-		if !progressed {
+		if did == 0 {
+			anchor = time.Time{}
 			sh.mu.Lock()
 			closing := sh.closed
 			sh.mu.Unlock()
@@ -378,6 +428,10 @@ func (sh *shard) loop() {
 			continue
 		}
 		if tick != nil {
+			anchored += did
+			if owed() >= 1 {
+				continue // still behind wall time: catch up immediately
+			}
 			select {
 			case <-tick.C:
 			case <-sh.stop:

@@ -1,0 +1,87 @@
+package sim_test
+
+import (
+	"testing"
+
+	"krad/internal/core"
+	"krad/internal/dag"
+	"krad/internal/profile"
+	"krad/internal/sim"
+)
+
+// TestEngineStepAllocsZero pins the engine's steady-state scheduling round
+// at zero allocations: profile jobs mid-run, K-RAD, no tracing — the
+// configuration long online simulations and the kradd service run in. Any
+// regression here multiplies across millions of steps.
+func TestEngineStepAllocsZero(t *testing.T) {
+	const k = 3
+	phases := []profile.Phase{{Tasks: []int{1 << 28, 1 << 28, 1 << 28}}}
+	var specs []sim.JobSpec
+	for j := 0; j < 16; j++ {
+		specs = append(specs, sim.JobSpec{Source: profile.MustNew(k, "p", phases)})
+	}
+	eng, err := sim.NewEngine(sim.Config{
+		K: k, Caps: []int{13, 7, 5}, Scheduler: core.NewKRAD(k),
+		Pick: dag.PickFIFO, MaxSteps: 1 << 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.AdmitBatch(specs); err != nil {
+		t.Fatal(err)
+	}
+	// Warm every reused buffer (views, desire backing, allot matrix, RAD
+	// scratch) past its steady-state capacity.
+	for i := 0; i < 8; i++ {
+		if _, err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("steady-state Engine.Step allocates %.1f per call; want 0", avg)
+	}
+}
+
+// TestEngineStepNLeapAllocsZero pins the event-leap round itself at zero
+// steady-state allocations: each StepN call below covers many steps via
+// LeapTotals, and must not allocate while doing so.
+func TestEngineStepNLeapAllocsZero(t *testing.T) {
+	const k = 2
+	phases := []profile.Phase{{Tasks: []int{1 << 29, 1 << 29}}}
+	var specs []sim.JobSpec
+	for j := 0; j < 9; j++ {
+		specs = append(specs, sim.JobSpec{Source: profile.MustNew(k, "p", phases)})
+	}
+	eng, err := sim.NewEngine(sim.Config{
+		K: k, Caps: []int{16, 11}, Scheduler: core.NewKRAD(k),
+		Pick: dag.PickFIFO, MaxSteps: 1 << 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.AdmitBatch(specs); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := eng.StepN(64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var leaps int64
+	if avg := testing.AllocsPerRun(100, func() {
+		info, err := eng.StepN(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leaps += info.LeapSteps
+	}); avg != 0 {
+		t.Fatalf("steady-state Engine.StepN allocates %.1f per call; want 0", avg)
+	}
+	if leaps == 0 {
+		t.Fatal("StepN(64) rounds never leaped; the test is not exercising the leap path")
+	}
+}

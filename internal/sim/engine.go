@@ -84,6 +84,11 @@ type Config struct {
 	// Workers bounds the goroutines used when Parallel is set; 0 means
 	// a small fixed fan-out.
 	Workers int
+	// NoLeap disables the event-leap fast path: StepN executes every step
+	// through its own scheduling round. Results are bit-identical either
+	// way (the equivalence tests assert it); the knob exists for those
+	// tests and for debugging.
+	NoLeap bool
 }
 
 // Run simulates the job set under cfg and returns the collected results.
@@ -114,8 +119,10 @@ func Run(cfg Config, specs []JobSpec) (*Result, error) {
 			return nil, err
 		}
 	}
+	// Drive through StepN so batch runs benefit from event-leaps; StepN is
+	// bit-identical to single-stepping, so Run's results are unchanged.
 	for eng.Remaining() > 0 {
-		if _, err := eng.Step(); err != nil {
+		if _, err := eng.StepN(1 << 40); err != nil {
 			return nil, err
 		}
 	}

@@ -63,21 +63,31 @@ func (s JobStatus) Response() int64 {
 	return s.Completion - s.Release
 }
 
-// StepInfo reports what one Engine.Step call did.
+// StepInfo reports what one Engine.Step or Engine.StepN call did.
 type StepInfo struct {
-	// Step is the clock after the call (the step just executed, or the
+	// Step is the clock after the call (the last step executed, or the
 	// unchanged clock when Idle).
 	Step int64
 	// Idle is true when the engine had nothing to do: no active jobs and
 	// no pending releases. The clock does not advance on idle calls.
 	Idle bool
-	// Executed[α−1] counts the α-tasks executed during the step.
+	// Steps is the number of unit steps executed by the call: 1 for a
+	// non-idle Step, up to n for StepN(n), 0 when Idle.
+	Steps int64
+	// LeapSteps counts how many of Steps were covered by event-leaps —
+	// executed by repeating a provably stable allotment instead of a fresh
+	// scheduling round. 0 when leaping was never possible.
+	LeapSteps int64
+	// Executed[α−1] counts the α-tasks executed during the call (summed
+	// over Steps). The slice is an engine-owned buffer reused by the next
+	// Step/StepN call — copy it before publishing it anywhere that
+	// outlives the next call. Nil when Idle.
 	Executed []int
-	// Released lists job IDs that became active at this step.
+	// Released lists job IDs that became active during the call.
 	Released []int
-	// Completed lists job IDs that finished at this step.
+	// Completed lists job IDs that finished during the call.
 	Completed []int
-	// Active is the number of jobs still running after the step.
+	// Active is the number of jobs still running after the call.
 	Active int
 }
 
@@ -96,6 +106,10 @@ type EngineSnapshot struct {
 	Makespan int64
 	// ExecutedTotal[α−1] is the cumulative α-tasks executed.
 	ExecutedTotal []int64
+	// LeapSteps is the cumulative number of steps executed via event-leap
+	// without a fresh scheduling round (Σ over leaps of leap length − 1).
+	// Observational only; not carried across checkpoints.
+	LeapSteps int64
 }
 
 // Utilization returns, per category, the fraction of processor-steps spent
@@ -118,6 +132,7 @@ type jobState struct {
 	rt          RuntimeJob
 	taskRT      TaskRuntime  // non-nil when the runtime reports task IDs
 	floorRT     FloorRuntime // non-nil when the runtime pins processors
+	leapRT      LeapRuntime  // non-nil when the runtime supports event-leaps
 	work        []int
 	span        int
 	phase       JobPhase
@@ -147,11 +162,31 @@ type Engine struct {
 	makespan   int64
 	overloaded []bool
 	execTotal  []int64
+	leapSteps  int64 // cumulative event-leap steps (see EngineSnapshot.LeapSteps)
 
-	// reused per-step buffers
-	views    []sched.JobView
-	doneIDs  []int
-	stepExec []int
+	// Cached scheduler capability views, asserted once at construction.
+	intoAllotter sched.IntoAllotter
+	stable       sched.Stable
+
+	// Reused per-round buffers. desireBuf and floorBuf are single flat
+	// backing arrays sliced per job, so snapshotting desires allocates
+	// nothing once they reach steady-state capacity.
+	views     []sched.JobView
+	desireBuf []int
+	floorBuf  []int
+	allotBuf  sched.Matrix
+	leapBuf   sched.Matrix // totals buffer for event-leaps
+	doneIDs   []int        // completions of the current round
+	stepExec  []int        // tasks executed in the current round, per category
+
+	// Per-call accumulators for StepN (a call may span many rounds).
+	callExec []int
+	callDone []int
+	callRel  []int
+
+	// executeParallel scratch.
+	parCounts [][]int
+	parFlat   []int
 }
 
 // NewEngine validates the job-independent configuration and returns an
@@ -168,7 +203,10 @@ func NewEngine(cfg Config) (*Engine, error) {
 		overloaded: make([]bool, cfg.K),
 		execTotal:  make([]int64, cfg.K),
 		stepExec:   make([]int, cfg.K),
+		callExec:   make([]int, cfg.K),
 	}
+	e.intoAllotter, _ = cfg.Scheduler.(sched.IntoAllotter)
+	e.stable, _ = cfg.Scheduler.(sched.Stable)
 	if cl, ok := cfg.Scheduler.(sched.Clairvoyant); ok {
 		cl.SetOracle(engineOracle{e})
 	}
@@ -250,6 +288,7 @@ func (e *Engine) prepare(spec JobSpec, id int) (*jobState, int, error) {
 	}
 	js.taskRT, _ = rt.(TaskRuntime)
 	js.floorRT, _ = rt.(FloorRuntime)
+	js.leapRT, _ = rt.(LeapRuntime)
 	if e.cfg.Trace >= TraceTasks && js.taskRT == nil {
 		return nil, 0, fmt.Errorf("sim: job %d (%s) runtime cannot report task IDs; TraceTasks requires DAG-backed jobs", id, src.Name())
 	}
@@ -326,6 +365,7 @@ func (e *Engine) Snapshot() EngineSnapshot {
 		Cancelled:     e.cancelledN,
 		Makespan:      e.makespan,
 		ExecutedTotal: append([]int64(nil), e.execTotal...),
+		LeapSteps:     e.leapSteps,
 	}
 }
 
@@ -343,11 +383,38 @@ func (e *Engine) maxStepsBound() int64 {
 // scheduler for allotments, executes them, and detects completions. When
 // the engine is idle it returns StepInfo{Idle: true} without advancing the
 // clock, so a live service's virtual time freezes while empty.
-func (e *Engine) Step() (StepInfo, error) {
-	var released []int
-	for {
+func (e *Engine) Step() (StepInfo, error) { return e.stepN(1) }
+
+// StepN advances the clock by up to n executed steps under one call,
+// stopping early only when the engine goes idle. It is bit-identical to
+// calling Step n times and merging the results — same virtual time, job
+// IDs, scheduler state, traces and totals — but exploits event-leaps
+// where provably safe: when the scheduler reports a stable horizon
+// (sched.Stable), every active job supports closed-form multi-step
+// execution (LeapRuntime), no release is due and no observer/trace/speed
+// feature needs per-step hooks, many steps are executed per scheduling
+// round. Chunking is also immaterial: StepN(a) followed by StepN(b)
+// leaves the engine in the same state as StepN(a+b).
+func (e *Engine) StepN(n int64) (StepInfo, error) {
+	if n < 1 {
+		return StepInfo{}, fmt.Errorf("sim: StepN(%d): need n ≥ 1", n)
+	}
+	return e.stepN(n)
+}
+
+// stepN is the shared Step/StepN driver: release due jobs, fast-forward
+// idle gaps, and run scheduling rounds until budget steps have executed
+// or the engine is idle.
+func (e *Engine) stepN(budget int64) (StepInfo, error) {
+	e.callRel = e.callRel[:0]
+	e.callDone = e.callDone[:0]
+	for a := range e.callExec {
+		e.callExec[a] = 0
+	}
+	var steps, leaps int64
+	for steps < budget {
 		if e.Idle() {
-			return StepInfo{Step: e.now, Idle: true, Released: released}, nil
+			break
 		}
 		t := e.now + 1
 		if t > e.maxStepsBound() {
@@ -359,7 +426,7 @@ func (e *Engine) Step() (StepInfo, error) {
 			e.pending = e.pending[1:]
 			js.phase = JobActive
 			e.insertActive(js)
-			released = append(released, js.id)
+			e.callRel = append(e.callRel, js.id)
 		}
 		if len(e.active) == 0 {
 			// Idle interval: fast-forward to the next release (the loop's
@@ -368,32 +435,68 @@ func (e *Engine) Step() (StepInfo, error) {
 			continue
 		}
 		e.now = t
-		break
+		did, err := e.executeRound(t, budget-steps)
+		if err != nil {
+			return StepInfo{}, err
+		}
+		steps += did
+		if did > 1 {
+			leaps += did - 1
+		}
 	}
-	info, err := e.executeStep(e.now)
-	if err != nil {
-		return StepInfo{}, err
+	e.leapSteps += leaps
+	info := StepInfo{
+		Step:      e.now,
+		Idle:      steps == 0,
+		Steps:     steps,
+		LeapSteps: leaps,
+		Active:    len(e.active),
 	}
-	info.Released = released
+	if steps > 0 {
+		info.Executed = e.callExec
+	}
+	if len(e.callRel) > 0 {
+		info.Released = append([]int(nil), e.callRel...)
+	}
+	if len(e.callDone) > 0 {
+		info.Completed = append([]int(nil), e.callDone...)
+	}
 	return info, nil
 }
 
-// executeStep runs the scheduling and execution phases of step t over the
-// active set.
-func (e *Engine) executeStep(t int64) (StepInfo, error) {
+// executeRound runs one scheduling round at step t: snapshot desires, ask
+// the scheduler for allotments, then execute them for one step — or, when
+// the whole system is provably in a stable regime, for up to budget steps
+// in one event-leap. It returns how many steps were executed (≥ 1).
+func (e *Engine) executeRound(t int64, budget int64) (int64, error) {
 	// Snapshot desires (and non-preemptive floors, when the runtime has
-	// them).
+	// them) into flat reused backing arrays — no per-job allocations.
+	k := e.cfg.K
+	if cap(e.desireBuf) < len(e.active)*k {
+		e.desireBuf = make([]int, len(e.active)*k)
+	}
 	e.views = e.views[:0]
-	for _, j := range e.active {
-		d := make([]int, e.cfg.K)
-		for a := 1; a <= e.cfg.K; a++ {
+	if cap(e.views) < len(e.active) {
+		e.views = make([]sched.JobView, 0, len(e.active))
+	}
+	leapable := true
+	floors := 0
+	for i, j := range e.active {
+		d := e.desireBuf[i*k : (i+1)*k : (i+1)*k]
+		for a := 1; a <= k; a++ {
 			d[a-1] = j.rt.Desire(dag.Category(a))
 		}
 		v := sched.JobView{ID: j.id, Desire: d}
+		if j.leapRT == nil {
+			leapable = false
+		}
 		if j.floorRT != nil {
-			fl := make([]int, e.cfg.K)
+			if cap(e.floorBuf) < len(e.active)*k {
+				e.floorBuf = make([]int, len(e.active)*k)
+			}
+			fl := e.floorBuf[i*k : (i+1)*k : (i+1)*k]
 			any := false
-			for a := 1; a <= e.cfg.K; a++ {
+			for a := 1; a <= k; a++ {
 				fl[a-1] = j.floorRT.Floor(dag.Category(a))
 				if fl[a-1] > 0 {
 					any = true
@@ -401,11 +504,12 @@ func (e *Engine) executeStep(t int64) (StepInfo, error) {
 			}
 			if any {
 				v.Floor = fl
+				floors++
 			}
 		}
 		e.views = append(e.views, v)
 	}
-	for a := 0; a < e.cfg.K; a++ {
+	for a := 0; a < k; a++ {
 		activeCount := 0
 		for _, v := range e.views {
 			if v.Desire[a] > 0 {
@@ -417,21 +521,58 @@ func (e *Engine) executeStep(t int64) (StepInfo, error) {
 		}
 	}
 
-	allot := e.cfg.Scheduler.Allot(t, e.views, e.cfg.Caps)
+	var allot [][]int
+	if e.intoAllotter != nil {
+		dst := e.allotBuf.Shape(len(e.views), k)
+		e.intoAllotter.AllotInto(t, e.views, e.cfg.Caps, dst)
+		allot = dst
+	} else {
+		allot = e.cfg.Scheduler.Allot(t, e.views, e.cfg.Caps)
+	}
 	if e.cfg.Observer != nil {
 		e.cfg.Observer(t, e.views, allot)
 	}
 	if e.cfg.ValidateAllotments {
 		if err := sched.ValidateAllotments(e.views, e.cfg.Caps, allot); err != nil {
-			return StepInfo{}, fmt.Errorf("sim: step %d: %w", t, err)
+			return 0, fmt.Errorf("sim: step %d: %w", t, err)
 		}
 	} else if len(allot) != len(e.views) {
-		return StepInfo{}, fmt.Errorf("sim: step %d: scheduler returned %d rows for %d jobs", t, len(allot), len(e.views))
+		return 0, fmt.Errorf("sim: step %d: scheduler returned %d rows for %d jobs", t, len(allot), len(e.views))
 	}
 
-	// Execute. Each job consumes min(allotment, desire) ready tasks per
-	// category; completed tasks release successors at the step (or
-	// micro-round, under speed augmentation) boundary.
+	// Event-leap: repeat this exact allotment for n steps when it is
+	// provably what single-stepping would have produced. Requires the
+	// scheduler to vouch for its own output (Stable), every active job to
+	// support closed-form multi-step execution with no floors in play,
+	// and no per-step hook that would observe the skipped rounds.
+	if budget > 1 && leapable && floors == 0 && e.stable != nil &&
+		!e.cfg.NoLeap && e.cfg.Speed <= 1 && e.cfg.Observer == nil &&
+		e.trace.level < TraceTasks {
+		if h := e.stable.StableHorizon(); h > 0 {
+			n := budget
+			if h < budget-1 {
+				n = h + 1
+			}
+			// A job released at r joins the views at step r+1: the leap
+			// must not run past the step preceding that.
+			if len(e.pending) > 0 {
+				if m := e.pending[0].release - t + 1; m < n {
+					n = m
+				}
+			}
+			if m := e.maxStepsBound() - t + 1; m < n {
+				n = m
+			}
+			if n > 1 {
+				e.leapRound(t, allot, n)
+				return n, nil
+			}
+		}
+	}
+
+	// Execute one step. Each job consumes min(allotment, desire) ready
+	// tasks per category; completed tasks release successors at the step
+	// (or micro-round, under speed augmentation) boundary.
 	for a := range e.stepExec {
 		e.stepExec[a] = 0
 	}
@@ -451,6 +592,7 @@ func (e *Engine) executeStep(t int64) (StepInfo, error) {
 	}
 	for a, n := range e.stepExec {
 		e.execTotal[a] += int64(n)
+		e.callExec[a] += n
 	}
 
 	// Step boundary: detect completions.
@@ -472,18 +614,50 @@ func (e *Engine) executeStep(t int64) (StepInfo, error) {
 	}
 	e.active = out
 	if len(e.doneIDs) > 0 {
+		e.callDone = append(e.callDone, e.doneIDs...)
 		if c, ok := e.cfg.Scheduler.(sched.Completer); ok {
 			c.JobsDone(e.doneIDs)
 		}
 	}
 	e.trace.endStep(t, len(e.active)+len(e.doneIDs), len(e.doneIDs))
+	return 1, nil
+}
 
-	return StepInfo{
-		Step:      t,
-		Executed:  append([]int(nil), e.stepExec...),
-		Completed: append([]int(nil), e.doneIDs...),
-		Active:    len(e.active),
-	}, nil
+// leapRound executes the n consecutive steps t..t+n−1 in closed form. The
+// scheduler vouched (StableHorizon) that its cross-step state is frozen
+// and the per-step allotments over the window are computable by
+// LeapTotals; the caller established that no release, completion or phase
+// boundary falls inside it. Job state advances by the aggregate totals
+// (LeapTasks); per-step execution counts — every covered step's column
+// sums equal step t's (the stability contract) — feed the trace rows at
+// TraceSteps, so the result is bit-identical to single-stepping.
+func (e *Engine) leapRound(t int64, allot [][]int, n int64) {
+	totals := e.leapBuf.Shape(len(e.views), e.cfg.K)
+	e.stable.LeapTotals(t, e.views, e.cfg.Caps, n, totals)
+	for i, j := range e.active {
+		j.leapRT.LeapTasks(totals[i])
+	}
+	// Per-step category totals: column sums of the step-t matrix, constant
+	// across the window.
+	for a := range e.stepExec {
+		e.stepExec[a] = 0
+	}
+	for _, row := range allot {
+		for a, v := range row {
+			e.stepExec[a] += v
+		}
+	}
+	for a, c := range e.stepExec {
+		e.execTotal[a] += int64(c) * n
+		e.callExec[a] += c * int(n)
+	}
+	if e.trace.level >= TraceSteps {
+		for s := t; s < t+n; s++ {
+			e.trace.recordCounts(s, e.stepExec)
+			e.trace.endStep(s, len(e.active), 0)
+		}
+	}
+	e.now = t + n - 1
 }
 
 // Result assembles the run outcome from the jobs admitted so far: makespan,
@@ -588,13 +762,25 @@ func (e *Engine) executeParallel(t int64, active []*jobState, allot [][]int) {
 		e.executeSerial(t, active, allot)
 		return
 	}
-	counts := make([][]int, workers)
+	// Reused scratch: one flat counts array sliced per worker.
+	if cap(e.parCounts) < workers {
+		e.parCounts = make([][]int, workers)
+	}
+	if cap(e.parFlat) < workers*e.cfg.K {
+		e.parFlat = make([]int, workers*e.cfg.K)
+	}
+	counts := e.parCounts[:workers]
+	flat := e.parFlat[:workers*e.cfg.K]
+	for i := range flat {
+		flat[i] = 0
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		counts[w] = flat[w*e.cfg.K : (w+1)*e.cfg.K : (w+1)*e.cfg.K]
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			local := make([]int, e.cfg.K)
+			local := counts[w]
 			for i := w; i < len(active); i += workers {
 				j := active[i]
 				for a := 0; a < e.cfg.K; a++ {
@@ -603,7 +789,6 @@ func (e *Engine) executeParallel(t int64, active []*jobState, allot [][]int) {
 					}
 				}
 			}
-			counts[w] = local
 		}(w)
 	}
 	wg.Wait()

@@ -51,6 +51,25 @@ type TaskRuntime interface {
 	ExecuteTasks(c dag.Category, n int) []dag.TaskID
 }
 
+// LeapRuntime is implemented by runtimes whose state after several
+// consecutive steps is computable from the aggregate tasks executed — the
+// job-side half of the engine's event-leap (the scheduler-side half is
+// sched.Stable). Profile-backed jobs qualify: mid-phase, executing tasks
+// over n steps just subtracts the totals from the phase's remaining
+// counts. DAG-backed runtimes do not (ready sets evolve per step), so
+// their presence disables leaping.
+type LeapRuntime interface {
+	RuntimeJob
+	// LeapTasks applies the aggregate of several consecutive steps that
+	// together executed total[α−1] α-tasks (with the usual Advance at
+	// every step boundary), leaving the runtime in the state those single
+	// steps would have produced. The engine guarantees total[α−1] > 0
+	// only where Desire(α) > 0, and Desire(α) > total[α−1] — no phase
+	// boundary or completion is crossed mid-leap, so the intermediate
+	// Advance calls would have been state-preserving.
+	LeapTasks(total []int)
+}
+
 // FloorRuntime is implemented by non-preemptive runtimes whose in-flight
 // multi-step tasks pin processors: Floor reports how many α-processors
 // the job must keep this step. The engine forwards floors to the
@@ -87,7 +106,7 @@ type graphRuntime struct {
 
 func (r *graphRuntime) Desire(c dag.Category) int { return r.inst.Desire(c) }
 func (r *graphRuntime) Execute(c dag.Category, n int) int {
-	return len(r.inst.Execute(c, n))
+	return r.inst.ExecuteCount(c, n)
 }
 func (r *graphRuntime) ExecuteTasks(c dag.Category, n int) []dag.TaskID {
 	return r.inst.Execute(c, n)

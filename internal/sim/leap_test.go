@@ -1,0 +1,258 @@
+package sim_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"krad/internal/core"
+	"krad/internal/dag"
+	"krad/internal/profile"
+	"krad/internal/sched"
+	"krad/internal/sim"
+)
+
+// randomLeapSpecs builds a workload that exercises the event-leap: mostly
+// profile jobs (leapable) with phases big enough to hold deprived DEQ
+// regimes, a sprinkling of DAG jobs (which disable leaping while active),
+// and staggered releases.
+func randomLeapSpecs(rng *rand.Rand, k, jobs int) []sim.JobSpec {
+	specs := make([]sim.JobSpec, 0, jobs)
+	for j := 0; j < jobs; j++ {
+		release := rng.Int63n(40)
+		if rng.Intn(5) == 0 {
+			// DAG job: small layered graph.
+			g := dag.New(k)
+			var prev []dag.TaskID
+			for l := 0; l < 1+rng.Intn(3); l++ {
+				var cur []dag.TaskID
+				for a := 1; a <= k; a++ {
+					cur = append(cur, g.AddTasks(dag.Category(a), 1+rng.Intn(4))...)
+				}
+				for _, u := range prev {
+					g.MustEdge(u, cur[rng.Intn(len(cur))])
+				}
+				prev = cur
+			}
+			specs = append(specs, sim.JobSpec{Graph: g, Release: release})
+			continue
+		}
+		phases := make([]profile.Phase, 1+rng.Intn(3))
+		for p := range phases {
+			tasks := make([]int, k)
+			total := 0
+			for a := range tasks {
+				tasks[a] = rng.Intn(400)
+				total += tasks[a]
+			}
+			if total == 0 {
+				tasks[rng.Intn(k)] = 1 + rng.Intn(400)
+			}
+			phases[p] = profile.Phase{Tasks: tasks}
+		}
+		specs = append(specs, sim.JobSpec{
+			Source:  profile.MustNew(k, "p", phases),
+			Release: release,
+		})
+	}
+	return specs
+}
+
+// admitAll builds an engine with the given config and admits the specs in
+// release order (Run's ID assignment).
+func admitAll(t *testing.T, cfg sim.Config, specs []sim.JobSpec) *sim.Engine {
+	t.Helper()
+	eng, err := sim.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ordered := append([]sim.JobSpec(nil), specs...)
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && ordered[j].Release < ordered[j-1].Release; j-- {
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
+	if _, err := eng.AdmitBatch(ordered); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// advanceTo drives the engine until its clock reaches target (or it goes
+// idle), never executing a step past target: each StepN budget is capped
+// by the remaining distance, so leaps cannot overshoot the sync point.
+func advanceTo(eng *sim.Engine, target int64) error {
+	for eng.Now() < target {
+		n := target - eng.Now()
+		info, err := eng.StepN(n)
+		if err != nil {
+			return err
+		}
+		if info.Idle {
+			return nil
+		}
+	}
+	return nil
+}
+
+// drain steps the engine to completion with huge budgets.
+func drain(eng *sim.Engine) error {
+	for eng.Remaining() > 0 {
+		if _, err := eng.StepN(1 << 40); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestQuickLeapEquivalence is the event-leap soundness property: leap-on
+// and leap-off (NoLeap) engines produce bit-identical results — virtual
+// time, per-job completions, per-step trace rows, executed totals — on
+// random profile/DAG mixes with staggered releases and cancels landing at
+// arbitrary points, including mid-stable-regime.
+func TestQuickLeapEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(3)
+		caps := make([]int, k)
+		for i := range caps {
+			caps[i] = 1 + rng.Intn(64)
+		}
+		specs := randomLeapSpecs(rng, k, 2+rng.Intn(10))
+		mkCfg := func(noLeap bool) sim.Config {
+			return sim.Config{
+				K: k, Caps: caps, Scheduler: core.NewKRAD(k),
+				Pick: dag.PickFIFO, Trace: sim.TraceSteps,
+				ValidateAllotments: true, NoLeap: noLeap,
+			}
+		}
+		on := admitAll(t, mkCfg(false), specs)
+		off := admitAll(t, mkCfg(true), specs)
+
+		// Cancel up to two jobs at random times; both engines are at the
+		// same clock when each cancel lands, so outcomes must match.
+		for c := 0; c < rng.Intn(3); c++ {
+			at := rng.Int63n(60)
+			id := rng.Intn(len(specs))
+			if err := advanceTo(on, at); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			if err := advanceTo(off, at); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			if on.Now() != off.Now() {
+				t.Logf("seed %d: clocks diverged before cancel: %d vs %d", seed, on.Now(), off.Now())
+				return false
+			}
+			errOn := on.Cancel(id)
+			errOff := off.Cancel(id)
+			if (errOn == nil) != (errOff == nil) {
+				t.Logf("seed %d: cancel(%d) diverged: %v vs %v", seed, id, errOn, errOff)
+				return false
+			}
+		}
+		if err := drain(on); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := drain(off); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		ron, roff := on.Result(), off.Result()
+		if !reflect.DeepEqual(ron, roff) {
+			t.Logf("seed %d: results diverged:\n on=%+v\noff=%+v", seed, ron, roff)
+			return false
+		}
+		son, soff := on.Snapshot(), off.Snapshot()
+		if !reflect.DeepEqual(son.ExecutedTotal, soff.ExecutedTotal) || son.Now != soff.Now {
+			t.Logf("seed %d: snapshots diverged", seed)
+			return false
+		}
+		// The whole point: leaps actually fired on the leap-on engine for
+		// at least some seeds — assert it when the off engine did real work
+		// and there were no DAG jobs (softly: just record the counter).
+		_ = son.LeapSteps
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLeapChunkInvariance checks StepN(a);StepN(b) ≡ StepN(a+b): an
+// engine driven by random small budgets matches one driven by one huge
+// budget, state and trace alike. Journal replay (internal/journal) depends
+// on this — replay rarely re-issues the original chunking.
+func TestQuickLeapChunkInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(3)
+		caps := make([]int, k)
+		for i := range caps {
+			caps[i] = 1 + rng.Intn(48)
+		}
+		specs := randomLeapSpecs(rng, k, 2+rng.Intn(8))
+		mkCfg := func() sim.Config {
+			return sim.Config{
+				K: k, Caps: caps, Scheduler: core.NewKRAD(k),
+				Pick: dag.PickFIFO, Trace: sim.TraceSteps,
+				ValidateAllotments: true,
+			}
+		}
+		big := admitAll(t, mkCfg(), specs)
+		chunked := admitAll(t, mkCfg(), specs)
+		if err := drain(big); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for chunked.Remaining() > 0 {
+			if _, err := chunked.StepN(1 + rng.Int63n(7)); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+		}
+		if !reflect.DeepEqual(big.Result(), chunked.Result()) {
+			t.Logf("seed %d: chunked results diverged", seed)
+			return false
+		}
+		sb, sc := big.Snapshot(), chunked.Snapshot()
+		return sb.Now == sc.Now && reflect.DeepEqual(sb.ExecutedTotal, sc.ExecutedTotal)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLeapActuallyFires guards the optimization itself: on a pure profile
+// workload in a deprived DEQ regime (with a rotating remainder — the
+// common case), the engine must cover most steps via leaps, not just be
+// correct. This keeps the fast path from silently rotting into "always
+// fall back to single-stepping".
+func TestLeapActuallyFires(t *testing.T) {
+	const k = 2
+	phases := []profile.Phase{{Tasks: []int{50_000, 30_000}}, {Tasks: []int{40_000, 60_000}}}
+	var specs []sim.JobSpec
+	for j := 0; j < 7; j++ { // 7 jobs, caps not divisible: remainder rotates
+		specs = append(specs, sim.JobSpec{Source: profile.MustNew(k, "p", phases)})
+	}
+	eng := admitAll(t, sim.Config{
+		K: k, Caps: []int{16, 9}, Scheduler: core.NewKRAD(k),
+		Pick: dag.PickFIFO, ValidateAllotments: true,
+	}, specs)
+	if err := drain(eng); err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.Snapshot()
+	if snap.LeapSteps == 0 {
+		t.Fatal("no event-leaps fired on an all-profile deprived workload")
+	}
+	if ratio := float64(snap.LeapSteps) / float64(snap.Now); ratio < 0.9 {
+		t.Fatalf("leaps covered only %.1f%% of %d steps; want ≥ 90%%", ratio*100, snap.Now)
+	}
+}
+
+var _ sched.Stable = (*sched.PerCategory)(nil)
