@@ -77,6 +77,77 @@ func BenchmarkProfileEngine(b *testing.B) {
 	b.ReportMetric(float64(tasks), "tasks/op")
 }
 
+// denseLayeredSpecs builds the level-structured K-DAG workload the DAG
+// event-leap targets: each job stacks dense levels — a wide level of width
+// same-category tasks, then a one-task barrier join, then the next wide
+// level — so per-category ready counts stay constant while a level drains.
+// Categories rotate across jobs and levels so every category stays busy.
+func denseLayeredSpecs(k, jobs, width, levels int) []krad.JobSpec {
+	specs := make([]krad.JobSpec, jobs)
+	for j := 0; j < jobs; j++ {
+		layers := make([]krad.LayerSpec, 0, 2*levels-1)
+		for l := 0; l < levels; l++ {
+			layers = append(layers, krad.LayerSpec{Count: width, Cat: krad.Category(1 + (j+l)%k)})
+			if l < levels-1 {
+				layers = append(layers, krad.LayerSpec{Count: 1, Cat: krad.Category(1 + (j+l+1)%k)})
+			}
+		}
+		specs[j] = krad.JobSpec{Graph: krad.Layered(k, layers, true)}
+	}
+	return specs
+}
+
+// BenchmarkDAGEngine measures a dense-layered K-DAG workload end to end —
+// the shape every kradd deployment runs (the HTTP API admits graphs only),
+// and the target of the DAG event-leap.
+func BenchmarkDAGEngine(b *testing.B) {
+	specs := denseLayeredSpecs(2, 8, 2048, 4)
+	tasks := 0
+	for _, s := range specs {
+		tasks += s.Graph.NumTasks()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := krad.Run(krad.Config{
+			K: 2, Caps: []int{8, 8}, Scheduler: krad.NewKRAD(2),
+		}, specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tasks), "tasks/op")
+}
+
+// BenchmarkMixedEngine measures a mixed population: compact profile jobs
+// and dense-layered DAG jobs sharing the machine. Leap eligibility must be
+// decided per round across heterogeneous runtimes.
+func BenchmarkMixedEngine(b *testing.B) {
+	specs := denseLayeredSpecs(2, 4, 1024, 4)
+	profiles, err := krad.GenerateProfiles(krad.ProfileGenOpts{
+		K: 2, Jobs: 4, MinPhases: 2, MaxPhases: 4, MaxParallelism: 50_000, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs = append(specs, profiles...)
+	tasks := 0
+	for _, s := range specs {
+		if s.Graph != nil {
+			tasks += s.Graph.NumTasks()
+		} else {
+			tasks += s.Source.TotalTasks()
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := krad.Run(krad.Config{
+			K: 2, Caps: []int{48, 48}, Scheduler: krad.NewKRAD(2),
+		}, specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tasks), "tasks/op")
+}
+
 // BenchmarkDeq measures the Figure 2 DEQ primitive across regimes.
 func BenchmarkDeq(b *testing.B) {
 	for _, n := range []int{4, 32, 256} {

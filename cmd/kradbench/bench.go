@@ -50,6 +50,51 @@ func microBenches() []microBench {
 		b.ReportMetric(float64(tasks), "tasks/op")
 	})
 
+	add("BenchmarkDAGEngine", func(b *testing.B) {
+		specs := denseLayeredSpecs(2, 8, 2048, 4)
+		tasks := 0
+		for _, s := range specs {
+			tasks += s.Graph.NumTasks()
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := krad.Run(krad.Config{
+				K: 2, Caps: []int{8, 8}, Scheduler: krad.NewKRAD(2),
+			}, specs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(tasks), "tasks/op")
+	})
+
+	add("BenchmarkMixedEngine", func(b *testing.B) {
+		specs := denseLayeredSpecs(2, 4, 1024, 4)
+		profiles, err := krad.GenerateProfiles(krad.ProfileGenOpts{
+			K: 2, Jobs: 4, MinPhases: 2, MaxPhases: 4, MaxParallelism: 50_000, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs = append(specs, profiles...)
+		tasks := 0
+		for _, s := range specs {
+			if s.Graph != nil {
+				tasks += s.Graph.NumTasks()
+			} else {
+				tasks += s.Source.TotalTasks()
+			}
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := krad.Run(krad.Config{
+				K: 2, Caps: []int{48, 48}, Scheduler: krad.NewKRAD(2),
+			}, specs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(tasks), "tasks/op")
+	})
+
 	for _, n := range []int{20, 100, 400} {
 		n := n
 		add(fmt.Sprintf("BenchmarkEngineRun/jobs=%d", n), func(b *testing.B) {
@@ -118,6 +163,24 @@ func microBenches() []microBench {
 		})
 	}
 	return benches
+}
+
+// denseLayeredSpecs mirrors bench_test.go's level-structured K-DAG workload:
+// wide dense levels separated by one-task barrier joins, categories rotating
+// across jobs and levels.
+func denseLayeredSpecs(k, jobs, width, levels int) []krad.JobSpec {
+	specs := make([]krad.JobSpec, jobs)
+	for j := 0; j < jobs; j++ {
+		layers := make([]krad.LayerSpec, 0, 2*levels-1)
+		for l := 0; l < levels; l++ {
+			layers = append(layers, krad.LayerSpec{Count: width, Cat: krad.Category(1 + (j+l)%k)})
+			if l < levels-1 {
+				layers = append(layers, krad.LayerSpec{Count: 1, Cat: krad.Category(1 + (j+l+1)%k)})
+			}
+		}
+		specs[j] = krad.JobSpec{Graph: krad.Layered(k, layers, true)}
+	}
+	return specs
 }
 
 // benchResult is one benchmark's measurements in the JSON report.

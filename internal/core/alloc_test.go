@@ -58,6 +58,32 @@ func TestRADAllotIntoAllocsZero(t *testing.T) {
 	}
 }
 
+// TestRADLeapTotalsAllocsZero pins the closed-form leap aggregate at zero
+// allocations: the engine calls it once per leap with a caller-owned dst,
+// and a leap that allocates would eat the rounds it saves.
+func TestRADLeapTotalsAllocsZero(t *testing.T) {
+	r := NewRAD()
+	jobs := make([]sched.CatJob, 24)
+	for i := range jobs {
+		jobs[i] = sched.CatJob{ID: i, Desire: 1 << 20}
+	}
+	dst := make([]int, len(jobs))
+	const p = 100 // not divisible by 24: the rotating remainder is live
+	for s := int64(1); s <= 4; s++ {
+		r.AllotInto(s, jobs, p, dst)
+	}
+	s := int64(5)
+	if avg := testing.AllocsPerRun(200, func() {
+		for i := range dst {
+			dst[i] = 0
+		}
+		r.LeapTotals(s, jobs, p, 64, dst)
+		s += 64
+	}); avg != 0 {
+		t.Fatalf("LeapTotals allocates %.1f per call; want 0", avg)
+	}
+}
+
 // TestRADAllotEmptyShared checks the empty-set early return shares one
 // allotment slice instead of allocating per step — idle categories are the
 // common case in long online runs.

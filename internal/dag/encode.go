@@ -50,6 +50,11 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 	if err := ng.Validate(); err != nil {
 		return fmt.Errorf("dag: decode: %w", err)
 	}
-	*g = *ng
+	// Field-wise move: Graph embeds an atomic height memo that must not be
+	// copied. The receiver's memo resets, matching any other mutation.
+	g.name, g.k, g.cats = ng.name, ng.k, ng.cats
+	g.succ, g.pred, g.durs = ng.succ, ng.pred, ng.durs
+	g.edges = ng.edges
+	g.hmemo.Store(nil)
 	return nil
 }

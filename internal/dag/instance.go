@@ -2,6 +2,7 @@ package dag
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 )
@@ -64,6 +65,22 @@ type Instance struct {
 	ready    [][]TaskID
 	pending  []TaskID // completed this step; successors promoted on Advance
 	executed int
+
+	// Frontier-level lookahead state (see StableFor). bindeg[v] counts the
+	// predecessors of v that are themselves still blocked (indegree > 0);
+	// a blocked task with bindeg 0 is "frontier-blocked" — every remaining
+	// prerequisite is already ready, so the next promotion anywhere in the
+	// graph must be of such a task, and its current indegree is how many
+	// executions away that promotion is at minimum. fblocked buckets the
+	// frontier-blocked tasks by current indegree (nblocked is their total);
+	// minBlocked is a lower-bound hint for the first non-empty bucket,
+	// pushed down eagerly on decrements and rescanned upward lazily.
+	bindeg     []int32
+	fblocked   []int32
+	nblocked   int
+	minBlocked int32
+
+	sorter cpSorter // reusable CP-policy sorter (see order)
 }
 
 // NewInstance wraps g for execution under the given pick policy. seed is
@@ -87,11 +104,34 @@ func NewInstance(g *Graph, pick PickPolicy, seed int64) *Instance {
 		in.heights = h
 	}
 	in.indeg = make([]int32, g.NumTasks())
+	maxIndeg := 0
 	for v := 0; v < g.NumTasks(); v++ {
 		in.indeg[v] = int32(len(g.pred[v]))
+		if len(g.pred[v]) > maxIndeg {
+			maxIndeg = len(g.pred[v])
+		}
 		if in.indeg[v] == 0 {
 			c := g.cats[v]
 			in.ready[c-1] = append(in.ready[c-1], TaskID(v))
+		}
+	}
+	in.bindeg = make([]int32, g.NumTasks())
+	in.fblocked = make([]int32, maxIndeg+1)
+	in.minBlocked = 1
+	for v := 0; v < g.NumTasks(); v++ {
+		if in.indeg[v] == 0 {
+			continue
+		}
+		n := int32(0)
+		for _, u := range g.pred[v] {
+			if in.indeg[u] > 0 {
+				n++
+			}
+		}
+		in.bindeg[v] = n
+		if n == 0 {
+			in.fblocked[in.indeg[v]]++
+			in.nblocked++
 		}
 	}
 	return in
@@ -193,13 +233,34 @@ func (in *Instance) order(q []TaskID) {
 		}
 	case PickRandom:
 		in.rng.Shuffle(len(q), func(i, j int) { q[i], q[j] = q[j], q[i] })
-	case PickCPFirst:
-		sort.SliceStable(q, func(i, j int) bool { return in.heights[q[i]] > in.heights[q[j]] })
-	case PickCPLast:
-		sort.SliceStable(q, func(i, j int) bool { return in.heights[q[i]] < in.heights[q[j]] })
+	case PickCPFirst, PickCPLast:
+		in.sorter.q, in.sorter.heights = q, in.heights
+		in.sorter.first = in.pick == PickCPFirst
+		sort.Stable(&in.sorter)
+		in.sorter.q, in.sorter.heights = nil, nil
 	default:
 		panic(fmt.Sprintf("dag: unknown pick policy %d", in.pick))
 	}
+}
+
+// cpSorter is a reusable sort.Interface over a ready queue keyed by
+// remaining-chain height. The CP policies previously used sort.SliceStable,
+// whose per-call closure allocates; sorting through a struct the Instance
+// owns keeps ordering allocation-free. Stable sorting produces the same
+// canonical order either way.
+type cpSorter struct {
+	q       []TaskID
+	heights []int32
+	first   bool // longest chains first (PickCPFirst) vs last (PickCPLast)
+}
+
+func (s *cpSorter) Len() int      { return len(s.q) }
+func (s *cpSorter) Swap(i, j int) { s.q[i], s.q[j] = s.q[j], s.q[i] }
+func (s *cpSorter) Less(i, j int) bool {
+	if s.first {
+		return s.heights[s.q[i]] > s.heights[s.q[j]]
+	}
+	return s.heights[s.q[i]] < s.heights[s.q[j]]
 }
 
 // Advance ends the current time step: every task completed since the last
@@ -211,17 +272,143 @@ func (in *Instance) Advance() {
 	}
 	for _, u := range in.pending {
 		for _, v := range in.g.succ[u] {
-			in.indeg[v]--
-			if in.indeg[v] == 0 {
-				c := in.g.cats[v]
-				in.ready[c-1] = append(in.ready[c-1], v)
-			}
-			if in.indeg[v] < 0 {
+			d := in.indeg[v]
+			if d <= 0 {
 				panic(fmt.Sprintf("dag: task %d in graph %q released more times than it has predecessors", v, in.g.name))
+			}
+			in.indeg[v] = d - 1
+			if in.bindeg[v] != 0 {
+				// v still has a blocked predecessor: it cannot promote yet
+				// (indeg ≥ bindeg > 0) and is not in the frontier buckets.
+				continue
+			}
+			in.fblocked[d]--
+			if d > 1 {
+				in.fblocked[d-1]++
+				if d-1 < in.minBlocked {
+					in.minBlocked = d - 1
+				}
+			} else {
+				in.nblocked--
+				in.promote(v)
 			}
 		}
 	}
 	in.pending = in.pending[:0]
+}
+
+// promote makes v ready and updates its successors' frontier accounting:
+// v is no longer a blocked predecessor, so a successor whose other
+// predecessors are all unblocked becomes frontier-blocked itself.
+func (in *Instance) promote(v TaskID) {
+	c := in.g.cats[v]
+	in.ready[c-1] = append(in.ready[c-1], v)
+	for _, w := range in.g.succ[v] {
+		in.bindeg[w]--
+		if in.bindeg[w] == 0 {
+			d := in.indeg[w] // ≥ 1: the v→w edge is unconsumed until v executes
+			in.fblocked[d]++
+			in.nblocked++
+			if d < in.minBlocked {
+				in.minBlocked = d
+			}
+		}
+	}
+}
+
+// StableFor reports how many additional unit steps beyond the current one
+// the instance can execute without any step boundary promoting a task,
+// assuming at most perStep[α−1] α-tasks execute in any single covered step
+// (the caller's bound on the job's per-step allotment). 0 means the very
+// next Advance might promote — do not leap. math.MaxInt64 means no bound:
+// either nothing is blocked (the remaining frontier is a pure drain) or
+// nothing can execute under perStep, so the state is frozen.
+//
+// Soundness: while no promotion has occurred, only initially-ready tasks
+// can execute, so the first promoted task must be frontier-blocked at
+// entry (every remaining prerequisite already ready — a blocked
+// prerequisite cannot have executed), and promoting it takes at least its
+// current indegree executions of this job's tasks. n steps execute at most
+// n·S tasks, S = Σα min(perStep[α], ready α-tasks), so while
+// n·S < min frontier-blocked indegree no boundary — including the one
+// closing the window — can promote. The window must stop strictly before
+// the first promoting boundary because a leap's single deferred Advance
+// scans the whole window's completions grouped by category, which can
+// promote tasks in a different order than the per-step scans would; the
+// drain-completing step therefore runs as an ordinary single-step round.
+//
+// PickLIFO reverses the ready queue once per step and PickRandom consumes
+// the instance's rng once per step, so batching their picks is not
+// state-identical to single-stepping: StableFor reports 0 for them. FIFO
+// consumes a queue prefix, and the CP policies re-sort an already-sorted
+// queue (stable sorts are idempotent), so one batched pick over the window
+// equals n single-step picks.
+func (in *Instance) StableFor(perStep []int) int64 {
+	switch in.pick {
+	case PickFIFO, PickCPFirst, PickCPLast:
+	default:
+		return 0
+	}
+	if len(in.pending) != 0 {
+		// Mid-step: promotions are already queued; StableFor is a
+		// step-boundary question.
+		return 0
+	}
+	if in.nblocked == 0 {
+		return math.MaxInt64
+	}
+	s := 0
+	for a, q := range in.ready {
+		c := 0
+		if a < len(perStep) {
+			c = perStep[a]
+		}
+		if c > len(q) {
+			c = len(q)
+		}
+		s += c
+	}
+	if s == 0 {
+		return math.MaxInt64
+	}
+	n := (int(in.minBlockedIndeg()) - 1) / s
+	if n <= 0 {
+		return 0
+	}
+	return int64(n - 1)
+}
+
+// minBlockedIndeg returns the smallest current indegree among the
+// frontier-blocked tasks. Only valid while nblocked > 0. The hint chases
+// decrements downward in O(1); upward rescans are amortized over the edge
+// consumptions that emptied the buckets below.
+func (in *Instance) minBlockedIndeg() int32 {
+	d := in.minBlocked
+	if d < 1 {
+		d = 1
+	}
+	for in.fblocked[d] == 0 {
+		d++
+	}
+	in.minBlocked = d
+	return d
+}
+
+// ExecuteLeap applies the aggregate of several consecutive unit steps that
+// together execute total ready c-tasks, without the per-step Advance calls:
+// the caller has established via StableFor that no covered step boundary —
+// including the final one — promotes a task, so a single deferred Advance
+// after all categories' ExecuteLeap calls only consumes indegree and leaves
+// the instance state-identical to single-stepping. total may exceed any
+// single step's allotment but must not exceed the category's ready count
+// (the engine's leap law keeps desires strictly positive through the
+// window). Returns the number executed.
+func (in *Instance) ExecuteLeap(c Category, total int) int {
+	n := in.take(c, total)
+	if n > 0 {
+		in.finish(c, n)
+	}
+	return n
 }
 
 // Remaining returns the number of tasks not yet executed.

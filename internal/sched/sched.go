@@ -78,6 +78,15 @@ const Unbounded int64 = math.MaxInt64
 // 1 ≤ n ≤ StableHorizon()+1 (the call's own step plus the horizon). Each
 // covered step's column sums equal the Allot result's column sums, so
 // per-step aggregates (traces, utilization) reproduce exactly.
+//
+// Per-step bound: over the covered window, no job's allotment at any
+// single step exceeds its Allot-result entry by more than one, and stays
+// zero wherever that entry is zero. (DEQ's rotating remainder moves one
+// bonus processor between deprived jobs; nothing moves more.) The engine
+// feeds this bound to DAG-backed runtimes (sim.StableRuntime) to verify
+// that no frontier level can drain mid-window; implementations whose
+// per-step allotments can vary by more than one must report horizon 0 for
+// the affected window instead.
 type Stable interface {
 	StableHorizon() int64
 	LeapTotals(t int64, jobs []JobView, caps []int, n int64, dst [][]int)

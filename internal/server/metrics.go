@@ -5,6 +5,8 @@ import (
 	"io"
 	"math"
 	"strings"
+
+	"krad/internal/sim"
 )
 
 // histogram is a fixed-bucket cumulative histogram matching the Prometheus
@@ -67,12 +69,14 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 
 	var steps, leapSteps, submitted, completed, cancelled, rejected, elapsed int64
 	var maxNow int64
+	var leapBlocked sim.LeapBlocked
 	active, pending := 0, 0
 	execTotal := make([]int64, s.cfg.Sim.K)
 	hist := newHistogram(responseBuckets())
 	for _, v := range views {
 		steps += v.steps
 		leapSteps += v.snap.LeapSteps
+		leapBlocked.Add(v.snap.LeapBlocked)
 		submitted += v.submitted
 		completed += v.completed
 		cancelled += v.cancelled
@@ -101,6 +105,15 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 	metric("krad_shards", "Independent scheduler engines behind the admission front-end.", "gauge", len(views), "")
 	metric("krad_steps_total", "Virtual scheduler steps executed (all shards).", "counter", steps, "")
 	metric("krad_engine_leap_steps_total", "Virtual steps covered by event-leaps — executed in closed form without a fresh scheduling round (all shards).", "counter", leapSteps, "")
+	leapFirst := true
+	leapBlocked.Each(func(reason string, n int64) {
+		help := ""
+		if leapFirst {
+			help = "Scheduling rounds with a multi-step budget that could not leap, by reason (all shards)."
+			leapFirst = false
+		}
+		metric("krad_engine_leap_blocked_total", help, "counter", n, fmt.Sprintf(`{reason="%s"}`, reason))
+	})
 	metric("krad_virtual_time", "Furthest shard virtual clock (last executed step).", "gauge", maxNow, "")
 	metric("krad_jobs_submitted_total", "Jobs admitted.", "counter", submitted, "")
 	metric("krad_jobs_completed_total", "Jobs completed.", "counter", completed, "")

@@ -546,9 +546,16 @@ func TestPoolMetricsExposition(t *testing.T) {
 		`krad_shard_jobs_completed_total{shard="1"} 3`,
 		`krad_shard_queue_depth{shard="0"} 0`,
 		`krad_utilization{category="2"}`,
+		`krad_engine_leap_steps_total`,
+		`krad_engine_leap_blocked_total{reason="noleap"}`,
+		`krad_engine_leap_blocked_total{reason="overload"}`,
+		`krad_engine_leap_blocked_total{reason="dag-frontier"}`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q", want)
 		}
+	}
+	if n := strings.Count(text, "# HELP krad_engine_leap_blocked_total"); n != 1 {
+		t.Errorf("leap_blocked HELP emitted %d times, want 1", n)
 	}
 }

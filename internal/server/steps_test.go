@@ -112,6 +112,75 @@ func TestRestartReplaysBatchedSteps(t *testing.T) {
 	}
 }
 
+// TestRestartReplaysLeapedDAGSteps checks journal-replay determinism now
+// that DAG-backed runtimes event-leap: batched steps over a dense-layered
+// graph are covered by leaps, the journal still holds one aggregated
+// record per batch, and a restart reproduces the exact service state —
+// replay leaps or single-steps as it pleases, the law says it cannot
+// matter.
+func TestRestartReplaysLeapedDAGSteps(t *testing.T) {
+	layered := func() *dag.Graph {
+		return dag.Layered(2, []dag.LayerSpec{
+			{Count: 96, Cat: 1}, {Count: 1, Cat: 2},
+			{Count: 96, Cat: 2}, {Count: 1, Cat: 1},
+		}, true)
+	}
+	cfg := journaledConfig(t, 2, 4, 4)
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []int
+	for j := 0; j < 2; j++ {
+		id, err := svc.Submit(sim.JobSpec{Graph: layered()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Odd batch sizes land leap windows at arbitrary offsets.
+	for _, n := range []int64{5, 9, 3, 17} {
+		stepShardN(t, svc, 0, n)
+	}
+	if got := svc.shards[0].view().snap.LeapSteps; got == 0 {
+		t.Fatal("dense-layered DAG batches executed without any event-leaps")
+	}
+
+	before := svc.Stats()
+	beforeJobs := map[int]sim.JobStatus{}
+	for _, id := range ids {
+		st, ok := svc.Job(id)
+		if !ok {
+			t.Fatalf("job %d vanished", id)
+		}
+		beforeJobs[id] = st
+	}
+	drainAndClose(t, svc)
+
+	svc2, err := New(journaledConfigFrom(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer drainAndClose(t, svc2)
+	after := svc2.Stats()
+	if after.Now != before.Now {
+		t.Fatalf("restarted clock %d, want %d", after.Now, before.Now)
+	}
+	if after.Submitted != before.Submitted || after.Completed != before.Completed ||
+		after.Active != before.Active || after.Pending != before.Pending {
+		t.Fatalf("restarted stats %+v, want %+v", after, before)
+	}
+	for id, want := range beforeJobs {
+		got, ok := svc2.Job(id)
+		if !ok {
+			t.Fatalf("job %d missing after restart", id)
+		}
+		if !equalJobStatus(got, want) {
+			t.Fatalf("job %d after restart: %+v, want %+v", id, got, want)
+		}
+	}
+}
+
 // equalJobStatus compares statuses field by field (Work is a slice, so
 // JobStatus is not directly comparable).
 func equalJobStatus(a, b sim.JobStatus) bool {

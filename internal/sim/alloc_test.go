@@ -46,6 +46,94 @@ func TestEngineStepAllocsZero(t *testing.T) {
 	}
 }
 
+// dagAllocSpecs builds dense-layered barrier jobs wide enough that the
+// alloc measurements below stay inside one level: no promotions, no
+// completions, just the steady-state frontier drain.
+func dagAllocSpecs(jobs, width int) []sim.JobSpec {
+	specs := make([]sim.JobSpec, 0, jobs)
+	for j := 0; j < jobs; j++ {
+		g := dag.New(2)
+		var join dag.TaskID
+		for l := 0; l < 2; l++ {
+			wide := g.AddTasks(dag.Category(1+(l+j)%2), width)
+			if l > 0 {
+				for _, v := range wide {
+					g.MustEdge(join, v)
+				}
+			}
+			join = g.AddTasks(dag.Category(1+(l+j+1)%2), 1)[0]
+			for _, u := range wide {
+				g.MustEdge(u, join)
+			}
+		}
+		specs = append(specs, sim.JobSpec{Graph: g})
+	}
+	return specs
+}
+
+// TestDAGEngineStepAllocsZero pins the DAG single-step hot path — Desire,
+// ExecuteCount (take), Advance — at zero steady-state allocations, the
+// DAG analogue of TestEngineStepAllocsZero. kradd runs exactly this shape:
+// graph jobs, K-RAD, no tracing.
+func TestDAGEngineStepAllocsZero(t *testing.T) {
+	eng, err := sim.NewEngine(sim.Config{
+		K: 2, Caps: []int{8, 8}, Scheduler: core.NewKRAD(2),
+		Pick: dag.PickFIFO, MaxSteps: 1 << 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.AdmitBatch(dagAllocSpecs(4, 8192)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("steady-state DAG Engine.Step allocates %.1f per call; want 0", avg)
+	}
+}
+
+// TestDAGEngineStepNLeapAllocsZero pins the DAG event-leap round — the
+// StableFor frontier scan, the closed-form LeapTotals, ExecuteLeap's bulk
+// take and the single deferred Advance — at zero steady-state allocations.
+func TestDAGEngineStepNLeapAllocsZero(t *testing.T) {
+	eng, err := sim.NewEngine(sim.Config{
+		K: 2, Caps: []int{8, 8}, Scheduler: core.NewKRAD(2),
+		Pick: dag.PickFIFO, MaxSteps: 1 << 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.AdmitBatch(dagAllocSpecs(4, 1<<15)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := eng.StepN(64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var leaps int64
+	if avg := testing.AllocsPerRun(100, func() {
+		info, err := eng.StepN(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		leaps += info.LeapSteps
+	}); avg != 0 {
+		t.Fatalf("steady-state DAG Engine.StepN allocates %.1f per call; want 0", avg)
+	}
+	if leaps == 0 {
+		t.Fatal("StepN(64) rounds never leaped on the dense-layered DAG; the test is not exercising the leap path")
+	}
+}
+
 // TestEngineStepNLeapAllocsZero pins the event-leap round itself at zero
 // steady-state allocations: each StepN call below covers many steps via
 // LeapTotals, and must not allocate while doing so.

@@ -110,6 +110,55 @@ type EngineSnapshot struct {
 	// without a fresh scheduling round (Σ over leaps of leap length − 1).
 	// Observational only; not carried across checkpoints.
 	LeapSteps int64
+	// LeapBlocked counts the scheduling rounds that had a multi-step
+	// budget but could not leap, by blocking reason. Observational only;
+	// not carried across checkpoints.
+	LeapBlocked LeapBlocked
+}
+
+// LeapBlocked counts scheduling rounds where a multi-step budget remained
+// but no event-leap was taken, by reason — the operator-facing answer to
+// "why isn't this deployment leaping". Rounds merely bounded by an
+// imminent release or the runaway guard are not counted: nothing is
+// misconfigured there. Fields are cumulative counts.
+type LeapBlocked struct {
+	NoLeap      int64 // Config.NoLeap set
+	Speed       int64 // Config.Speed > 1: micro-rounds need per-step boundaries
+	Observer    int64 // Config.Observer must see every scheduling round
+	Trace       int64 // TraceTasks needs per-step task identities
+	Floors      int64 // a non-preemptive floor pinned processors this round
+	Runtime     int64 // an active job's runtime lacks LeapRuntime
+	Scheduler   int64 // scheduler lacks sched.Stable or reported horizon 0
+	Overload    int64 // horizon 0 while a category had more active jobs than processors
+	DAGFrontier int64 // a DAG instance's frontier level could promote (StableFor 0)
+}
+
+// Each calls fn for every reason with its metric label and count, in a
+// fixed order, so exporters enumerate without reflection.
+func (b LeapBlocked) Each(fn func(reason string, n int64)) {
+	fn("noleap", b.NoLeap)
+	fn("speed", b.Speed)
+	fn("observer", b.Observer)
+	fn("trace", b.Trace)
+	fn("floors", b.Floors)
+	fn("runtime", b.Runtime)
+	fn("scheduler", b.Scheduler)
+	fn("overload", b.Overload)
+	fn("dag-frontier", b.DAGFrontier)
+}
+
+// Add folds o's counts into b — exporters use it to aggregate across
+// engine shards.
+func (b *LeapBlocked) Add(o LeapBlocked) {
+	b.NoLeap += o.NoLeap
+	b.Speed += o.Speed
+	b.Observer += o.Observer
+	b.Trace += o.Trace
+	b.Floors += o.Floors
+	b.Runtime += o.Runtime
+	b.Scheduler += o.Scheduler
+	b.Overload += o.Overload
+	b.DAGFrontier += o.DAGFrontier
 }
 
 // Utilization returns, per category, the fraction of processor-steps spent
@@ -130,9 +179,10 @@ type jobState struct {
 	id          int
 	release     int64
 	rt          RuntimeJob
-	taskRT      TaskRuntime  // non-nil when the runtime reports task IDs
-	floorRT     FloorRuntime // non-nil when the runtime pins processors
-	leapRT      LeapRuntime  // non-nil when the runtime supports event-leaps
+	taskRT      TaskRuntime   // non-nil when the runtime reports task IDs
+	floorRT     FloorRuntime  // non-nil when the runtime pins processors
+	leapRT      LeapRuntime   // non-nil when the runtime supports event-leaps
+	stableRT    StableRuntime // non-nil when leap eligibility is per-round (DAGs)
 	work        []int
 	span        int
 	phase       JobPhase
@@ -158,11 +208,12 @@ type Engine struct {
 	totalWork  int64 // total admitted unit tasks (feeds the runaway bound)
 	maxRelease int64
 
-	trace      *Trace
-	makespan   int64
-	overloaded []bool
-	execTotal  []int64
-	leapSteps  int64 // cumulative event-leap steps (see EngineSnapshot.LeapSteps)
+	trace       *Trace
+	makespan    int64
+	overloaded  []bool
+	execTotal   []int64
+	leapSteps   int64       // cumulative event-leap steps (see EngineSnapshot.LeapSteps)
+	leapBlocked LeapBlocked // per-reason counts of rounds that could not leap
 
 	// Cached scheduler capability views, asserted once at construction.
 	intoAllotter sched.IntoAllotter
@@ -171,13 +222,14 @@ type Engine struct {
 	// Reused per-round buffers. desireBuf and floorBuf are single flat
 	// backing arrays sliced per job, so snapshotting desires allocates
 	// nothing once they reach steady-state capacity.
-	views     []sched.JobView
-	desireBuf []int
-	floorBuf  []int
-	allotBuf  sched.Matrix
-	leapBuf   sched.Matrix // totals buffer for event-leaps
-	doneIDs   []int        // completions of the current round
-	stepExec  []int        // tasks executed in the current round, per category
+	views      []sched.JobView
+	desireBuf  []int
+	floorBuf   []int
+	allotBuf   sched.Matrix
+	leapBuf    sched.Matrix // totals buffer for event-leaps
+	doneIDs    []int        // completions of the current round
+	stepExec   []int        // tasks executed in the current round, per category
+	perStepBuf []int        // per-step allotment bound passed to StableRuntime
 
 	// Per-call accumulators for StepN (a call may span many rounds).
 	callExec []int
@@ -204,6 +256,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		execTotal:  make([]int64, cfg.K),
 		stepExec:   make([]int, cfg.K),
 		callExec:   make([]int, cfg.K),
+		perStepBuf: make([]int, cfg.K),
 	}
 	e.intoAllotter, _ = cfg.Scheduler.(sched.IntoAllotter)
 	e.stable, _ = cfg.Scheduler.(sched.Stable)
@@ -289,6 +342,7 @@ func (e *Engine) prepare(spec JobSpec, id int) (*jobState, int, error) {
 	js.taskRT, _ = rt.(TaskRuntime)
 	js.floorRT, _ = rt.(FloorRuntime)
 	js.leapRT, _ = rt.(LeapRuntime)
+	js.stableRT, _ = rt.(StableRuntime)
 	if e.cfg.Trace >= TraceTasks && js.taskRT == nil {
 		return nil, 0, fmt.Errorf("sim: job %d (%s) runtime cannot report task IDs; TraceTasks requires DAG-backed jobs", id, src.Name())
 	}
@@ -366,6 +420,7 @@ func (e *Engine) Snapshot() EngineSnapshot {
 		Makespan:      e.makespan,
 		ExecutedTotal: append([]int64(nil), e.execTotal...),
 		LeapSteps:     e.leapSteps,
+		LeapBlocked:   e.leapBlocked,
 	}
 }
 
@@ -509,6 +564,7 @@ func (e *Engine) executeRound(t int64, budget int64) (int64, error) {
 		}
 		e.views = append(e.views, v)
 	}
+	overloadNow := false
 	for a := 0; a < k; a++ {
 		activeCount := 0
 		for _, v := range e.views {
@@ -518,6 +574,7 @@ func (e *Engine) executeRound(t int64, budget int64) (int64, error) {
 		}
 		if activeCount > e.cfg.Caps[a] {
 			e.overloaded[a] = true
+			overloadNow = true
 		}
 	}
 
@@ -544,29 +601,13 @@ func (e *Engine) executeRound(t int64, budget int64) (int64, error) {
 	// provably what single-stepping would have produced. Requires the
 	// scheduler to vouch for its own output (Stable), every active job to
 	// support closed-form multi-step execution with no floors in play,
-	// and no per-step hook that would observe the skipped rounds.
-	if budget > 1 && leapable && floors == 0 && e.stable != nil &&
-		!e.cfg.NoLeap && e.cfg.Speed <= 1 && e.cfg.Observer == nil &&
-		e.trace.level < TraceTasks {
-		if h := e.stable.StableHorizon(); h > 0 {
-			n := budget
-			if h < budget-1 {
-				n = h + 1
-			}
-			// A job released at r joins the views at step r+1: the leap
-			// must not run past the step preceding that.
-			if len(e.pending) > 0 {
-				if m := e.pending[0].release - t + 1; m < n {
-					n = m
-				}
-			}
-			if m := e.maxStepsBound() - t + 1; m < n {
-				n = m
-			}
-			if n > 1 {
-				e.leapRound(t, allot, n)
-				return n, nil
-			}
+	// every DAG-backed runtime to vouch its frontier level cannot promote
+	// mid-window (StableRuntime), and no per-step hook that would observe
+	// the skipped rounds. tryLeap counts the blocking reason otherwise.
+	if budget > 1 {
+		if n := e.tryLeap(t, allot, budget, leapable, floors, overloadNow); n > 1 {
+			e.leapRound(t, allot, n)
+			return n, nil
 		}
 	}
 
@@ -621,6 +662,84 @@ func (e *Engine) executeRound(t int64, budget int64) (int64, error) {
 	}
 	e.trace.endStep(t, len(e.active)+len(e.doneIDs), len(e.doneIDs))
 	return 1, nil
+}
+
+// tryLeap decides whether the round at step t may extend into an event-leap
+// and for how many steps (≤ budget; 1 means "no leap"). When a disqualifier
+// blocks the leap it increments the matching LeapBlocked counter; rounds
+// merely clipped to one step by an imminent release or the runaway guard
+// count nothing.
+func (e *Engine) tryLeap(t int64, allot [][]int, budget int64, leapable bool, floors int, overloadNow bool) int64 {
+	switch {
+	case e.cfg.NoLeap:
+		e.leapBlocked.NoLeap++
+	case e.cfg.Speed > 1:
+		e.leapBlocked.Speed++
+	case e.cfg.Observer != nil:
+		e.leapBlocked.Observer++
+	case e.trace.level >= TraceTasks:
+		e.leapBlocked.Trace++
+	case floors > 0:
+		e.leapBlocked.Floors++
+	case !leapable:
+		e.leapBlocked.Runtime++
+	case e.stable == nil:
+		e.leapBlocked.Scheduler++
+	default:
+		h := e.stable.StableHorizon()
+		if h <= 0 {
+			if overloadNow {
+				e.leapBlocked.Overload++
+			} else {
+				e.leapBlocked.Scheduler++
+			}
+			return 1
+		}
+		n := budget
+		if h < budget-1 {
+			n = h + 1
+		}
+		// A job released at r joins the views at step r+1: the leap must
+		// not run past the step preceding that.
+		if len(e.pending) > 0 {
+			if m := e.pending[0].release - t + 1; m < n {
+				n = m
+			}
+		}
+		if m := e.maxStepsBound() - t + 1; m < n {
+			n = m
+		}
+		if n <= 1 {
+			return 1
+		}
+		// DAG-backed runtimes: the scheduler's horizon covers how desires
+		// evolve, but each instance must additionally vouch that none of
+		// the covered boundaries can promote tasks (level stability). The
+		// per-step bound is the step-t allotment plus the one processor
+		// the rotating DEQ remainder may add on later covered steps (the
+		// Stable contract's per-step bound).
+		for i, j := range e.active {
+			if j.stableRT == nil {
+				continue
+			}
+			for a, v := range allot[i] {
+				if v > 0 {
+					v++
+				}
+				e.perStepBuf[a] = v
+			}
+			sf := j.stableRT.StableFor(e.perStepBuf)
+			if sf <= 0 {
+				e.leapBlocked.DAGFrontier++
+				return 1
+			}
+			if sf < n-1 {
+				n = sf + 1
+			}
+		}
+		return n
+	}
+	return 1
 }
 
 // leapRound executes the n consecutive steps t..t+n−1 in closed form. The

@@ -54,10 +54,11 @@ type TaskRuntime interface {
 // LeapRuntime is implemented by runtimes whose state after several
 // consecutive steps is computable from the aggregate tasks executed — the
 // job-side half of the engine's event-leap (the scheduler-side half is
-// sched.Stable). Profile-backed jobs qualify: mid-phase, executing tasks
-// over n steps just subtracts the totals from the phase's remaining
-// counts. DAG-backed runtimes do not (ready sets evolve per step), so
-// their presence disables leaping.
+// sched.Stable). Profile-backed jobs always qualify: mid-phase, executing
+// tasks over n steps just subtracts the totals from the phase's remaining
+// counts. DAG-backed runtimes qualify conditionally — their ready sets
+// evolve only at promoting step boundaries — so they additionally
+// implement StableRuntime to report when the next promotion can be.
 type LeapRuntime interface {
 	RuntimeJob
 	// LeapTasks applies the aggregate of several consecutive steps that
@@ -68,6 +69,21 @@ type LeapRuntime interface {
 	// boundary or completion is crossed mid-leap, so the intermediate
 	// Advance calls would have been state-preserving.
 	LeapTasks(total []int)
+}
+
+// StableRuntime is implemented by LeapRuntimes whose leap eligibility is
+// state-dependent and must be re-established every round. The engine
+// consults StableFor after the scheduler reports a stable horizon and
+// takes the minimum across jobs; runtimes that do not implement the
+// interface (profiles) are covered by the scheduler's horizon alone, which
+// already keeps them mid-phase.
+type StableRuntime interface {
+	LeapRuntime
+	// StableFor reports how many additional steps after the current one
+	// the runtime stays leapable when at most perStep[α−1] α-tasks execute
+	// per covered step. 0 disables leaping this round. perStep is
+	// engine-owned and reused; implementations must not retain it.
+	StableFor(perStep []int) int64
 }
 
 // FloorRuntime is implemented by non-preemptive runtimes whose in-flight
@@ -116,9 +132,28 @@ func (r *graphRuntime) Done() bool           { return r.inst.Done() }
 func (r *graphRuntime) RemainingWork() []int { return r.inst.RemainingWork() }
 func (r *graphRuntime) RemainingSpan() int   { return r.inst.RemainingSpan() }
 
+// LeapTasks implements LeapRuntime: each category's window total drains in
+// one ExecuteLeap call, then the single deferred Advance consumes the
+// completed tasks' out-edges. The engine only leaps a DAG runtime inside
+// the promotion-free window StableFor vouched for, so that Advance
+// promotes nothing and the state matches per-step execution exactly.
+func (r *graphRuntime) LeapTasks(total []int) {
+	for a, n := range total {
+		if n > 0 {
+			r.inst.ExecuteLeap(dag.Category(a+1), n)
+		}
+	}
+	r.inst.Advance()
+}
+
+// StableFor implements StableRuntime via the instance's frontier-level
+// lookahead.
+func (r *graphRuntime) StableFor(perStep []int) int64 { return r.inst.StableFor(perStep) }
+
 var (
-	_ JobSource   = graphSource{}
-	_ TaskRuntime = (*graphRuntime)(nil)
+	_ JobSource     = graphSource{}
+	_ TaskRuntime   = (*graphRuntime)(nil)
+	_ StableRuntime = (*graphRuntime)(nil)
 )
 
 // timedSource adapts a duration-annotated *dag.Graph to JobSource with

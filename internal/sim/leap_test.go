@@ -15,14 +15,21 @@ import (
 
 // randomLeapSpecs builds a workload that exercises the event-leap: mostly
 // profile jobs (leapable) with phases big enough to hold deprived DEQ
-// regimes, a sprinkling of DAG jobs (which disable leaping while active),
-// and staggered releases.
+// regimes, a sprinkling of DAG jobs (leapable whenever their frontier
+// level is deep enough — level stability), and staggered releases.
 func randomLeapSpecs(rng *rand.Rand, k, jobs int) []sim.JobSpec {
 	specs := make([]sim.JobSpec, 0, jobs)
 	for j := 0; j < jobs; j++ {
 		release := rng.Int63n(40)
+		if rng.Intn(4) == 0 {
+			// Dense-layered barrier DAG: wide levels behind single join
+			// tasks, the shape whose drains the DAG leap accelerates.
+			g := denseLayeredGraph(k, 8+rng.Intn(33), 1+rng.Intn(3), rng.Intn(k))
+			specs = append(specs, sim.JobSpec{Graph: g, Release: release})
+			continue
+		}
 		if rng.Intn(5) == 0 {
-			// DAG job: small layered graph.
+			// DAG job: small sparse layered graph.
 			g := dag.New(k)
 			var prev []dag.TaskID
 			for l := 0; l < 1+rng.Intn(3); l++ {
@@ -57,6 +64,29 @@ func randomLeapSpecs(rng *rand.Rand, k, jobs int) []sim.JobSpec {
 		})
 	}
 	return specs
+}
+
+// denseLayeredGraph builds a barrier-style layered K-DAG: levels of width
+// same-category tasks, each level funneling through a single join task
+// before the next opens. rot rotates the category assignment.
+func denseLayeredGraph(k, width, levels, rot int) *dag.Graph {
+	g := dag.New(k)
+	var join dag.TaskID
+	haveJoin := false
+	for l := 0; l < levels; l++ {
+		wide := g.AddTasks(dag.Category(1+(l+rot)%k), width)
+		if haveJoin {
+			for _, v := range wide {
+				g.MustEdge(join, v)
+			}
+		}
+		join = g.AddTasks(dag.Category(1+(l+rot+1)%k), 1)[0]
+		for _, u := range wide {
+			g.MustEdge(u, join)
+		}
+		haveJoin = true
+	}
+	return g
 }
 
 // admitAll builds an engine with the given config and admits the specs in
@@ -180,6 +210,122 @@ func TestQuickLeapEquivalence(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestQuickDAGLeapEquivalence is the DAG half of the soundness property:
+// pure-DAG populations (dense barrier layers plus sparse graphs, no
+// profile jobs) under every pick policy must be bit-identical between
+// leap-on and leap-off engines. LIFO and random picks never leap (their
+// per-step order is not reproducible in aggregate) — for those the test
+// degenerates to checking the engine correctly refuses, which the
+// DAGFrontier/zero-leap accounting below distinguishes from "leapt wrong".
+func TestQuickDAGLeapEquivalence(t *testing.T) {
+	picks := []dag.PickPolicy{dag.PickFIFO, dag.PickLIFO, dag.PickRandom, dag.PickCPFirst, dag.PickCPLast}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(3)
+		caps := make([]int, k)
+		for i := range caps {
+			caps[i] = 1 + rng.Intn(16)
+		}
+		pick := picks[rng.Intn(len(picks))]
+		jobs := 1 + rng.Intn(5)
+		specs := make([]sim.JobSpec, 0, jobs)
+		for j := 0; j < jobs; j++ {
+			g := denseLayeredGraph(k, 8+rng.Intn(57), 1+rng.Intn(4), rng.Intn(k))
+			specs = append(specs, sim.JobSpec{Graph: g, Release: rng.Int63n(20)})
+		}
+		mkCfg := func(noLeap bool) sim.Config {
+			return sim.Config{
+				K: k, Caps: caps, Scheduler: core.NewKRAD(k),
+				Pick: pick, Seed: seed, Trace: sim.TraceSteps,
+				ValidateAllotments: true, NoLeap: noLeap,
+			}
+		}
+		on := admitAll(t, mkCfg(false), specs)
+		off := admitAll(t, mkCfg(true), specs)
+		// Drive the leap-on engine in random chunks so leaps start and
+		// stop at arbitrary clock offsets, then drain both.
+		for c := 0; c < 3 && on.Remaining() > 0; c++ {
+			if _, err := on.StepN(1 + rng.Int63n(9)); err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+		}
+		if err := drain(on); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := drain(off); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if !reflect.DeepEqual(on.Result(), off.Result()) {
+			t.Logf("seed %d (pick %v): results diverged", seed, pick)
+			return false
+		}
+		son, soff := on.Snapshot(), off.Snapshot()
+		if son.Now != soff.Now || !reflect.DeepEqual(son.ExecutedTotal, soff.ExecutedTotal) {
+			t.Logf("seed %d (pick %v): snapshots diverged", seed, pick)
+			return false
+		}
+		switch pick {
+		case dag.PickLIFO, dag.PickRandom:
+			if son.LeapSteps != 0 {
+				t.Logf("seed %d: %v pick leapt %d steps; must never leap", seed, pick, son.LeapSteps)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDAGLeapActuallyFires guards the DAG fast path the way
+// TestLeapActuallyFires guards the profile one: wide barrier levels over
+// small caps must drain via leaps, and the blocked-reason counters must
+// show frontier stalls (the join boundaries) rather than anything
+// misconfigured.
+func TestDAGLeapActuallyFires(t *testing.T) {
+	const k = 2
+	var specs []sim.JobSpec
+	for j := 0; j < 4; j++ {
+		specs = append(specs, sim.JobSpec{Graph: denseLayeredGraph(k, 512, 3, j%k)})
+	}
+	// One short-lived pairwise-join job: a wide ready level (scheduler
+	// horizon positive) funneling into indeg-2 joins (level-stability
+	// bound 0), so some early rounds block on dag-frontier specifically.
+	pg := dag.New(k)
+	wide := pg.AddTasks(1, 32)
+	for i := 0; i < len(wide); i += 2 {
+		join := pg.AddTasks(2, 1)[0]
+		pg.MustEdge(wide[i], join)
+		pg.MustEdge(wide[i+1], join)
+	}
+	specs = append(specs, sim.JobSpec{Graph: pg})
+	eng := admitAll(t, sim.Config{
+		K: k, Caps: []int{8, 8}, Scheduler: core.NewKRAD(k),
+		Pick: dag.PickFIFO, ValidateAllotments: true,
+	}, specs)
+	if err := drain(eng); err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.Snapshot()
+	if snap.LeapSteps == 0 {
+		t.Fatal("no event-leaps fired on a dense-layered DAG workload")
+	}
+	if ratio := float64(snap.LeapSteps) / float64(snap.Now); ratio < 0.8 {
+		t.Fatalf("leaps covered only %.1f%% of %d steps; want ≥ 80%%", ratio*100, snap.Now)
+	}
+	b := snap.LeapBlocked
+	if b.DAGFrontier == 0 {
+		t.Error("no dag-frontier blocks recorded; join boundaries should stall leaps")
+	}
+	if b.NoLeap != 0 || b.Speed != 0 || b.Observer != 0 || b.Trace != 0 || b.Floors != 0 || b.Runtime != 0 {
+		t.Errorf("unexpected blocked reasons on a clean DAG workload: %+v", b)
 	}
 }
 
