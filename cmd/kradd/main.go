@@ -19,6 +19,7 @@
 //	kradd -addr :8080 -k 3 -caps 4,4,4 -sched k-rad -step 50ms -queue 256
 //	kradd -addr :8080 -shards 4 -placement hash -queue 1024
 //	kradd -addr :8080 -journal-dir /var/lib/kradd -fsync always
+//	kradd -addr :8080 -fairness -fair-config queues.conf -fair-halflife 512
 //
 // With -journal-dir set, every committed mutation is write-ahead-journaled
 // (one file per shard) and replayed on startup, so a crash or restart
@@ -38,6 +39,20 @@
 // (round-robin, hash on the X-Krad-Placement-Key header, least-loaded).
 // -caps and -queue keep their meaning: caps describe each shard's
 // machine, and the queue bound is shared across the fleet.
+//
+// With -fairness (or -fair-config) submissions are gated by multi-tenant
+// fair share: the X-Krad-Tenant header resolves to a queue-tree leaf, the
+// admission bound is divided over the active leaves by deserved quota and
+// over-quota weight, and an over-quota tenant is shed with 429 +
+// Retry-After while under-quota tenants keep admitting. -fair-config
+// names a queue-tree file (halflife/default/queue lines — see README);
+// without one every tenant header gets a dynamically created equal-weight
+// leaf. -fair-halflife sets the usage decay half-life in virtual steps
+// and overrides the file's halflife line. Tenant identity and usage ride
+// the journal, so a fairness-enabled daemon restarts with its ledger
+// intact — and refuses to replay a fairness-tagged journal with fairness
+// off (or under a different half-life) rather than silently dropping
+// tenant state.
 //
 // With -step 0 the clock free-runs: steps execute as fast as the hardware
 // allows whenever work is queued, so submitted jobs drain immediately. A
@@ -66,6 +81,7 @@ import (
 
 	"krad/internal/analysis"
 	"krad/internal/dag"
+	"krad/internal/fairshare"
 	"krad/internal/journal"
 	"krad/internal/sched"
 	"krad/internal/server"
@@ -127,6 +143,9 @@ func main() {
 		snapFlag     = flag.Int64("snapshot-every", 10000, "compact a shard journal after this many records at an idle point (0 = never)")
 		batchFlag    = flag.Int64("step-batch", 0, "max virtual steps per scheduling round under one lock and one journal append (0 = default 64, 1 = per-step events)")
 		pprofFlag    = flag.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
+		fairFlag     = flag.Bool("fairness", false, "gate admission by multi-tenant fair share (X-Krad-Tenant header)")
+		fairHLFlag   = flag.Int64("fair-halflife", fairshare.DefaultHalfLife, "fair-share usage decay half-life in virtual steps (overrides the -fair-config halflife line)")
+		fairCfgFlag  = flag.String("fair-config", "", "queue-tree config file (implies -fairness): halflife, default and queue lines")
 	)
 	flag.Parse()
 
@@ -154,6 +173,34 @@ func main() {
 			SyncInterval:  *fsyncIntFlag,
 			SnapshotEvery: *snapFlag,
 		}
+	}
+	var fairCfg *fairshare.Config
+	if *fairFlag || *fairCfgFlag != "" {
+		c := fairshare.Config{HalfLife: *fairHLFlag}
+		if *fairCfgFlag != "" {
+			f, err := os.Open(*fairCfgFlag)
+			if err != nil {
+				log.Fatal(err)
+			}
+			c, err = fairshare.ParseConfig(f)
+			_ = f.Close()
+			if err != nil {
+				log.Fatalf("-fair-config %s: %v", *fairCfgFlag, err)
+			}
+			// An explicitly passed -fair-halflife beats the file's halflife
+			// line; the flag's default does not.
+			flag.Visit(func(fl *flag.Flag) {
+				if fl.Name == "fair-halflife" {
+					c.HalfLife = *fairHLFlag
+				}
+			})
+		}
+		fairCfg = &c
+		hl := c.HalfLife
+		if hl == 0 {
+			hl = fairshare.DefaultHalfLife
+		}
+		log.Printf("fair-share admission enabled (half-life=%d steps, config=%q)", hl, *fairCfgFlag)
 	}
 
 	// The listener comes up before the service: journal replay can take a
@@ -206,7 +253,8 @@ func main() {
 			s, _ := analysis.NewScheduler(*schedFlag, *kFlag)
 			return s
 		},
-		Journal: journalCfg,
+		Journal:  journalCfg,
+		Fairness: fairCfg,
 	})
 	if err != nil {
 		// A journal that cannot be replayed (corrupt record, version

@@ -1,0 +1,304 @@
+// Command kradfair is a closed-loop fairness simulator: it replays N
+// synthetic greedy tenants against an in-process scheduler service with
+// fair-share admission enabled and emits one CSV row per tenant per
+// round, so the convergence of admitted shares onto the configured
+// weights — and the exponential decay of an idled tenant's usage — can be
+// plotted or asserted.
+//
+// Each round every active tenant attempts -burst single-task submissions,
+// interleaved one submission per tenant so no tenant grabs lent capacity
+// before its peers wake up; over-quota attempts are shed by the fair gate
+// (the HTTP surface would answer 429) and counted. The round ends with up
+// to -steps virtual steps of drain, advancing the shard clock that the
+// usage decay is measured against. The service is never Started: the
+// simulator owns the clock via Service.StepAll, so runs are deterministic
+// — same flags, same CSV.
+//
+// Tenants are leaves t0..t{N-1} of a flat queue tree with over-quota
+// weights from -weights (comma-separated, padded with 1, default "2,1"
+// so the two-tenant run demonstrates the 2:1 contract). From round
+// -idle-from on, the highest-indexed tenant stops submitting, which is
+// what makes the decay tail visible.
+//
+// Usage:
+//
+//	go run ./cmd/kradfair                          # 2 tenants, 2:1, CSV on stdout
+//	go run ./cmd/kradfair -tenants 3 -weights 4,2,1 -rounds 200
+//	go run ./cmd/kradfair -check                   # assert convergence, exit 1 on failure
+//
+// With -check the run also asserts the fairness contract after the CSV is
+// written:
+//
+//   - the first two tenants' cumulative admitted ratio, measured over the
+//     rounds both were submitting, is within 5% of their weight ratio
+//     (weights 2:1 → admitted 2:1), and
+//   - the idled tenant's decayed usage ends below 1% of its recorded peak.
+//
+// The decay check needs enough post-idle virtual steps: the clock only
+// advances while work drains, so a run with few slots executes few steps
+// per round and may need more -rounds (or a shorter -halflife) for the
+// tail to fall under 1%. The defaults leave tens of half-lives.
+//
+// CSV schema: round,step,tenant,share,in_flight,usage,admitted,shed —
+// step is the fleet virtual clock after the round's drain; share is the
+// leaf's slot bound from the latest rebalance; admitted and shed are
+// cumulative.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"krad/internal/core"
+	"krad/internal/dag"
+	"krad/internal/fairshare"
+	"krad/internal/sched"
+	"krad/internal/server"
+	"krad/internal/sim"
+)
+
+// options carries the parsed flags; a separate struct keeps run testable.
+type options struct {
+	tenants  int
+	weights  []float64
+	rounds   int
+	slots    int
+	burst    int
+	steps    int64
+	halfLife int64
+	idleFrom int
+	check    bool
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kradfair: ")
+	var (
+		tenantsFlag  = flag.Int("tenants", 2, "number of synthetic tenants (leaves t0..tN-1)")
+		weightsFlag  = flag.String("weights", "2,1", "comma-separated over-quota weights, padded with 1")
+		roundsFlag   = flag.Int("rounds", 120, "closed-loop rounds")
+		slotsFlag    = flag.Int("slots", 16, "fleet admission bound (MaxInFlight) divided among tenants")
+		burstFlag    = flag.Int("burst", 0, "submission attempts per tenant per round (0 = slots)")
+		stepsFlag    = flag.Int64("steps", 16, "max virtual drain steps per round")
+		hlFlag       = flag.Int64("halflife", 32, "usage decay half-life in virtual steps")
+		idleFromFlag = flag.Int("idle-from", 60, "round from which the last tenant stops submitting (0 = never)")
+		outFlag      = flag.String("o", "-", "CSV output path (- = stdout)")
+		checkFlag    = flag.Bool("check", false, "assert share convergence and idle decay; exit non-zero on failure")
+	)
+	flag.Parse()
+	if *tenantsFlag < 1 {
+		log.Fatal("-tenants must be ≥ 1")
+	}
+	weights, err := parseWeights(*weightsFlag, *tenantsFlag)
+	if err != nil {
+		log.Fatalf("-weights: %v", err)
+	}
+
+	var out io.Writer = os.Stdout
+	if *outFlag != "-" {
+		f, err := os.Create(*outFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		out = f
+	}
+
+	err = run(options{
+		tenants:  *tenantsFlag,
+		weights:  weights,
+		rounds:   *roundsFlag,
+		slots:    *slotsFlag,
+		burst:    *burstFlag,
+		steps:    *stepsFlag,
+		halfLife: *hlFlag,
+		idleFrom: *idleFromFlag,
+		check:    *checkFlag,
+	}, out)
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run drives the closed loop and writes the CSV; with o.check set it also
+// asserts the fairness contract and returns the first violation.
+func run(o options, out io.Writer) error {
+	nodes := make([]fairshare.NodeConfig, o.tenants)
+	paths := make([]string, o.tenants)
+	for i := range nodes {
+		paths[i] = fmt.Sprintf("t%d", i)
+		nodes[i] = fairshare.NodeConfig{Name: paths[i], Weight: o.weights[i]}
+	}
+
+	// One shard, single-category unit jobs: the simulator measures the
+	// admission gate, not the scheduler, so the machine is the simplest
+	// one that drains whatever the gate admits.
+	svc, err := server.New(server.Config{
+		Sim: sim.Config{
+			K: 1, Caps: []int{4}, Scheduler: core.NewKRAD(1),
+			Pick: dag.PickFIFO, ValidateAllotments: true,
+		},
+		MaxInFlight:  o.slots,
+		NewScheduler: func() sched.Scheduler { return core.NewKRAD(1) },
+		Fairness:     &fairshare.Config{HalfLife: o.halfLife, Nodes: nodes},
+	})
+	if err != nil {
+		return err
+	}
+	// Never Started: StepAll below owns the clock deterministically.
+
+	fmt.Fprintln(out, "round,step,tenant,share,in_flight,usage,admitted,shed")
+
+	burst := o.burst
+	if burst <= 0 {
+		burst = o.slots
+	}
+	idleTenant := -1
+	if o.idleFrom > 0 && o.idleFrom < o.rounds && o.tenants > 1 {
+		idleTenant = o.tenants - 1
+	}
+
+	// The admitted-ratio check must only count rounds where both compared
+	// tenants were submitting: once the idle tenant (possibly t1 itself in
+	// the two-tenant default) stops, its cumulative share stops growing
+	// and the end-of-run ratio measures idleness, not division.
+	ratioRound := o.rounds - 1
+	if idleTenant >= 0 {
+		ratioRound = o.idleFrom - 1
+	}
+	ratioSnap := make(map[string]server.TenantStats)
+
+	idlePeak := 0.0
+	fleetFull := int64(0)
+	for round := 0; round < o.rounds; round++ {
+		// Interleave: one submission per tenant per inner iteration. The
+		// gate is work-conserving — an idle tenant's slots are lent out
+		// until drain — so bursting tenants one-by-one would let the first
+		// claim the whole fleet before its peers count as active.
+		for b := 0; b < burst; b++ {
+			for i := 0; i < o.tenants; i++ {
+				if i == idleTenant && round >= o.idleFrom {
+					continue
+				}
+				_, err := svc.SubmitTenant("", paths[i], sim.JobSpec{Graph: dag.Singleton(1, 1)})
+				switch {
+				case errors.Is(err, server.ErrOverQuota):
+					// Shed by the fair gate; counted in the tenant's shed column.
+				case errors.Is(err, server.ErrQueueFull):
+					// Fleet backpressure, not a fairness verdict: shares moved
+					// mid-round (usage accrues per admission) and an earlier
+					// admission under an older, larger share still holds the
+					// slot until drain. The HTTP surface answers 503 here.
+					fleetFull++
+				case err != nil:
+					return fmt.Errorf("round %d tenant %s: %v", round, paths[i], err)
+				}
+			}
+		}
+		if _, err := svc.StepAll(o.steps); err != nil {
+			return fmt.Errorf("round %d: step: %v", round, err)
+		}
+
+		st := svc.Stats()
+		for _, ts := range st.Tenants {
+			fmt.Fprintf(out, "%d,%d,%s,%d,%d,%g,%d,%d\n",
+				round, st.Now, ts.Path, ts.Share, ts.InFlight, ts.Usage, ts.Admitted, ts.Shed)
+			if idleTenant >= 0 && ts.Path == paths[idleTenant] && ts.Usage > idlePeak {
+				idlePeak = ts.Usage
+			}
+			if round == ratioRound {
+				ratioSnap[ts.Path] = ts
+			}
+		}
+	}
+
+	if fleetFull > 0 {
+		log.Printf("%d attempts bounced on the fleet bound (503 backpressure, not shed)", fleetFull)
+	}
+	if o.check {
+		if err := check(svc, ratioSnap, paths, o.weights, idleTenant, idlePeak, o.halfLife); err != nil {
+			return err
+		}
+		log.Printf("check passed: admitted shares converged, idle usage decayed")
+	}
+	return nil
+}
+
+// check asserts the fairness contract on the finished run: the first two
+// tenants' cumulative admitted ratio (measured at the last round both
+// were submitting — ratioSnap) tracks their weight ratio within 5%, and
+// the idled tenant's usage decayed below 1% of its peak.
+func check(svc *server.Service, ratioSnap map[string]server.TenantStats, paths []string, weights []float64, idleTenant int, idlePeak float64, halfLife int64) error {
+	byPath := make(map[string]server.TenantStats)
+	for _, ts := range svc.Stats().Tenants {
+		byPath[ts.Path] = ts
+	}
+	// Compare the first two tenants: in the default run those are the 2:1
+	// pair. Both must have shed (i.e. both were actually rate-limited —
+	// an unsaturated run proves nothing about division).
+	if len(paths) >= 2 {
+		a, b := ratioSnap[paths[0]], ratioSnap[paths[1]]
+		if a.Shed == 0 || b.Shed == 0 {
+			return fmt.Errorf("check: tenants not saturated (shed %d/%d); raise -burst or lower -slots", a.Shed, b.Shed)
+		}
+		if a.Admitted == 0 || b.Admitted == 0 {
+			return fmt.Errorf("check: tenant admitted nothing (%d/%d)", a.Admitted, b.Admitted)
+		}
+		got := float64(a.Admitted) / float64(b.Admitted)
+		want := weights[0] / weights[1]
+		if rel := got/want - 1; rel < -0.05 || rel > 0.05 {
+			return fmt.Errorf("check: admitted ratio %s:%s = %.3f, want %.2f ± 5%%", paths[0], paths[1], got, want)
+		}
+		log.Printf("admitted ratio %s:%s = %.3f (target %.2f)", paths[0], paths[1], got, want)
+	}
+	if idleTenant >= 0 {
+		final := byPath[paths[idleTenant]].Usage
+		if idlePeak <= 0 {
+			return fmt.Errorf("check: idle tenant %s never accrued usage", paths[idleTenant])
+		}
+		if final >= 0.01*idlePeak {
+			return fmt.Errorf("check: idle tenant %s usage %.4f is %.1f%% of peak %.4f, want < 1%% (half-life %d)",
+				paths[idleTenant], final, 100*final/idlePeak, idlePeak, halfLife)
+		}
+		log.Printf("idle tenant %s usage decayed to %.2g (%.3f%% of peak %.4g)",
+			paths[idleTenant], final, 100*final/idlePeak, idlePeak)
+	}
+	return nil
+}
+
+// parseWeights parses the comma-separated -weights list, padding with 1
+// up to n tenants.
+func parseWeights(s string, n int) ([]float64, error) {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	if strings.TrimSpace(s) == "" {
+		return out, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) > n {
+		return nil, fmt.Errorf("%d weights for %d tenants", len(parts), n)
+	}
+	for i, p := range parts {
+		w, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, err
+		}
+		if w <= 0 {
+			return nil, fmt.Errorf("weight %g must be positive", w)
+		}
+		out[i] = w
+	}
+	return out, nil
+}

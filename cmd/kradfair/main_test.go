@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bufio"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke is the convergence contract at test scale: a short 2:1 run
+// must produce a well-formed CSV and pass the -check assertions (admitted
+// ratio within 5% of 2:1, idle usage below 1% of peak).
+func TestRunSmoke(t *testing.T) {
+	var out strings.Builder
+	err := run(options{
+		tenants:  2,
+		weights:  []float64{2, 1},
+		rounds:   120,
+		slots:    16,
+		steps:    16,
+		halfLife: 32,
+		idleFrom: 60,
+		check:    true,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	sc := bufio.NewScanner(strings.NewReader(out.String()))
+	if !sc.Scan() || sc.Text() != "round,step,tenant,share,in_flight,usage,admitted,shed" {
+		t.Fatalf("bad CSV header: %q", sc.Text())
+	}
+	rows := 0
+	for sc.Scan() {
+		if fields := strings.Split(sc.Text(), ","); len(fields) != 8 {
+			t.Fatalf("row %d: %d fields: %q", rows, len(fields), sc.Text())
+		}
+		rows++
+	}
+	// 120 rounds × 3 leaves (t0, t1, default).
+	if rows != 120*3 {
+		t.Fatalf("got %d data rows, want %d", rows, 120*3)
+	}
+}
+
+// TestRunDeterministic pins the no-wall-clock property: two identical runs
+// produce byte-identical CSVs.
+func TestRunDeterministic(t *testing.T) {
+	csv := func() string {
+		var out strings.Builder
+		err := run(options{
+			tenants:  3,
+			weights:  []float64{4, 2, 1},
+			rounds:   40,
+			slots:    12,
+			steps:    8,
+			halfLife: 16,
+			idleFrom: 20,
+		}, &out)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out.String()
+	}
+	if a, b := csv(), csv(); a != b {
+		t.Fatal("two identical runs produced different CSVs")
+	}
+}
+
+func TestParseWeights(t *testing.T) {
+	cases := []struct {
+		in      string
+		n       int
+		want    []float64
+		wantErr bool
+	}{
+		{"2,1", 2, []float64{2, 1}, false},
+		{"2", 3, []float64{2, 1, 1}, false},
+		{"", 2, []float64{1, 1}, false},
+		{" 4 , 2 ", 2, []float64{4, 2}, false},
+		{"1,2,3", 2, nil, true},
+		{"0", 1, nil, true},
+		{"-1", 1, nil, true},
+		{"x", 1, nil, true},
+	}
+	for _, c := range cases {
+		got, err := parseWeights(c.in, c.n)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("parseWeights(%q, %d): want error, got %v", c.in, c.n, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseWeights(%q, %d): %v", c.in, c.n, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseWeights(%q, %d) = %v, want %v", c.in, c.n, got, c.want)
+		}
+	}
+}

@@ -25,6 +25,18 @@
 // job ID is fetched back and must be in state "done". A silently lost
 // submission makes the process exit non-zero.
 //
+// With -tenants N the client spreads submissions across N synthetic
+// tenants via the X-Krad-Tenant header (a self-hosted server comes up
+// with fairness enabled, so the tenants resolve to dynamically created
+// equal-weight leaves). Submissions a tenant's fair share sheds with 429
+// are retried after the server's Retry-After hint — separately from 503
+// fleet backpressure, which means the whole service is full rather than
+// one tenant over quota — and the final report breaks admitted, shed and
+// retry counts out per tenant:
+//
+//	go run ./examples/liveclient -tenants 3 -jobs 24
+//	go run ./examples/liveclient -burst -tenants 2 -jobs 64
+//
 // Submissions that bounce with 503 (admission backpressure, or a daemon
 // whose journal disk has degraded) are retried: the client honors the
 // server's Retry-After hint, layered under capped exponential backoff
@@ -50,6 +62,7 @@ import (
 
 	"krad/internal/core"
 	"krad/internal/dag"
+	"krad/internal/fairshare"
 	"krad/internal/sched"
 	"krad/internal/server"
 	"krad/internal/sim"
@@ -73,6 +86,7 @@ func main() {
 		shardsFlag = flag.Int("shards", 1, "self-host: number of engine shards")
 		placeFlag  = flag.String("placement", server.PlaceRoundRobin, "self-host: shard placement policy")
 		burstFlag  = flag.Bool("burst", false, "submit all jobs up front via /v1/jobs/batch and measure drain throughput")
+		tenantFlag = flag.Int("tenants", 0, "spread submissions across N synthetic tenants via the X-Krad-Tenant header (0 = no header; self-host enables fairness)")
 	)
 	flag.Parse()
 
@@ -84,9 +98,9 @@ func main() {
 		if *burstFlag {
 			step = 0
 		}
-		base = selfHost(*shardsFlag, *placeFlag, step)
-		fmt.Printf("self-hosted kradd at %s (K=%d caps=%v, k-rad, shards=%d placement=%s)\n\n",
-			base, demoK, demoCaps, *shardsFlag, *placeFlag)
+		base = selfHost(*shardsFlag, *placeFlag, step, *tenantFlag > 0)
+		fmt.Printf("self-hosted kradd at %s (K=%d caps=%v, k-rad, shards=%d placement=%s fairness=%t)\n\n",
+			base, demoK, demoCaps, *shardsFlag, *placeFlag, *tenantFlag > 0)
 	}
 	base = strings.TrimRight(base, "/")
 
@@ -107,9 +121,9 @@ func main() {
 
 	var ids []int
 	if *burstFlag {
-		ids = runBurst(base, stats, specs)
+		ids = runBurst(base, stats, specs, *tenantFlag)
 	} else {
-		ids = runTrickle(base, specs, *gapFlag)
+		ids = runTrickle(base, specs, *gapFlag, *tenantFlag)
 	}
 
 	// Audit every submission: fetch each ID back and require it done. A
@@ -143,6 +157,13 @@ func main() {
 	} else {
 		fmt.Println("\nsubmission retries: 0")
 	}
+	if *tenantFlag > 0 {
+		fmt.Println("\nper-tenant admission (shed = 429 fair-share bounces, each retried):")
+		for i := 0; i < *tenantFlag; i++ {
+			c := tenantCount(tenantName(i))
+			fmt.Printf("  %-8s admitted %3d  shed %3d  retries %3d\n", tenantName(i), c.admitted, c.shed, c.retries)
+		}
+	}
 	if lost > 0 {
 		log.Fatalf("%d of %d submissions lost", lost, len(ids))
 	}
@@ -153,8 +174,9 @@ func main() {
 }
 
 // runTrickle submits jobs one at a time with a wall-clock gap, watching
-// the SSE stream for their completions.
-func runTrickle(base string, specs []sim.JobSpec, gap time.Duration) []int {
+// the SSE stream for their completions. With tenants > 0 submissions
+// rotate across the synthetic tenant headers.
+func runTrickle(base string, specs []sim.JobSpec, gap time.Duration, tenants int) []int {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	events := make(chan server.Event, 1024)
@@ -162,13 +184,17 @@ func runTrickle(base string, specs []sim.JobSpec, gap time.Duration) []int {
 
 	ids := make([]int, 0, len(specs))
 	for i, spec := range specs {
-		id, err := submit(base, spec.Graph)
+		tenant := ""
+		if tenants > 0 {
+			tenant = tenantName(i % tenants)
+		}
+		id, err := submit(base, tenant, spec.Graph)
 		if err != nil {
 			log.Fatalf("submit job %d: %v", i, err)
 		}
 		ids = append(ids, id)
-		fmt.Printf("submitted job %2d  tasks=%-3d span=%-3d work=%v\n",
-			id, spec.Graph.NumTasks(), spec.Graph.Span(), spec.Graph.WorkVector())
+		fmt.Printf("submitted job %2d  tasks=%-3d span=%-3d work=%v%s\n",
+			id, spec.Graph.NumTasks(), spec.Graph.Span(), spec.Graph.WorkVector(), tenantSuffix(tenant))
 		time.Sleep(gap)
 	}
 
@@ -198,27 +224,37 @@ func runTrickle(base string, specs []sim.JobSpec, gap time.Duration) []int {
 }
 
 // runBurst submits the whole workload at once — one batch per shard via
-// POST /v1/jobs/batch — then polls aggregate stats until the fleet has
-// drained the backlog, reporting virtual steps per wall-clock second.
-func runBurst(base string, before server.Stats, specs []sim.JobSpec) []int {
+// POST /v1/jobs/batch (one batch per tenant instead when tenants > 0,
+// since the tenant header covers the whole request) — then polls
+// aggregate stats until the fleet has drained the backlog, reporting
+// virtual steps per wall-clock second.
+func runBurst(base string, before server.Stats, specs []sim.JobSpec, tenants int) []int {
 	shards := before.Shards
 	if shards < 1 {
 		shards = 1
 	}
+	batches := shards
+	if tenants > 0 {
+		batches = tenants
+	}
 	var ids []int
-	for b := 0; b < shards; b++ {
+	for b := 0; b < batches; b++ {
 		var graphs []*dag.Graph
-		for i := b; i < len(specs); i += shards {
+		for i := b; i < len(specs); i += batches {
 			graphs = append(graphs, specs[i].Graph)
 		}
 		if len(graphs) == 0 {
 			continue
 		}
-		batchIDs, shard, err := submitBatch(base, graphs)
+		tenant := ""
+		if tenants > 0 {
+			tenant = tenantName(b)
+		}
+		batchIDs, shard, err := submitBatch(base, tenant, graphs)
 		if err != nil {
 			log.Fatalf("batch %d: %v", b, err)
 		}
-		fmt.Printf("batch %d → shard %d (%d jobs)\n", b, shard, len(batchIDs))
+		fmt.Printf("batch %d → shard %d (%d jobs)%s\n", b, shard, len(batchIDs), tenantSuffix(tenant))
 		ids = append(ids, batchIDs...)
 	}
 
@@ -278,8 +314,14 @@ func report(base string, stats server.Stats, ids []int) {
 
 // selfHost starts an in-process kradd on a loopback port and returns its
 // base URL. Each shard gets its own K-RAD instance — schedulers are
-// stateful and must not be shared across engines.
-func selfHost(shards int, placement string, stepEvery time.Duration) string {
+// stateful and must not be shared across engines. With fair set, the
+// server gates admission by fair share: the client's synthetic tenant
+// headers resolve to dynamically created equal-weight leaves.
+func selfHost(shards int, placement string, stepEvery time.Duration, fair bool) string {
+	var fairCfg *fairshare.Config
+	if fair {
+		fairCfg = &fairshare.Config{}
+	}
 	svc, err := server.New(server.Config{
 		Sim: sim.Config{
 			K: demoK, Caps: demoCaps, Scheduler: core.NewKRAD(demoK),
@@ -289,6 +331,7 @@ func selfHost(shards int, placement string, stepEvery time.Duration) string {
 		Shards:       shards,
 		Placement:    placement,
 		NewScheduler: func() sched.Scheduler { return core.NewKRAD(demoK) },
+		Fairness:     fairCfg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -316,29 +359,72 @@ type jobStatus struct {
 // Submissions run on one goroutine, so a plain counter suffices.
 var retries503 int
 
-// postRetry posts a JSON body, retrying 503 responses. Each retry waits
-// at least the server's Retry-After hint (whole seconds on the wire) and
-// at least the current backoff step — doubling from 25ms, capped at 2s —
-// plus up to 50% jitter so concurrent clients desynchronize. Any other
-// status, success or failure, is returned to the caller as-is.
-func postRetry(url string, body []byte) (*http.Response, error) {
+// tenantCounts tracks one synthetic tenant's admission outcomes: jobs
+// admitted, 429 fair-share bounces (each retried), and total retry waits.
+type tenantCounts struct {
+	admitted, shed, retries int
+}
+
+var tenantCounters = map[string]*tenantCounts{}
+
+// tenantCount returns tenant's counter cell, creating it on first use.
+func tenantCount(tenant string) *tenantCounts {
+	c, ok := tenantCounters[tenant]
+	if !ok {
+		c = &tenantCounts{}
+		tenantCounters[tenant] = c
+	}
+	return c
+}
+
+// tenantName names synthetic tenant i; the value is a queue-tree path.
+func tenantName(i int) string { return fmt.Sprintf("team-%d", i) }
+
+// tenantSuffix formats the report tag appended to submission lines.
+func tenantSuffix(tenant string) string {
+	if tenant == "" {
+		return ""
+	}
+	return "  tenant=" + tenant
+}
+
+// postRetry posts a JSON body (tagged with the tenant header when tenant
+// is non-empty), retrying 503 and 429 responses. 503 is fleet
+// backpressure — the whole service is full or degraded; 429 means this
+// tenant exhausted its fair share while the service still has capacity,
+// so the bounce is charged to the tenant's shed count before retrying.
+// Each retry waits at least the server's Retry-After hint (whole seconds
+// on the wire) and at least the current backoff step — doubling from
+// 25ms, capped at 2s — plus up to 50% jitter so concurrent clients
+// desynchronize. Any other status, success or failure, is returned to
+// the caller as-is.
+func postRetry(url, tenant string, body []byte) (*http.Response, error) {
 	backoff := 25 * time.Millisecond
 	const (
 		maxBackoff = 2 * time.Second
 		maxRetries = 20
 	)
 	for attempt := 0; ; attempt++ {
-		resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
 		if err != nil {
 			return nil, err
 		}
-		if resp.StatusCode != http.StatusServiceUnavailable {
+		req.Header.Set("Content-Type", "application/json")
+		if tenant != "" {
+			req.Header.Set(server.TenantHeader, tenant)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusServiceUnavailable && resp.StatusCode != http.StatusTooManyRequests {
 			return resp, nil
 		}
 		retryAfter := resp.Header.Get("Retry-After")
+		status := resp.StatusCode
 		resp.Body.Close()
 		if attempt == maxRetries {
-			return nil, fmt.Errorf("giving up after %d retries: server still answering 503", maxRetries)
+			return nil, fmt.Errorf("giving up after %d retries: server still answering %d", maxRetries, status)
 		}
 		wait := backoff
 		if secs, err := strconv.Atoi(retryAfter); err == nil && secs > 0 {
@@ -347,7 +433,14 @@ func postRetry(url string, body []byte) (*http.Response, error) {
 			}
 		}
 		wait += time.Duration(rand.Int63n(int64(wait)/2 + 1))
-		retries503++
+		if status == http.StatusTooManyRequests {
+			tenantCount(tenant).shed++
+		} else {
+			retries503++
+		}
+		if tenant != "" {
+			tenantCount(tenant).retries++
+		}
 		time.Sleep(wait)
 		if backoff *= 2; backoff > maxBackoff {
 			backoff = maxBackoff
@@ -355,12 +448,12 @@ func postRetry(url string, body []byte) (*http.Response, error) {
 	}
 }
 
-func submit(base string, g *dag.Graph) (int, error) {
+func submit(base, tenant string, g *dag.Graph) (int, error) {
 	body, err := json.Marshal(map[string]any{"graph": g})
 	if err != nil {
 		return -1, err
 	}
-	resp, err := postRetry(base+"/v1/jobs", body)
+	resp, err := postRetry(base+"/v1/jobs", tenant, body)
 	if err != nil {
 		return -1, err
 	}
@@ -374,12 +467,15 @@ func submit(base string, g *dag.Graph) (int, error) {
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return -1, err
 	}
+	if tenant != "" {
+		tenantCount(tenant).admitted++
+	}
 	return out.ID, nil
 }
 
 // submitBatch posts one all-or-nothing batch; the server admits every
 // job onto a single shard under one engine lock.
-func submitBatch(base string, graphs []*dag.Graph) ([]int, int, error) {
+func submitBatch(base, tenant string, graphs []*dag.Graph) ([]int, int, error) {
 	jobs := make([]map[string]any, len(graphs))
 	for i, g := range graphs {
 		jobs[i] = map[string]any{"graph": g}
@@ -388,7 +484,7 @@ func submitBatch(base string, graphs []*dag.Graph) ([]int, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	resp, err := postRetry(base+"/v1/jobs/batch", body)
+	resp, err := postRetry(base+"/v1/jobs/batch", tenant, body)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -405,6 +501,9 @@ func submitBatch(base string, graphs []*dag.Graph) ([]int, int, error) {
 	}
 	if len(out.IDs) != len(graphs) {
 		return nil, 0, fmt.Errorf("submitted %d jobs, got %d ids", len(graphs), len(out.IDs))
+	}
+	if tenant != "" {
+		tenantCount(tenant).admitted += len(out.IDs)
 	}
 	return out.IDs, out.Shard, nil
 }

@@ -1,0 +1,207 @@
+package fairshare
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseConfig reads the -fair-config text format: one directive per line,
+// '#' comments, blank lines ignored.
+//
+//	# usage decay half-life in virtual steps
+//	halflife 2048
+//
+//	# leaf used when a request carries no X-Krad-Tenant header
+//	default acme/batch
+//
+//	# queue <path> [deserved=<float>] [weight=<float>] [priority=<int>]
+//	queue acme           deserved=4 weight=2
+//	queue acme/ml        deserved=2 weight=3 priority=1
+//	queue acme/batch     weight=1
+//	queue beta           weight=1
+//
+// Paths are 1–3 slash-separated segments (tenant/project/queue). A path
+// with declared descendants is an interior node: its deserved, weight
+// and priority govern the split at its level, while admission resolves
+// only to leaves. Weight defaults to 1 when a queue line omits it, so a
+// bare "queue beta" competes equally for over-quota capacity.
+//
+// Errors are located by line number. The parser is deliberately strict —
+// an operator typo must fail startup, not silently misdivide capacity.
+func ParseConfig(r io.Reader) (Config, error) {
+	cfg := Config{}
+	type entry struct {
+		line     int
+		deserved float64
+		weight   float64
+		priority int
+	}
+	entries := make(map[string]entry)
+	var order []string
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "halflife":
+			if len(fields) != 2 {
+				return Config{}, fmt.Errorf("fairshare: line %d: halflife takes one integer", lineNo)
+			}
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil || v < 1 {
+				return Config{}, fmt.Errorf("fairshare: line %d: halflife %q: need a positive integer", lineNo, fields[1])
+			}
+			if cfg.HalfLife != 0 {
+				return Config{}, fmt.Errorf("fairshare: line %d: duplicate halflife", lineNo)
+			}
+			cfg.HalfLife = v
+		case "default":
+			if len(fields) != 2 {
+				return Config{}, fmt.Errorf("fairshare: line %d: default takes one path", lineNo)
+			}
+			if cfg.Default != "" {
+				return Config{}, fmt.Errorf("fairshare: line %d: duplicate default", lineNo)
+			}
+			if err := checkPath(fields[1]); err != nil {
+				return Config{}, fmt.Errorf("fairshare: line %d: %v", lineNo, err)
+			}
+			cfg.Default = fields[1]
+		case "queue":
+			if len(fields) < 2 {
+				return Config{}, fmt.Errorf("fairshare: line %d: queue takes a path", lineNo)
+			}
+			path := fields[1]
+			if err := checkPath(path); err != nil {
+				return Config{}, fmt.Errorf("fairshare: line %d: %v", lineNo, err)
+			}
+			if _, dup := entries[path]; dup {
+				return Config{}, fmt.Errorf("fairshare: line %d: duplicate queue %q", lineNo, path)
+			}
+			e := entry{line: lineNo, weight: 1}
+			seen := map[string]bool{}
+			for _, kv := range fields[2:] {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok || seen[k] {
+					return Config{}, fmt.Errorf("fairshare: line %d: bad attribute %q", lineNo, kv)
+				}
+				seen[k] = true
+				switch k {
+				case "deserved":
+					f, err := strconv.ParseFloat(v, 64)
+					if err != nil || f < 0 || f > 1e9 {
+						return Config{}, fmt.Errorf("fairshare: line %d: deserved=%q: need a number in [0, 1e9]", lineNo, v)
+					}
+					e.deserved = f
+				case "weight":
+					f, err := strconv.ParseFloat(v, 64)
+					if err != nil || f < 0 || f > 1e9 {
+						return Config{}, fmt.Errorf("fairshare: line %d: weight=%q: need a number in [0, 1e9]", lineNo, v)
+					}
+					e.weight = f
+				case "priority":
+					p, err := strconv.Atoi(v)
+					if err != nil || p < -1000 || p > 1000 {
+						return Config{}, fmt.Errorf("fairshare: line %d: priority=%q: need an integer in [-1000, 1000]", lineNo, v)
+					}
+					e.priority = p
+				default:
+					return Config{}, fmt.Errorf("fairshare: line %d: unknown attribute %q", lineNo, k)
+				}
+			}
+			entries[path] = e
+			order = append(order, path)
+		default:
+			return Config{}, fmt.Errorf("fairshare: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Config{}, fmt.Errorf("fairshare: read config: %w", err)
+	}
+
+	// Assemble the declared paths into a nested NodeConfig forest.
+	// Undeclared intermediate nodes get zero quota and weight, so they
+	// aggregate their children's claims (see Tree.gather).
+	type tn struct {
+		cfg      NodeConfig
+		children []string // child paths in declaration order
+	}
+	nodes := make(map[string]*tn)
+	var roots []string
+	ensure := func(path string) *tn {
+		if n, ok := nodes[path]; ok {
+			return n
+		}
+		segs := strings.Split(path, "/")
+		n := &tn{cfg: NodeConfig{Name: segs[len(segs)-1]}}
+		nodes[path] = n
+		if len(segs) == 1 {
+			roots = append(roots, path)
+		}
+		return n
+	}
+	for _, path := range order {
+		segs := strings.Split(path, "/")
+		for i := 1; i <= len(segs); i++ {
+			p := strings.Join(segs[:i], "/")
+			n := ensure(p)
+			if i > 1 {
+				parent := nodes[strings.Join(segs[:i-1], "/")]
+				found := false
+				for _, c := range parent.children {
+					if c == p {
+						found = true
+						break
+					}
+				}
+				if !found {
+					parent.children = append(parent.children, p)
+				}
+			}
+			_ = n
+		}
+		e := entries[path]
+		n := nodes[path]
+		n.cfg.Deserved = e.deserved
+		n.cfg.Weight = e.weight
+		n.cfg.Priority = e.priority
+	}
+	var assemble func(path string) NodeConfig
+	assemble = func(path string) NodeConfig {
+		n := nodes[path]
+		nc := n.cfg
+		for _, c := range n.children {
+			nc.Children = append(nc.Children, assemble(c))
+		}
+		return nc
+	}
+	for _, r := range roots {
+		cfg.Nodes = append(cfg.Nodes, assemble(r))
+	}
+	return cfg, nil
+}
+
+func checkPath(path string) error {
+	segs := strings.Split(path, "/")
+	if len(segs) > 3 {
+		return fmt.Errorf("path %q deeper than 3 levels (tenant/project/queue)", path)
+	}
+	for _, s := range segs {
+		if err := checkSegment(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

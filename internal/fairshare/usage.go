@@ -1,0 +1,47 @@
+package fairshare
+
+import "math"
+
+// Usage is an exponentially decayed accumulator over virtual time: the
+// deserved-share ledger's memory of how much capacity a leaf has consumed
+// recently. A job's cost is added at admission; between updates the value
+// halves every HalfLife virtual steps, so yesterday's hog yields today
+// once its history decays. The zero value is an empty accumulator.
+//
+// The struct is a plain value (exported fields, JSON tags) so journal
+// snapshots can carry it verbatim: replaying the same Add sequence against
+// the same step clock rebuilds bit-identical state — decay is a pure
+// function of (value, Δsteps), applied lazily at each touch, never on a
+// background clock.
+type Usage struct {
+	// V is the decayed value as of step AsOf.
+	V float64 `json:"v"`
+	// AsOf is the virtual step V was last brought current at.
+	AsOf int64 `json:"as_of"`
+}
+
+// decayFactor is 2^(−Δ/halfLife): the fraction of usage surviving Δ steps.
+func decayFactor(delta, halfLife int64) float64 {
+	if delta <= 0 {
+		return 1
+	}
+	return math.Exp2(-float64(delta) / float64(halfLife))
+}
+
+// At returns the decayed value at step now without mutating the
+// accumulator. A now before AsOf (another shard's slower clock) reads the
+// stored value undecayed rather than inflating history.
+func (u Usage) At(now, halfLife int64) float64 {
+	return u.V * decayFactor(now-u.AsOf, halfLife)
+}
+
+// Add decays the accumulator to step now, then adds cost. Calls must
+// carry a non-decreasing now per accumulator (each leaf's ledger lives on
+// one shard, whose virtual clock only moves forward).
+func (u *Usage) Add(now, halfLife int64, cost float64) {
+	if now > u.AsOf {
+		u.V *= decayFactor(now-u.AsOf, halfLife)
+		u.AsOf = now
+	}
+	u.V += cost
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"krad/internal/dag"
+	"krad/internal/fairshare"
 	"krad/internal/sim"
 )
 
@@ -35,7 +36,49 @@ const (
 	// TypeSnap is an idle-point checkpoint written by compaction; it is
 	// only valid as the first record of a journal.
 	TypeSnap Type = "snap"
+	// TypeFair marks a fairness-enabled journal and carries the fair-share
+	// ledger (usage accumulators, in-flight job→tenant map, half-life). It
+	// is written as the head record of a fresh fairness-enabled journal;
+	// compaction instead attaches the ledger to the snap record. The engine
+	// ignores fair records — they exist for the server's replay observer,
+	// which rebuilds bit-identical fair-share state from them plus the
+	// tenant tags on admit records.
+	TypeFair Type = "fair"
 )
+
+// FairState is the fair-share ledger payload of fair and snap records.
+// V versions the encoding so future ledger shapes can evolve without
+// breaking old journals.
+type FairState struct {
+	// V is the payload format version (currently 1).
+	V int `json:"v"`
+	// HalfLife is the usage decay half-life the ledger was accumulated
+	// under, in virtual steps. Replaying under a different half-life would
+	// silently change decay math, so replay cross-checks it.
+	HalfLife int64 `json:"half_life"`
+	// Usage maps leaf paths to their decayed usage accumulators.
+	Usage map[string]fairshare.Usage `json:"usage,omitempty"`
+	// Jobs maps in-flight engine-local job IDs to their leaf paths.
+	Jobs map[int]string `json:"jobs,omitempty"`
+}
+
+// Clone deep-copies the ledger so journal payloads never alias live maps.
+func (f FairState) Clone() FairState {
+	out := FairState{V: f.V, HalfLife: f.HalfLife}
+	if f.Usage != nil {
+		out.Usage = make(map[string]fairshare.Usage, len(f.Usage))
+		for k, v := range f.Usage {
+			out.Usage[k] = v
+		}
+	}
+	if f.Jobs != nil {
+		out.Jobs = make(map[int]string, len(f.Jobs))
+		for k, v := range f.Jobs {
+			out.Jobs[k] = v
+		}
+	}
+	return out
+}
 
 // JobRecord is one admitted job inside an admit/batch record. Release is
 // the absolute virtual release time after the server normalized "now"
@@ -65,6 +108,14 @@ type Record struct {
 	N int64 `json:"n,omitempty"`
 	// Snap is the engine checkpoint (snap records).
 	Snap *sim.EngineCheckpoint `json:"snap,omitempty"`
+	// Tenant is the fair-share leaf path the admission was accounted
+	// against (admit and batch records under a fairness-enabled server).
+	// Empty on fairness-off journals, keeping their encoding byte-identical
+	// to pre-fairness builds.
+	Tenant string `json:"tenant,omitempty"`
+	// Fair is the fair-share ledger (fair records, and snap records written
+	// by a fairness-enabled server).
+	Fair *FairState `json:"fair,omitempty"`
 }
 
 // encodeRecord serializes a record payload (the framing — length prefix
@@ -101,11 +152,11 @@ func validateRecord(r Record) error {
 			return fmt.Errorf("journal: batch record has no jobs")
 		}
 	case TypeCancel, TypeStep:
-		if len(r.Jobs) != 0 || r.Snap != nil || r.N != 0 {
+		if len(r.Jobs) != 0 || r.Snap != nil || r.N != 0 || r.Tenant != "" || r.Fair != nil {
 			return fmt.Errorf("journal: %s record carries stray fields", r.Type)
 		}
 	case TypeSteps:
-		if len(r.Jobs) != 0 || r.Snap != nil {
+		if len(r.Jobs) != 0 || r.Snap != nil || r.Tenant != "" || r.Fair != nil {
 			return fmt.Errorf("journal: steps record carries stray fields")
 		}
 		if r.N < 2 {
@@ -115,8 +166,29 @@ func validateRecord(r Record) error {
 		if r.Snap == nil {
 			return fmt.Errorf("journal: snap record has no checkpoint")
 		}
+		if r.Tenant != "" {
+			return fmt.Errorf("journal: snap record carries stray fields")
+		}
+	case TypeFair:
+		if len(r.Jobs) != 0 || r.Snap != nil || r.N != 0 || r.Tenant != "" {
+			return fmt.Errorf("journal: fair record carries stray fields")
+		}
+		if r.Fair == nil {
+			return fmt.Errorf("journal: fair record has no ledger")
+		}
 	default:
 		return fmt.Errorf("journal: unknown record type %q", r.Type)
+	}
+	if r.Fair != nil {
+		if r.Type != TypeFair && r.Type != TypeSnap {
+			return fmt.Errorf("journal: %s record carries a fair ledger", r.Type)
+		}
+		if r.Fair.V != 1 {
+			return fmt.Errorf("journal: fair ledger version %d, want 1", r.Fair.V)
+		}
+		if r.Fair.HalfLife < 1 {
+			return fmt.Errorf("journal: fair ledger half-life %d, want ≥ 1", r.Fair.HalfLife)
+		}
 	}
 	if r.Type == TypeAdmit || r.Type == TypeBatch {
 		if r.Base < 0 {
@@ -158,6 +230,14 @@ func CancelRecord(id int) Record { return Record{Type: TypeCancel, ID: id} }
 // StepRecord builds the record for one executed step ending at virtual
 // time now.
 func StepRecord(now int64) Record { return Record{Type: TypeStep, Now: now} }
+
+// FairRecord builds a fair-share ledger record (the head marker of a
+// fairness-enabled journal). The ledger is deep-copied so the caller's
+// live maps are never aliased by the journal.
+func FairRecord(st FairState) Record {
+	c := st.Clone()
+	return Record{Type: TypeFair, Fair: &c}
+}
 
 // StepsRecord builds the record for n consecutive executed steps ending at
 // virtual time now. n == 1 degrades to a plain step record, so journals

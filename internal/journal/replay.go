@@ -19,15 +19,46 @@ import (
 // different configuration (scheduler, capacities, seed) and continuing
 // would silently corrupt state.
 func Replay(eng *sim.Engine, recs []Record) error {
+	return ReplayObserved(eng, recs, nil)
+}
+
+// Observer receives replay side-effects the engine itself does not model.
+// The server's fairness controller implements it to rebuild its fair-share
+// ledger — usage accumulators, job→tenant map, per-tenant in-flight counts
+// — bit-identically from the journal. A nil Observer makes ReplayObserved
+// behave exactly like Replay. Fair records reach the observer via Fair;
+// every hook runs after the engine committed the corresponding mutation,
+// so the engine's clock (passed as now where it matters) is the same value
+// the live server saw when it journaled the record.
+type Observer interface {
+	// Fair restores a journaled fair-share ledger (the head fair record, or
+	// a snap record's attached ledger). An error aborts the replay — e.g.
+	// the journal's half-life does not match the server's configuration.
+	Fair(st FairState) error
+	// Admitted runs after an admit/batch record replayed; ids are the
+	// engine-assigned job IDs (cross-checked against rec.Base) and now is
+	// the engine clock at admission.
+	Admitted(rec Record, ids []int, now int64)
+	// Cancelled runs after a cancel record replayed.
+	Cancelled(id int)
+	// Stepped runs after a step/steps record replayed; info.Completed lists
+	// the jobs that finished during the batch.
+	Stepped(info sim.StepInfo)
+}
+
+// ReplayObserved is Replay with an Observer receiving the side-effects the
+// engine does not model (fair-share ledger state). See Replay for the
+// determinism and cross-checking contract.
+func ReplayObserved(eng *sim.Engine, recs []Record, obs Observer) error {
 	for i, rec := range recs {
-		if err := replayOne(eng, rec, i); err != nil {
+		if err := replayOne(eng, rec, i, obs); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func replayOne(eng *sim.Engine, rec Record, i int) error {
+func replayOne(eng *sim.Engine, rec Record, i int, obs Observer) error {
 	switch rec.Type {
 	case TypeSnap:
 		if i != 0 {
@@ -36,11 +67,26 @@ func replayOne(eng *sim.Engine, rec Record, i int) error {
 		if err := eng.Restore(*rec.Snap); err != nil {
 			return fmt.Errorf("journal: replay record %d (snap): %w", i, err)
 		}
+		if rec.Fair != nil && obs != nil {
+			if err := obs.Fair(*rec.Fair); err != nil {
+				return fmt.Errorf("journal: replay record %d (snap): %w", i, err)
+			}
+		}
+	case TypeFair:
+		if i != 0 {
+			return fmt.Errorf("journal: replay record %d: fair ledger not at journal head", i)
+		}
+		if obs != nil {
+			if err := obs.Fair(*rec.Fair); err != nil {
+				return fmt.Errorf("journal: replay record %d (fair): %w", i, err)
+			}
+		}
 	case TypeAdmit, TypeBatch:
 		specs := make([]sim.JobSpec, len(rec.Jobs))
 		for k, j := range rec.Jobs {
 			specs[k] = sim.JobSpec{Graph: j.Graph, Release: j.Release}
 		}
+		now := eng.Now()
 		ids, err := eng.AdmitBatch(specs)
 		if err != nil {
 			return fmt.Errorf("journal: replay record %d (%s): %w", i, rec.Type, err)
@@ -48,9 +94,15 @@ func replayOne(eng *sim.Engine, rec Record, i int) error {
 		if ids[0] != rec.Base {
 			return fmt.Errorf("journal: replay record %d (%s): engine assigned job %d, journal says %d — journal does not match this configuration", i, rec.Type, ids[0], rec.Base)
 		}
+		if obs != nil {
+			obs.Admitted(rec, ids, now)
+		}
 	case TypeCancel:
 		if err := eng.Cancel(rec.ID); err != nil {
 			return fmt.Errorf("journal: replay record %d (cancel %d): %w", i, rec.ID, err)
+		}
+		if obs != nil {
+			obs.Cancelled(rec.ID)
 		}
 	case TypeStep, TypeSteps:
 		n := rec.N
@@ -69,6 +121,9 @@ func replayOne(eng *sim.Engine, rec Record, i int) error {
 		}
 		if info.Step != rec.Now {
 			return fmt.Errorf("journal: replay record %d (%s): engine stepped to %d, journal says %d — journal does not match this configuration", i, rec.Type, info.Step, rec.Now)
+		}
+		if obs != nil {
+			obs.Stepped(info)
 		}
 	default:
 		return fmt.Errorf("journal: replay record %d: unknown type %q", i, rec.Type)

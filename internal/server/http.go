@@ -18,6 +18,14 @@ import (
 // keys land on the same shard; other policies ignore it.
 const PlacementKeyHeader = "X-Krad-Placement-Key"
 
+// TenantHeader is the request header naming the submitting tenant's
+// queue-tree leaf (e.g. "acme/ml"). With fairness enabled, the value
+// resolves through the queue tree and the submission is gated by the
+// tenant's fair share; over-quota submissions get 429 with Retry-After.
+// Absent or empty means the default leaf. With fairness off the header
+// is ignored.
+const TenantHeader = "X-Krad-Tenant"
+
 // submitRequest is the POST /v1/jobs body: a K-DAG in the internal/dag
 // JSON encoding plus an optional absolute virtual release time (0 or
 // omitted means "now").
@@ -82,7 +90,8 @@ func toJobJSON(st sim.JobStatus) jobJSON {
 //	                      draining or journal-degraded
 //
 // Submissions honor the X-Krad-Placement-Key header (see
-// PlacementKeyHeader).
+// PlacementKeyHeader) and, with fairness enabled, the X-Krad-Tenant
+// header (see TenantHeader; over-quota tenants get 429 + Retry-After).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -117,7 +126,7 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "job has no graph")
 		return
 	}
-	id, err := s.SubmitKeyed(r.Header.Get(PlacementKeyHeader), sim.JobSpec{Graph: req.Graph, Release: req.Release})
+	id, err := s.SubmitTenant(r.Header.Get(PlacementKeyHeader), r.Header.Get(TenantHeader), sim.JobSpec{Graph: req.Graph, Release: req.Release})
 	if !s.writeSubmitError(w, err) {
 		return
 	}
@@ -144,7 +153,7 @@ func (s *Service) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		specs[i] = sim.JobSpec{Graph: j.Graph, Release: j.Release}
 	}
-	ids, err := s.SubmitBatch(r.Header.Get(PlacementKeyHeader), specs)
+	ids, err := s.SubmitBatchTenant(r.Header.Get(PlacementKeyHeader), r.Header.Get(TenantHeader), specs)
 	if !s.writeSubmitError(w, err) {
 		return
 	}
@@ -157,6 +166,14 @@ func (s *Service) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 // off for at least one virtual step of drain.
 func (s *Service) writeSubmitError(w http.ResponseWriter, err error) bool {
 	switch {
+	case errors.Is(err, ErrOverQuota):
+		// 429, not 503: the service has capacity, this tenant exhausted its
+		// fair share of it. Retry-After signals when decay/drain may free
+		// quota, and distinguishes per-tenant shedding from fleet-wide
+		// backpressure for pacing-aware clients.
+		w.Header().Set("Retry-After", s.retryAfter)
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return false
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDegraded):
 		w.Header().Set("Retry-After", s.retryAfter)
 		writeError(w, http.StatusServiceUnavailable, "%v", err)

@@ -111,11 +111,32 @@ func (s *Service) openJournals(jc *JournalConfig) error {
 func (sh *shard) attachJournal(jn *journal.Journal, snapshotEvery int64, recs []journal.Record) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if err := journal.Replay(sh.eng, recs); err != nil {
+	if sh.fair == nil {
+		// A fairness-off server replaying a fairness-tagged journal would
+		// silently drop the tenant ledger; refuse instead.
+		for i, rec := range recs {
+			if rec.Type == journal.TypeFair || rec.Fair != nil || rec.Tenant != "" {
+				return fmt.Errorf("record %d is fairness-tagged but fairness is disabled; refusing to drop tenant state (restart with -fairness, or move the journal away)", i)
+			}
+		}
+		if err := journal.Replay(sh.eng, recs); err != nil {
+			return err
+		}
+	} else if err := journal.ReplayObserved(sh.eng, recs, fairReplayObserver{sh}); err != nil {
+		// A journal without fair records replays fine too: its pre-fairness
+		// admissions accrue to the default leaf, deterministically.
 		return err
 	}
 	sh.jn = jn
 	sh.compactEvery = snapshotEvery
+	if sh.fair != nil && len(recs) == 0 {
+		// Head marker on a fresh fairness-enabled journal: declares the
+		// half-life so later replays cross-check decay math before
+		// accruing anything under the wrong curve.
+		if err := jn.Append(journal.FairRecord(sh.fairStateLocked())); err != nil {
+			return fmt.Errorf("write fair head record: %w", err)
+		}
+	}
 	// Rebuild the counters Stats and /metrics report. Steps and rejections
 	// are process-local (a rejection admitted nothing durable), so they
 	// restart at zero; the job lifecycle counters and the response
@@ -143,13 +164,17 @@ func (sh *shard) attachJournal(jn *journal.Journal, snapshotEvery int64, recs []
 // failure the admission is rolled back (the IDs were never returned to
 // the caller) and ErrDegraded is reported; the failure is sticky, so no
 // later admission can slip into the ID gap and diverge replay.
-func (sh *shard) journalAdmitLocked(ids []int, specs []sim.JobSpec) error {
+func (sh *shard) journalAdmitLocked(ids []int, specs []sim.JobSpec, tenant string) error {
 	rec, err := journal.AdmitRecord(ids[0], specs)
 	if err != nil {
 		// Non-journalable job shape (no graph): roll back, reject.
 		sh.rollbackLocked(ids)
 		return err
 	}
+	// Tenant identity rides the admit record (empty — and omitted on the
+	// wire — outside the fair admission gate), so replay re-charges the
+	// same leaf.
+	rec.Tenant = tenant
 	if err := sh.jn.Append(rec); err != nil {
 		sh.rollbackLocked(ids)
 		return fmt.Errorf("%w: %v", ErrDegraded, err)
@@ -192,7 +217,14 @@ func (sh *shard) maybeCompact() {
 		sh.compactOff = true
 		return
 	}
-	_ = sh.jn.Compact(journal.Record{Type: journal.TypeSnap, Snap: &cp})
+	rec := journal.Record{Type: journal.TypeSnap, Snap: &cp}
+	if sh.fair != nil {
+		// The fair ledger rides the snapshot: compaction must not forget
+		// decayed usage the dropped records accrued.
+		st := sh.fairStateLocked()
+		rec.Fair = &st
+	}
+	_ = sh.jn.Compact(rec)
 }
 
 // Ready reports whether the service should receive traffic: not draining,

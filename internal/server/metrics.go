@@ -175,6 +175,31 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		metric("krad_journal_degraded_shards", "Shards whose journal latched a write failure (admission suspended).", "gauge", js.Degraded, "")
 	}
 
+	// Tenant families appear only when fairness is enabled, so a
+	// fairness-free deployment's exposition stays bit-identical to builds
+	// before multi-tenancy existed.
+	if tenants := s.tenantStats(); len(tenants) > 0 {
+		perTenant := []struct {
+			name, help, typ string
+			value           func(ts TenantStats) any
+		}{
+			{"krad_tenant_share", "One tenant leaf's current fair share of the fleet admission bound, in slots.", "gauge", func(ts TenantStats) any { return ts.Share }},
+			{"krad_tenant_in_flight", "One tenant leaf's admitted-but-unfinished jobs.", "gauge", func(ts TenantStats) any { return ts.InFlight }},
+			{"krad_tenant_usage", "One tenant leaf's exponentially decayed usage (task-steps, decayed per shard clock).", "gauge", func(ts TenantStats) any { return fmt.Sprintf("%g", ts.Usage) }},
+			{"krad_tenant_admitted_total", "Jobs admitted for one tenant leaf.", "counter", func(ts TenantStats) any { return ts.Admitted }},
+			{"krad_tenant_shed_total", "Submissions shed over fair-share quota for one tenant leaf (HTTP 429).", "counter", func(ts TenantStats) any { return ts.Shed }},
+		}
+		for _, m := range perTenant {
+			for i, ts := range tenants {
+				help := ""
+				if i == 0 {
+					help = m.help
+				}
+				metric(m.name, help, m.typ, m.value(ts), fmt.Sprintf(`{tenant="%s"}`, ts.Path))
+			}
+		}
+	}
+
 	fmt.Fprintf(&b, "# HELP krad_response_steps Job response times in virtual steps (all shards).\n# TYPE krad_response_steps histogram\n")
 	var cum uint64
 	for i, bound := range hist.bounds {

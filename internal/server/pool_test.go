@@ -439,31 +439,39 @@ func TestSingleShardParity(t *testing.T) {
 	_ = svc.Close(ctx)
 }
 
-// TestFleetAdmissionSharing checks the MaxInFlight split: each shard gets
-// an equal share (rounded up) and the fleet bound reported in Stats is
-// the sum of the shares.
+// TestFleetAdmissionSharing checks the MaxInFlight split: base slots for
+// every shard, the remainder going one each to the lowest-numbered
+// shards, so the fleet bound reported in Stats equals MaxInFlight exactly
+// (a 3-shard fleet with MaxInFlight 4 used to admit 6 via per-shard
+// ceiling).
 func TestFleetAdmissionSharing(t *testing.T) {
 	cfg := poolConfig(3, PlaceRoundRobin, 1, 1)
-	cfg.MaxInFlight = 4 // → shares of 2,2,2
+	cfg.MaxInFlight = 4 // → shares of 2,1,1
 	svc, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := svc.Stats().MaxInFlight; got != 6 {
-		t.Errorf("fleet MaxInFlight %d, want 6 (3 shards × ceil(4/3))", got)
+	for i, want := range []int{2, 1, 1} {
+		if got := svc.shards[i].maxInFlight; got != want {
+			t.Errorf("shard %d share %d, want %d", i, got, want)
+		}
 	}
-	// Frozen clock: round-robin fills every shard's share of 2, then every
-	// further submission is shed.
-	for i := 0; i < 6; i++ {
+	if got := svc.Stats().MaxInFlight; got != 4 {
+		t.Errorf("fleet MaxInFlight %d, want 4 (shares must sum to the bound)", got)
+	}
+	// Frozen clock: round-robin lands submissions 0,1,2,3 on shards
+	// 0,1,2,0 — exactly filling the 2,1,1 shares — then every further
+	// submission is shed.
+	for i := 0; i < 4; i++ {
 		if _, err := svc.Submit(sim.JobSpec{Graph: dag.Singleton(1, 1), Release: 1 << 30}); err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
 	}
 	if _, err := svc.Submit(sim.JobSpec{Graph: dag.Singleton(1, 1), Release: 1 << 30}); err == nil {
-		t.Error("submission beyond every shard's share accepted")
+		t.Error("submission beyond the fleet bound accepted")
 	}
 	st := svc.Stats()
-	if st.InFlight != 6 || st.Rejected != 1 {
+	if st.InFlight != 4 || st.Rejected != 1 {
 		t.Errorf("stats %+v", st)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), time.Second)

@@ -22,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"krad/internal/fairshare"
 	"krad/internal/metrics"
 	"krad/internal/sched"
 	"krad/internal/sim"
@@ -60,8 +61,10 @@ type Config struct {
 	// "hash" (client-keyed affinity), or "least-loaded" (fewest in-flight).
 	Placement string
 	// MaxInFlight bounds admitted-but-unfinished jobs (pending + active)
-	// across the whole fleet; each shard gets an equal share (rounded up).
-	// Submissions beyond a shard's share fail with ErrQueueFull. 0 means 256.
+	// across the whole fleet; each shard gets an equal share, with the
+	// remainder slots going one each to the lowest-numbered shards, so the
+	// per-shard shares sum to exactly MaxInFlight. Submissions beyond a
+	// shard's share fail with ErrQueueFull. 0 means 256.
 	MaxInFlight int
 	// StepEvery is the real-time duration of one virtual step. 0 steps as
 	// fast as the hardware allows whenever work is queued (useful for
@@ -85,6 +88,17 @@ type Config struct {
 	// entirely and the service behaves bit-identically to a journal-free
 	// build. See JournalConfig (journal.go).
 	Journal *JournalConfig
+	// Fairness, when set, enables hierarchical multi-tenant fair-share
+	// admission: submissions resolve their X-Krad-Tenant header through
+	// the queue tree, the fleet MaxInFlight is divided by weighted fair
+	// share over the active leaves at each admission, and over-quota
+	// tenants are shed with ErrOverQuota (HTTP 429) while under-quota
+	// tenants keep admitting. Tenant identity and decayed usage flow
+	// through the journal so replay rebuilds bit-identical fair-share
+	// state. Nil disables fairness entirely and the service is
+	// observationally identical to pre-fairness builds. See
+	// internal/fairshare for the tree and division semantics.
+	Fairness *fairshare.Config
 }
 
 // Event is one step's happenings on one shard, fanned out to subscribers.
@@ -143,6 +157,10 @@ type Stats struct {
 	// wire) when journaling is disabled, keeping the journal-free Stats
 	// encoding bit-identical to builds before durability existed.
 	Journal *JournalStats `json:"journal,omitempty"`
+	// Tenants is per-leaf fair-share state in deterministic leaf order;
+	// nil (omitted on the wire) when fairness is disabled, keeping the
+	// fairness-free Stats encoding bit-identical to earlier builds.
+	Tenants []TenantStats `json:"tenants,omitempty"`
 }
 
 // Service is the long-running scheduler front-end: N shards (each one
@@ -153,8 +171,9 @@ type Service struct {
 	shards     []*shard
 	place      Placement
 	fan        *fanout
+	fair       *fairController // nil when fairness is off
 	schedName  string
-	retryAfter string // whole seconds for 503 Retry-After, from StepEvery
+	retryAfter string // whole seconds for 503/429 Retry-After, from StepEvery
 
 	mu      sync.Mutex
 	started bool
@@ -184,7 +203,11 @@ func New(cfg Config) (*Service, error) {
 		return nil, err
 	}
 	fan := newFanout(cfg.SubscriberBuffer)
-	perShard := (cfg.MaxInFlight + cfg.Shards - 1) / cfg.Shards
+	// Exact apportionment of the fleet bound: base slots for everyone, one
+	// extra for the first MaxInFlight mod Shards shards, so the per-shard
+	// shares sum to MaxInFlight instead of ceiling past it.
+	base := cfg.MaxInFlight / cfg.Shards
+	extra := cfg.MaxInFlight % cfg.Shards
 	shards := make([]*shard, cfg.Shards)
 	schedName := ""
 	for i := range shards {
@@ -196,7 +219,11 @@ func New(cfg Config) (*Service, error) {
 		if i == 0 && simCfg.Scheduler != nil {
 			schedName = simCfg.Scheduler.Name()
 		}
-		sh, err := newShard(i, simCfg, perShard, cfg.StepEvery, cfg.StepBatch, fan)
+		share := base
+		if i < extra {
+			share++
+		}
+		sh, err := newShard(i, simCfg, share, cfg.StepEvery, cfg.StepBatch, fan)
 		if err != nil {
 			return nil, err
 		}
@@ -209,6 +236,18 @@ func New(cfg Config) (*Service, error) {
 		fan:        fan,
 		schedName:  schedName,
 		retryAfter: retryAfterSeconds(cfg.StepEvery),
+	}
+	if cfg.Fairness != nil {
+		fc, err := newFairController(*cfg.Fairness)
+		if err != nil {
+			return nil, err
+		}
+		s.fair = fc
+		// Arm each shard's ledger before journal replay, so replay can
+		// rebuild fair-share state alongside engine state.
+		for _, sh := range shards {
+			sh.armFair(fc.tree.HalfLife(), fc.tree.Default().Path)
+		}
 	}
 	if cfg.Journal != nil {
 		// Replays each shard's journal through its fresh engine before any
@@ -250,19 +289,40 @@ func (s *Service) Shards() int { return len(s.shards) }
 // pending or active, submissions placed there fail fast with ErrQueueFull
 // so callers can shed or retry.
 func (s *Service) Submit(spec sim.JobSpec) (int, error) {
-	return s.SubmitKeyed("", spec)
+	return s.SubmitTenant("", "", spec)
 }
 
 // SubmitKeyed is Submit with a placement affinity key: under the "hash"
 // policy, equal keys land on the same shard.
 func (s *Service) SubmitKeyed(key string, spec sim.JobSpec) (int, error) {
+	return s.SubmitTenant(key, "", spec)
+}
+
+// SubmitTenant is SubmitKeyed with a tenant identity (the X-Krad-Tenant
+// header value; "" means the default leaf). With fairness enabled the
+// submission first passes the fair-share gate — the tenant resolves to a
+// queue-tree leaf, the fleet bound is rebalanced over the active leaves,
+// and an over-quota tenant is shed with ErrOverQuota. With fairness off
+// the tenant is ignored and the call is identical to SubmitKeyed.
+func (s *Service) SubmitTenant(key, tenant string, spec sim.JobSpec) (int, error) {
+	leafPath := ""
+	if s.fair != nil {
+		var err error
+		leafPath, err = s.fairAdmit(tenant, 1)
+		if err != nil {
+			return -1, err
+		}
+	}
 	sh, err := s.pick(key)
 	if err != nil {
 		return -1, err
 	}
-	local, err := sh.submit(spec)
+	local, err := sh.submit(leafPath, spec)
 	if err != nil {
 		return -1, err
+	}
+	if s.fair != nil {
+		s.fair.recordAdmit(leafPath, 1)
 	}
 	return composeID(sh.idx, local), nil
 }
@@ -273,8 +333,22 @@ func (s *Service) SubmitKeyed(key string, spec sim.JobSpec) (int, error) {
 // The whole batch must fit the shard's admission bound or it is rejected
 // with ErrQueueFull.
 func (s *Service) SubmitBatch(key string, specs []sim.JobSpec) ([]int, error) {
+	return s.SubmitBatchTenant(key, "", specs)
+}
+
+// SubmitBatchTenant is SubmitBatch with a tenant identity; the whole
+// batch is gated, admitted and charged as one unit (see SubmitTenant).
+func (s *Service) SubmitBatchTenant(key, tenant string, specs []sim.JobSpec) ([]int, error) {
 	if len(specs) == 0 {
 		return nil, nil
+	}
+	leafPath := ""
+	if s.fair != nil {
+		var err error
+		leafPath, err = s.fairAdmit(tenant, len(specs))
+		if err != nil {
+			return nil, err
+		}
 	}
 	sh, err := s.pick(key)
 	if err != nil {
@@ -282,15 +356,35 @@ func (s *Service) SubmitBatch(key string, specs []sim.JobSpec) ([]int, error) {
 	}
 	// Copy: the shard normalizes zero releases in place.
 	own := append([]sim.JobSpec(nil), specs...)
-	ids, err := sh.submitBatch(own)
+	ids, err := sh.submitBatch(leafPath, own)
 	if err != nil {
 		return nil, err
+	}
+	if s.fair != nil {
+		s.fair.recordAdmit(leafPath, len(ids))
 	}
 	out := make([]int, len(ids))
 	for i, id := range ids {
 		out[i] = composeID(sh.idx, id)
 	}
 	return out, nil
+}
+
+// StepAll executes up to max virtual steps on every shard by direct
+// calls, returning the total executed across shards. It exists for
+// deterministic closed-loop drivers — cmd/kradfair — that never Start
+// the service and instead interleave submissions with hand-driven
+// stepping; on a started service it would race the step loops.
+func (s *Service) StepAll(max int64) (int64, error) {
+	var total int64
+	for _, sh := range s.shards {
+		n, err := sh.stepN(max)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
 }
 
 // pick routes one submission: closed-check, then placement.
@@ -403,6 +497,7 @@ func (s *Service) Stats() Stats {
 	st.Response = metrics.Summarize(responses)
 	_, st.EventsDropped = s.fan.stats()
 	st.Journal = s.journalStats()
+	st.Tenants = s.tenantStats()
 	return st
 }
 

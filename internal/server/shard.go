@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"krad/internal/fairshare"
 	"krad/internal/journal"
 	"krad/internal/sim"
 )
@@ -35,6 +36,16 @@ type shard struct {
 	rejected  int64
 	responses []float64
 	respHist  *histogram
+
+	// fair, when set, enables the shard's slice of fair-share accounting
+	// (see fairness.go): per-leaf decayed usage on this shard's virtual
+	// clock, per-leaf in-flight counts and a job→leaf map, all mutated
+	// under mu at the same points the journal records. Nil when fairness
+	// is off, so the fairness-free hot path allocates nothing.
+	fair         *shardFair
+	fairUsage    map[string]*fairshare.Usage
+	fairInFlight map[string]int
+	fairJobs     map[int]string
 
 	// jn, when set, is the shard's write-ahead journal (see journal.go):
 	// every committed mutation is appended under the same lock acquisition
@@ -102,9 +113,10 @@ func (sh *shard) start() {
 	go sh.loop()
 }
 
-// submit admits one job and returns its engine-local ID.
-func (sh *shard) submit(spec sim.JobSpec) (int, error) {
-	ids, err := sh.submitBatch([]sim.JobSpec{spec})
+// submit admits one job and returns its engine-local ID. tenant is the
+// resolved fair-share leaf path ("" outside the fair admission gate).
+func (sh *shard) submit(tenant string, spec sim.JobSpec) (int, error) {
+	ids, err := sh.submitBatch(tenant, []sim.JobSpec{spec})
 	if err != nil {
 		return -1, err
 	}
@@ -114,8 +126,9 @@ func (sh *shard) submit(spec sim.JobSpec) (int, error) {
 // submitBatch admits every spec — or none — under one lock acquisition,
 // returning engine-local IDs. The whole batch is rejected with
 // ErrQueueFull when it does not fit the shard's admission bound, and each
-// member counts as a rejection.
-func (sh *shard) submitBatch(specs []sim.JobSpec) ([]int, error) {
+// member counts as a rejection. tenant, when non-empty, is the fair-share
+// leaf path the admission is journaled under and charged to.
+func (sh *shard) submitBatch(tenant string, specs []sim.JobSpec) ([]int, error) {
 	sh.mu.Lock()
 	if sh.closed {
 		sh.mu.Unlock()
@@ -143,10 +156,13 @@ func (sh *shard) submitBatch(specs []sim.JobSpec) ([]int, error) {
 		// Journal after commit, under the same lock acquisition: success
 		// means the IDs are durable and may be acknowledged; failure rolls
 		// the admission back before anyone saw the IDs.
-		err = sh.journalAdmitLocked(ids, specs)
+		err = sh.journalAdmitLocked(ids, specs, tenant)
 	}
 	if err == nil {
 		sh.submitted += int64(len(ids))
+		// Ledger accrual strictly after the admission is durable, so the
+		// journal's record sequence replays to the identical ledger.
+		sh.fairAccrueLocked(tenant, ids, specsCost(specs))
 	}
 	sh.mu.Unlock()
 	if err != nil {
@@ -177,6 +193,7 @@ func (sh *shard) cancel(id int) error {
 	err := sh.eng.Cancel(id)
 	if err == nil {
 		sh.cancelled++
+		sh.fairForgetLocked(id)
 	}
 	return err
 }
@@ -318,6 +335,7 @@ func (sh *shard) stepN(max int64) (int64, error) {
 		sh.responses = append(sh.responses, r)
 		sh.respHist.observe(r)
 		sh.completed++
+		sh.fairForgetLocked(id)
 	}
 	pending := sh.eng.Snapshot().Pending
 	// info.Executed is an engine-owned buffer reused by the next step; the
