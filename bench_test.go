@@ -148,6 +148,67 @@ func BenchmarkMixedEngine(b *testing.B) {
 	b.ReportMetric(float64(tasks), "tasks/op")
 }
 
+// moldableBenchSpecs draws the seeded moldable workload shared by the
+// moldable and mixed-family engine benchmarks.
+func moldableBenchSpecs(jobs int, seed int64) []krad.JobSpec {
+	return krad.GenerateMoldable(krad.MoldableGenOpts{
+		K: 2, Jobs: jobs, MinTasks: 8, MaxTasks: 24, MaxWork: 4096, MaxProcs: 6, Seed: seed,
+	})
+}
+
+// BenchmarkMoldableEngine measures a pure-moldable population behind the
+// floor layer: long non-preemptive leases are the hold-law event-leap's
+// target, so most virtual steps should be leapt.
+func BenchmarkMoldableEngine(b *testing.B) {
+	specs := moldableBenchSpecs(16, 3)
+	tasks := 0
+	for _, s := range specs {
+		tasks += s.Source.TotalTasks()
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := krad.Run(krad.Config{
+			K: 2, Caps: []int{12, 12}, Scheduler: krad.WithFloors(krad.NewKRAD(2)),
+		}, specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tasks), "tasks/op")
+}
+
+// BenchmarkMixedFamilyEngine measures all three runtime families — dense
+// DAG, compact profile and moldable — sharing one engine step loop. Leap
+// eligibility mixes the drain law (profile/DAG) with the hold law
+// (moldable) each round.
+func BenchmarkMixedFamilyEngine(b *testing.B) {
+	specs := denseLayeredSpecs(2, 3, 1024, 4)
+	profiles, err := krad.GenerateProfiles(krad.ProfileGenOpts{
+		K: 2, Jobs: 3, MinPhases: 2, MaxPhases: 4, MaxParallelism: 50_000, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs = append(specs, profiles...)
+	specs = append(specs, moldableBenchSpecs(6, 11)...)
+	tasks := 0
+	for _, s := range specs {
+		if s.Graph != nil {
+			tasks += s.Graph.NumTasks()
+		} else {
+			tasks += s.Source.TotalTasks()
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := krad.Run(krad.Config{
+			K: 2, Caps: []int{48, 48}, Scheduler: krad.WithFloors(krad.NewKRAD(2)),
+		}, specs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(tasks), "tasks/op")
+}
+
 // BenchmarkDeq measures the Figure 2 DEQ primitive across regimes.
 func BenchmarkDeq(b *testing.B) {
 	for _, n := range []int{4, 32, 256} {

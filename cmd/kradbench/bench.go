@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"krad"
@@ -60,6 +61,56 @@ func microBenches() []microBench {
 		for i := 0; i < b.N; i++ {
 			if _, err := krad.Run(krad.Config{
 				K: 2, Caps: []int{8, 8}, Scheduler: krad.NewKRAD(2),
+			}, specs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(tasks), "tasks/op")
+	})
+
+	add("BenchmarkMoldableEngine", func(b *testing.B) {
+		specs := krad.GenerateMoldable(krad.MoldableGenOpts{
+			K: 3, Jobs: 64, MinTasks: 8, MaxTasks: 24, MaxWork: 32, MaxProcs: 8, Seed: 1,
+		})
+		tasks := 0
+		for _, s := range specs {
+			tasks += s.Source.TotalTasks()
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := krad.Run(krad.Config{
+				K: 3, Caps: []int{16, 16, 16}, Scheduler: krad.WithFloors(krad.NewKRAD(3)),
+			}, specs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(tasks), "tasks/op")
+	})
+
+	add("BenchmarkMixedFamilyEngine", func(b *testing.B) {
+		specs := denseLayeredSpecs(3, 4, 512, 4)
+		profiles, err := krad.GenerateProfiles(krad.ProfileGenOpts{
+			K: 3, Jobs: 4, MinPhases: 2, MaxPhases: 4, MaxParallelism: 20_000, Seed: 7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs = append(specs, profiles...)
+		specs = append(specs, krad.GenerateMoldable(krad.MoldableGenOpts{
+			K: 3, Jobs: 16, MinTasks: 8, MaxTasks: 24, MaxWork: 32, MaxProcs: 8, Seed: 11,
+		})...)
+		tasks := 0
+		for _, s := range specs {
+			if s.Graph != nil {
+				tasks += s.Graph.NumTasks()
+			} else {
+				tasks += s.Source.TotalTasks()
+			}
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := krad.Run(krad.Config{
+				K: 3, Caps: []int{32, 32, 32}, Scheduler: krad.WithFloors(krad.NewKRAD(3)),
 			}, specs); err != nil {
 				b.Fatal(err)
 			}
@@ -203,9 +254,35 @@ type benchReport struct {
 	Benchmarks []benchResult `json:"benchmarks"`
 }
 
+// familyBenches maps a -family value onto the engine benchmarks that
+// exercise that runtime family. Scheduling primitives (Deq, KRADAllot) are
+// family-independent and always excluded from a family-restricted run.
+var familyBenches = map[string][]string{
+	"profile":  {"BenchmarkProfileEngine"},
+	"dag":      {"BenchmarkDAGEngine", "BenchmarkEngineRun"},
+	"moldable": {"BenchmarkMoldableEngine"},
+	"mixed":    {"BenchmarkMixedEngine", "BenchmarkMixedFamilyEngine"},
+}
+
 // runJSONBenchmarks executes the registry under testing.Benchmark and
-// writes the report to path ("-" for stdout).
-func runJSONBenchmarks(path, note string) error {
+// writes the report to path ("-" for stdout). A non-empty family restricts
+// the run to that family's engine benchmarks.
+func runJSONBenchmarks(path, note, family string) error {
+	keep := func(string) bool { return true }
+	if family != "" {
+		prefixes, ok := familyBenches[family]
+		if !ok {
+			return fmt.Errorf("unknown family %q (want profile, dag, moldable or mixed)", family)
+		}
+		keep = func(name string) bool {
+			for _, p := range prefixes {
+				if strings.HasPrefix(name, p) {
+					return true
+				}
+			}
+			return false
+		}
+	}
 	report := benchReport{
 		GoOS:      runtime.GOOS,
 		GoArch:    runtime.GOARCH,
@@ -213,6 +290,9 @@ func runJSONBenchmarks(path, note string) error {
 		Note:      note,
 	}
 	for _, mb := range microBenches() {
+		if !keep(mb.name) {
+			continue
+		}
 		r := testing.Benchmark(mb.fn)
 		if r.N == 0 {
 			return fmt.Errorf("benchmark %s did not run (b.Fatal inside the loop?)", mb.name)

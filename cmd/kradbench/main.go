@@ -38,11 +38,12 @@ func main() {
 		outPath  = flag.String("o", "", "write output to file instead of stdout")
 		jsonPath = flag.String("json", "", "run the scheduling micro-benchmarks and write a JSON report to this path (\"-\" for stdout), skipping the experiment suite")
 		note     = flag.String("note", "", "free-form note embedded in the -json report header")
+		family   = flag.String("family", "", "restrict the -json engine benchmarks to one runtime family: profile, dag, moldable, mixed (empty = all)")
 	)
 	flag.Parse()
 
 	if *jsonPath != "" {
-		if err := runJSONBenchmarks(*jsonPath, *note); err != nil {
+		if err := runJSONBenchmarks(*jsonPath, *note, *family); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -157,6 +157,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Moldable jobs pin processors non-preemptively, so every shard's
+	// scheduler is floor-respecting. For unit-task workloads the wrapper is
+	// the identity, and it snapshots/restores byte-identically to the
+	// unwrapped scheduler, so existing journals still replay.
+	scheduler = sched.WithFloors(scheduler)
 	pick, err := parsePick(*pickFlag)
 	if err != nil {
 		log.Fatal(err)
@@ -251,7 +256,7 @@ func main() {
 		// were validated above, so the factory cannot fail.
 		NewScheduler: func() sched.Scheduler {
 			s, _ := analysis.NewScheduler(*schedFlag, *kFlag)
-			return s
+			return sched.WithFloors(s)
 		},
 		Journal:  journalCfg,
 		Fairness: fairCfg,

@@ -26,6 +26,9 @@ import (
 	"krad/internal/analysis"
 	"krad/internal/dag"
 	"krad/internal/metrics"
+	"krad/internal/moldable"
+	"krad/internal/profile"
+	"krad/internal/sched"
 	"krad/internal/sim"
 	"krad/internal/workload"
 )
@@ -38,6 +41,7 @@ func main() {
 		capsFlag   = flag.String("caps", "4,4,4", "per-category processor counts, comma-separated")
 		schedFlag  = flag.String("sched", "k-rad", fmt.Sprintf("scheduler: one of %v", analysis.SchedulerNames()))
 		jobsFlag   = flag.Int("jobs", 20, "number of generated jobs (ignored with -load)")
+		familyFlag = flag.String("family", "dag", "generated runtime family: dag, profile, moldable, mixed (ignored with -load/-swf/-preset)")
 		shapeFlag  = flag.String("shapes", "", "restrict job shapes (comma-separated: chain,forkjoin,layered,mapreduce,pipeline,random,reduction,butterfly,stencil,dnc)")
 		arrive     = flag.String("arrive", "batched", `arrival process: "batched", "poisson:<mean>", "uniform:<lo>,<hi>", or "bursty:<size>,<gap>"`)
 		pickFlag   = flag.String("pick", "fifo", "task pick policy: fifo, lifo, random, cp-first, cp-last")
@@ -104,7 +108,7 @@ func main() {
 		if err != nil || len(caps) != k {
 			log.Fatalf("-caps must list exactly K=%d integers: %v", k, err)
 		}
-		specs, err = generate(k, *jobsFlag, *shapeFlag, *arrive, *minSize, *maxSize, *seedFlag)
+		specs, err = generateFamily(*familyFlag, k, *jobsFlag, *shapeFlag, *arrive, *minSize, *maxSize, *seedFlag)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -112,6 +116,14 @@ func main() {
 	scheduler, err := analysis.NewScheduler(*schedFlag, k)
 	if err != nil {
 		log.Fatal(err)
+	}
+	// Moldable jobs pin processors non-preemptively; any job set containing
+	// them needs a floor-respecting scheduler.
+	for _, s := range specs {
+		if s.Source != nil && sim.FamilyOf(s.Source) == sim.FamilyMoldable {
+			scheduler = sched.WithFloors(scheduler)
+			break
+		}
 	}
 	pick, err := parsePick(*pickFlag)
 	if err != nil {
@@ -315,6 +327,56 @@ func generate(k, jobs int, shapes, arrive string, minSize, maxSize int, seed int
 		return mix.GenerateOnline(workload.Bursty(vals[0], int64(vals[1])))
 	}
 	return nil, fmt.Errorf("unknown arrival process %q", arrive)
+}
+
+// generateFamily dispatches workload generation by runtime family. The
+// dag family keeps the full shape/arrival machinery; profile and moldable
+// sets are drawn by their packages' deterministic generators, with the
+// size flags mapped onto the closest notion the family has (phases for
+// profiles, tasks for moldable jobs). mixed splits the job count across
+// the three families, interleaved so releases stay spread.
+func generateFamily(family string, k, jobs int, shapes, arrive string, minSize, maxSize int, seed int64) ([]sim.JobSpec, error) {
+	switch family {
+	case "dag":
+		return generate(k, jobs, shapes, arrive, minSize, maxSize, seed)
+	case "profile":
+		return profile.Generate(profile.GenOpts{
+			K: k, Jobs: jobs,
+			MinPhases: 2, MaxPhases: 8, MaxParallelism: maxSize, Seed: seed,
+		})
+	case "moldable":
+		return moldable.Generate(moldable.GenOpts{
+			K: k, Jobs: jobs,
+			MinTasks: minSize, MaxTasks: maxSize, Seed: seed,
+		}), nil
+	case "mixed":
+		third := jobs / 3
+		if third < 1 {
+			third = 1
+		}
+		dags, err := generate(k, third, shapes, arrive, minSize, maxSize, seed)
+		if err != nil {
+			return nil, err
+		}
+		profs, err := profile.Generate(profile.GenOpts{
+			K: k, Jobs: third,
+			MinPhases: 2, MaxPhases: 8, MaxParallelism: maxSize, Seed: seed + 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rest := jobs - 2*third
+		if rest < 0 {
+			rest = 0
+		}
+		molds := moldable.Generate(moldable.GenOpts{
+			K: k, Jobs: rest,
+			MinTasks: minSize, MaxTasks: maxSize, Seed: seed + 2,
+		})
+		specs := append(append(dags, profs...), molds...)
+		return specs, nil
+	}
+	return nil, fmt.Errorf("unknown family %q (want dag, profile, moldable or mixed)", family)
 }
 
 // jobJSON is the -load file format.

@@ -25,6 +25,18 @@
 // job ID is fetched back and must be in state "done". A silently lost
 // submission makes the process exit non-zero.
 //
+// With -family the client picks the runtime family of the generated
+// workload: "dag" (the default K-DAG mix), "moldable" (moldable tasks
+// with concave speedup curves, submitted as {"mold": ...} bodies), or
+// "mixed" (half each, exercising one engine over both families). In the
+// moldable modes the client first demonstrates the server's located
+// validation: it submits a deliberately malformed speedup curve and
+// prints the 400 the server answers with before running the real
+// workload:
+//
+//	go run ./examples/liveclient -family moldable
+//	go run ./examples/liveclient -family mixed -jobs 24
+//
 // With -tenants N the client spreads submissions across N synthetic
 // tenants via the X-Krad-Tenant header (a self-hosted server comes up
 // with fairness enabled, so the tenants resolve to dynamically created
@@ -63,6 +75,7 @@ import (
 	"krad/internal/core"
 	"krad/internal/dag"
 	"krad/internal/fairshare"
+	"krad/internal/moldable"
 	"krad/internal/sched"
 	"krad/internal/server"
 	"krad/internal/sim"
@@ -87,6 +100,7 @@ func main() {
 		placeFlag  = flag.String("placement", server.PlaceRoundRobin, "self-host: shard placement policy")
 		burstFlag  = flag.Bool("burst", false, "submit all jobs up front via /v1/jobs/batch and measure drain throughput")
 		tenantFlag = flag.Int("tenants", 0, "spread submissions across N synthetic tenants via the X-Krad-Tenant header (0 = no header; self-host enables fairness)")
+		familyFlag = flag.String("family", "dag", "runtime family of the generated workload: dag, moldable or mixed")
 	)
 	flag.Parse()
 
@@ -112,11 +126,18 @@ func main() {
 	fmt.Printf("server: scheduler=%s K=%d caps=%v shards=%d placement=%s\n",
 		stats.Scheduler, stats.K, stats.Caps, stats.Shards, stats.Placement)
 
-	// Generate the job mix client-side; the server only sees DAGs.
-	mix := workload.Mix{K: stats.K, Jobs: *jobsFlag, MinSize: 4, MaxSize: 24, Seed: *seedFlag}
-	specs, err := mix.Generate()
+	// Generate the job mix client-side; the server only sees wire specs
+	// (graph bodies for DAG jobs, moldable specs for moldable jobs).
+	specs, err := generateWorkload(*familyFlag, stats.K, *jobsFlag, *seedFlag)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// Before the real workload, the moldable modes demonstrate the
+	// server-side validation: a malformed speedup curve must bounce with a
+	// located 400 and never reach the engine.
+	if *familyFlag != "dag" {
+		demoBadCurve(base)
 	}
 
 	var ids []int
@@ -188,13 +209,14 @@ func runTrickle(base string, specs []sim.JobSpec, gap time.Duration, tenants int
 		if tenants > 0 {
 			tenant = tenantName(i % tenants)
 		}
-		id, err := submit(base, tenant, spec.Graph)
+		id, err := submit(base, tenant, spec)
 		if err != nil {
 			log.Fatalf("submit job %d: %v", i, err)
 		}
 		ids = append(ids, id)
-		fmt.Printf("submitted job %2d  tasks=%-3d span=%-3d work=%v%s\n",
-			id, spec.Graph.NumTasks(), spec.Graph.Span(), spec.Graph.WorkVector(), tenantSuffix(tenant))
+		fam, tasks, span, work := describeSpec(spec)
+		fmt.Printf("submitted job %2d  family=%-8s tasks=%-3d span=%-3d work=%v%s\n",
+			id, fam, tasks, span, work, tenantSuffix(tenant))
 		time.Sleep(gap)
 	}
 
@@ -239,18 +261,18 @@ func runBurst(base string, before server.Stats, specs []sim.JobSpec, tenants int
 	}
 	var ids []int
 	for b := 0; b < batches; b++ {
-		var graphs []*dag.Graph
+		var batch []sim.JobSpec
 		for i := b; i < len(specs); i += batches {
-			graphs = append(graphs, specs[i].Graph)
+			batch = append(batch, specs[i])
 		}
-		if len(graphs) == 0 {
+		if len(batch) == 0 {
 			continue
 		}
 		tenant := ""
 		if tenants > 0 {
 			tenant = tenantName(b)
 		}
-		batchIDs, shard, err := submitBatch(base, tenant, graphs)
+		batchIDs, shard, err := submitBatch(base, tenant, batch)
 		if err != nil {
 			log.Fatalf("batch %d: %v", b, err)
 		}
@@ -285,6 +307,7 @@ func runBurst(base string, before server.Stats, specs []sim.JobSpec, tenants int
 func report(base string, stats server.Stats, ids []int) {
 	type row struct {
 		id, solo       int64
+		family         string
 		response, slow float64
 	}
 	rows := make([]row, 0, len(ids))
@@ -300,15 +323,15 @@ func report(base string, stats server.Stats, ids []int) {
 			}
 		}
 		rows = append(rows, row{
-			id: int64(id), solo: solo,
+			id: int64(id), solo: solo, family: st.Family,
 			response: float64(st.Response),
 			slow:     float64(st.Response) / float64(solo),
 		})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].slow > rows[j].slow })
-	fmt.Println("\njob  response  solo-bound  slowdown")
+	fmt.Println("\njob  family    response  solo-bound  slowdown")
 	for _, r := range rows {
-		fmt.Printf("%3d  %8.0f  %10d  %7.2fx\n", r.id, r.response, r.solo, r.slow)
+		fmt.Printf("%3d  %-8s  %8.0f  %10d  %7.2fx\n", r.id, r.family, r.response, r.solo, r.slow)
 	}
 }
 
@@ -324,13 +347,15 @@ func selfHost(shards int, placement string, stepEvery time.Duration, fair bool) 
 	}
 	svc, err := server.New(server.Config{
 		Sim: sim.Config{
-			K: demoK, Caps: demoCaps, Scheduler: core.NewKRAD(demoK),
+			// The floor layer makes the self-hosted server moldable-capable;
+			// for pure-DAG workloads it is a transparent pass-through.
+			K: demoK, Caps: demoCaps, Scheduler: sched.WithFloors(core.NewKRAD(demoK)),
 			Pick: dag.PickFIFO, ValidateAllotments: true,
 		},
 		StepEvery:    stepEvery,
 		Shards:       shards,
 		Placement:    placement,
-		NewScheduler: func() sched.Scheduler { return core.NewKRAD(demoK) },
+		NewScheduler: func() sched.Scheduler { return sched.WithFloors(core.NewKRAD(demoK)) },
 		Fairness:     fairCfg,
 	})
 	if err != nil {
@@ -349,6 +374,7 @@ func selfHost(shards int, placement string, stepEvery time.Duration, fair bool) 
 type jobStatus struct {
 	ID       int    `json:"id"`
 	State    string `json:"state"`
+	Family   string `json:"family"`
 	Release  int64  `json:"release"`
 	Response int64  `json:"response"`
 	Work     []int  `json:"work"`
@@ -448,8 +474,108 @@ func postRetry(url, tenant string, body []byte) (*http.Response, error) {
 	}
 }
 
-func submit(base, tenant string, g *dag.Graph) (int, error) {
-	body, err := json.Marshal(map[string]any{"graph": g})
+// generateWorkload builds the client-side job mix for the requested
+// runtime family. "mixed" interleaves DAG and moldable jobs so one engine
+// step loop runs both families side by side.
+func generateWorkload(family string, k, jobs int, seed int64) ([]sim.JobSpec, error) {
+	dagMix := func(n int, seed int64) ([]sim.JobSpec, error) {
+		return workload.Mix{K: k, Jobs: n, MinSize: 4, MaxSize: 24, Seed: seed}.Generate()
+	}
+	moldMix := func(n int, seed int64) []sim.JobSpec {
+		return moldable.Generate(moldable.GenOpts{
+			K: k, Jobs: n, MinTasks: 4, MaxTasks: 12, MaxWork: 24, MaxProcs: 6, Seed: seed,
+		})
+	}
+	switch family {
+	case "dag":
+		return dagMix(jobs, seed)
+	case "moldable":
+		return moldMix(jobs, seed), nil
+	case "mixed":
+		graphs, err := dagMix((jobs+1)/2, seed)
+		if err != nil {
+			return nil, err
+		}
+		molds := moldMix(jobs/2, seed+1)
+		specs := make([]sim.JobSpec, 0, jobs)
+		for i := 0; len(specs) < jobs; i++ {
+			if i < len(graphs) {
+				specs = append(specs, graphs[i])
+			}
+			if i < len(molds) {
+				specs = append(specs, molds[i])
+			}
+		}
+		return specs, nil
+	default:
+		return nil, fmt.Errorf("unknown -family %q (want dag, moldable or mixed)", family)
+	}
+}
+
+// describeSpec summarizes a job spec for the submission log, working for
+// both wire forms: graph-backed specs and moldable sources.
+func describeSpec(spec sim.JobSpec) (family string, tasks, span int, work []int) {
+	if spec.Graph != nil {
+		return "dag", spec.Graph.NumTasks(), spec.Graph.Span(), spec.Graph.WorkVector()
+	}
+	src := spec.Source
+	return sim.FamilyOf(src).String(), src.TotalTasks(), src.Span(), src.WorkVector()
+}
+
+// jobBody builds the POST /v1/jobs wire body for a spec: {"graph": ...}
+// for DAG jobs, {"mold": ...} for moldable jobs.
+func jobBody(spec sim.JobSpec) (map[string]any, error) {
+	body := map[string]any{}
+	if spec.Release != 0 {
+		body["release"] = spec.Release
+	}
+	switch {
+	case spec.Graph != nil:
+		body["graph"] = spec.Graph
+	default:
+		mj, ok := spec.Source.(*moldable.Job)
+		if !ok {
+			return nil, fmt.Errorf("job source %T has no wire encoding", spec.Source)
+		}
+		body["mold"] = mj.Spec()
+	}
+	return body, nil
+}
+
+// demoBadCurve submits a deliberately malformed moldable spec — a
+// super-linear power-law curve — and shows the located 400 the server
+// answers with. Anything but a 400 is a bug worth dying over.
+func demoBadCurve(base string) {
+	bad := moldable.Spec{K: demoK, Name: "bad-curve", Tasks: []moldable.TaskSpec{
+		{Cat: 1, Work: 8, Max: 4, Curve: moldable.CurveSpec{Type: moldable.CurvePowerLaw, Alpha: 1.7}},
+	}}
+	body, err := json.Marshal(map[string]any{"mold": bad})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := postRetry(base+"/v1/jobs", "", body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatalf("bad-curve demo: decoding response: %v", err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		log.Fatalf("bad-curve demo: status %s, want 400 (%s)", resp.Status, out.Error)
+	}
+	fmt.Printf("validation demo: malformed curve rejected with 400: %s\n\n", out.Error)
+}
+
+func submit(base, tenant string, spec sim.JobSpec) (int, error) {
+	payload, err := jobBody(spec)
+	if err != nil {
+		return -1, err
+	}
+	body, err := json.Marshal(payload)
 	if err != nil {
 		return -1, err
 	}
@@ -475,10 +601,14 @@ func submit(base, tenant string, g *dag.Graph) (int, error) {
 
 // submitBatch posts one all-or-nothing batch; the server admits every
 // job onto a single shard under one engine lock.
-func submitBatch(base, tenant string, graphs []*dag.Graph) ([]int, int, error) {
-	jobs := make([]map[string]any, len(graphs))
-	for i, g := range graphs {
-		jobs[i] = map[string]any{"graph": g}
+func submitBatch(base, tenant string, specs []sim.JobSpec) ([]int, int, error) {
+	jobs := make([]map[string]any, len(specs))
+	for i, spec := range specs {
+		payload, err := jobBody(spec)
+		if err != nil {
+			return nil, 0, err
+		}
+		jobs[i] = payload
 	}
 	body, err := json.Marshal(map[string]any{"jobs": jobs})
 	if err != nil {
@@ -499,8 +629,8 @@ func submitBatch(base, tenant string, graphs []*dag.Graph) ([]int, int, error) {
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return nil, 0, err
 	}
-	if len(out.IDs) != len(graphs) {
-		return nil, 0, fmt.Errorf("submitted %d jobs, got %d ids", len(graphs), len(out.IDs))
+	if len(out.IDs) != len(specs) {
+		return nil, 0, fmt.Errorf("submitted %d jobs, got %d ids", len(specs), len(out.IDs))
 	}
 	if tenant != "" {
 		tenantCount(tenant).admitted += len(out.IDs)

@@ -6,6 +6,7 @@ import (
 
 	"krad/internal/dag"
 	"krad/internal/fairshare"
+	"krad/internal/moldable"
 	"krad/internal/sim"
 )
 
@@ -83,14 +84,48 @@ func (f FairState) Clone() FairState {
 // JobRecord is one admitted job inside an admit/batch record. Release is
 // the absolute virtual release time after the server normalized "now"
 // releases, so replay does not depend on the clock at decode time.
+//
+// Exactly one of Graph and Mold is set. Graph-backed jobs omit Fam — the
+// original record shape — so journals from family-less builds decode and
+// re-encode byte-identically. Non-graph jobs carry their runtime-family
+// tag in Fam and force the enclosing Record's V to recordVersion.
 type JobRecord struct {
-	Release int64      `json:"release"`
-	Graph   *dag.Graph `json:"graph"`
+	Release int64 `json:"release"`
+	// Fam is the runtime-family tag ("moldable"); empty means graph-backed
+	// (the legacy encoding, implicitly family "dag").
+	Fam   string         `json:"fam,omitempty"`
+	Graph *dag.Graph     `json:"graph,omitempty"`
+	Mold  *moldable.Spec `json:"mold,omitempty"`
 }
+
+// spec reconstructs the admitted sim.JobSpec. Graph-backed records are a
+// field copy; moldable records re-validate through moldable.FromSpec, so a
+// corrupt-but-CRC-valid payload fails here with a located error instead of
+// panicking inside the engine.
+func (j JobRecord) spec() (sim.JobSpec, error) {
+	if j.Graph != nil {
+		return sim.JobSpec{Graph: j.Graph, Release: j.Release}, nil
+	}
+	job, err := moldable.FromSpec(*j.Mold)
+	if err != nil {
+		return sim.JobSpec{}, err
+	}
+	return sim.JobSpec{Source: job, Release: j.Release}, nil
+}
+
+// recordVersion is the version stamped on admit/batch records that carry
+// non-graph jobs. Version 0 (the field omitted) is the original all-graph
+// encoding; bumping the version on the new shape makes old readers fail
+// loudly on journals they cannot replay instead of misdecoding them.
+const recordVersion = 2
 
 // Record is one journaled engine mutation.
 type Record struct {
 	Type Type `json:"t"`
+	// V is the record encoding version: 0 (omitted) for the original
+	// shapes, recordVersion for admit/batch records carrying non-graph
+	// jobs.
+	V int `json:"v,omitempty"`
 	// Base is the engine-assigned ID of the first admitted job (admit and
 	// batch records); replay cross-checks it against the IDs the engine
 	// re-assigns.
@@ -194,32 +229,62 @@ func validateRecord(r Record) error {
 		if r.Base < 0 {
 			return fmt.Errorf("journal: %s record has negative base ID %d", r.Type, r.Base)
 		}
+		if r.V != 0 && r.V != recordVersion {
+			return fmt.Errorf("journal: %s record version %d, want 0 or %d", r.Type, r.V, recordVersion)
+		}
 		for i, j := range r.Jobs {
-			if j.Graph == nil {
+			switch {
+			case j.Graph != nil && j.Mold != nil:
+				return fmt.Errorf("journal: %s record job %d has both a graph and a moldable spec", r.Type, i)
+			case j.Graph != nil:
+				if j.Fam != "" {
+					return fmt.Errorf("journal: %s record job %d is graph-backed but tagged family %q", r.Type, i, j.Fam)
+				}
+			case j.Mold != nil:
+				if j.Fam != sim.FamilyMoldable.String() {
+					return fmt.Errorf("journal: %s record job %d carries a moldable spec but family tag %q", r.Type, i, j.Fam)
+				}
+				if r.V != recordVersion {
+					return fmt.Errorf("journal: %s record job %d is moldable but record version is %d, want %d", r.Type, i, r.V, recordVersion)
+				}
+			default:
 				return fmt.Errorf("journal: %s record job %d has no graph", r.Type, i)
 			}
 			if j.Release < 0 {
 				return fmt.Errorf("journal: %s record job %d has negative release %d", r.Type, i, j.Release)
 			}
 		}
+	} else if r.V != 0 {
+		return fmt.Errorf("journal: %s record carries stray fields", r.Type)
 	}
 	return nil
 }
 
 // AdmitRecord builds the journal record for a committed admission: one
 // job as TypeAdmit, several as TypeBatch. base is the first assigned
-// engine-local ID; specs must be graph-backed with normalized (absolute)
-// release times.
+// engine-local ID; specs must carry a replayable description — a dag
+// graph or a moldable spec — with normalized (absolute) release times.
+// All-graph admissions keep the original unversioned encoding; a moldable
+// job anywhere in the batch bumps the record to recordVersion.
 func AdmitRecord(base int, specs []sim.JobSpec) (Record, error) {
 	rec := Record{Type: TypeBatch, Base: base, Jobs: make([]JobRecord, len(specs))}
 	if len(specs) == 1 {
 		rec.Type = TypeAdmit
 	}
 	for i, s := range specs {
-		if s.Graph == nil {
-			return Record{}, fmt.Errorf("journal: job %d is not graph-backed; only dag jobs are journalable", base+i)
+		switch src := s.Source.(type) {
+		case nil:
+			if s.Graph == nil {
+				return Record{}, fmt.Errorf("journal: job %d is not journalable; need a dag graph or a moldable spec", base+i)
+			}
+			rec.Jobs[i] = JobRecord{Release: s.Release, Graph: s.Graph}
+		case *moldable.Job:
+			sp := src.Spec()
+			rec.Jobs[i] = JobRecord{Release: s.Release, Fam: sim.FamilyMoldable.String(), Mold: &sp}
+			rec.V = recordVersion
+		default:
+			return Record{}, fmt.Errorf("journal: job %d (family %q) is not journalable; need a dag graph or a moldable spec", base+i, sim.FamilyOf(src))
 		}
-		rec.Jobs[i] = JobRecord{Release: s.Release, Graph: s.Graph}
 	}
 	return rec, nil
 }

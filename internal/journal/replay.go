@@ -84,7 +84,11 @@ func replayOne(eng *sim.Engine, rec Record, i int, obs Observer) error {
 	case TypeAdmit, TypeBatch:
 		specs := make([]sim.JobSpec, len(rec.Jobs))
 		for k, j := range rec.Jobs {
-			specs[k] = sim.JobSpec{Graph: j.Graph, Release: j.Release}
+			spec, err := j.spec()
+			if err != nil {
+				return fmt.Errorf("journal: replay record %d (%s) job %d: %w", i, rec.Type, k, err)
+			}
+			specs[k] = spec
 		}
 		now := eng.Now()
 		ids, err := eng.AdmitBatch(specs)

@@ -1,0 +1,110 @@
+package moldable
+
+import (
+	"fmt"
+	"math/rand"
+
+	"krad/internal/sim"
+)
+
+// GenOpts parameterizes the deterministic moldable workload generator
+// shared by kradsim, kradbench and the quickcheck suites. Equal options
+// produce equal specs on every run and platform.
+type GenOpts struct {
+	// K is the category count; every generated job matches it.
+	K int
+	// Jobs is the number of jobs to generate.
+	Jobs int
+	// MinTasks and MaxTasks bound each job's task count. Zero values
+	// default to 4 and 12.
+	MinTasks, MaxTasks int
+	// MaxWork bounds per-task serial work (uniform in 1..MaxWork); 0
+	// means 16.
+	MaxWork int
+	// MaxProcs bounds per-task processor maxima (uniform in 1..MaxProcs);
+	// 0 means 8.
+	MaxProcs int
+	// MaxArrival spreads release times uniformly over 0..MaxArrival.
+	MaxArrival int64
+	// EdgeProb is the probability of each forward edge (u, v), u < v,
+	// within a window of windowSpan successors; 0 means 0.3.
+	EdgeProb float64
+	// Seed drives the generator.
+	Seed int64
+}
+
+// windowSpan bounds how far ahead a generated precedence edge may reach,
+// keeping generated DAGs layered-ish rather than star-shaped.
+const windowSpan = 6
+
+// Generate builds a deterministic moldable job set from o. The specs are
+// valid by construction (FromSpec cannot fail on them); an internal
+// inconsistency panics rather than returning a half-built workload.
+func Generate(o GenOpts) []sim.JobSpec {
+	if o.K < 1 {
+		panic(fmt.Sprintf("moldable: GenOpts.K = %d, need ≥ 1", o.K))
+	}
+	minT, maxT := o.MinTasks, o.MaxTasks
+	if minT <= 0 {
+		minT = 4
+	}
+	if maxT < minT {
+		maxT = minT + 8
+	}
+	maxWork := o.MaxWork
+	if maxWork <= 0 {
+		maxWork = 16
+	}
+	maxProcs := o.MaxProcs
+	if maxProcs <= 0 {
+		maxProcs = 8
+	}
+	edgeProb := o.EdgeProb
+	if edgeProb <= 0 {
+		edgeProb = 0.3
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	specs := make([]sim.JobSpec, o.Jobs)
+	for i := range specs {
+		n := minT + rng.Intn(maxT-minT+1)
+		s := Spec{K: o.K, Name: fmt.Sprintf("mold-%d", i), Tasks: make([]TaskSpec, n)}
+		for v := range s.Tasks {
+			s.Tasks[v] = TaskSpec{
+				Cat:   1 + rng.Intn(o.K),
+				Work:  1 + rng.Intn(maxWork),
+				Max:   1 + rng.Intn(maxProcs),
+				Curve: randomCurve(rng),
+			}
+		}
+		for u := 0; u < n; u++ {
+			hi := u + windowSpan
+			if hi > n-1 {
+				hi = n - 1
+			}
+			for v := u + 1; v <= hi; v++ {
+				if rng.Float64() < edgeProb {
+					s.Edges = append(s.Edges, [2]int{u, v})
+				}
+			}
+		}
+		job, err := FromSpec(s)
+		if err != nil {
+			panic(fmt.Sprintf("moldable: generated invalid spec: %v", err))
+		}
+		var release int64
+		if o.MaxArrival > 0 {
+			release = rng.Int63n(o.MaxArrival + 1)
+		}
+		specs[i] = sim.JobSpec{Source: job, Release: release}
+	}
+	return specs
+}
+
+// randomCurve draws a valid speedup curve: half power-law with exponent
+// in [0.3, 1], half Amdahl with serial fraction in [0, 0.5].
+func randomCurve(rng *rand.Rand) CurveSpec {
+	if rng.Intn(2) == 0 {
+		return CurveSpec{Type: CurvePowerLaw, Alpha: 0.3 + 0.7*rng.Float64()}
+	}
+	return CurveSpec{Type: CurveAmdahl, Serial: 0.5 * rng.Float64()}
+}

@@ -1,0 +1,168 @@
+package moldable_test
+
+import (
+	"strings"
+	"testing"
+
+	"krad/internal/moldable"
+	"krad/internal/sim"
+)
+
+// pl returns a power-law curve spec for test tables.
+func pl(alpha float64) moldable.CurveSpec {
+	return moldable.CurveSpec{Type: moldable.CurvePowerLaw, Alpha: alpha}
+}
+
+// chainSpec builds an n-task chain in category cat, each task with the
+// given work, max procs and a linear curve.
+func chainSpec(k, cat, n, work, max int) moldable.Spec {
+	s := moldable.Spec{K: k, Name: "chain"}
+	for v := 0; v < n; v++ {
+		s.Tasks = append(s.Tasks, moldable.TaskSpec{Cat: cat, Work: work, Max: max, Curve: pl(1)})
+		if v > 0 {
+			s.Edges = append(s.Edges, [2]int{v - 1, v})
+		}
+	}
+	return s
+}
+
+// TestFromSpecRejects exercises every located validation error: the
+// message must name the offending task or edge so kradd can return it to
+// the client verbatim.
+func TestFromSpecRejects(t *testing.T) {
+	ok := moldable.TaskSpec{Cat: 1, Work: 4, Max: 2, Curve: pl(1)}
+	cases := []struct {
+		name string
+		spec moldable.Spec
+		want string
+	}{
+		{"zero-k", moldable.Spec{K: 0, Tasks: []moldable.TaskSpec{ok}}, "k = 0"},
+		{"no-tasks", moldable.Spec{K: 1}, "no tasks"},
+		{"bad-cat-low", moldable.Spec{K: 2, Tasks: []moldable.TaskSpec{ok, {Cat: 0, Work: 1, Max: 1, Curve: pl(1)}}},
+			"task 1: category 0 out of range 1..2"},
+		{"bad-cat-high", moldable.Spec{K: 2, Tasks: []moldable.TaskSpec{{Cat: 3, Work: 1, Max: 1, Curve: pl(1)}}},
+			"task 0: category 3 out of range"},
+		{"zero-work", moldable.Spec{K: 1, Tasks: []moldable.TaskSpec{{Cat: 1, Work: 0, Max: 1, Curve: pl(1)}}},
+			"task 0: work 0"},
+		{"zero-max", moldable.Spec{K: 1, Tasks: []moldable.TaskSpec{{Cat: 1, Work: 1, Max: 0, Curve: pl(1)}}},
+			"task 0: max processors 0"},
+		{"huge-max", moldable.Spec{K: 1, Tasks: []moldable.TaskSpec{{Cat: 1, Work: 1, Max: 1 << 20, Curve: pl(1)}}},
+			"exceeds the 65536 limit"},
+		{"bad-curve", moldable.Spec{K: 1, Tasks: []moldable.TaskSpec{{Cat: 1, Work: 1, Max: 1, Curve: moldable.CurveSpec{Type: "nope"}}}},
+			"task 0: curve: unknown curve type"},
+		{"bad-alpha", moldable.Spec{K: 1, Tasks: []moldable.TaskSpec{{Cat: 1, Work: 1, Max: 1, Curve: pl(2)}}},
+			"task 0: curve: powerlaw alpha 2"},
+		{"edge-range", moldable.Spec{K: 1, Tasks: []moldable.TaskSpec{ok, ok}, Edges: [][2]int{{0, 2}}},
+			"edge 0: endpoints [0, 2] out of range 0..1"},
+		{"edge-negative", moldable.Spec{K: 1, Tasks: []moldable.TaskSpec{ok}, Edges: [][2]int{{-1, 0}}},
+			"edge 0: endpoints"},
+		{"self-loop", moldable.Spec{K: 1, Tasks: []moldable.TaskSpec{ok, ok}, Edges: [][2]int{{1, 1}}},
+			"edge 0: self-loop on task 1"},
+		{"cycle", moldable.Spec{K: 1, Tasks: []moldable.TaskSpec{ok, ok, ok},
+			Edges: [][2]int{{0, 1}, {1, 2}, {2, 0}}}, "cycle"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := moldable.FromSpec(tc.spec)
+			if err == nil {
+				t.Fatal("invalid spec accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestJobDerivedQuantities pins WorkVector, Span, TotalTasks and the
+// molding caps on a hand-checked diamond: a fork in category 1 feeding a
+// join in category 2.
+func TestJobDerivedQuantities(t *testing.T) {
+	spec := moldable.Spec{
+		K:    2,
+		Name: "diamond",
+		Tasks: []moldable.TaskSpec{
+			{Cat: 1, Work: 8, Max: 4, Curve: pl(1)},    // source: 8/4 = 2 steps at best
+			{Cat: 1, Work: 6, Max: 16, Curve: pl(0.5)}, // branch: useful 4, opt ceil(6/4)=2
+			{Cat: 2, Work: 9, Max: 3, Curve: pl(1)},    // branch: ceil(9/3) = 3
+			{Cat: 2, Work: 5, Max: 1, Curve: pl(1)},    // sink: 5 steps always
+		},
+		Edges: [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}},
+	}
+	j, err := moldable.FromSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j.WorkVector(); got[0] != 14 || got[1] != 14 {
+		t.Errorf("WorkVector = %v, want [14 14]", got)
+	}
+	if got := j.TotalTasks(); got != 28 {
+		t.Errorf("TotalTasks = %d, want 28 (total serial work)", got)
+	}
+	// Critical path in optimistic durations: 0→2→3 = 2 + 3 + 5 = 10
+	// (0→1→3 = 2 + ceil(6/s(16)) + 5 = 2 + 2 + 5 = 9).
+	if got := j.Span(); got != 10 {
+		t.Errorf("Span = %d, want 10", got)
+	}
+	if got := j.NumTasks(); got != 4 {
+		t.Errorf("NumTasks = %d, want 4", got)
+	}
+	// Molding caps: linear curves cap at Max; √p caps at 4.
+	for v, want := range []int{4, 4, 3, 1} {
+		if got := j.Useful(v); got != want {
+			t.Errorf("Useful(%d) = %d, want %d", v, got, want)
+		}
+	}
+	if j.Family() != sim.FamilyMoldable {
+		t.Errorf("Family = %v, want moldable", j.Family())
+	}
+	if j.Name() != "diamond" || j.K() != 2 {
+		t.Errorf("Name/K = %q/%d", j.Name(), j.K())
+	}
+}
+
+// TestSpecRoundTrip checks Spec() returns the canonical wire form: it
+// re-validates, produces an equivalent job, and never aliases the
+// original's slices (mutating one must not corrupt the other).
+func TestSpecRoundTrip(t *testing.T) {
+	orig := chainSpec(2, 1, 5, 10, 4)
+	orig.Tasks[2].Cat = 2
+	j, err := moldable.FromSpec(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := j.Spec()
+	j2, err := moldable.FromSpec(rt)
+	if err != nil {
+		t.Fatalf("round-tripped spec rejected: %v", err)
+	}
+	if j2.Span() != j.Span() || j2.TotalTasks() != j.TotalTasks() {
+		t.Fatalf("round-tripped job differs: span %d vs %d, total %d vs %d",
+			j2.Span(), j.Span(), j2.TotalTasks(), j.TotalTasks())
+	}
+	// Mutate the returned spec; the job must be unaffected.
+	rt.Tasks[0].Work = 999
+	rt.Edges[0] = [2]int{4, 0}
+	rt2 := j.Spec()
+	if rt2.Tasks[0].Work != 10 || rt2.Edges[0] != [2]int{0, 1} {
+		t.Fatal("Spec() aliases internal state: mutation leaked through")
+	}
+	// Mutating the caller's original spec must not corrupt the job either.
+	orig.Tasks[0].Work = 777
+	if j.Spec().Tasks[0].Work != 10 {
+		t.Fatal("FromSpec aliased the caller's task slice")
+	}
+}
+
+// TestUnnamedJob covers the default name.
+func TestUnnamedJob(t *testing.T) {
+	s := chainSpec(1, 1, 1, 1, 1)
+	s.Name = ""
+	j, err := moldable.FromSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Name() != "moldable" {
+		t.Fatalf("Name() = %q, want %q", j.Name(), "moldable")
+	}
+}

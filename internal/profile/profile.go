@@ -89,6 +89,9 @@ func MustNew(k int, name string, phases []Phase) *Job {
 // Name implements sim.JobSource.
 func (j *Job) Name() string { return j.name }
 
+// Family implements sim.FamilySource.
+func (j *Job) Family() sim.RuntimeFamily { return sim.FamilyProfile }
+
 // K implements sim.JobSource.
 func (j *Job) K() int { return j.k }
 
@@ -256,6 +259,7 @@ func (r *runtime) RemainingWork() []int {
 }
 
 var (
-	_ sim.JobSource   = (*Job)(nil)
-	_ sim.LeapRuntime = (*runtime)(nil)
+	_ sim.JobSource    = (*Job)(nil)
+	_ sim.FamilySource = (*Job)(nil)
+	_ sim.LeapRuntime  = (*runtime)(nil)
 )

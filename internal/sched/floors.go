@@ -8,15 +8,35 @@ import "fmt"
 // capacity over the residual desires. For unit-task workloads (all floors
 // zero) the wrapper is the identity.
 //
+// The wrapper also extends the inner scheduler's stability report (Stable)
+// to the hold law: when every floor-bearing job in a round is HELD —
+// desire equals floor in every category, so its residual desire is zero
+// and the inner scheduler effectively does not see it — the inner
+// stability analysis of the residual system applies verbatim, and the held
+// rows' per-step allotments are their frozen floors. StableHorizon then
+// forwards the inner horizon, and LeapTotals fills held rows with n×floor.
+// Rounds where some floor-bearing job is NOT held report horizon 0: its
+// residual desire shifts as leases finish, which the inner analysis cannot
+// vouch for.
+//
 // This is the standard way two-level systems retrofit malleable-job
 // schedulers onto non-preemptive tasks; experiment E16 measures what the
 // lost reallocation freedom costs against the paper's bounds.
 type floored struct {
 	inner Scheduler
-	// lastFloors records whether the most recent Allot saw any non-zero
-	// floor; floors shift per step, so stability only forwards without
-	// them.
-	lastFloors bool
+	// lastFloors records whether the most recent Allot/AllotInto saw any
+	// non-zero floor; lastHeldOnly whether every floor-bearing job in that
+	// call was held (residual desire zero everywhere). Together they decide
+	// whether the inner stability report may be forwarded.
+	lastFloors   bool
+	lastHeldOnly bool
+
+	// Scratch reused across calls, so the engine's allocation-free hot
+	// path stays allocation-free through the wrapper.
+	residual  []JobView
+	desireBuf []int
+	capsBuf   []int
+	innerMat  Matrix
 }
 
 // WithFloors wraps inner; see the type comment.
@@ -25,32 +45,87 @@ func WithFloors(inner Scheduler) Scheduler { return &floored{inner: inner} }
 // Name implements Scheduler.
 func (f *floored) Name() string { return f.inner.Name() + "+floors" }
 
-// Allot implements Scheduler.
+// Allot implements Scheduler. The result is freshly allocated; hot paths
+// use AllotInto.
 func (f *floored) Allot(t int64, jobs []JobView, caps []int) [][]int {
-	// Fast path: no floors anywhere.
-	any := false
+	var m Matrix
+	dst := m.Shape(len(jobs), len(caps))
+	f.AllotInto(t, jobs, caps, dst)
+	return dst
+}
+
+// AllotInto implements IntoAllotter: grant floors, let the inner scheduler
+// partition the residual capacity over the residual desires, and add the
+// floors back.
+func (f *floored) AllotInto(t int64, jobs []JobView, caps []int, dst [][]int) {
+	any, heldOnly := false, true
 	for _, j := range jobs {
-		if j.Floor != nil {
-			for _, v := range j.Floor {
-				if v > 0 {
-					any = true
-					break
-				}
+		if j.Floor == nil {
+			continue
+		}
+		for a, v := range j.Floor {
+			if v > 0 {
+				any = true
+			}
+			if j.Desire[a] > v {
+				heldOnly = false
 			}
 		}
-		if any {
-			break
-		}
 	}
-	f.lastFloors = any
+	f.lastFloors, f.lastHeldOnly = any, any && heldOnly
 	if !any {
-		return f.inner.Allot(t, jobs, caps)
+		f.innerInto(t, jobs, caps, dst)
+		return
 	}
 
-	residualCaps := append([]int(nil), caps...)
-	residual := make([]JobView, len(jobs))
+	residual, residualCaps := f.project(jobs, caps)
+	f.innerInto(t, residual, residualCaps, dst)
 	for i, j := range jobs {
-		d := append([]int(nil), j.Desire...)
+		if j.Floor != nil {
+			for a, fl := range j.Floor {
+				dst[i][a] += fl
+			}
+		}
+	}
+}
+
+// innerInto writes the inner scheduler's allotment into dst, via its
+// IntoAllotter fast path when available.
+func (f *floored) innerInto(t int64, jobs []JobView, caps []int, dst [][]int) {
+	if ia, ok := f.inner.(IntoAllotter); ok {
+		ia.AllotInto(t, jobs, caps, dst)
+		return
+	}
+	out := f.inner.Allot(t, jobs, caps)
+	if len(out) != len(jobs) {
+		panic(fmt.Sprintf("sched: scheduler %q returned %d rows for %d jobs", f.inner.Name(), len(out), len(jobs)))
+	}
+	for i := range out {
+		copy(dst[i], out[i])
+	}
+}
+
+// project builds, in reused scratch, the residual system the inner
+// scheduler sees: desires minus floors (clamped at zero, so held jobs
+// vanish from every category) and capacities minus the pinned processors.
+// The views are valid until the next project call.
+func (f *floored) project(jobs []JobView, caps []int) ([]JobView, []int) {
+	k := len(caps)
+	if cap(f.desireBuf) < len(jobs)*k {
+		f.desireBuf = make([]int, len(jobs)*k)
+	}
+	if cap(f.residual) < len(jobs) {
+		f.residual = make([]JobView, len(jobs))
+	}
+	if cap(f.capsBuf) < k {
+		f.capsBuf = make([]int, k)
+	}
+	residual := f.residual[:len(jobs)]
+	residualCaps := f.capsBuf[:k]
+	copy(residualCaps, caps)
+	for i, j := range jobs {
+		d := f.desireBuf[i*k : (i+1)*k : (i+1)*k]
+		copy(d, j.Desire)
 		if j.Floor != nil {
 			for a, fl := range j.Floor {
 				d[a] -= fl
@@ -67,22 +142,17 @@ func (f *floored) Allot(t int64, jobs []JobView, caps []int) [][]int {
 			panic(fmt.Sprintf("sched: category %d floors exceed capacity %d — jobs hold more processors than exist", a+1, caps[a]))
 		}
 	}
-	out := f.inner.Allot(t, residual, residualCaps)
-	for i, j := range jobs {
-		if j.Floor != nil {
-			for a, fl := range j.Floor {
-				out[i][a] += fl
-			}
-		}
-	}
-	return out
+	return residual, residualCaps
 }
 
-// StableHorizon forwards the wrapped scheduler's stability report when the
-// last step was floor-free (the wrapper was the identity, so the inner
-// analysis applies verbatim); with floors in play it reports 0.
+// StableHorizon implements Stable. The inner report forwards when the last
+// round was floor-free (the wrapper was the identity) or held-only (the
+// inner scheduler saw the held jobs with zero residual desire, so its
+// analysis of the residual system is unaffected by them; the engine
+// separately bounds the window by each held job's HoldFor). A round with
+// an unheld floor reports 0.
 func (f *floored) StableHorizon() int64 {
-	if f.lastFloors {
+	if f.lastFloors && !f.lastHeldOnly {
 		return 0
 	}
 	if s, ok := f.inner.(Stable); ok {
@@ -91,11 +161,27 @@ func (f *floored) StableHorizon() int64 {
 	return 0
 }
 
-// LeapTotals forwards to the wrapped scheduler. Only called after
-// StableHorizon reported > 0, which implies the last step was floor-free
-// and the inner scheduler is Stable.
+// LeapTotals implements Stable. Only called after StableHorizon reported
+// > 0, which implies the inner scheduler is Stable and the last round was
+// floor-free or held-only. In the held-only case the residual system is
+// rebuilt exactly as AllotInto saw it, the inner scheduler fills the
+// residual totals, and every floored row gains n×floor — the per-step
+// allotment a held job receives on each covered step.
 func (f *floored) LeapTotals(t int64, jobs []JobView, caps []int, n int64, dst [][]int) {
-	f.inner.(Stable).LeapTotals(t, jobs, caps, n, dst)
+	inner := f.inner.(Stable)
+	if !f.lastFloors {
+		inner.LeapTotals(t, jobs, caps, n, dst)
+		return
+	}
+	residual, residualCaps := f.project(jobs, caps)
+	inner.LeapTotals(t, residual, residualCaps, n, dst)
+	for i, j := range jobs {
+		if j.Floor != nil {
+			for a, fl := range j.Floor {
+				dst[i][a] += fl * int(n)
+			}
+		}
+	}
 }
 
 // JobsDone forwards completions.
@@ -105,7 +191,31 @@ func (f *floored) JobsDone(ids []int) {
 	}
 }
 
+// SnapshotState forwards to the inner scheduler: the wrapper itself holds
+// no cross-step state (lastFloors is re-derived every round), so the
+// encoding is byte-identical to the unwrapped scheduler's — checkpoints
+// taken before a deployment wrapped its scheduler still restore.
+func (f *floored) SnapshotState() ([]byte, error) {
+	s, ok := f.inner.(Snapshotter)
+	if !ok {
+		return nil, fmt.Errorf("sched: scheduler %q does not support state snapshots", f.inner.Name())
+	}
+	return s.SnapshotState()
+}
+
+// RestoreState mirrors SnapshotState.
+func (f *floored) RestoreState(data []byte) error {
+	s, ok := f.inner.(Snapshotter)
+	if !ok {
+		return fmt.Errorf("sched: scheduler %q does not support state snapshots", f.inner.Name())
+	}
+	return s.RestoreState(data)
+}
+
 var (
-	_ Scheduler = (*floored)(nil)
-	_ Completer = (*floored)(nil)
+	_ Scheduler    = (*floored)(nil)
+	_ IntoAllotter = (*floored)(nil)
+	_ Stable       = (*floored)(nil)
+	_ Completer    = (*floored)(nil)
+	_ Snapshotter  = (*floored)(nil)
 )

@@ -87,6 +87,13 @@ const Unbounded int64 = math.MaxInt64
 // that no frontier level can drain mid-window; implementations whose
 // per-step allotments can vary by more than one must report horizon 0 for
 // the affected window instead.
+//
+// Law (b) is the DRAIN law — the contract unit-task runtimes satisfy. Its
+// complement, the HOLD law (a job whose desire is pinned at its
+// non-preemptive floor receives exactly the floor each covered step), is
+// not part of this interface: WithFloors layers it on top by projecting
+// held jobs out of the inner scheduler's view and re-adding their frozen
+// floors, so inner implementations only ever reason about draining jobs.
 type Stable interface {
 	StableHorizon() int64
 	LeapTotals(t int64, jobs []JobView, caps []int, n int64, dst [][]int)

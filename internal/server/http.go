@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"krad/internal/dag"
+	"krad/internal/moldable"
 	"krad/internal/sim"
 )
 
@@ -26,12 +27,34 @@ const PlacementKeyHeader = "X-Krad-Placement-Key"
 // is ignored.
 const TenantHeader = "X-Krad-Tenant"
 
-// submitRequest is the POST /v1/jobs body: a K-DAG in the internal/dag
-// JSON encoding plus an optional absolute virtual release time (0 or
+// submitRequest is the POST /v1/jobs body: exactly one job description —
+// a K-DAG in the internal/dag JSON encoding (graph) or a moldable-task
+// spec (mold) — plus an optional absolute virtual release time (0 or
 // omitted means "now").
 type submitRequest struct {
-	Graph   *dag.Graph `json:"graph"`
-	Release int64      `json:"release,omitempty"`
+	Graph   *dag.Graph     `json:"graph,omitempty"`
+	Mold    *moldable.Spec `json:"mold,omitempty"`
+	Release int64          `json:"release,omitempty"`
+}
+
+// spec validates the request body and builds the engine job spec. Moldable
+// specs validate eagerly through moldable.FromSpec so malformed curves and
+// edges come back as located 400s, not 500s at admission.
+func (r submitRequest) spec() (sim.JobSpec, error) {
+	switch {
+	case r.Graph != nil && r.Mold != nil:
+		return sim.JobSpec{}, fmt.Errorf("job has both a graph and a moldable spec; submit exactly one")
+	case r.Mold != nil:
+		job, err := moldable.FromSpec(*r.Mold)
+		if err != nil {
+			return sim.JobSpec{}, err
+		}
+		return sim.JobSpec{Source: job, Release: r.Release}, nil
+	case r.Graph != nil:
+		return sim.JobSpec{Graph: r.Graph, Release: r.Release}, nil
+	default:
+		return sim.JobSpec{}, fmt.Errorf("job has no graph")
+	}
 }
 
 // batchRequest is the POST /v1/jobs/batch body: a burst of jobs admitted
@@ -55,6 +78,7 @@ func retryAfterSeconds(stepEvery time.Duration) string {
 type jobJSON struct {
 	ID          int    `json:"id"`
 	State       string `json:"state"`
+	Family      string `json:"family,omitempty"`
 	Release     int64  `json:"release"`
 	Completion  int64  `json:"completion,omitempty"`
 	Response    int64  `json:"response,omitempty"`
@@ -64,7 +88,7 @@ type jobJSON struct {
 }
 
 func toJobJSON(st sim.JobStatus) jobJSON {
-	return jobJSON{
+	j := jobJSON{
 		ID:          st.ID,
 		State:       st.Phase.String(),
 		Release:     st.Release,
@@ -74,6 +98,10 @@ func toJobJSON(st sim.JobStatus) jobJSON {
 		Work:        st.Work,
 		Span:        st.Span,
 	}
+	if st.Family != sim.FamilyUnknown {
+		j.Family = st.Family.String()
+	}
+	return j
 }
 
 // Handler returns the service's HTTP API:
@@ -122,11 +150,12 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid job JSON: %v", err)
 		return
 	}
-	if req.Graph == nil {
-		writeError(w, http.StatusBadRequest, "job has no graph")
+	spec, err := req.spec()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	id, err := s.SubmitTenant(r.Header.Get(PlacementKeyHeader), r.Header.Get(TenantHeader), sim.JobSpec{Graph: req.Graph, Release: req.Release})
+	id, err := s.SubmitTenant(r.Header.Get(PlacementKeyHeader), r.Header.Get(TenantHeader), spec)
 	if !s.writeSubmitError(w, err) {
 		return
 	}
@@ -147,11 +176,12 @@ func (s *Service) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	specs := make([]sim.JobSpec, len(req.Jobs))
 	for i, j := range req.Jobs {
-		if j.Graph == nil {
-			writeError(w, http.StatusBadRequest, "batch job %d has no graph", i)
+		spec, err := j.spec()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "batch job %d: %v", i, err)
 			return
 		}
-		specs[i] = sim.JobSpec{Graph: j.Graph, Release: j.Release}
+		specs[i] = spec
 	}
 	ids, err := s.SubmitBatchTenant(r.Header.Get(PlacementKeyHeader), r.Header.Get(TenantHeader), specs)
 	if !s.writeSubmitError(w, err) {

@@ -46,6 +46,9 @@ type JobStatus struct {
 	ID      int
 	Release int64
 	Phase   JobPhase
+	// Family is the job's runtime family (FamilyUnknown for sources that
+	// do not declare one).
+	Family RuntimeFamily
 	// Completion is the step the job finished at (0 while unfinished).
 	Completion int64
 	// CancelledAt is the clock value when Cancel was called (0 otherwise).
@@ -126,7 +129,8 @@ type LeapBlocked struct {
 	Speed       int64 // Config.Speed > 1: micro-rounds need per-step boundaries
 	Observer    int64 // Config.Observer must see every scheduling round
 	Trace       int64 // TraceTasks needs per-step task identities
-	Floors      int64 // a non-preemptive floor pinned processors this round
+	Floors      int64 // a hold-incapable runtime (timed) pinned floor processors this round
+	Hold        int64 // a hold-capable runtime was not held, or its held window ends too soon
 	Runtime     int64 // an active job's runtime lacks LeapRuntime
 	Scheduler   int64 // scheduler lacks sched.Stable or reported horizon 0
 	Overload    int64 // horizon 0 while a category had more active jobs than processors
@@ -141,6 +145,7 @@ func (b LeapBlocked) Each(fn func(reason string, n int64)) {
 	fn("observer", b.Observer)
 	fn("trace", b.Trace)
 	fn("floors", b.Floors)
+	fn("hold", b.Hold)
 	fn("runtime", b.Runtime)
 	fn("scheduler", b.Scheduler)
 	fn("overload", b.Overload)
@@ -155,6 +160,7 @@ func (b *LeapBlocked) Add(o LeapBlocked) {
 	b.Observer += o.Observer
 	b.Trace += o.Trace
 	b.Floors += o.Floors
+	b.Hold += o.Hold
 	b.Runtime += o.Runtime
 	b.Scheduler += o.Scheduler
 	b.Overload += o.Overload
@@ -176,13 +182,13 @@ func (s EngineSnapshot) Utilization() []float64 {
 
 // jobState is the engine's bookkeeping for one job.
 type jobState struct {
-	id          int
-	release     int64
-	rt          RuntimeJob
-	taskRT      TaskRuntime   // non-nil when the runtime reports task IDs
-	floorRT     FloorRuntime  // non-nil when the runtime pins processors
-	leapRT      LeapRuntime   // non-nil when the runtime supports event-leaps
-	stableRT    StableRuntime // non-nil when leap eligibility is per-round (DAGs)
+	id      int
+	release int64
+	rt      RuntimeJob
+	// caps caches the runtime's optional capabilities (bound once at
+	// admission; see family.go) so hot paths never type-switch.
+	caps        runtimeCaps
+	family      RuntimeFamily
 	work        []int
 	span        int
 	phase       JobPhase
@@ -230,6 +236,7 @@ type Engine struct {
 	doneIDs    []int        // completions of the current round
 	stepExec   []int        // tasks executed in the current round, per category
 	perStepBuf []int        // per-step allotment bound passed to StableRuntime
+	heldBuf    []bool       // per-active-job: held this round (see executeRound)
 
 	// Per-call accumulators for StepN (a call may span many rounds).
 	callExec []int
@@ -339,11 +346,9 @@ func (e *Engine) prepare(spec JobSpec, id int) (*jobState, int, error) {
 		span:    src.Span(),
 		phase:   JobPending,
 	}
-	js.taskRT, _ = rt.(TaskRuntime)
-	js.floorRT, _ = rt.(FloorRuntime)
-	js.leapRT, _ = rt.(LeapRuntime)
-	js.stableRT, _ = rt.(StableRuntime)
-	if e.cfg.Trace >= TraceTasks && js.taskRT == nil {
+	js.caps = bindCaps(rt)
+	js.family = FamilyOf(src)
+	if e.cfg.Trace >= TraceTasks && js.caps.task == nil {
 		return nil, 0, fmt.Errorf("sim: job %d (%s) runtime cannot report task IDs; TraceTasks requires DAG-backed jobs", id, src.Name())
 	}
 	return js, src.TotalTasks(), nil
@@ -399,6 +404,7 @@ func (e *Engine) Job(id int) (JobStatus, bool) {
 		ID:          js.id,
 		Release:     js.release,
 		Phase:       js.phase,
+		Family:      js.family,
 		Completion:  js.completed,
 		CancelledAt: js.cancelledAt,
 		Work:        append([]int(nil), js.work...),
@@ -534,33 +540,54 @@ func (e *Engine) executeRound(t int64, budget int64) (int64, error) {
 	if cap(e.views) < len(e.active) {
 		e.views = make([]sched.JobView, 0, len(e.active))
 	}
+	if cap(e.heldBuf) < len(e.active) {
+		e.heldBuf = make([]bool, len(e.active))
+	}
+	e.heldBuf = e.heldBuf[:len(e.active)]
 	leapable := true
-	floors := 0
+	hardFloors, softUnheld := 0, 0
 	for i, j := range e.active {
 		d := e.desireBuf[i*k : (i+1)*k : (i+1)*k]
 		for a := 1; a <= k; a++ {
 			d[a-1] = j.rt.Desire(dag.Category(a))
 		}
 		v := sched.JobView{ID: j.id, Desire: d}
-		if j.leapRT == nil {
-			leapable = false
-		}
-		if j.floorRT != nil {
+		e.heldBuf[i] = false
+		if j.caps.floor != nil {
 			if cap(e.floorBuf) < len(e.active)*k {
 				e.floorBuf = make([]int, len(e.active)*k)
 			}
 			fl := e.floorBuf[i*k : (i+1)*k : (i+1)*k]
-			any := false
+			any, pinned := false, true
 			for a := 1; a <= k; a++ {
-				fl[a-1] = j.floorRT.Floor(dag.Category(a))
+				fl[a-1] = j.caps.floor.Floor(dag.Category(a))
 				if fl[a-1] > 0 {
 					any = true
+				}
+				if fl[a-1] != d[a-1] {
+					pinned = false
 				}
 			}
 			if any {
 				v.Floor = fl
-				floors++
 			}
+			// A hold-capable job is "held" when its desires equal its
+			// floors everywhere: the whole frontier is in flight, so
+			// repeating the floor allotment only counts down leases (the
+			// hold law). Hold-incapable floor-bearers (timed DAGs) block
+			// leaping outright.
+			if j.caps.hold != nil {
+				if any && pinned {
+					e.heldBuf[i] = true
+				} else {
+					softUnheld++
+				}
+			} else if any {
+				hardFloors++
+			}
+		}
+		if !e.heldBuf[i] && j.caps.leap == nil {
+			leapable = false
 		}
 		e.views = append(e.views, v)
 	}
@@ -600,12 +627,14 @@ func (e *Engine) executeRound(t int64, budget int64) (int64, error) {
 	// Event-leap: repeat this exact allotment for n steps when it is
 	// provably what single-stepping would have produced. Requires the
 	// scheduler to vouch for its own output (Stable), every active job to
-	// support closed-form multi-step execution with no floors in play,
-	// every DAG-backed runtime to vouch its frontier level cannot promote
-	// mid-window (StableRuntime), and no per-step hook that would observe
-	// the skipped rounds. tryLeap counts the blocking reason otherwise.
+	// either support closed-form multi-step execution (drain law) or be in
+	// a held phase (hold law), every DAG-backed runtime to vouch its
+	// frontier level cannot promote mid-window (StableRuntime), every held
+	// job to vouch no lease finishes mid-window (HoldRuntime), and no
+	// per-step hook that would observe the skipped rounds. tryLeap counts
+	// the blocking reason otherwise.
 	if budget > 1 {
-		if n := e.tryLeap(t, allot, budget, leapable, floors, overloadNow); n > 1 {
+		if n := e.tryLeap(t, allot, budget, leapable, hardFloors, softUnheld, overloadNow); n > 1 {
 			e.leapRound(t, allot, n)
 			return n, nil
 		}
@@ -669,7 +698,7 @@ func (e *Engine) executeRound(t int64, budget int64) (int64, error) {
 // blocks the leap it increments the matching LeapBlocked counter; rounds
 // merely clipped to one step by an imminent release or the runaway guard
 // count nothing.
-func (e *Engine) tryLeap(t int64, allot [][]int, budget int64, leapable bool, floors int, overloadNow bool) int64 {
+func (e *Engine) tryLeap(t int64, allot [][]int, budget int64, leapable bool, hardFloors, softUnheld int, overloadNow bool) int64 {
 	switch {
 	case e.cfg.NoLeap:
 		e.leapBlocked.NoLeap++
@@ -679,8 +708,10 @@ func (e *Engine) tryLeap(t int64, allot [][]int, budget int64, leapable bool, fl
 		e.leapBlocked.Observer++
 	case e.trace.level >= TraceTasks:
 		e.leapBlocked.Trace++
-	case floors > 0:
+	case hardFloors > 0:
 		e.leapBlocked.Floors++
+	case softUnheld > 0:
+		e.leapBlocked.Hold++
 	case !leapable:
 		e.leapBlocked.Runtime++
 	case e.stable == nil:
@@ -712,14 +743,27 @@ func (e *Engine) tryLeap(t int64, allot [][]int, budget int64, leapable bool, fl
 		if n <= 1 {
 			return 1
 		}
-		// DAG-backed runtimes: the scheduler's horizon covers how desires
-		// evolve, but each instance must additionally vouch that none of
-		// the covered boundaries can promote tasks (level stability). The
-		// per-step bound is the step-t allotment plus the one processor
-		// the rotating DEQ remainder may add on later covered steps (the
-		// Stable contract's per-step bound).
+		// Per-job windows. Held jobs: the lease countdowns bound how long
+		// the held phase provably lasts (the window must end before any
+		// finish). DAG-backed runtimes: the scheduler's horizon covers how
+		// desires evolve, but each instance must additionally vouch that
+		// none of the covered boundaries can promote tasks (level
+		// stability). The per-step bound is the step-t allotment plus the
+		// one processor the rotating DEQ remainder may add on later covered
+		// steps (the Stable contract's per-step bound).
 		for i, j := range e.active {
-			if j.stableRT == nil {
+			if e.heldBuf[i] {
+				hf := j.caps.hold.HoldFor()
+				if hf <= 0 {
+					e.leapBlocked.Hold++
+					return 1
+				}
+				if hf < n-1 {
+					n = hf + 1
+				}
+				continue
+			}
+			if j.caps.stable == nil {
 				continue
 			}
 			for a, v := range allot[i] {
@@ -728,7 +772,7 @@ func (e *Engine) tryLeap(t int64, allot [][]int, budget int64, leapable bool, fl
 				}
 				e.perStepBuf[a] = v
 			}
-			sf := j.stableRT.StableFor(e.perStepBuf)
+			sf := j.caps.stable.StableFor(e.perStepBuf)
 			if sf <= 0 {
 				e.leapBlocked.DAGFrontier++
 				return 1
@@ -754,7 +798,11 @@ func (e *Engine) leapRound(t int64, allot [][]int, n int64) {
 	totals := e.leapBuf.Shape(len(e.views), e.cfg.K)
 	e.stable.LeapTotals(t, e.views, e.cfg.Caps, n, totals)
 	for i, j := range e.active {
-		j.leapRT.LeapTasks(totals[i])
+		if e.heldBuf[i] {
+			j.caps.hold.LeapHold(n)
+		} else {
+			j.caps.leap.LeapTasks(totals[i])
+		}
 	}
 	// Per-step category totals: column sums of the step-t matrix, constant
 	// across the window.
@@ -854,7 +902,7 @@ func (e *Engine) executeSerial(t int64, active []*jobState, allot [][]int) {
 				continue
 			}
 			if taskLevel {
-				run := j.taskRT.ExecuteTasks(dag.Category(a+1), n)
+				run := j.caps.task.ExecuteTasks(dag.Category(a+1), n)
 				e.trace.record(t, j.id, a+1, run)
 				e.stepExec[a] += len(run)
 			} else {

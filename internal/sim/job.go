@@ -105,11 +105,12 @@ type graphSource struct {
 // implicitly; the explicit form exists for mixed-source job sets.
 func GraphSource(g *dag.Graph) JobSource { return graphSource{g} }
 
-func (s graphSource) Name() string      { return s.g.Name() }
-func (s graphSource) K() int            { return s.g.K() }
-func (s graphSource) WorkVector() []int { return s.g.WorkVector() }
-func (s graphSource) Span() int         { return s.g.Span() }
-func (s graphSource) TotalTasks() int   { return s.g.NumTasks() }
+func (s graphSource) Name() string          { return s.g.Name() }
+func (s graphSource) K() int                { return s.g.K() }
+func (s graphSource) WorkVector() []int     { return s.g.WorkVector() }
+func (s graphSource) Span() int             { return s.g.Span() }
+func (s graphSource) TotalTasks() int       { return s.g.NumTasks() }
+func (s graphSource) Family() RuntimeFamily { return FamilyDAG }
 
 func (s graphSource) NewRuntime(pick dag.PickPolicy, seed int64) RuntimeJob {
 	return &graphRuntime{inst: dag.NewInstance(s.g, pick, seed)}
@@ -152,6 +153,7 @@ func (r *graphRuntime) StableFor(perStep []int) int64 { return r.inst.StableFor(
 
 var (
 	_ JobSource     = graphSource{}
+	_ FamilySource  = graphSource{}
 	_ TaskRuntime   = (*graphRuntime)(nil)
 	_ StableRuntime = (*graphRuntime)(nil)
 )
@@ -168,10 +170,11 @@ type timedSource struct {
 // single execution step); use aggregate tracing.
 func TimedGraphSource(g *dag.Graph) JobSource { return timedSource{g} }
 
-func (s timedSource) Name() string      { return s.g.Name() + "-timed" }
-func (s timedSource) K() int            { return s.g.K() }
-func (s timedSource) WorkVector() []int { return s.g.TimedWorkVector() }
-func (s timedSource) Span() int         { return s.g.TimedSpan() }
+func (s timedSource) Name() string          { return s.g.Name() + "-timed" }
+func (s timedSource) K() int                { return s.g.K() }
+func (s timedSource) WorkVector() []int     { return s.g.TimedWorkVector() }
+func (s timedSource) Span() int             { return s.g.TimedSpan() }
+func (s timedSource) Family() RuntimeFamily { return FamilyTimed }
 
 // TotalTasks returns duration-weighted total work (processor-steps), which
 // is what the engine's runaway guard and throughput accounting need.
@@ -201,5 +204,6 @@ func (r *timedRuntime) RemainingWork() []int              { return r.inst.Remain
 
 var (
 	_ JobSource    = timedSource{}
+	_ FamilySource = timedSource{}
 	_ FloorRuntime = (*timedRuntime)(nil)
 )

@@ -45,6 +45,7 @@ import (
 	"krad/internal/core"
 	"krad/internal/dag"
 	"krad/internal/metrics"
+	"krad/internal/moldable"
 	"krad/internal/profile"
 	"krad/internal/sched"
 	"krad/internal/sim"
@@ -249,6 +250,46 @@ var (
 	// GenerateProfiles draws a seeded batched set of profile jobs.
 	GenerateProfiles = profile.Generate
 )
+
+// Moldable jobs: tasks under precedence that pick a processor count once
+// at start, run non-preemptively under a concave speedup curve, and plug
+// into the engine as the third runtime family (internal/moldable). Pair
+// runs containing moldable jobs with WithFloors.
+type (
+	// MoldableJob is a validated moldable-task job (a JobSource).
+	MoldableJob = moldable.Job
+	// MoldableSpec is the declarative wire form of a MoldableJob.
+	MoldableSpec = moldable.Spec
+	// MoldableTaskSpec is one task of a MoldableSpec.
+	MoldableTaskSpec = moldable.TaskSpec
+	// MoldableCurveSpec names a speedup curve ("powerlaw" or "amdahl").
+	MoldableCurveSpec = moldable.CurveSpec
+	// MoldableGenOpts parameterizes GenerateMoldable.
+	MoldableGenOpts = moldable.GenOpts
+)
+
+var (
+	// NewMoldableJob validates a spec into a MoldableJob.
+	NewMoldableJob = moldable.FromSpec
+	// GenerateMoldable draws a seeded moldable job set.
+	GenerateMoldable = moldable.Generate
+)
+
+// RuntimeFamily classifies a job's execution model (profile, dag, timed,
+// moldable); FamilyOf resolves a JobSource's family.
+type RuntimeFamily = sim.RuntimeFamily
+
+// Runtime families reported by FamilyOf and JobStatus.Family.
+const (
+	FamilyUnknown  = sim.FamilyUnknown
+	FamilyProfile  = sim.FamilyProfile
+	FamilyDAG      = sim.FamilyDAG
+	FamilyTimed    = sim.FamilyTimed
+	FamilyMoldable = sim.FamilyMoldable
+)
+
+// FamilyOf resolves a JobSource's runtime family.
+var FamilyOf = sim.FamilyOf
 
 // ValidateSchedule re-checks a TraceTasks run against the paper's
 // schedule-validity conditions (precedence, category matching, capacity).
