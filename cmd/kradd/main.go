@@ -54,6 +54,18 @@
 // off (or under a different half-life) rather than silently dropping
 // tenant state.
 //
+// With -replicate-to, every committed journal record additionally streams
+// to a warm-standby kradd started with -follow (both ends need
+// -journal-dir and identical engine configuration). The follower applies
+// the records through the same replay path a crash-restart uses, so its
+// engines track the primary bit-identically; it answers /readyz 503
+// "following" until promoted by POST /v1/promote or, with -promote-after,
+// by primary-silence timeout. Promotion bumps the replication epoch and
+// fences the old primary: a deposed primary that reconnects (or, with
+// -lease, merely loses its follower's acks) refuses admissions rather
+// than diverge. See internal/replicate for the protocol and the README's
+// "Replication & failover" section for the operational recipe.
+//
 // With -step 0 the clock free-runs: steps execute as fast as the hardware
 // allows whenever work is queued, so submitted jobs drain immediately. A
 // positive -step paces the virtual clock against wall time, which is what
@@ -69,6 +81,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -83,6 +96,7 @@ import (
 	"krad/internal/dag"
 	"krad/internal/fairshare"
 	"krad/internal/journal"
+	"krad/internal/replicate"
 	"krad/internal/sched"
 	"krad/internal/server"
 	"krad/internal/sim"
@@ -146,6 +160,13 @@ func main() {
 		fairFlag     = flag.Bool("fairness", false, "gate admission by multi-tenant fair share (X-Krad-Tenant header)")
 		fairHLFlag   = flag.Int64("fair-halflife", fairshare.DefaultHalfLife, "fair-share usage decay half-life in virtual steps (overrides the -fair-config halflife line)")
 		fairCfgFlag  = flag.String("fair-config", "", "queue-tree config file (implies -fairness): halflife, default and queue lines")
+		repToFlag    = flag.String("replicate-to", "", "primary: stream committed journal records to a follower kradd's -follow address (requires -journal-dir)")
+		followFlag   = flag.String("follow", "", "follower: run as a warm standby, accepting a primary's replication stream on this address (requires -journal-dir)")
+		epochFlag    = flag.Int64("epoch", 1, "replication epoch; restart a deposed primary with a value above the promoted follower's to take leadership back")
+		leaseFlag    = flag.Duration("lease", 0, "primary: refuse admissions once the follower has been silent this long (0 = no lease gating); set strictly below the follower's -promote-after")
+		repHBFlag    = flag.Duration("replicate-heartbeat", time.Second, "primary: idle keepalive interval on the replication stream")
+		promoteFlag  = flag.Duration("promote-after", 0, "follower: self-promote after this much primary silence, once a primary has connected (0 = manual POST /v1/promote only)")
+		repQueueFlag = flag.Int("replicate-queue", 1024, "primary: per-shard in-memory replication send queue length (overflow falls back to WAL catch-up)")
 	)
 	flag.Parse()
 
@@ -178,6 +199,12 @@ func main() {
 			SyncInterval:  *fsyncIntFlag,
 			SnapshotEvery: *snapFlag,
 		}
+	}
+	if *repToFlag != "" && *followFlag != "" {
+		log.Fatal("-replicate-to and -follow are mutually exclusive: a daemon is the primary or the standby, not both")
+	}
+	if (*repToFlag != "" || *followFlag != "") && *journalFlag == "" {
+		log.Fatal("replication requires -journal-dir: the journal is both the catch-up source (primary) and the durable apply log (follower)")
 	}
 	var fairCfg *fairshare.Config
 	if *fairFlag || *fairCfgFlag != "" {
@@ -260,6 +287,7 @@ func main() {
 		},
 		Journal:  journalCfg,
 		Fairness: fairCfg,
+		Follower: *followFlag != "",
 	})
 	if err != nil {
 		// A journal that cannot be replayed (corrupt record, version
@@ -267,6 +295,67 @@ func main() {
 		// the located error instead of serving forgotten state.
 		log.Fatal(err)
 	}
+
+	// Replication wiring: the sender attaches before Start and before the
+	// handler swap, so every committed record reaches the hook; records
+	// journaled before this instant (replayed history, the fairness head)
+	// are covered by seeding the sender's cursors from the journal.
+	var sender *replicate.Sender
+	var receiver *replicate.Receiver
+	if *repToFlag != "" {
+		sender, err = replicate.NewSender(replicate.SenderConfig{
+			Addr:      *repToFlag,
+			Epoch:     *epochFlag,
+			Shards:    svc.Shards(),
+			CatchUp:   server.JournalCatchUp(*journalFlag),
+			QueueLen:  *repQueueFlag,
+			Heartbeat: *repHBFlag,
+			Lease:     *leaseFlag,
+			Logf:      log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sender.Seed(svc.ReplicationSeqs())
+		svc.SetReplicator(sender)
+		svc.SetReplicationStats(func() *server.ReplicationStats {
+			st := sender.Stats()
+			return &server.ReplicationStats{Role: "primary", Primary: &st}
+		})
+		sender.Start()
+		log.Printf("replicating to %s (epoch %d, lease %v, heartbeat %v)", *repToFlag, *epochFlag, *leaseFlag, *repHBFlag)
+	}
+	if *followFlag != "" {
+		ln, err := net.Listen("tcp", *followFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		receiver, err = replicate.NewReceiver(replicate.ReceiverConfig{
+			Listener:     ln,
+			Applier:      svc,
+			Epoch:        *epochFlag,
+			PromoteAfter: *promoteFlag,
+			OnPromote: func(epoch int64) {
+				svc.Promote()
+				log.Printf("promoted to primary at epoch %d: step loops started, admissions open", epoch)
+			},
+			Logf: log.Printf,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		svc.SetPromote(receiver.Promote)
+		svc.SetReplicationStats(func() *server.ReplicationStats {
+			st := receiver.Stats()
+			role := "follower"
+			if promoted, _ := receiver.Promoted(); promoted {
+				role = "primary"
+			}
+			return &server.ReplicationStats{Role: role, Follower: &st}
+		})
+		log.Printf("following: replication listener on %s (epoch %d, promote-after %v)", ln.Addr(), *epochFlag, *promoteFlag)
+	}
+
 	svc.Start()
 	handler.swap(svc.Handler())
 
@@ -286,15 +375,29 @@ func main() {
 	drainCtx, stop := context.WithTimeout(context.Background(), *drainFlag)
 	defer stop()
 	// Close first so the drain happens while the HTTP surface still
-	// answers status queries; then shut the listener down.
-	if err := svc.Close(drainCtx); err != nil {
-		log.Printf("drain incomplete: %v", err)
+	// answers status queries; then shut the listener down. The sender
+	// stops after the drain so the final records stream out; the receiver
+	// closes without promoting — a restarting standby resumes following.
+	closeErr := svc.Close(drainCtx)
+	if closeErr != nil {
+		log.Printf("drain: %v", closeErr)
+	}
+	if sender != nil {
+		sender.Stop()
+	}
+	if receiver != nil {
+		receiver.Close()
 	}
 	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("http shutdown: %v", err)
 	}
 	if err := svc.Err(); err != nil {
 		log.Fatalf("step loop failed: %v", err)
+	}
+	if closeErr != nil && !errors.Is(closeErr, context.DeadlineExceeded) {
+		// A failed final journal flush means acknowledged tail records may
+		// not be durable: exit non-zero so orchestrators notice.
+		log.Fatalf("journal close failed — acknowledged tail records may not be durable: %v", closeErr)
 	}
 	log.Print("bye")
 	_ = os.Stdout.Sync()

@@ -52,8 +52,13 @@
 // Submissions that bounce with 503 (admission backpressure, or a daemon
 // whose journal disk has degraded) are retried: the client honors the
 // server's Retry-After hint, layered under capped exponential backoff
-// with jitter so a fleet of clients doesn't hammer in lockstep. The
-// final report counts how many retries the run needed.
+// with jitter so a fleet of clients doesn't hammer in lockstep.
+// Transport-level failures — connection refused or reset, the signature
+// of a daemon restarting or a replication failover in progress — are
+// retried on the same backoff but reported separately from 503s, so a
+// failover experiment shows its reconnect story distinctly from
+// backpressure. -max-retry-time caps the total wall clock any one
+// request may spend retrying before the client gives up.
 package main
 
 import (
@@ -61,8 +66,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"net"
@@ -70,6 +77,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"krad/internal/core"
@@ -101,8 +109,10 @@ func main() {
 		burstFlag  = flag.Bool("burst", false, "submit all jobs up front via /v1/jobs/batch and measure drain throughput")
 		tenantFlag = flag.Int("tenants", 0, "spread submissions across N synthetic tenants via the X-Krad-Tenant header (0 = no header; self-host enables fairness)")
 		familyFlag = flag.String("family", "dag", "runtime family of the generated workload: dag, moldable or mixed")
+		retryFlag  = flag.Duration("max-retry-time", 30*time.Second, "total wall clock one request may spend retrying 503/429/connection errors (0 = retry-count limit only)")
 	)
 	flag.Parse()
+	maxRetryTime = *retryFlag
 
 	base := *addrFlag
 	if base == "" {
@@ -173,8 +183,9 @@ func main() {
 	for s := 0; s < shards; s++ {
 		fmt.Printf("  shard %d: %3d jobs\n", s, perShard[s])
 	}
-	if retries503 > 0 {
-		fmt.Printf("\nsubmission retries: %d (503 backpressure, Retry-After honored)\n", retries503)
+	if retries503 > 0 || retriesConn > 0 {
+		fmt.Printf("\nsubmission retries: %d × 503 backpressure (Retry-After honored), %d × connection refused/reset (daemon restart or failover)\n",
+			retries503, retriesConn)
 	} else {
 		fmt.Println("\nsubmission retries: 0")
 	}
@@ -381,9 +392,15 @@ type jobStatus struct {
 	Span     int    `json:"span"`
 }
 
-// retries503 counts submissions that bounced with 503 and were retried.
-// Submissions run on one goroutine, so a plain counter suffices.
-var retries503 int
+// retries503 counts submissions that bounced with 503 and were retried;
+// retriesConn counts transport-level retries (connection refused or
+// reset — a daemon restarting or failing over, not shedding load).
+// Submissions run on one goroutine, so plain counters suffice.
+var (
+	retries503   int
+	retriesConn  int
+	maxRetryTime time.Duration
+)
 
 // tenantCounts tracks one synthetic tenant's admission outcomes: jobs
 // admitted, 429 fair-share bounces (each retried), and total retry waits.
@@ -414,22 +431,38 @@ func tenantSuffix(tenant string) string {
 	return "  tenant=" + tenant
 }
 
+// isConnErr reports a transport-level failure worth retrying: the daemon
+// refused the connection (restarting, or a failover target not serving
+// yet) or cut it mid-request (reset/EOF — the process died under us).
+// These are distinct from 503, which is a healthy daemon shedding load.
+func isConnErr(err error) bool {
+	return errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF)
+}
+
 // postRetry posts a JSON body (tagged with the tenant header when tenant
-// is non-empty), retrying 503 and 429 responses. 503 is fleet
-// backpressure — the whole service is full or degraded; 429 means this
-// tenant exhausted its fair share while the service still has capacity,
-// so the bounce is charged to the tenant's shed count before retrying.
-// Each retry waits at least the server's Retry-After hint (whole seconds
-// on the wire) and at least the current backoff step — doubling from
-// 25ms, capped at 2s — plus up to 50% jitter so concurrent clients
-// desynchronize. Any other status, success or failure, is returned to
-// the caller as-is.
+// is non-empty), retrying 503 and 429 responses plus connection
+// refused/reset transport errors. 503 is fleet backpressure — the whole
+// service is full or degraded; 429 means this tenant exhausted its fair
+// share while the service still has capacity, so the bounce is charged
+// to the tenant's shed count before retrying; connection errors mean the
+// daemon itself is down or mid-failover and are counted apart so the
+// report separates the reconnect story from backpressure. Each retry
+// waits at least the server's Retry-After hint (whole seconds on the
+// wire) and at least the current backoff step — doubling from 25ms,
+// capped at 2s — plus up to 50% jitter so concurrent clients
+// desynchronize. Retrying stops at maxRetries attempts or when the next
+// wait would cross -max-retry-time, whichever comes first. Any other
+// status or error, success or failure, is returned to the caller as-is.
 func postRetry(url, tenant string, body []byte) (*http.Response, error) {
 	backoff := 25 * time.Millisecond
 	const (
 		maxBackoff = 2 * time.Second
 		maxRetries = 20
 	)
+	start := time.Now()
 	for attempt := 0; ; attempt++ {
 		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
 		if err != nil {
@@ -440,28 +473,45 @@ func postRetry(url, tenant string, body []byte) (*http.Response, error) {
 			req.Header.Set(server.TenantHeader, tenant)
 		}
 		resp, err := http.DefaultClient.Do(req)
-		if err != nil {
+		status := 0
+		retryAfter := ""
+		switch {
+		case err == nil && resp.StatusCode != http.StatusServiceUnavailable && resp.StatusCode != http.StatusTooManyRequests:
+			return resp, nil
+		case err == nil:
+			status = resp.StatusCode
+			retryAfter = resp.Header.Get("Retry-After")
+			resp.Body.Close()
+		case isConnErr(err):
+			// Retryable transport failure; falls through to the backoff.
+		default:
 			return nil, err
 		}
-		if resp.StatusCode != http.StatusServiceUnavailable && resp.StatusCode != http.StatusTooManyRequests {
-			return resp, nil
-		}
-		retryAfter := resp.Header.Get("Retry-After")
-		status := resp.StatusCode
-		resp.Body.Close()
 		if attempt == maxRetries {
+			if err != nil {
+				return nil, fmt.Errorf("giving up after %d retries: %w", maxRetries, err)
+			}
 			return nil, fmt.Errorf("giving up after %d retries: server still answering %d", maxRetries, status)
 		}
 		wait := backoff
-		if secs, err := strconv.Atoi(retryAfter); err == nil && secs > 0 {
+		if secs, aerr := strconv.Atoi(retryAfter); aerr == nil && secs > 0 {
 			if hint := time.Duration(secs) * time.Second; hint > wait {
 				wait = hint
 			}
 		}
 		wait += time.Duration(rand.Int63n(int64(wait)/2 + 1))
-		if status == http.StatusTooManyRequests {
+		if maxRetryTime > 0 && time.Since(start)+wait > maxRetryTime {
+			if err != nil {
+				return nil, fmt.Errorf("-max-retry-time %v exhausted after %d retries: %w", maxRetryTime, attempt+1, err)
+			}
+			return nil, fmt.Errorf("-max-retry-time %v exhausted after %d retries: server still answering %d", maxRetryTime, attempt+1, status)
+		}
+		switch {
+		case err != nil:
+			retriesConn++
+		case status == http.StatusTooManyRequests:
 			tenantCount(tenant).shed++
-		} else {
+		default:
 			retries503++
 		}
 		if tenant != "" {

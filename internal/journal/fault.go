@@ -32,9 +32,15 @@ type FaultFile struct {
 	Err error
 	// Mode picks the failure shape.
 	Mode FaultMode
+	// SyncBudget, when positive, bounds successful Sync calls: the
+	// (SyncBudget+1)-th Sync fails with Err and trips the fault — the test
+	// double for a device that buffers writes fine but fails the final
+	// flush (a dying disk at shutdown). Zero leaves Sync unlimited.
+	SyncBudget int
 
 	mu      sync.Mutex
 	written int64
+	synced  int
 	tripped bool
 }
 
@@ -69,14 +75,21 @@ func (f *FaultFile) Write(p []byte) (int, error) {
 	return 0, f.err()
 }
 
-// Sync forwards to the underlying file until the fault fires.
+// Sync forwards to the underlying file until the fault fires, either from
+// a tripped write or from an exhausted SyncBudget.
 func (f *FaultFile) Sync() error {
 	f.mu.Lock()
-	tripped := f.tripped
-	f.mu.Unlock()
-	if tripped {
+	if f.tripped {
+		f.mu.Unlock()
 		return f.err()
 	}
+	if f.SyncBudget > 0 && f.synced >= f.SyncBudget {
+		f.tripped = true
+		f.mu.Unlock()
+		return f.err()
+	}
+	f.synced++
+	f.mu.Unlock()
 	return f.F.Sync()
 }
 

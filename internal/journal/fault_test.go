@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"syscall"
 	"testing"
+	"time"
 
 	"krad/internal/sim"
 )
@@ -139,5 +140,107 @@ func TestCompactFailureLatches(t *testing.T) {
 	}
 	if len(recs) != 4 {
 		t.Fatalf("original journal has %d records after failed compact, want 4", len(recs))
+	}
+}
+
+// syncCountingFile records how many bytes had been written at each Sync,
+// so a test can prove a flush covered the full tail.
+type syncCountingFile struct {
+	f           File
+	written     int64
+	syncs       int
+	bytesAtSync []int64
+}
+
+func (c *syncCountingFile) Write(p []byte) (int, error) {
+	n, err := c.f.Write(p)
+	c.written += int64(n)
+	return n, err
+}
+
+func (c *syncCountingFile) Sync() error {
+	c.syncs++
+	c.bytesAtSync = append(c.bytesAtSync, c.written)
+	return c.f.Sync()
+}
+
+func (c *syncCountingFile) Close() error { return c.f.Close() }
+
+// Regression: under SyncInterval, Close must flush the tail written since
+// the last interval sync even though the timer never fired — a clean
+// shutdown is loss-free, not bounded-loss.
+func TestCloseFlushesIntervalTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.wal")
+	var cf *syncCountingFile
+	j, _, err := Open(path, Options{
+		Sync:     SyncInterval,
+		Interval: time.Hour, // the timer can never fire inside this test
+		OpenAppend: func(p string) (File, error) {
+			f, err := os.OpenFile(p, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, err
+			}
+			cf = &syncCountingFile{f: f}
+			return cf, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first append syncs (lastSync is the zero time); the rest land
+	// inside the hour-long interval and stay buffered.
+	for i := 0; i < 5; i++ {
+		if err := j.Append(StepRecord(int64(i + 1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cf.syncs != 1 {
+		t.Fatalf("%d syncs before Close, want exactly 1 (the interval timer must not have fired)", cf.syncs)
+	}
+	if cf.bytesAtSync[0] >= cf.written {
+		t.Fatal("test is vacuous: no unsynced tail accumulated before Close")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if cf.syncs != 2 {
+		t.Fatalf("%d syncs after Close, want 2 (Close must flush the interval tail)", cf.syncs)
+	}
+	if got, want := cf.bytesAtSync[1], cf.written; got != want {
+		t.Fatalf("Close synced at %d bytes written, want %d (the whole tail)", got, want)
+	}
+}
+
+// Regression: a failed Close-time flush must be reported and latched, not
+// swallowed — otherwise a dying disk turns a clean shutdown into silent
+// loss of the last interval's appends.
+func TestCloseReportsFailedFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.wal")
+	j, _, err := Open(path, Options{
+		Sync:     SyncInterval,
+		Interval: time.Hour,
+		OpenAppend: func(p string) (File, error) {
+			f, err := os.OpenFile(p, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, err
+			}
+			// One successful flush (the first append's), then the device
+			// dies: Close's final sync is the second.
+			return &FaultFile{F: f, N: 1 << 30, SyncBudget: 1}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(StepRecord(int64(i + 1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Close with a failing final sync: %v, want ENOSPC", err)
+	}
+	if err := j.Err(); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Err() after failed Close flush = %v, want latched ENOSPC", err)
 	}
 }

@@ -211,6 +211,49 @@ func Open(path string, opts Options) (*Journal, []Record, error) {
 	return j, recs, nil
 }
 
+// ReadFile decodes the journal at path without opening it for append and
+// without repairing it: a torn tail is simply ignored. Because nothing is
+// truncated or locked, it is safe to call on a live journal that another
+// goroutine (or process) is appending to — replication catch-up reads the
+// primary's own WAL this way, and a record torn by a concurrent append
+// shows up on the next read. A missing file decodes as empty.
+func ReadFile(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("journal: read %s: %w", path, err)
+	}
+	recs, _, err := decodeAll(data)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// SeqBase returns the sequence cursor already covered by a decoded
+// journal's head: a snap-headed journal resumes the cursor its snapshot
+// carries, anything else starts from zero.
+func SeqBase(recs []Record) int64 {
+	if len(recs) > 0 && recs[0].Type == TypeSnap {
+		return recs[0].Seq
+	}
+	return 0
+}
+
+// SeqAfter returns the sequence number of a decoded journal's last record
+// — the cursor a replica that has applied all of recs continues from. The
+// head snap record, when present, does not get a sequence number of its
+// own: it stands in for the Seq records it covers.
+func SeqAfter(recs []Record) int64 {
+	n := int64(len(recs))
+	if len(recs) > 0 && recs[0].Type == TypeSnap {
+		n--
+	}
+	return SeqBase(recs) + n
+}
+
 // decodeAll parses a journal image, returning the intact records and the
 // byte length of the valid prefix. Damage at the tail is reported by
 // goodLen < len(data) with a nil error; damage anywhere else is ErrCorrupt;
@@ -460,17 +503,23 @@ func syncDir(dir string) error {
 	return d.Sync()
 }
 
-// Close syncs (under SyncAlways and SyncInterval) and closes the file.
+// Close syncs and closes the file. Under SyncInterval this final sync is
+// what makes a clean shutdown loss-free: appends inside the last interval
+// window have not hit the disk yet, and skipping the flush here would
+// silently demote "clean exit" to "bounded loss". A failed final sync is
+// therefore latched into the sticky failure (visible via Err after Close)
+// and returned — callers must not report a clean shutdown over it.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.f == nil {
-		return nil
+		return j.failed
 	}
 	var errs []error
 	if j.failed == nil && j.opts.Sync != SyncNever {
 		if err := j.f.Sync(); err != nil {
-			errs = append(errs, err)
+			j.failed = fmt.Errorf("journal: close %s: final sync: %w", j.path, err)
+			errs = append(errs, j.failed)
 		}
 	}
 	if err := j.f.Close(); err != nil {

@@ -143,6 +143,14 @@ type Record struct {
 	N int64 `json:"n,omitempty"`
 	// Snap is the engine checkpoint (snap records).
 	Snap *sim.EngineCheckpoint `json:"snap,omitempty"`
+	// Seq is the replication sequence cursor a snap record carries: the
+	// number of mutation records the checkpoint covers, counted from the
+	// engine's birth. A record's sequence number is its 1-based position in
+	// that count, so a journal headed by a snap with Seq=s continues at
+	// s+1. Zero (omitted) on journals written before replication existed —
+	// their snapshots simply cannot seed a follower and catch-up falls back
+	// to full replay.
+	Seq int64 `json:"seq,omitempty"`
 	// Tenant is the fair-share leaf path the admission was accounted
 	// against (admit and batch records under a fairness-enabled server).
 	// Empty on fairness-off journals, keeping their encoding byte-identical
@@ -187,11 +195,11 @@ func validateRecord(r Record) error {
 			return fmt.Errorf("journal: batch record has no jobs")
 		}
 	case TypeCancel, TypeStep:
-		if len(r.Jobs) != 0 || r.Snap != nil || r.N != 0 || r.Tenant != "" || r.Fair != nil {
+		if len(r.Jobs) != 0 || r.Snap != nil || r.N != 0 || r.Tenant != "" || r.Fair != nil || r.Seq != 0 {
 			return fmt.Errorf("journal: %s record carries stray fields", r.Type)
 		}
 	case TypeSteps:
-		if len(r.Jobs) != 0 || r.Snap != nil || r.Tenant != "" || r.Fair != nil {
+		if len(r.Jobs) != 0 || r.Snap != nil || r.Tenant != "" || r.Fair != nil || r.Seq != 0 {
 			return fmt.Errorf("journal: steps record carries stray fields")
 		}
 		if r.N < 2 {
@@ -204,8 +212,11 @@ func validateRecord(r Record) error {
 		if r.Tenant != "" {
 			return fmt.Errorf("journal: snap record carries stray fields")
 		}
+		if r.Seq < 0 {
+			return fmt.Errorf("journal: snap record has negative sequence cursor %d", r.Seq)
+		}
 	case TypeFair:
-		if len(r.Jobs) != 0 || r.Snap != nil || r.N != 0 || r.Tenant != "" {
+		if len(r.Jobs) != 0 || r.Snap != nil || r.N != 0 || r.Tenant != "" || r.Seq != 0 {
 			return fmt.Errorf("journal: fair record carries stray fields")
 		}
 		if r.Fair == nil {
@@ -228,6 +239,9 @@ func validateRecord(r Record) error {
 	if r.Type == TypeAdmit || r.Type == TypeBatch {
 		if r.Base < 0 {
 			return fmt.Errorf("journal: %s record has negative base ID %d", r.Type, r.Base)
+		}
+		if r.Seq != 0 {
+			return fmt.Errorf("journal: %s record carries a sequence cursor", r.Type)
 		}
 		if r.V != 0 && r.V != recordVersion {
 			return fmt.Errorf("journal: %s record version %d, want 0 or %d", r.Type, r.V, recordVersion)

@@ -58,6 +58,16 @@ func ReplayObserved(eng *sim.Engine, recs []Record, obs Observer) error {
 	return nil
 }
 
+// Apply replays a single record through the engine (and observer) as one
+// incremental unit of ReplayObserved — the seam a replication follower
+// uses to track a live primary record by record. pos is the record's
+// position in the logical record sequence since the engine's birth: snap
+// and fair records are only valid at position 0, exactly as in a full
+// replay. The determinism and cross-checking contract is Replay's.
+func Apply(eng *sim.Engine, pos int, rec Record, obs Observer) error {
+	return replayOne(eng, rec, pos, obs)
+}
+
 func replayOne(eng *sim.Engine, rec Record, i int, obs Observer) error {
 	switch rec.Type {
 	case TypeSnap:

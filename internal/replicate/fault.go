@@ -1,0 +1,71 @@
+package replicate
+
+import (
+	"net"
+	"sync"
+	"syscall"
+)
+
+// FaultConn wraps a net.Conn and kills it after a write-byte budget — the
+// test double for a link dying mid-frame. The write that would cross the
+// budget sends only the bytes that fit (a torn frame on the wire, exactly
+// what a dying TCP connection leaves behind) and then closes the
+// connection, so both peers observe the failure.
+type FaultConn struct {
+	net.Conn
+	// Budget is the number of bytes allowed through Write; < 0 means
+	// unlimited.
+	Budget int64
+
+	mu      sync.Mutex
+	written int64
+	cut     bool
+}
+
+// Write implements net.Conn with the injected cut.
+func (c *FaultConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.cut {
+		c.mu.Unlock()
+		return 0, syscall.ECONNRESET
+	}
+	if c.Budget < 0 || c.written+int64(len(p)) <= c.Budget {
+		c.written += int64(len(p))
+		c.mu.Unlock()
+		return c.Conn.Write(p)
+	}
+	fit := c.Budget - c.written
+	if fit < 0 {
+		fit = 0
+	}
+	c.cut = true
+	c.written += fit
+	c.mu.Unlock()
+	n, _ := c.Conn.Write(p[:fit])
+	_ = c.Conn.Close()
+	return n, syscall.ECONNRESET
+}
+
+// FaultDialer wraps dial so the n-th connection attempt (0-based) gets a
+// write budget from budget; a negative budget leaves that connection
+// intact. Tests use it to cut the stream mid-frame at chosen offsets and
+// watch the sender reconnect and resume.
+func FaultDialer(dial func(addr string) (net.Conn, error), budget func(attempt int) int64) func(addr string) (net.Conn, error) {
+	var mu sync.Mutex
+	attempt := 0
+	return func(addr string) (net.Conn, error) {
+		mu.Lock()
+		n := attempt
+		attempt++
+		mu.Unlock()
+		conn, err := dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		b := budget(n)
+		if b < 0 {
+			return conn, nil
+		}
+		return &FaultConn{Conn: conn, Budget: b}, nil
+	}
+}

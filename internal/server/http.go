@@ -11,6 +11,7 @@ import (
 
 	"krad/internal/dag"
 	"krad/internal/moldable"
+	"krad/internal/replicate"
 	"krad/internal/sim"
 )
 
@@ -127,6 +128,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/events", s.handleEvents)
+	mux.HandleFunc("POST /v1/promote", s.handlePromote)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -208,6 +210,18 @@ func (s *Service) writeSubmitError(w http.ResponseWriter, err error) bool {
 		w.Header().Set("Retry-After", s.retryAfter)
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return false
+	case errors.Is(err, replicate.ErrFenced):
+		// 409, not 503: retrying this daemon can never succeed — a
+		// follower holds a higher epoch and this primary is permanently
+		// deposed. Clients must re-resolve to the promoted follower.
+		writeError(w, http.StatusConflict, "%v", err)
+		return false
+	case errors.Is(err, replicate.ErrLeaseExpired), errors.Is(err, ErrFollower):
+		// Transient (lease heals when acks resume) or wrong-node
+		// (follower): 503 tells load balancers to route elsewhere.
+		w.Header().Set("Retry-After", s.retryAfter)
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return false
 	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return false
@@ -248,7 +262,7 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.Cancel(id); err != nil {
-		if errors.Is(err, ErrDegraded) {
+		if errors.Is(err, ErrDegraded) || errors.Is(err, ErrFollower) || errors.Is(err, replicate.ErrLeaseExpired) {
 			w.Header().Set("Retry-After", s.retryAfter)
 			writeError(w, http.StatusServiceUnavailable, "%v", err)
 			return
@@ -298,6 +312,23 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handlePromote flips a standby follower into the serving primary: the
+// registered promotion callback (replicate.Receiver.Promote) bumps the
+// epoch past everything seen, fences the old primary's stream, and
+// starts this daemon's step loops. Idempotent; 409 on a daemon that was
+// never configured as a follower.
+func (s *Service) handlePromote(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	f := s.promoteFn
+	s.mu.Unlock()
+	if f == nil {
+		writeError(w, http.StatusConflict, "not a replication follower: nothing to promote")
+		return
+	}
+	epoch := f()
+	writeJSON(w, http.StatusOK, map[string]any{"promoted": true, "epoch": epoch})
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -129,13 +129,23 @@ func (sh *shard) attachJournal(jn *journal.Journal, snapshotEvery int64, recs []
 	}
 	sh.jn = jn
 	sh.compactEvery = snapshotEvery
-	if sh.fair != nil && len(recs) == 0 {
+	// Seed the replication cursor from what the journal already covers: a
+	// snapshot head resumes at its stamped cursor (0 on journals written
+	// before replication existed), every later record counts one.
+	sh.repSeq = journal.SeqAfter(recs)
+	sh.applied = int64(len(recs))
+	if sh.fair != nil && len(recs) == 0 && !sh.standby {
 		// Head marker on a fresh fairness-enabled journal: declares the
 		// half-life so later replays cross-check decay math before
-		// accruing anything under the wrong curve.
-		if err := jn.Append(journal.FairRecord(sh.fairStateLocked())); err != nil {
+		// accruing anything under the wrong curve. A standby follower skips
+		// it — its journal head must be the primary's own head record,
+		// replicated like everything else, or the two journals diverge at
+		// sequence 1.
+		rec := journal.FairRecord(sh.fairStateLocked())
+		if err := jn.Append(rec); err != nil {
 			return fmt.Errorf("write fair head record: %w", err)
 		}
+		sh.commitLocked(rec)
 	}
 	// Rebuild the counters Stats and /metrics report. Steps and rejections
 	// are process-local (a rejection admitted nothing durable), so they
@@ -179,6 +189,7 @@ func (sh *shard) journalAdmitLocked(ids []int, specs []sim.JobSpec, tenant strin
 		sh.rollbackLocked(ids)
 		return fmt.Errorf("%w: %v", ErrDegraded, err)
 	}
+	sh.commitLocked(rec)
 	return nil
 }
 
@@ -217,14 +228,19 @@ func (sh *shard) maybeCompact() {
 		sh.compactOff = true
 		return
 	}
-	rec := journal.Record{Type: journal.TypeSnap, Snap: &cp}
+	// The snapshot is stamped with the replication cursor it covers
+	// through, so a follower catching up from the compacted journal knows
+	// exactly which sequence numbers the snapshot subsumes.
+	rec := journal.Record{Type: journal.TypeSnap, Snap: &cp, Seq: sh.repSeq}
 	if sh.fair != nil {
 		// The fair ledger rides the snapshot: compaction must not forget
 		// decayed usage the dropped records accrued.
 		st := sh.fairStateLocked()
 		rec.Fair = &st
 	}
-	_ = sh.jn.Compact(rec)
+	if err := sh.jn.Compact(rec); err == nil {
+		sh.applied = 1 // the snapshot is now the whole logical sequence
+	}
 }
 
 // Ready reports whether the service should receive traffic: not draining,
@@ -234,10 +250,13 @@ func (sh *shard) maybeCompact() {
 // in-flight work.
 func (s *Service) Ready() (bool, string) {
 	s.mu.Lock()
-	closed := s.closed
+	closed, follower := s.closed, s.follower
 	s.mu.Unlock()
 	if closed {
 		return false, "draining"
+	}
+	if follower {
+		return false, "following (standby) — replicating from the primary; POST /v1/promote to take over"
 	}
 	for _, sh := range s.shards {
 		sh.mu.Lock()

@@ -175,6 +175,35 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		metric("krad_journal_degraded_shards", "Shards whose journal latched a write failure (admission suspended).", "gauge", js.Degraded, "")
 	}
 
+	// Replication families appear only when replication is configured, so
+	// a standalone deployment's exposition stays bit-identical to builds
+	// before warm standbys existed.
+	if rs := s.replicationStats(); rs != nil {
+		b2i := func(v bool) int {
+			if v {
+				return 1
+			}
+			return 0
+		}
+		switch {
+		case rs.Primary != nil:
+			p := rs.Primary
+			metric("krad_replicate_epoch", "Replication epoch this daemon believes current.", "gauge", p.Epoch, "")
+			metric("krad_replicate_connected", "Whether the replication stream is live (1) or down (0).", "gauge", b2i(p.Connected), "")
+			metric("krad_replicate_lag_records", "Committed records the follower has not yet acknowledged, summed over shards.", "gauge", p.LagRecords, "")
+			metric("krad_replicate_reconnects_total", "Replication stream re-dials after the first successful handshake.", "counter", p.Reconnects, "")
+			metric("krad_replicate_fenced", "Whether this primary is fenced by a promoted follower (1) and refusing admissions.", "gauge", b2i(p.Fenced), "")
+			metric("krad_replicate_queue_drops_total", "Whole-queue spills from the in-memory send queue to WAL catch-up.", "counter", p.QueueDrops, "")
+		case rs.Follower != nil:
+			f := rs.Follower
+			metric("krad_replicate_epoch", "Replication epoch this daemon believes current.", "gauge", f.Epoch, "")
+			metric("krad_replicate_connected", "Whether the replication stream is live (1) or down (0).", "gauge", b2i(f.Connected), "")
+			metric("krad_replicate_reconnects_total", "Primary connections accepted (handshakes), counting reconnects.", "counter", f.Connects, "")
+			metric("krad_replicate_applied_total", "Replicated records applied through the engines since start.", "counter", f.Applied, "")
+			metric("krad_replicate_promoted", "Whether this follower has promoted itself to primary (1).", "gauge", b2i(f.Promoted), "")
+		}
+	}
+
 	// Tenant families appear only when fairness is enabled, so a
 	// fairness-free deployment's exposition stays bit-identical to builds
 	// before multi-tenancy existed.

@@ -1,0 +1,335 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+
+	"krad/internal/journal"
+	"krad/internal/replicate"
+	"krad/internal/sim"
+)
+
+// ErrFollower means this daemon is a warm standby: it tracks a primary's
+// replication stream and refuses writes of its own until promoted (POST
+// /v1/promote, or the -promote-after timeout).
+var ErrFollower = errors.New("server: standby follower — replicating from the primary, not accepting writes")
+
+// Replicator is the primary-side replication hook a Service drives: every
+// committed journal record is handed to Committed under the shard lock
+// (so it must be cheap and non-blocking — replicate.Sender queues and
+// returns), and WriteAllowed gates admissions behind epoch fencing and
+// the follower liveness lease. In practice this is a *replicate.Sender.
+type Replicator interface {
+	// Committed reports that rec was journaled as shard's seq-th mutation.
+	Committed(shard int, seq int64, rec journal.Record)
+	// WriteAllowed reports whether this daemon may still act as primary:
+	// replicate.ErrFenced after a follower promoted past it,
+	// replicate.ErrLeaseExpired while the follower lease is blown.
+	WriteAllowed() error
+}
+
+// ReplicationStats is the replication slice of Stats: the daemon's role
+// plus the sender-side or receiver-side summary, whichever applies.
+type ReplicationStats struct {
+	// Role is "primary" (streaming to a follower) or "follower" (tracking
+	// a primary); a promoted follower reports "primary".
+	Role     string                   `json:"role"`
+	Primary  *replicate.SenderStats   `json:"primary,omitempty"`
+	Follower *replicate.ReceiverStats `json:"follower,omitempty"`
+}
+
+// SetReplicator attaches the primary-side replication hook to every
+// shard. Call before Start and before serving traffic (cmd/kradd wires
+// it right after New), so no committed record can slip past the hook —
+// records committed earlier are covered by seeding the sender from
+// ReplicationSeqs.
+func (s *Service) SetReplicator(r Replicator) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.rep = r
+		sh.mu.Unlock()
+	}
+}
+
+// SetReplicationStats registers the probe Stats and /metrics use to
+// report replication state; nil keeps the replication-free encodings.
+func (s *Service) SetReplicationStats(f func() *ReplicationStats) {
+	s.mu.Lock()
+	s.repStats = f
+	s.mu.Unlock()
+}
+
+// SetPromote registers the callback POST /v1/promote triggers — the
+// replication receiver's Promote, which bumps the epoch, fences the old
+// primary and calls back into Service.Promote.
+func (s *Service) SetPromote(f func() int64) {
+	s.mu.Lock()
+	s.promoteFn = f
+	s.mu.Unlock()
+}
+
+// Promote flips a follower Service into a serving primary: the follower
+// gate lifts and the shard step loops start (they were held down so the
+// engines would mutate only through the replicated stream). Idempotent;
+// a no-op on a Service that was never a follower. Callers normally reach
+// it through replicate.Receiver's OnPromote, which owns the epoch bump
+// and fencing.
+func (s *Service) Promote() {
+	s.mu.Lock()
+	if !s.follower {
+		s.mu.Unlock()
+		return
+	}
+	s.follower = false
+	started := s.started
+	s.mu.Unlock()
+	if started {
+		for _, sh := range s.shards {
+			sh.start()
+		}
+	}
+}
+
+// Following reports whether the Service is still a standby follower.
+func (s *Service) Following() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.follower
+}
+
+// ReplicationSeqs reports, per shard, the sequence number of the last
+// committed mutation record (what the journal covers right now). A
+// primary seeds its replicate.Sender with this so the sender knows those
+// records are servable from disk without having seen them via Committed.
+func (s *Service) ReplicationSeqs() []int64 {
+	out := make([]int64, len(s.shards))
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		out[i] = sh.repSeq
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// NextSeqs implements replicate.Applier: per shard, the next sequence
+// number this follower needs.
+func (s *Service) NextSeqs() []int64 {
+	out := s.ReplicationSeqs()
+	for i := range out {
+		out[i]++
+	}
+	return out
+}
+
+// ApplyReplicated implements replicate.Applier: journal the record, then
+// replay it through the shard's engine — the same record order, lock
+// discipline and replay path a crash-restart uses, so the follower's
+// engine tracks the primary bit-identically. The journal append comes
+// first: a follower crash between append and apply replays the record on
+// restart, while a crash before the append never acked it, so the
+// primary re-sends. An apply error means the follower diverged
+// (mismatched configuration or corrupt stream); it latches the shard so
+// nothing further applies until an operator restarts against a clean
+// journal.
+func (s *Service) ApplyReplicated(shard int, seq int64, rec journal.Record) error {
+	if shard < 0 || shard >= len(s.shards) {
+		return fmt.Errorf("server: replicated record for shard %d but the service runs %d shard(s)", shard, len(s.shards))
+	}
+	sh := s.shards[shard]
+	sh.mu.Lock()
+	if sh.repErr != nil {
+		err := sh.repErr
+		sh.mu.Unlock()
+		return err
+	}
+	if sh.closed {
+		sh.mu.Unlock()
+		return ErrClosed
+	}
+	if seq != sh.repSeq+1 {
+		sh.mu.Unlock()
+		return fmt.Errorf("server: shard %d: replicated seq %d, want %d — stream out of order", shard, seq, sh.repSeq+1)
+	}
+	if rec.Type == journal.TypeSnap {
+		sh.mu.Unlock()
+		return fmt.Errorf("server: shard %d: snapshot arrived as a sequenced record; snapshots reset via their own frame", shard)
+	}
+	if sh.jn != nil {
+		if err := sh.jn.Append(rec); err != nil {
+			sh.mu.Unlock()
+			return fmt.Errorf("%w: %v", ErrDegraded, err)
+		}
+	}
+	obs := &applyObserver{sh: sh}
+	if err := journal.Apply(sh.eng, int(sh.applied), rec, obs); err != nil {
+		sh.repErr = fmt.Errorf("server: shard %d: replicated seq %d diverged from this engine: %w", shard, seq, err)
+		err = sh.repErr
+		sh.mu.Unlock()
+		return err
+	}
+	sh.repSeq = seq
+	sh.applied++
+	ev := obs.ev
+	sh.mu.Unlock()
+	if ev != nil {
+		sh.fan.publish(*ev)
+	}
+	return nil
+}
+
+// ApplyReplicatedSnap implements replicate.Applier: primary compaction
+// overtook this follower, so the shard resets wholesale to the snapshot —
+// fresh engine restored from the checkpoint, journal compacted to the
+// same record, counters and fair ledger rebuilt — exactly the state a
+// restart against the primary's compacted journal would produce.
+func (s *Service) ApplyReplicatedSnap(shard int, rec journal.Record) error {
+	if shard < 0 || shard >= len(s.shards) {
+		return fmt.Errorf("server: replicated snapshot for shard %d but the service runs %d shard(s)", shard, len(s.shards))
+	}
+	if rec.Type != journal.TypeSnap || rec.Snap == nil || rec.Seq < 1 {
+		return fmt.Errorf("server: shard %d: malformed replicated snapshot record", shard)
+	}
+	sh := s.shards[shard]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.repErr != nil {
+		return sh.repErr
+	}
+	if sh.closed {
+		return ErrClosed
+	}
+	if rec.Seq <= sh.repSeq {
+		return fmt.Errorf("server: shard %d: snapshot covers through seq %d but %d is already applied — refusing to rewind", shard, rec.Seq, sh.repSeq)
+	}
+	eng, err := sh.newEngine()
+	if err != nil {
+		return fmt.Errorf("server: shard %d: rebuild engine for snapshot: %w", shard, err)
+	}
+	if err := eng.Restore(*rec.Snap); err != nil {
+		return fmt.Errorf("server: shard %d: restore snapshot through seq %d: %w", shard, rec.Seq, err)
+	}
+	if rec.Fair != nil {
+		if sh.fair == nil {
+			return fmt.Errorf("server: shard %d: replicated snapshot is fairness-tagged but fairness is disabled on this follower; restart with -fairness", shard)
+		}
+		if err := (fairReplayObserver{sh}).Fair(*rec.Fair); err != nil {
+			return err
+		}
+	}
+	if sh.jn != nil {
+		if err := sh.jn.Compact(rec); err != nil {
+			return fmt.Errorf("%w: %v", ErrDegraded, err)
+		}
+	}
+	sh.eng = eng
+	snap := eng.Snapshot()
+	sh.submitted = int64(snap.Admitted)
+	sh.completed = int64(snap.Completed)
+	sh.cancelled = int64(snap.Cancelled)
+	sh.responses = sh.responses[:0]
+	sh.respHist = newHistogram(responseBuckets())
+	for id := 0; id < snap.Admitted; id++ {
+		st, ok := eng.Job(id)
+		if !ok || st.Phase != sim.JobDone {
+			continue
+		}
+		r := float64(st.Completion - st.Release)
+		sh.responses = append(sh.responses, r)
+		sh.respHist.observe(r)
+	}
+	sh.repSeq = rec.Seq
+	sh.applied = 1
+	return nil
+}
+
+// applyObserver folds one replicated record's side-effects into the
+// shard: the lifecycle counters and response accounting stepN maintains
+// on a primary, the fair-share ledger the replay observer maintains, and
+// the step event (captured here, published by the caller after the lock
+// drops). Runs with the shard lock held.
+type applyObserver struct {
+	sh *shard
+	ev *Event
+}
+
+func (o *applyObserver) Fair(st journal.FairState) error {
+	if o.sh.fair == nil {
+		return fmt.Errorf("record is fairness-tagged but fairness is disabled on this follower; restart with -fairness")
+	}
+	return fairReplayObserver{o.sh}.Fair(st)
+}
+
+func (o *applyObserver) Admitted(rec journal.Record, ids []int, now int64) {
+	o.sh.submitted += int64(len(ids))
+	if o.sh.fair != nil {
+		fairReplayObserver{o.sh}.Admitted(rec, ids, now)
+	}
+}
+
+func (o *applyObserver) Cancelled(id int) {
+	o.sh.cancelled++
+	o.sh.fairForgetLocked(id)
+}
+
+func (o *applyObserver) Stepped(info sim.StepInfo) {
+	sh := o.sh
+	sh.steps += info.Steps
+	for _, id := range info.Completed {
+		st, _ := sh.eng.Job(id)
+		r := float64(st.Completion - st.Release)
+		sh.responses = append(sh.responses, r)
+		sh.respHist.observe(r)
+		sh.completed++
+		sh.fairForgetLocked(id)
+	}
+	ev := Event{
+		Shard:     sh.idx,
+		Step:      info.Step,
+		Executed:  append([]int(nil), info.Executed...),
+		Released:  sh.namespace(info.Released),
+		Completed: sh.namespace(info.Completed),
+		Active:    info.Active,
+		Pending:   sh.eng.Snapshot().Pending,
+	}
+	if info.Steps > 1 {
+		ev.Steps = info.Steps
+	}
+	o.ev = &ev
+}
+
+// JournalCatchUp builds the replication catch-up source over a service's
+// journal directory: when a follower's cursor has aged out of the
+// sender's in-memory queue, the sender reads the shard's WAL file
+// (torn-tail tolerant, safe on the live file — appends hit the page
+// cache before any fsync) and reconstructs sequence numbers from the
+// head snapshot's stamped cursor.
+func JournalCatchUp(dir string) replicate.CatchUpFunc {
+	return func(shard int, from int64) (*replicate.SeqRecord, []replicate.SeqRecord, error) {
+		path := shardJournalPath(dir, shard)
+		recs, err := journal.ReadFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		var snap *replicate.SeqRecord
+		i := 0
+		if len(recs) > 0 && recs[0].Type == journal.TypeSnap {
+			if recs[0].Seq == 0 {
+				// A snapshot compacted before replication existed carries no
+				// cursor, so the records it subsumed cannot be numbered and
+				// no follower can be seeded from it.
+				return nil, nil, fmt.Errorf("server: %s is headed by a snapshot without a replication cursor (compacted by a pre-replication build); the next compaction re-stamps it, or move the journal away to start fresh", path)
+			}
+			snap = &replicate.SeqRecord{Seq: recs[0].Seq, Rec: recs[0]}
+			i = 1
+		}
+		seq := journal.SeqBase(recs)
+		var tail []replicate.SeqRecord
+		for ; i < len(recs); i++ {
+			seq++
+			if seq >= from {
+				tail = append(tail, replicate.SeqRecord{Seq: seq, Rec: recs[i]})
+			}
+		}
+		return snap, tail, nil
+	}
+}

@@ -88,6 +88,15 @@ type Config struct {
 	// entirely and the service behaves bit-identically to a journal-free
 	// build. See JournalConfig (journal.go).
 	Journal *JournalConfig
+	// Follower, when true, starts the service as a warm replication
+	// standby: submissions and cancellations are refused with ErrFollower,
+	// the shard step loops stay down (the engines mutate only through
+	// ApplyReplicated / ApplyReplicatedSnap, tracking the primary's
+	// committed record stream bit-identically), and Ready reports
+	// "following" so load balancers keep traffic away. Promote — normally
+	// reached through replicate.Receiver's OnPromote — lifts the gate and
+	// starts the loops. See internal/replicate for the wire protocol.
+	Follower bool
 	// Fairness, when set, enables hierarchical multi-tenant fair-share
 	// admission: submissions resolve their X-Krad-Tenant header through
 	// the queue tree, the fleet MaxInFlight is divided by weighted fair
@@ -161,6 +170,11 @@ type Stats struct {
 	// nil (omitted on the wire) when fairness is disabled, keeping the
 	// fairness-free Stats encoding bit-identical to earlier builds.
 	Tenants []TenantStats `json:"tenants,omitempty"`
+	// Replication reports the daemon's replication role and stream state;
+	// nil (omitted on the wire) when replication is not configured,
+	// keeping the standalone Stats encoding bit-identical to
+	// pre-replication builds.
+	Replication *ReplicationStats `json:"replication,omitempty"`
 }
 
 // Service is the long-running scheduler front-end: N shards (each one
@@ -175,9 +189,12 @@ type Service struct {
 	schedName  string
 	retryAfter string // whole seconds for 503/429 Retry-After, from StepEvery
 
-	mu      sync.Mutex
-	started bool
-	closed  bool
+	mu        sync.Mutex
+	started   bool
+	closed    bool
+	follower  bool                     // standby: refuse writes, step loops down
+	promoteFn func() int64             // POST /v1/promote target (receiver.Promote)
+	repStats  func() *ReplicationStats // replication slice of Stats and /metrics
 }
 
 // New builds a Service around Shards fresh engines. Call Start to begin
@@ -213,20 +230,21 @@ func New(cfg Config) (*Service, error) {
 	for i := range shards {
 		simCfg := cfg.Sim
 		simCfg.Seed += int64(i) << shardIDBits
-		if cfg.NewScheduler != nil {
-			simCfg.Scheduler = cfg.NewScheduler()
-		}
-		if i == 0 && simCfg.Scheduler != nil {
-			schedName = simCfg.Scheduler.Name()
-		}
 		share := base
 		if i < extra {
 			share++
 		}
-		sh, err := newShard(i, simCfg, share, cfg.StepEvery, cfg.StepBatch, fan)
+		// Scheduler construction happens exactly once per shard, inside
+		// newShard's engine factory — NewScheduler side-effects (tests count
+		// invocations to plant per-shard behaviour) must see one call each.
+		sh, err := newShard(i, simCfg, cfg.NewScheduler, share, cfg.StepEvery, cfg.StepBatch, fan)
 		if err != nil {
 			return nil, err
 		}
+		if i == 0 {
+			schedName = sh.eng.SchedulerName()
+		}
+		sh.standby = cfg.Follower
 		shards[i] = sh
 	}
 	s := &Service{
@@ -236,6 +254,7 @@ func New(cfg Config) (*Service, error) {
 		fan:        fan,
 		schedName:  schedName,
 		retryAfter: retryAfterSeconds(cfg.StepEvery),
+		follower:   cfg.Follower,
 	}
 	if cfg.Fairness != nil {
 		fc, err := newFairController(*cfg.Fairness)
@@ -262,7 +281,9 @@ func New(cfg Config) (*Service, error) {
 // Start launches every shard's step loop. Extra calls are no-ops, as is
 // starting a closed service. A service that is never started still serves
 // submissions, queries and cancellations — the clocks just never move
-// (useful in tests).
+// (useful in tests). A follower Service records the start but keeps the
+// loops down until Promote: a standby's engines must mutate only through
+// the replicated record stream, or they diverge from the primary.
 func (s *Service) Start() {
 	s.mu.Lock()
 	if s.started || s.closed {
@@ -270,7 +291,11 @@ func (s *Service) Start() {
 		return
 	}
 	s.started = true
+	follower := s.follower
 	s.mu.Unlock()
+	if follower {
+		return
+	}
 	for _, sh := range s.shards {
 		sh.start()
 	}
@@ -387,13 +412,16 @@ func (s *Service) StepAll(max int64) (int64, error) {
 	return total, nil
 }
 
-// pick routes one submission: closed-check, then placement.
+// pick routes one submission: closed- and follower-check, then placement.
 func (s *Service) pick(key string) (*shard, error) {
 	s.mu.Lock()
-	closed := s.closed
+	closed, follower := s.closed, s.follower
 	s.mu.Unlock()
 	if closed {
 		return nil, ErrClosed
+	}
+	if follower {
+		return nil, ErrFollower
 	}
 	if len(s.shards) == 1 {
 		return s.shards[0], nil
@@ -417,6 +445,9 @@ func (s *Service) shardFor(id int) (*shard, bool) {
 // Cancel withdraws a pending or active job; its processors are free from
 // the owning shard's next step.
 func (s *Service) Cancel(id int) error {
+	if s.Following() {
+		return ErrFollower
+	}
 	sh, ok := s.shardFor(id)
 	if !ok {
 		return fmt.Errorf("server: no job %d", id)
@@ -498,7 +529,20 @@ func (s *Service) Stats() Stats {
 	_, st.EventsDropped = s.fan.stats()
 	st.Journal = s.journalStats()
 	st.Tenants = s.tenantStats()
+	st.Replication = s.replicationStats()
 	return st
+}
+
+// replicationStats invokes the registered replication probe, or nil when
+// replication is not configured.
+func (s *Service) replicationStats() *ReplicationStats {
+	s.mu.Lock()
+	f := s.repStats
+	s.mu.Unlock()
+	if f == nil {
+		return nil
+	}
+	return f()
 }
 
 // Subscribe registers an event listener over the merged stream of every

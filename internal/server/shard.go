@@ -2,12 +2,14 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"krad/internal/fairshare"
 	"krad/internal/journal"
+	"krad/internal/sched"
 	"krad/internal/sim"
 )
 
@@ -56,6 +58,23 @@ type shard struct {
 	compactEvery int64
 	compactOff   bool
 
+	// Replication state (see replicate.go). repSeq is the sequence number
+	// of the shard's last committed mutation record (1-based since engine
+	// birth; snapshot records carry the cursor but take no number of their
+	// own). applied counts records in the logical journal sequence — the
+	// pos argument incremental replay needs, reset to 1 by a snapshot.
+	// rep, when set, receives every committed record (primary mode) and
+	// gates admissions behind fencing/lease checks. standby marks a
+	// follower shard at journal-attach time; repErr latches a follower
+	// that diverged from its primary's stream. newEngine rebuilds a fresh
+	// engine (fresh scheduler instance included) for snapshot restores.
+	rep       Replicator
+	repSeq    int64
+	applied   int64
+	repErr    error
+	standby   bool
+	newEngine func() (*sim.Engine, error)
+
 	wake chan struct{}
 	stop chan struct{}
 	done chan struct{}
@@ -76,8 +95,18 @@ type shardView struct {
 	hist      histogram // counts copied; safe to merge
 }
 
-func newShard(idx int, simCfg sim.Config, maxInFlight int, stepEvery time.Duration, stepBatch int64, fan *fanout) (*shard, error) {
-	eng, err := sim.NewEngine(simCfg)
+func newShard(idx int, simCfg sim.Config, mkSched func() sched.Scheduler, maxInFlight int, stepEvery time.Duration, stepBatch int64, fan *fanout) (*shard, error) {
+	// newEngine must yield an engine Restore accepts (fresh, with its own
+	// scheduler instance when a factory exists) — snapshot application on a
+	// replication follower rebuilds the engine wholesale.
+	newEngine := func() (*sim.Engine, error) {
+		c := simCfg
+		if mkSched != nil {
+			c.Scheduler = mkSched()
+		}
+		return sim.NewEngine(c)
+	}
+	eng, err := newEngine()
 	if err != nil {
 		return nil, err
 	}
@@ -91,6 +120,7 @@ func newShard(idx int, simCfg sim.Config, maxInFlight int, stepEvery time.Durati
 		stepBatch:   stepBatch,
 		fan:         fan,
 		eng:         eng,
+		newEngine:   newEngine,
 		respHist:    newHistogram(responseBuckets()),
 		wake:        make(chan struct{}, 1),
 		stop:        make(chan struct{}),
@@ -133,6 +163,16 @@ func (sh *shard) submitBatch(tenant string, specs []sim.JobSpec) ([]int, error) 
 	if sh.closed {
 		sh.mu.Unlock()
 		return nil, ErrClosed
+	}
+	if sh.rep != nil {
+		if err := sh.rep.WriteAllowed(); err != nil {
+			// Fenced or lease-expired primary: acknowledging this write
+			// could diverge from a promoted follower. Refuse with the
+			// replication error located to this shard.
+			sh.rejected += int64(len(specs))
+			sh.mu.Unlock()
+			return nil, fmt.Errorf("shard %d: %w", sh.idx, err)
+		}
 	}
 	if !sh.journalHealthyLocked() {
 		// Degraded disk: nothing new can be made durable. Shed the
@@ -177,6 +217,13 @@ func (sh *shard) submitBatch(tenant string, specs []sim.JobSpec) ([]int, error) 
 func (sh *shard) cancel(id int) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if sh.rep != nil {
+		if err := sh.rep.WriteAllowed(); err != nil {
+			return fmt.Errorf("shard %d: %w", sh.idx, err)
+		}
+	}
+	journaled := false
+	rec := journal.CancelRecord(id)
 	if sh.jn != nil {
 		// Journal before apply: once appended, the cancel is durable and
 		// Cancel below cannot fail (the precheck ran under this same lock).
@@ -186,14 +233,18 @@ func (sh *shard) cancel(id int) error {
 		if !sh.journalHealthyLocked() {
 			return ErrDegraded
 		}
-		if err := sh.jn.Append(journal.CancelRecord(id)); err != nil {
+		if err := sh.jn.Append(rec); err != nil {
 			return fmt.Errorf("%w: %v", ErrDegraded, err)
 		}
+		journaled = true
 	}
 	err := sh.eng.Cancel(id)
 	if err == nil {
 		sh.cancelled++
 		sh.fairForgetLocked(id)
+		if journaled {
+			sh.commitLocked(rec)
+		}
 	}
 	return err
 }
@@ -240,9 +291,24 @@ func (sh *shard) view() shardView {
 	return v
 }
 
+// commitLocked advances the shard's replication cursor past a mutation
+// record that just landed in the journal and hands it to the replication
+// hook, if one is attached. Called with the shard lock held, immediately
+// after the successful append, so the hook observes records in exactly
+// the journal's order.
+func (sh *shard) commitLocked(rec journal.Record) {
+	sh.repSeq++
+	sh.applied++
+	if sh.rep != nil {
+		sh.rep.Committed(sh.idx, sh.repSeq, rec)
+	}
+}
+
 // close stops admission and drains in-flight jobs (the loop keeps
 // stepping until the engine is idle). If ctx expires first, the loop is
-// stopped immediately, abandoning unfinished jobs.
+// stopped immediately, abandoning unfinished jobs. The journal-close
+// error (a failed final flush means acknowledged tail records may not be
+// durable) is propagated either way.
 func (sh *shard) close(ctx context.Context) error {
 	sh.mu.Lock()
 	already := sh.closed
@@ -252,32 +318,36 @@ func (sh *shard) close(ctx context.Context) error {
 	if !started {
 		if !already {
 			close(sh.done)
-			sh.closeJournal()
+			return sh.closeJournal()
 		}
 		return nil
 	}
 	sh.kick()
 	select {
 	case <-sh.done:
-		sh.closeJournal()
-		return nil
+		return sh.closeJournal()
 	case <-ctx.Done():
 		close(sh.stop)
 		<-sh.done
-		sh.closeJournal()
-		return ctx.Err()
+		return errors.Join(ctx.Err(), sh.closeJournal())
 	}
 }
 
-// closeJournal syncs and closes the shard's journal once the step loop has
-// exited (no appender can race it).
-func (sh *shard) closeJournal() {
+// closeJournal syncs and closes the shard's journal once the step loop
+// has exited (no appender can race it), reporting a failed final flush —
+// silently swallowing it would let a dirty interval-fsync tail vanish
+// with a clean exit status.
+func (sh *shard) closeJournal() error {
 	sh.mu.Lock()
 	jn := sh.jn
 	sh.mu.Unlock()
-	if jn != nil {
-		_ = jn.Close()
+	if jn == nil {
+		return nil
 	}
+	if err := jn.Close(); err != nil {
+		return fmt.Errorf("shard %d: close journal: %w", sh.idx, err)
+	}
+	return nil
 }
 
 // kick wakes the loop if it is parked.
@@ -326,7 +396,13 @@ func (sh *shard) stepN(max int64) (int64, error) {
 		// them, and the sticky failure guarantees no later admission ever
 		// interleaves with the lost tail. A batch is one record: replay
 		// re-executes it with StepN, bit-identical to the original steps.
-		_ = sh.jn.Append(journal.StepsRecord(info.Steps, info.Step))
+		// Replication mirrors durability exactly: only records that landed
+		// on disk stream to the follower, so the follower never holds
+		// records a restarted primary would not re-derive.
+		rec := journal.StepsRecord(info.Steps, info.Step)
+		if err := sh.jn.Append(rec); err == nil {
+			sh.commitLocked(rec)
+		}
 	}
 	sh.steps += info.Steps
 	for _, id := range info.Completed {

@@ -277,6 +277,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 // first step).
 func (e *Engine) Now() int64 { return e.now }
 
+// SchedulerName reports the configured scheduler's self-description.
+func (e *Engine) SchedulerName() string { return e.cfg.Scheduler.Name() }
+
 // Remaining returns the number of admitted jobs that have neither
 // completed nor been cancelled.
 func (e *Engine) Remaining() int { return e.remaining }
