@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Bench-regression mode: `kradbench -compare OLD.json -with NEW.json`
+// diffs two -json reports benchmark-by-benchmark and exits non-zero when
+// NEW regresses beyond the noise tolerance. This is what CI runs to judge
+// BENCH_PR9.json against the recorded BENCH_PR7.json baseline without a
+// human eyeballing percentages.
+//
+// Regression criteria, per benchmark present in BOTH reports:
+//
+//   - time: ns/op grew by more than -tol (fractional; default 0.40 —
+//     shared CI runners are noisy, and the recorded baselines come from a
+//     different machine than the checker).
+//   - allocs: allocs/op grew by more than -alloc-tol AND by more than
+//     a handful in absolute terms. Allocation counts are deterministic,
+//     so the tolerance here is for amortized pool warm-up, not noise.
+//
+// Improvements and benchmarks present in only one report are reported but
+// never fatal: the registry is allowed to grow between PRs.
+
+// compareReports loads both reports, prints a row per shared benchmark,
+// and returns the number of regressions.
+func compareReports(oldPath, newPath string, tol, allocTol float64) (int, error) {
+	load := func(path string) (benchReport, error) {
+		var rep benchReport
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return rep, err
+		}
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return rep, fmt.Errorf("%s: %w", path, err)
+		}
+		if len(rep.Benchmarks) == 0 {
+			return rep, fmt.Errorf("%s: no benchmarks in report", path)
+		}
+		return rep, nil
+	}
+	oldRep, err := load(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newRep, err := load(newPath)
+	if err != nil {
+		return 0, err
+	}
+
+	oldBy := make(map[string]benchResult, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	newBy := make(map[string]benchResult, len(newRep.Benchmarks))
+	for _, b := range newRep.Benchmarks {
+		newBy[b.Name] = b
+	}
+
+	names := make([]string, 0, len(oldBy))
+	for name := range oldBy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("comparing %s (%s) -> %s (%s), tolerance %.0f%% time / %.0f%% allocs\n",
+		oldPath, oldRep.Note, newPath, newRep.Note, 100*tol, 100*allocTol)
+	regressions := 0
+	for _, name := range names {
+		o := oldBy[name]
+		n, ok := newBy[name]
+		if !ok {
+			fmt.Printf("  %-46s MISSING from %s (not fatal)\n", name, newPath)
+			continue
+		}
+		dt := n.NsPerOp/o.NsPerOp - 1
+		da := 0.0
+		if o.AllocsPerOp > 0 {
+			da = float64(n.AllocsPerOp)/float64(o.AllocsPerOp) - 1
+		}
+		verdict := "ok"
+		// A benchmark with single-digit allocs/op can double on one stray
+		// allocation that means nothing; require absolute growth too.
+		switch {
+		case dt > tol:
+			verdict = "REGRESSION(time)"
+			regressions++
+		case da > allocTol && n.AllocsPerOp-o.AllocsPerOp > 8:
+			verdict = "REGRESSION(allocs)"
+			regressions++
+		case dt < -tol:
+			verdict = "improved"
+		}
+		fmt.Printf("  %-46s %12.0f -> %12.0f ns/op (%+6.1f%%)  %6d -> %6d allocs (%+6.1f%%)  %s\n",
+			name, o.NsPerOp, n.NsPerOp, 100*dt, o.AllocsPerOp, n.AllocsPerOp, 100*da, verdict)
+	}
+	for name := range newBy {
+		if _, ok := oldBy[name]; !ok {
+			fmt.Printf("  %-46s new in %s\n", name, newPath)
+		}
+	}
+	return regressions, nil
+}

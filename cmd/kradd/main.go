@@ -137,19 +137,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("kradd: ")
 	var (
-		addrFlag  = flag.String("addr", ":8080", "HTTP listen address")
-		kFlag     = flag.Int("k", 3, "number of resource categories")
-		capsFlag  = flag.String("caps", "4,4,4", "per-category processor counts, comma-separated")
-		schedFlag = flag.String("sched", "k-rad", fmt.Sprintf("scheduler: one of %v", analysis.SchedulerNames()))
-		pickFlag  = flag.String("pick", "fifo", "task pick policy: fifo, lifo, random, cp-first, cp-last")
-		seedFlag  = flag.Int64("seed", 1, "scheduler/pick-policy seed")
-		stepFlag  = flag.Duration("step", 0, "wall-clock duration of one virtual step (0 = free-running)")
-		queueFlag = flag.Int("queue", 256, "admission bound: max in-flight (pending + active) jobs")
-		bufFlag   = flag.Int("event-buffer", 64, "per-subscriber event channel capacity")
-		drainFlag = flag.Duration("drain", 30*time.Second, "max time to drain in-flight jobs at shutdown")
-		parFlag   = flag.Bool("parallel", false, "parallelize each step's execution phase")
-		shardFlag = flag.Int("shards", 1, "number of independent engine shards")
-		placeFlag = flag.String("placement", server.PlaceRoundRobin,
+		addrFlag   = flag.String("addr", ":8080", "HTTP listen address")
+		kFlag      = flag.Int("k", 3, "number of resource categories")
+		capsFlag   = flag.String("caps", "4,4,4", "per-category processor counts, comma-separated")
+		schedFlag  = flag.String("sched", "k-rad", fmt.Sprintf("scheduler: one of %v", analysis.SchedulerNames()))
+		pickFlag   = flag.String("pick", "fifo", "task pick policy: fifo, lifo, random, cp-first, cp-last")
+		seedFlag   = flag.Int64("seed", 1, "scheduler/pick-policy seed")
+		stepFlag   = flag.Duration("step", 0, "wall-clock duration of one virtual step (0 = free-running)")
+		queueFlag  = flag.Int("queue", 256, "admission bound: max in-flight (pending + active) jobs")
+		retireFlag = flag.Bool("retire-done", false, "recycle engine state of terminal jobs; statuses served from the ID index (bounds memory for long-running, high-volume daemons)")
+		bufFlag    = flag.Int("event-buffer", 64, "per-subscriber event channel capacity")
+		drainFlag  = flag.Duration("drain", 30*time.Second, "max time to drain in-flight jobs at shutdown")
+		parFlag    = flag.Bool("parallel", false, "parallelize each step's execution phase")
+		shardFlag  = flag.Int("shards", 1, "number of independent engine shards")
+		placeFlag  = flag.String("placement", server.PlaceRoundRobin,
 			"shard placement policy: round-robin, hash, least-loaded")
 		journalFlag  = flag.String("journal-dir", "", "write-ahead journal directory (empty = no durability)")
 		fsyncFlag    = flag.String("fsync", "always", "journal fsync policy: always, interval, never")
@@ -285,9 +286,10 @@ func main() {
 			s, _ := analysis.NewScheduler(*schedFlag, *kFlag)
 			return sched.WithFloors(s)
 		},
-		Journal:  journalCfg,
-		Fairness: fairCfg,
-		Follower: *followFlag != "",
+		Journal:    journalCfg,
+		Fairness:   fairCfg,
+		Follower:   *followFlag != "",
+		RetireDone: *retireFlag,
 	})
 	if err != nil {
 		// A journal that cannot be replayed (corrupt record, version

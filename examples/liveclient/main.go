@@ -83,6 +83,7 @@ import (
 	"krad/internal/core"
 	"krad/internal/dag"
 	"krad/internal/fairshare"
+	"krad/internal/metrics"
 	"krad/internal/moldable"
 	"krad/internal/sched"
 	"krad/internal/server"
@@ -189,6 +190,7 @@ func main() {
 	} else {
 		fmt.Println("\nsubmission retries: 0")
 	}
+	fmt.Printf("submission latency: %s\n", submitLat.Report())
 	if *tenantFlag > 0 {
 		fmt.Println("\nper-tenant admission (shed = 429 fair-share bounces, each retried):")
 		for i := 0; i < *tenantFlag; i++ {
@@ -400,6 +402,11 @@ var (
 	retries503   int
 	retriesConn  int
 	maxRetryTime time.Duration
+	// submitLat is the wall-clock latency histogram of accepted
+	// submission requests — the same log-bucketed histogram kradreplay
+	// uses (internal/metrics.LatencyHist), so a trickle demo and a
+	// million-job replay report comparable percentiles.
+	submitLat metrics.LatencyHist
 )
 
 // tenantCounts tracks one synthetic tenant's admission outcomes: jobs
@@ -472,11 +479,13 @@ func postRetry(url, tenant string, body []byte) (*http.Response, error) {
 		if tenant != "" {
 			req.Header.Set(server.TenantHeader, tenant)
 		}
+		attemptStart := time.Now()
 		resp, err := http.DefaultClient.Do(req)
 		status := 0
 		retryAfter := ""
 		switch {
 		case err == nil && resp.StatusCode != http.StatusServiceUnavailable && resp.StatusCode != http.StatusTooManyRequests:
+			submitLat.Observe(time.Since(attemptStart).Seconds())
 			return resp, nil
 		case err == nil:
 			status = resp.StatusCode

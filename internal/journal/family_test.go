@@ -222,7 +222,16 @@ func TestRecordValidationRejectsFamilyShapes(t *testing.T) {
 	}{
 		{"both-graph-and-mold", Record{Type: TypeAdmit, V: recordVersion,
 			Jobs: []JobRecord{{Graph: g, Mold: &sp, Fam: "moldable"}}},
-			"both a graph and a moldable spec"},
+			"2 job payloads"},
+		{"mold-and-rigid", Record{Type: TypeAdmit, V: recordVersion,
+			Jobs: []JobRecord{{Mold: &sp, Rigid: &profile.RigidSpec{K: 2, Cat: 1, Procs: 1, Steps: 1}, Fam: "moldable"}}},
+			"2 job payloads"},
+		{"rigid-without-version", Record{Type: TypeAdmit,
+			Jobs: []JobRecord{{Rigid: &profile.RigidSpec{K: 2, Cat: 1, Procs: 1, Steps: 1}, Fam: "profile"}}},
+			"record version is 0"},
+		{"rigid-wrong-fam", Record{Type: TypeAdmit, V: recordVersion,
+			Jobs: []JobRecord{{Rigid: &profile.RigidSpec{K: 2, Cat: 1, Procs: 1, Steps: 1}, Fam: "moldable"}}},
+			`family tag "moldable"`},
 		{"mold-without-version", Record{Type: TypeAdmit,
 			Jobs: []JobRecord{{Mold: &sp, Fam: "moldable"}}},
 			"record version is 0"},

@@ -142,6 +142,13 @@ type Stats struct {
 	Compactions int64 `json:"compactions"`
 	// SizeBytes is the current file size.
 	SizeBytes int64 `json:"size_bytes"`
+	// Syncs counts journal-file fsyncs issued since Open (policy-driven
+	// flushes on append, the compaction flush and the final close flush).
+	Syncs int64 `json:"syncs"`
+	// SyncSeconds is the cumulative wall time spent inside those fsyncs —
+	// the durability overhead a load generator subtracts to separate disk
+	// cost from scheduling cost.
+	SyncSeconds float64 `json:"sync_seconds"`
 	// Failed carries the sticky write failure, if any ("" while healthy).
 	Failed string `json:"failed,omitempty"`
 }
@@ -161,6 +168,8 @@ type Journal struct {
 	records     int64
 	appended    int64
 	compactions int64
+	syncs       int64
+	syncNanos   int64
 	lastSync    time.Time
 	failed      error
 	buf         []byte
@@ -360,6 +369,8 @@ func (j *Journal) Stats() Stats {
 		Appended:    j.appended,
 		Compactions: j.compactions,
 		SizeBytes:   j.size,
+		Syncs:       j.syncs,
+		SyncSeconds: time.Duration(j.syncNanos).Seconds(),
 	}
 	if j.failed != nil {
 		st.Failed = j.failed.Error()
@@ -417,12 +428,24 @@ func (j *Journal) maybeSyncLocked() error {
 	case SyncNever:
 		return nil
 	}
-	if err := j.f.Sync(); err != nil {
+	if err := j.syncTimedLocked(j.f); err != nil {
 		j.failed = fmt.Errorf("journal: sync %s: %w", j.path, err)
 		return j.failed
 	}
 	j.lastSync = time.Now()
 	return nil
+}
+
+// syncTimedLocked flushes f, charging the wall time (and, on success, one
+// sync) to the journal's durability-overhead counters.
+func (j *Journal) syncTimedLocked(f File) error {
+	start := time.Now()
+	err := f.Sync()
+	j.syncNanos += int64(time.Since(start))
+	if err == nil {
+		j.syncs++
+	}
+	return err
 }
 
 // Compact atomically replaces the journal's contents with a single
@@ -466,7 +489,7 @@ func (j *Journal) Compact(rec Record) error {
 		j.failed = fmt.Errorf("journal: compact %s: %w", j.path, werr)
 		return j.failed
 	}
-	if err := f.Sync(); err != nil {
+	if err := j.syncTimedLocked(f); err != nil {
 		_ = f.Close()
 		_ = os.Remove(tmp)
 		j.failed = fmt.Errorf("journal: compact %s: sync: %w", j.path, err)
@@ -517,7 +540,7 @@ func (j *Journal) Close() error {
 	}
 	var errs []error
 	if j.failed == nil && j.opts.Sync != SyncNever {
-		if err := j.f.Sync(); err != nil {
+		if err := j.syncTimedLocked(j.f); err != nil {
 			j.failed = fmt.Errorf("journal: close %s: final sync: %w", j.path, err)
 			errs = append(errs, j.failed)
 		}

@@ -7,6 +7,7 @@ import (
 	"krad/internal/dag"
 	"krad/internal/fairshare"
 	"krad/internal/moldable"
+	"krad/internal/profile"
 	"krad/internal/sim"
 )
 
@@ -85,32 +86,43 @@ func (f FairState) Clone() FairState {
 // the absolute virtual release time after the server normalized "now"
 // releases, so replay does not depend on the clock at decode time.
 //
-// Exactly one of Graph and Mold is set. Graph-backed jobs omit Fam — the
-// original record shape — so journals from family-less builds decode and
-// re-encode byte-identically. Non-graph jobs carry their runtime-family
-// tag in Fam and force the enclosing Record's V to recordVersion.
+// Exactly one of Graph, Mold and Rigid is set. Graph-backed jobs omit
+// Fam — the original record shape — so journals from family-less builds
+// decode and re-encode byte-identically. Non-graph jobs carry their
+// runtime-family tag in Fam and force the enclosing Record's V to
+// recordVersion.
 type JobRecord struct {
 	Release int64 `json:"release"`
-	// Fam is the runtime-family tag ("moldable"); empty means graph-backed
-	// (the legacy encoding, implicitly family "dag").
-	Fam   string         `json:"fam,omitempty"`
-	Graph *dag.Graph     `json:"graph,omitempty"`
-	Mold  *moldable.Spec `json:"mold,omitempty"`
+	// Fam is the runtime-family tag ("moldable" for moldable specs,
+	// "profile" for rigid specs); empty means graph-backed (the legacy
+	// encoding, implicitly family "dag").
+	Fam   string             `json:"fam,omitempty"`
+	Graph *dag.Graph         `json:"graph,omitempty"`
+	Mold  *moldable.Spec     `json:"mold,omitempty"`
+	Rigid *profile.RigidSpec `json:"rigid,omitempty"`
 }
 
 // spec reconstructs the admitted sim.JobSpec. Graph-backed records are a
-// field copy; moldable records re-validate through moldable.FromSpec, so a
-// corrupt-but-CRC-valid payload fails here with a located error instead of
-// panicking inside the engine.
+// field copy; moldable and rigid records re-validate through their
+// packages' FromSpec constructors, so a corrupt-but-CRC-valid payload
+// fails here with a located error instead of panicking inside the engine.
 func (j JobRecord) spec() (sim.JobSpec, error) {
-	if j.Graph != nil {
+	switch {
+	case j.Graph != nil:
 		return sim.JobSpec{Graph: j.Graph, Release: j.Release}, nil
+	case j.Rigid != nil:
+		job, err := profile.FromRigidSpec(*j.Rigid)
+		if err != nil {
+			return sim.JobSpec{}, err
+		}
+		return sim.JobSpec{Source: job, Release: j.Release}, nil
+	default:
+		job, err := moldable.FromSpec(*j.Mold)
+		if err != nil {
+			return sim.JobSpec{}, err
+		}
+		return sim.JobSpec{Source: job, Release: j.Release}, nil
 	}
-	job, err := moldable.FromSpec(*j.Mold)
-	if err != nil {
-		return sim.JobSpec{}, err
-	}
-	return sim.JobSpec{Source: job, Release: j.Release}, nil
 }
 
 // recordVersion is the version stamped on admit/batch records that carry
@@ -247,9 +259,19 @@ func validateRecord(r Record) error {
 			return fmt.Errorf("journal: %s record version %d, want 0 or %d", r.Type, r.V, recordVersion)
 		}
 		for i, j := range r.Jobs {
+			payloads := 0
+			if j.Graph != nil {
+				payloads++
+			}
+			if j.Mold != nil {
+				payloads++
+			}
+			if j.Rigid != nil {
+				payloads++
+			}
 			switch {
-			case j.Graph != nil && j.Mold != nil:
-				return fmt.Errorf("journal: %s record job %d has both a graph and a moldable spec", r.Type, i)
+			case payloads > 1:
+				return fmt.Errorf("journal: %s record job %d has %d job payloads, want exactly one of graph/mold/rigid", r.Type, i, payloads)
 			case j.Graph != nil:
 				if j.Fam != "" {
 					return fmt.Errorf("journal: %s record job %d is graph-backed but tagged family %q", r.Type, i, j.Fam)
@@ -260,6 +282,13 @@ func validateRecord(r Record) error {
 				}
 				if r.V != recordVersion {
 					return fmt.Errorf("journal: %s record job %d is moldable but record version is %d, want %d", r.Type, i, r.V, recordVersion)
+				}
+			case j.Rigid != nil:
+				if j.Fam != sim.FamilyProfile.String() {
+					return fmt.Errorf("journal: %s record job %d carries a rigid spec but family tag %q", r.Type, i, j.Fam)
+				}
+				if r.V != recordVersion {
+					return fmt.Errorf("journal: %s record job %d is rigid but record version is %d, want %d", r.Type, i, r.V, recordVersion)
 				}
 			default:
 				return fmt.Errorf("journal: %s record job %d has no graph", r.Type, i)
@@ -277,30 +306,66 @@ func validateRecord(r Record) error {
 // AdmitRecord builds the journal record for a committed admission: one
 // job as TypeAdmit, several as TypeBatch. base is the first assigned
 // engine-local ID; specs must carry a replayable description — a dag
-// graph or a moldable spec — with normalized (absolute) release times.
-// All-graph admissions keep the original unversioned encoding; a moldable
-// job anywhere in the batch bumps the record to recordVersion.
+// graph, a moldable spec or a rigid spec — with normalized (absolute)
+// release times. All-graph admissions keep the original unversioned
+// encoding; a non-graph job anywhere in the batch bumps the record to
+// recordVersion.
 func AdmitRecord(base int, specs []sim.JobSpec) (Record, error) {
-	rec := Record{Type: TypeBatch, Base: base, Jobs: make([]JobRecord, len(specs))}
-	if len(specs) == 1 {
-		rec.Type = TypeAdmit
+	var rec Record
+	if err := AdmitRecordInto(&rec, base, specs); err != nil {
+		return Record{}, err
 	}
+	return rec, nil
+}
+
+// AdmitRecordInto builds the same record as AdmitRecord but in place,
+// recycling rec's Jobs backing array and the per-slot spec boxes from the
+// previous call. The record's payload only lives until the caller encodes
+// it, so a server journaling every admission through one scratch Record
+// writes the steady-state submit path without per-admission allocation.
+// On error rec is left in an unspecified state and must not be encoded.
+func AdmitRecordInto(rec *Record, base int, specs []sim.JobSpec) error {
+	jobs := rec.Jobs
+	if cap(jobs) < len(specs) {
+		jobs = make([]JobRecord, len(specs))
+	} else {
+		jobs = jobs[:len(specs)]
+	}
+	typ := TypeBatch
+	if len(specs) == 1 {
+		typ = TypeAdmit
+	}
+	version := 0
 	for i, s := range specs {
+		// Pointer boxes from the previous use of this slot, read before the
+		// slot is overwritten so they can be refilled instead of reallocated.
+		moldBox, rigidBox := jobs[i].Mold, jobs[i].Rigid
 		switch src := s.Source.(type) {
 		case nil:
 			if s.Graph == nil {
-				return Record{}, fmt.Errorf("journal: job %d is not journalable; need a dag graph or a moldable spec", base+i)
+				return fmt.Errorf("journal: job %d is not journalable; need a dag graph, a moldable spec or a rigid spec", base+i)
 			}
-			rec.Jobs[i] = JobRecord{Release: s.Release, Graph: s.Graph}
+			jobs[i] = JobRecord{Release: s.Release, Graph: s.Graph}
 		case *moldable.Job:
-			sp := src.Spec()
-			rec.Jobs[i] = JobRecord{Release: s.Release, Fam: sim.FamilyMoldable.String(), Mold: &sp}
-			rec.V = recordVersion
+			if moldBox == nil {
+				moldBox = new(moldable.Spec)
+			}
+			*moldBox = src.Spec()
+			jobs[i] = JobRecord{Release: s.Release, Fam: sim.FamilyMoldable.String(), Mold: moldBox}
+			version = recordVersion
+		case *profile.Rigid:
+			if rigidBox == nil {
+				rigidBox = new(profile.RigidSpec)
+			}
+			*rigidBox = src.Spec()
+			jobs[i] = JobRecord{Release: s.Release, Fam: sim.FamilyProfile.String(), Rigid: rigidBox}
+			version = recordVersion
 		default:
-			return Record{}, fmt.Errorf("journal: job %d (family %q) is not journalable; need a dag graph or a moldable spec", base+i, sim.FamilyOf(src))
+			return fmt.Errorf("journal: job %d (family %q) is not journalable; need a dag graph, a moldable spec or a rigid spec", base+i, sim.FamilyOf(src))
 		}
 	}
-	return rec, nil
+	*rec = Record{Type: typ, V: version, Base: base, Jobs: jobs}
+	return nil
 }
 
 // CancelRecord builds the record for a committed cancellation.

@@ -1,0 +1,209 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Latency-histogram geometry: geometric buckets from latMin seconds upward,
+// latPerOctave buckets per doubling. With 4 buckets/octave every bucket is
+// ~19% wide, which bounds the relative error of any reported quantile —
+// plenty for load-test percentiles while keeping the histogram a few hundred
+// words. Samples below latMin land in bucket 0; samples beyond the top
+// bucket land in the last one.
+const (
+	latMin       = 1e-6 // 1µs
+	latPerOctave = 4
+	latOctaves   = 27 // 1µs … ~134s
+	latBuckets   = latOctaves*latPerOctave + 1
+)
+
+// LatencyHist is a concurrency-safe log-bucketed histogram for wall-clock
+// latencies in seconds. It is the shared measurement core for load clients
+// (cmd/kradreplay, examples/liveclient): cheap constant-size recording with
+// quantile queries good to one bucket (~19% relative resolution).
+//
+// The zero value is ready to use.
+type LatencyHist struct {
+	mu     sync.Mutex
+	counts [latBuckets]uint64
+	n      uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// latBucket maps a latency in seconds to its bucket index.
+func latBucket(sec float64) int {
+	if sec <= latMin {
+		return 0
+	}
+	i := int(math.Log2(sec/latMin) * latPerOctave)
+	// Guard the boundary: floating-point log can land one bucket low.
+	for i+1 < latBuckets && latBound(i+1) <= sec {
+		i++
+	}
+	if i >= latBuckets {
+		i = latBuckets - 1
+	}
+	return i
+}
+
+// latBound returns the lower bound (seconds) of bucket i.
+func latBound(i int) float64 {
+	return latMin * math.Exp2(float64(i)/latPerOctave)
+}
+
+// Observe records one latency sample, in seconds. Negative samples count as
+// zero.
+func (h *LatencyHist) Observe(sec float64) {
+	if sec < 0 || math.IsNaN(sec) {
+		sec = 0
+	}
+	i := latBucket(sec)
+	h.mu.Lock()
+	h.counts[i]++
+	if h.n == 0 || sec < h.min {
+		h.min = sec
+	}
+	if sec > h.max {
+		h.max = sec
+	}
+	h.n++
+	h.sum += sec
+	h.mu.Unlock()
+}
+
+// Count returns the number of recorded samples.
+func (h *LatencyHist) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Mean returns the arithmetic mean of recorded samples (exact, not
+// bucketed), or 0 when empty.
+func (h *LatencyHist) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Min and Max return the exact extremes of recorded samples, or 0 when
+// empty.
+func (h *LatencyHist) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+func (h *LatencyHist) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns an estimate of the p-quantile (0 ≤ p ≤ 1) in seconds,
+// accurate to one bucket. It returns 0 when the histogram is empty and
+// clamps out-of-range p. The exact min/max are used for the extreme
+// quantiles so Quantile(0) == Min and Quantile(1) == Max.
+func (h *LatencyHist) Quantile(p float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 1 {
+		return h.max
+	}
+	// Rank of the sample we want, 1-based.
+	rank := uint64(math.Ceil(p * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			// Geometric midpoint of the bucket, clamped to the observed
+			// extremes so sparse histograms don't report impossible values.
+			lo, hi := latBound(i), latBound(i+1)
+			v := math.Sqrt(lo * hi)
+			if i == 0 {
+				v = lo
+			}
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge adds all samples from o into h. Exact sums and extremes merge
+// exactly; bucket counts add element-wise.
+func (h *LatencyHist) Merge(o *LatencyHist) {
+	o.mu.Lock()
+	counts := o.counts
+	n, sum, mn, mx := o.n, o.sum, o.min, o.max
+	o.mu.Unlock()
+	if n == 0 {
+		return
+	}
+	h.mu.Lock()
+	for i, c := range counts {
+		h.counts[i] += c
+	}
+	if h.n == 0 || mn < h.min {
+		h.min = mn
+	}
+	if mx > h.max {
+		h.max = mx
+	}
+	h.n += n
+	h.sum += sum
+	h.mu.Unlock()
+}
+
+// LatencyReport is the JSON-friendly summary load clients emit.
+type LatencyReport struct {
+	N    uint64  `json:"n"`
+	Min  float64 `json:"min_s"`
+	Mean float64 `json:"mean_s"`
+	P50  float64 `json:"p50_s"`
+	P90  float64 `json:"p90_s"`
+	P99  float64 `json:"p99_s"`
+	P999 float64 `json:"p999_s"`
+	Max  float64 `json:"max_s"`
+}
+
+// Report summarizes the histogram as the standard percentile set.
+func (h *LatencyHist) Report() LatencyReport {
+	return LatencyReport{
+		N:    h.Count(),
+		Min:  h.Min(),
+		Mean: h.Mean(),
+		P50:  h.Quantile(0.50),
+		P90:  h.Quantile(0.90),
+		P99:  h.Quantile(0.99),
+		P999: h.Quantile(0.999),
+		Max:  h.Max(),
+	}
+}
+
+// String renders the report compactly for log lines.
+func (r LatencyReport) String() string {
+	return fmt.Sprintf("n=%d p50=%.6fs p99=%.6fs p999=%.6fs max=%.6fs",
+		r.N, r.P50, r.P99, r.P999, r.Max)
+}

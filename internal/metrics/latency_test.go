@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestLatencyHistEmpty(t *testing.T) {
+	var h LatencyHist
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram not all-zero: %+v", h.Report())
+	}
+}
+
+func TestLatencyHistSingle(t *testing.T) {
+	var h LatencyHist
+	h.Observe(0.25)
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(p); got != 0.25 {
+			t.Fatalf("Quantile(%v) = %v, want 0.25", p, got)
+		}
+	}
+	if h.Mean() != 0.25 || h.Min() != 0.25 || h.Max() != 0.25 {
+		t.Fatalf("single-sample stats wrong: %+v", h.Report())
+	}
+}
+
+// Quantiles of a known uniform grid must land within one bucket (~19%
+// relative) of the exact value.
+func TestLatencyHistQuantileAccuracy(t *testing.T) {
+	var h LatencyHist
+	const n = 10000
+	for i := 1; i <= n; i++ {
+		h.Observe(float64(i) * 1e-4) // 0.1ms .. 1s uniform
+	}
+	for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := p * float64(n) * 1e-4
+		got := h.Quantile(p)
+		if rel := math.Abs(got-exact) / exact; rel > 0.20 {
+			t.Errorf("Quantile(%v) = %v, exact %v, rel err %.3f > 0.20", p, got, exact, rel)
+		}
+	}
+	if h.Count() != n {
+		t.Fatalf("Count = %d, want %d", h.Count(), n)
+	}
+	if mean := h.Mean(); math.Abs(mean-0.50005) > 1e-9 {
+		t.Fatalf("Mean = %v, want 0.50005", mean)
+	}
+}
+
+func TestLatencyHistMonotoneQuantiles(t *testing.T) {
+	var h LatencyHist
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		h.Observe(math.Exp(rng.NormFloat64()) * 1e-3)
+	}
+	prev := -1.0
+	for p := 0.0; p <= 1.0; p += 0.01 {
+		q := h.Quantile(p)
+		if q < prev {
+			t.Fatalf("Quantile not monotone at p=%v: %v < %v", p, q, prev)
+		}
+		prev = q
+	}
+	if h.Quantile(0) != h.Min() || h.Quantile(1) != h.Max() {
+		t.Fatalf("extreme quantiles don't match min/max")
+	}
+}
+
+func TestLatencyHistNegativeAndHuge(t *testing.T) {
+	var h LatencyHist
+	h.Observe(-5)         // clamps to 0
+	h.Observe(1e9)        // lands in the overflow bucket
+	h.Observe(math.NaN()) // clamps to 0
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", h.Count())
+	}
+	if h.Min() != 0 || h.Max() != 1e9 {
+		t.Fatalf("min/max = %v/%v, want 0/1e9", h.Min(), h.Max())
+	}
+	if q := h.Quantile(0.5); q < 0 {
+		t.Fatalf("Quantile(0.5) = %v, want >= 0", q)
+	}
+}
+
+func TestLatencyHistMerge(t *testing.T) {
+	var a, b, all LatencyHist
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 2000; i++ {
+		v := math.Exp(rng.NormFloat64()) * 1e-2
+		all.Observe(v)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+	}
+	a.Merge(&b)
+	ra, rall := a.Report(), all.Report()
+	// Mean sums floats in a different order, so allow rounding slack there;
+	// everything else merges exactly.
+	if math.Abs(ra.Mean-rall.Mean) > 1e-12 {
+		t.Fatalf("merged mean %v != combined mean %v", ra.Mean, rall.Mean)
+	}
+	ra.Mean, rall.Mean = 0, 0
+	if ra != rall {
+		t.Fatalf("merged report %+v != combined report %+v", ra, rall)
+	}
+	var empty LatencyHist
+	a.Merge(&empty) // merging empty is a no-op
+	got := a.Report()
+	got.Mean, rall.Mean = 0, 0
+	if got != rall {
+		t.Fatalf("merge of empty changed the report")
+	}
+}
+
+func TestLatencyHistConcurrent(t *testing.T) {
+	var h LatencyHist
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(rng.Float64())
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("Count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestLatencyBucketBoundaries(t *testing.T) {
+	// Every bucket's lower bound must map into that bucket, and a value just
+	// below it into the previous one.
+	for i := 1; i < latBuckets-1; i++ {
+		lo := latBound(i)
+		if got := latBucket(lo); got != i {
+			t.Fatalf("latBucket(bound(%d)) = %d", i, got)
+		}
+		if got := latBucket(lo * 0.999); got != i-1 {
+			t.Fatalf("latBucket(just under bound(%d)) = %d, want %d", i, got, i-1)
+		}
+	}
+}

@@ -98,6 +98,9 @@ func (j *Job) K() int { return j.k }
 // WorkVector implements sim.JobSource.
 func (j *Job) WorkVector() []int { return append([]int(nil), j.work...) }
 
+// AppendWork implements sim.WorkAppender.
+func (j *Job) AppendWork(dst []int) []int { return append(dst, j.work...) }
+
 // Span implements sim.JobSource: each phase contributes exactly one level
 // to the critical path, so T∞ equals the phase count.
 func (j *Job) Span() int { return len(j.phases) }
@@ -153,6 +156,24 @@ func (j *Job) NewRuntime(pick dag.PickPolicy, seed int64) sim.RuntimeJob {
 	rem := make([]int, j.k)
 	copy(rem, j.phases[0].Tasks)
 	return &runtime{job: j, phase: 0, remaining: rem, ran: make([]int, j.k)}
+}
+
+// ReuseRuntime implements sim.RuntimeReuser: a general profile runtime of
+// the same category count resets in place.
+func (j *Job) ReuseRuntime(rt sim.RuntimeJob, pick dag.PickPolicy, seed int64) (sim.RuntimeJob, bool) {
+	r, ok := rt.(*runtime)
+	if !ok || len(r.remaining) != j.k {
+		return nil, false
+	}
+	r.job = j
+	r.phase = 0
+	copy(r.remaining, j.phases[0].Tasks)
+	for a := range r.ran {
+		r.ran[a] = 0
+	}
+	r.executed = 0
+	r.advanced = false
+	return r, true
 }
 
 // runtime executes a profile job: remaining counts for the current phase,
@@ -259,7 +280,9 @@ func (r *runtime) RemainingWork() []int {
 }
 
 var (
-	_ sim.JobSource    = (*Job)(nil)
-	_ sim.FamilySource = (*Job)(nil)
-	_ sim.LeapRuntime  = (*runtime)(nil)
+	_ sim.JobSource     = (*Job)(nil)
+	_ sim.FamilySource  = (*Job)(nil)
+	_ sim.WorkAppender  = (*Job)(nil)
+	_ sim.RuntimeReuser = (*Job)(nil)
+	_ sim.LeapRuntime   = (*runtime)(nil)
 )

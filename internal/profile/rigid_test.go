@@ -1,0 +1,211 @@
+package profile
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"krad/internal/core"
+	"krad/internal/dag"
+	"krad/internal/sim"
+)
+
+func TestNewRigidValidation(t *testing.T) {
+	cases := []struct {
+		k     int
+		cat   dag.Category
+		procs int
+		steps int
+	}{
+		{0, 1, 1, 1},  // bad k
+		{2, 0, 1, 1},  // cat low
+		{2, 3, 1, 1},  // cat high
+		{2, 1, 0, 1},  // no procs
+		{2, 1, -1, 1}, // negative procs
+		{2, 1, 1, 0},  // no steps
+	}
+	for _, c := range cases {
+		if _, err := NewRigid(c.k, "bad", c.cat, c.procs, c.steps); err == nil {
+			t.Errorf("NewRigid(k=%d cat=%d procs=%d steps=%d) accepted", c.k, c.cat, c.procs, c.steps)
+		}
+	}
+	if _, err := NewRigid(3, "ok", 2, 4, 7); err != nil {
+		t.Fatalf("valid rigid rejected: %v", err)
+	}
+}
+
+func TestRigidMetrics(t *testing.T) {
+	j := MustNewRigid(3, "r", 2, 4, 7)
+	if j.K() != 3 || j.Span() != 7 || j.TotalTasks() != 28 {
+		t.Fatalf("k/span/total = %d/%d/%d, want 3/7/28", j.K(), j.Span(), j.TotalTasks())
+	}
+	if w := j.WorkVector(); w[0] != 0 || w[1] != 28 || w[2] != 0 {
+		t.Fatalf("WorkVector = %v", w)
+	}
+	if got := j.AppendWork(nil); len(got) != 3 || got[1] != 28 {
+		t.Fatalf("AppendWork = %v", got)
+	}
+	if j.Family() != sim.FamilyProfile {
+		t.Fatalf("Family = %v, want profile", j.Family())
+	}
+	// AppendWork must agree with WorkVector and respect existing contents.
+	buf := j.AppendWork([]int{9})
+	if len(buf) != 4 || buf[0] != 9 || buf[2] != 28 {
+		t.Fatalf("AppendWork with prefix = %v", buf)
+	}
+}
+
+func TestRigidSpecRoundTrip(t *testing.T) {
+	j := MustNewRigid(3, "trace-42", 1, 8, 300)
+	sp := j.Spec()
+	back, err := FromRigidSpec(sp)
+	if err != nil {
+		t.Fatalf("FromRigidSpec: %v", err)
+	}
+	if *back != *j {
+		t.Fatalf("round trip: %+v != %+v", back, j)
+	}
+	sp.Cat = 9
+	if _, err := FromRigidSpec(sp); err == nil {
+		t.Fatalf("out-of-range spec accepted")
+	}
+}
+
+func TestRigidProfileExpansion(t *testing.T) {
+	j := MustNewRigid(2, "r", 2, 3, 4)
+	p := j.Profile()
+	if p.Span() != j.Span() || p.TotalTasks() != j.TotalTasks() {
+		t.Fatalf("expansion span/total mismatch")
+	}
+	pw, jw := p.WorkVector(), j.WorkVector()
+	for a := range pw {
+		if pw[a] != jw[a] {
+			t.Fatalf("expansion work %v != %v", pw, jw)
+		}
+	}
+}
+
+func TestRigidRuntimeBarrierSemantics(t *testing.T) {
+	j := MustNewRigid(2, "r", 1, 3, 2)
+	r := j.NewRuntime(dag.PickFIFO, 0)
+	if r.Desire(1) != 3 || r.Desire(2) != 0 || r.Desire(5) != 0 {
+		t.Fatalf("initial desires wrong")
+	}
+	// Partial execution keeps the phase open across the barrier.
+	if got := r.Execute(1, 2); got != 2 {
+		t.Fatalf("Execute = %d, want 2", got)
+	}
+	r.Advance()
+	if r.Desire(1) != 1 {
+		t.Fatalf("after partial step Desire = %d, want 1", r.Desire(1))
+	}
+	// Finishing the phase releases the next one at the barrier.
+	r.Execute(1, 1)
+	r.Advance()
+	if r.Desire(1) != 3 {
+		t.Fatalf("second phase Desire = %d, want 3", r.Desire(1))
+	}
+	if r.Done() {
+		t.Fatalf("done too early")
+	}
+	r.Execute(1, 3)
+	r.Advance()
+	if !r.Done() {
+		t.Fatalf("not done after all tasks")
+	}
+	if rw := r.RemainingWork(); rw[0] != 0 || rw[1] != 0 {
+		t.Fatalf("RemainingWork after done = %v", rw)
+	}
+	// Execute on the wrong category or with bad n is a no-op.
+	if r.Execute(2, 1) != 0 || r.Execute(1, -1) != 0 {
+		t.Fatalf("bad Execute args not rejected")
+	}
+}
+
+func TestRigidReuseRuntime(t *testing.T) {
+	a := MustNewRigid(2, "a", 1, 3, 2)
+	b := MustNewRigid(2, "b", 2, 5, 1)
+	rt := a.NewRuntime(dag.PickFIFO, 0)
+	rt.Execute(1, 3)
+	rt.Advance()
+	// Reuse resets fully, even mid-run and across jobs.
+	rt2, ok := b.ReuseRuntime(rt, dag.PickFIFO, 7)
+	if !ok {
+		t.Fatalf("ReuseRuntime refused a rigid runtime")
+	}
+	if rt2.Desire(2) != 5 || rt2.Desire(1) != 0 || rt2.Done() {
+		t.Fatalf("reused runtime not reset: desire(2)=%d", rt2.Desire(2))
+	}
+	// Foreign runtime types are refused.
+	p := MustNew(2, "p", []Phase{{Tasks: []int{1, 0}}})
+	if _, ok := b.ReuseRuntime(p.NewRuntime(dag.PickFIFO, 0), dag.PickFIFO, 0); ok {
+		t.Fatalf("ReuseRuntime accepted a general profile runtime")
+	}
+}
+
+func TestProfileReuseRuntime(t *testing.T) {
+	a := MustNew(2, "a", []Phase{{Tasks: []int{2, 1}}, {Tasks: []int{0, 3}}})
+	b := MustNew(2, "b", []Phase{{Tasks: []int{1, 1}}})
+	rt := a.NewRuntime(dag.PickFIFO, 0)
+	rt.Execute(1, 2)
+	rt.Advance()
+	rt2, ok := b.ReuseRuntime(rt, dag.PickFIFO, 0)
+	if !ok {
+		t.Fatalf("ReuseRuntime refused a matching profile runtime")
+	}
+	if rt2.Desire(1) != 1 || rt2.Desire(2) != 1 || rt2.Done() {
+		t.Fatalf("reused profile runtime not reset")
+	}
+	// K mismatch is refused.
+	c := MustNew(3, "c", []Phase{{Tasks: []int{1, 0, 0}}})
+	if _, ok := c.ReuseRuntime(rt2, dag.PickFIFO, 0); ok {
+		t.Fatalf("ReuseRuntime accepted a runtime of different k")
+	}
+}
+
+// TestQuickRigidEquivalentToProfile is the semantic equivalence property:
+// a rigid job and its expanded profile job produce identical makespans and
+// responses under K-RAD on the same machine, leap on or off.
+func TestQuickRigidEquivalentToProfile(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(3)
+		caps := make([]int, k)
+		for i := range caps {
+			caps[i] = 1 + rng.Intn(4)
+		}
+		nJobs := 1 + rng.Intn(5)
+		var rigidSpecs, profSpecs []sim.JobSpec
+		for i := 0; i < nJobs; i++ {
+			j := MustNewRigid(k, "r", dag.Category(1+rng.Intn(k)), 1+rng.Intn(6), 1+rng.Intn(5))
+			release := int64(rng.Intn(4))
+			rigidSpecs = append(rigidSpecs, sim.JobSpec{Source: j, Release: release})
+			profSpecs = append(profSpecs, sim.JobSpec{Source: j.Profile(), Release: release})
+		}
+		noLeap := rng.Intn(2) == 0
+		run := func(specs []sim.JobSpec) *sim.Result {
+			res, err := sim.Run(sim.Config{
+				K: k, Caps: caps, Scheduler: core.NewKRAD(k),
+				Pick: dag.PickFIFO, ValidateAllotments: true, NoLeap: noLeap,
+			}, specs)
+			if err != nil {
+				t.Logf("run error: %v", err)
+				return nil
+			}
+			return res
+		}
+		a, b := run(rigidSpecs), run(profSpecs)
+		if a == nil || b == nil {
+			return false
+		}
+		if a.Makespan != b.Makespan || a.TotalResponse() != b.TotalResponse() {
+			t.Logf("seed %d noLeap=%v: rigid makespan=%d resp=%d; profile makespan=%d resp=%d",
+				seed, noLeap, a.Makespan, a.TotalResponse(), b.Makespan, b.TotalResponse())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -4,13 +4,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"krad/internal/dag"
 	"krad/internal/moldable"
+	"krad/internal/profile"
 	"krad/internal/replicate"
 	"krad/internal/sim"
 )
@@ -29,24 +32,48 @@ const PlacementKeyHeader = "X-Krad-Placement-Key"
 const TenantHeader = "X-Krad-Tenant"
 
 // submitRequest is the POST /v1/jobs body: exactly one job description —
-// a K-DAG in the internal/dag JSON encoding (graph) or a moldable-task
-// spec (mold) — plus an optional absolute virtual release time (0 or
-// omitted means "now").
+// a K-DAG in the internal/dag JSON encoding (graph), a moldable-task
+// spec (mold), or a rigid profile spec (rigid) — plus an optional
+// absolute virtual release time (0 or omitted means "now"). Rigid is a
+// value, not a pointer, so the pooled-decode path (submitScratch) stays
+// allocation-free for the profile family that dominates high-rate
+// replay traffic; presence is Procs or Steps being nonzero.
 type submitRequest struct {
-	Graph   *dag.Graph     `json:"graph,omitempty"`
-	Mold    *moldable.Spec `json:"mold,omitempty"`
-	Release int64          `json:"release,omitempty"`
+	Graph   *dag.Graph        `json:"graph,omitempty"`
+	Mold    *moldable.Spec    `json:"mold,omitempty"`
+	Rigid   profile.RigidSpec `json:"rigid,omitzero"`
+	Release int64             `json:"release,omitempty"`
 }
 
-// spec validates the request body and builds the engine job spec. Moldable
-// specs validate eagerly through moldable.FromSpec so malformed curves and
-// edges come back as located 400s, not 500s at admission.
-func (r submitRequest) spec() (sim.JobSpec, error) {
+// hasRigid reports whether the rigid field was populated. A rigid job
+// needs Procs ≥ 1 and Steps ≥ 1 to validate, so an all-zero value can
+// only mean "absent".
+func (r *submitRequest) hasRigid() bool {
+	return r.Rigid.Procs != 0 || r.Rigid.Steps != 0
+}
+
+// spec validates the request body and builds the engine job spec.
+// Moldable and rigid specs validate eagerly (moldable.FromSpec,
+// profile.FromRigidSpec) so malformed curves, edges and widths come back
+// as located 400s, not 500s at admission.
+func (r *submitRequest) spec() (sim.JobSpec, error) {
+	payloads := 0
+	for _, present := range [...]bool{r.Graph != nil, r.Mold != nil, r.hasRigid()} {
+		if present {
+			payloads++
+		}
+	}
 	switch {
-	case r.Graph != nil && r.Mold != nil:
-		return sim.JobSpec{}, fmt.Errorf("job has both a graph and a moldable spec; submit exactly one")
+	case payloads > 1:
+		return sim.JobSpec{}, fmt.Errorf("job has %d of graph/mold/rigid; submit exactly one", payloads)
 	case r.Mold != nil:
 		job, err := moldable.FromSpec(*r.Mold)
+		if err != nil {
+			return sim.JobSpec{}, err
+		}
+		return sim.JobSpec{Source: job, Release: r.Release}, nil
+	case r.hasRigid():
+		job, err := profile.FromRigidSpec(r.Rigid)
 		if err != nil {
 			return sim.JobSpec{}, err
 		}
@@ -64,15 +91,23 @@ type batchRequest struct {
 	Jobs []submitRequest `json:"jobs"`
 }
 
-// retryAfterSeconds derives the 503 Retry-After value from the step pace:
-// one virtual step of queue drain, ceiled to whole seconds, never below
-// the 1-second floor the header's resolution imposes.
-func retryAfterSeconds(stepEvery time.Duration) string {
+// retryAfterSeconds derives the base 503 Retry-After value from the step
+// pace: one virtual step of queue drain, ceiled to whole seconds, never
+// below the 1-second floor the header's resolution imposes.
+func retryAfterSeconds(stepEvery time.Duration) int64 {
 	secs := int64(math.Ceil(stepEvery.Seconds()))
 	if secs < 1 {
 		secs = 1
 	}
-	return strconv.FormatInt(secs, 10)
+	return secs
+}
+
+// retryAfterValue returns the next Retry-After header value: the
+// step-pace base plus a deterministic 0–3 s round-robin jitter, so a
+// synchronized burst of shed clients re-arrives spread over four seconds
+// instead of as a second thundering herd.
+func (s *Service) retryAfterValue() string {
+	return s.retryVals[s.retrySeq.Add(1)&3]
 }
 
 // jobJSON is the wire form of a job's lifecycle status.
@@ -145,14 +180,100 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// Submit body bounds. Declared requests larger than these are rejected
+// with 413 off the Content-Length header alone — before a byte of body is
+// buffered — and chunked bodies are cut off at the same bound mid-read.
+const (
+	maxSubmitBody = 8 << 20
+	maxBatchBody  = 64 << 20
+)
+
+// submitScratch is the pooled per-request decode state of the submit
+// path: the raw-body buffer, the request structs json.Unmarshal fills,
+// and the spec slice handed to admission. Steady-state submissions touch
+// only recycled memory here; what still allocates per request is the
+// decoded payload itself (graph/mold pointers, work vectors) plus a small
+// fixed constant in the json and net/http machinery — pinned by
+// TestSubmitAllocsPinned.
+//
+// json.Unmarshal merges into existing memory rather than resetting it, so
+// release zeroes req and every batch slot across the slice's full
+// capacity before the scratch re-enters the pool; zeroing there also
+// drops payload pointers (so pooled scratch doesn't pin decoded
+// graphs past the request) while keeping the flat buffers.
+type submitScratch struct {
+	buf   []byte
+	req   submitRequest
+	batch batchRequest
+	specs []sim.JobSpec
+}
+
+var submitPool = sync.Pool{New: func() any { return new(submitScratch) }}
+
+func (sc *submitScratch) release() {
+	sc.req = submitRequest{}
+	jobs := sc.batch.Jobs[:cap(sc.batch.Jobs)]
+	for i := range jobs {
+		jobs[i] = submitRequest{}
+	}
+	sc.batch.Jobs = jobs[:0]
+	for i := range sc.specs {
+		sc.specs[i] = sim.JobSpec{}
+	}
+	sc.specs = sc.specs[:0]
+	submitPool.Put(sc)
+}
+
+// readBody buffers the request body into the scratch buffer, enforcing
+// limit. It reports (nil, true) after writing the error response itself
+// on oversized or unreadable bodies.
+func (sc *submitScratch) readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, bool) {
+	if r.ContentLength > limit {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"request body %d bytes exceeds the %d-byte bound", r.ContentLength, limit)
+		return nil, true
+	}
+	if n := r.ContentLength; n > 0 && int64(cap(sc.buf)) < n {
+		sc.buf = make([]byte, 0, n)
+	}
+	body := http.MaxBytesReader(w, r.Body, limit)
+	buf := sc.buf[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			sc.buf = buf
+			return buf, false
+		}
+		if err != nil {
+			sc.buf = buf
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					"request body exceeds the %d-byte bound", limit)
+			} else {
+				writeError(w, http.StatusBadRequest, "reading request body: %v", err)
+			}
+			return nil, true
+		}
+	}
+}
+
 func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var req submitRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
-	if err := dec.Decode(&req); err != nil {
+	sc := submitPool.Get().(*submitScratch)
+	defer sc.release()
+	body, done := sc.readBody(w, r, maxSubmitBody)
+	if done {
+		return
+	}
+	if err := json.Unmarshal(body, &sc.req); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid job JSON: %v", err)
 		return
 	}
-	spec, err := req.spec()
+	spec, err := sc.req.spec()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -166,25 +287,30 @@ func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
-	var req batchRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
-	if err := dec.Decode(&req); err != nil {
+	sc := submitPool.Get().(*submitScratch)
+	defer sc.release()
+	body, done := sc.readBody(w, r, maxBatchBody)
+	if done {
+		return
+	}
+	if err := json.Unmarshal(body, &sc.batch); err != nil {
 		writeError(w, http.StatusBadRequest, "invalid batch JSON: %v", err)
 		return
 	}
-	if len(req.Jobs) == 0 {
+	if len(sc.batch.Jobs) == 0 {
 		writeError(w, http.StatusBadRequest, "batch has no jobs")
 		return
 	}
-	specs := make([]sim.JobSpec, len(req.Jobs))
-	for i, j := range req.Jobs {
-		spec, err := j.spec()
+	specs := sc.specs[:0]
+	for i := range sc.batch.Jobs {
+		spec, err := sc.batch.Jobs[i].spec()
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "batch job %d: %v", i, err)
 			return
 		}
-		specs[i] = spec
+		specs = append(specs, spec)
 	}
+	sc.specs = specs
 	ids, err := s.SubmitBatchTenant(r.Header.Get(PlacementKeyHeader), r.Header.Get(TenantHeader), specs)
 	if !s.writeSubmitError(w, err) {
 		return
@@ -203,11 +329,11 @@ func (s *Service) writeSubmitError(w http.ResponseWriter, err error) bool {
 		// fair share of it. Retry-After signals when decay/drain may free
 		// quota, and distinguishes per-tenant shedding from fleet-wide
 		// backpressure for pacing-aware clients.
-		w.Header().Set("Retry-After", s.retryAfter)
+		w.Header().Set("Retry-After", s.retryAfterValue())
 		writeError(w, http.StatusTooManyRequests, "%v", err)
 		return false
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDegraded):
-		w.Header().Set("Retry-After", s.retryAfter)
+		w.Header().Set("Retry-After", s.retryAfterValue())
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return false
 	case errors.Is(err, replicate.ErrFenced):
@@ -219,7 +345,7 @@ func (s *Service) writeSubmitError(w http.ResponseWriter, err error) bool {
 	case errors.Is(err, replicate.ErrLeaseExpired), errors.Is(err, ErrFollower):
 		// Transient (lease heals when acks resume) or wrong-node
 		// (follower): 503 tells load balancers to route elsewhere.
-		w.Header().Set("Retry-After", s.retryAfter)
+		w.Header().Set("Retry-After", s.retryAfterValue())
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return false
 	case errors.Is(err, ErrClosed):
@@ -263,7 +389,7 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	if err := s.Cancel(id); err != nil {
 		if errors.Is(err, ErrDegraded) || errors.Is(err, ErrFollower) || errors.Is(err, replicate.ErrLeaseExpired) {
-			w.Header().Set("Retry-After", s.retryAfter)
+			w.Header().Set("Retry-After", s.retryAfterValue())
 			writeError(w, http.StatusServiceUnavailable, "%v", err)
 			return
 		}

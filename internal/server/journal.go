@@ -50,12 +50,16 @@ type JournalStats struct {
 	Dir string `json:"dir"`
 	// Sync is the fsync policy's flag spelling.
 	Sync string `json:"sync"`
-	// Records, Appended, Compactions and SizeBytes sum the per-shard
-	// journal counters (see journal.Stats).
-	Records     int64 `json:"records"`
-	Appended    int64 `json:"appended"`
-	Compactions int64 `json:"compactions"`
-	SizeBytes   int64 `json:"size_bytes"`
+	// Records, Appended, Compactions, SizeBytes, Syncs and SyncSeconds sum
+	// the per-shard journal counters (see journal.Stats); SyncSeconds is
+	// the durability overhead — wall time inside fsync — a load generator
+	// subtracts to separate disk cost from scheduling cost.
+	Records     int64   `json:"records"`
+	Appended    int64   `json:"appended"`
+	Compactions int64   `json:"compactions"`
+	SizeBytes   int64   `json:"size_bytes"`
+	Syncs       int64   `json:"syncs"`
+	SyncSeconds float64 `json:"sync_seconds"`
 	// Degraded counts shards whose journal latched a write failure.
 	Degraded int `json:"degraded"`
 	// Errors carries each degraded shard's sticky failure, in shard order.
@@ -150,7 +154,10 @@ func (sh *shard) attachJournal(jn *journal.Journal, snapshotEvery int64, recs []
 	// Rebuild the counters Stats and /metrics report. Steps and rejections
 	// are process-local (a rejection admitted nothing durable), so they
 	// restart at zero; the job lifecycle counters and the response
-	// histogram are durable state and come back from the engine.
+	// histogram are durable state and come back from the engine. The
+	// status index rebuilds from the same pass (JobRef avoids a per-job
+	// work-vector copy; put copies into the stripe arena), and RetireDone
+	// then releases each terminal job's engine state — the index has it.
 	snap := sh.eng.Snapshot()
 	sh.submitted = int64(snap.Admitted)
 	sh.completed = int64(snap.Completed)
@@ -158,13 +165,19 @@ func (sh *shard) attachJournal(jn *journal.Journal, snapshotEvery int64, recs []
 	sh.responses = sh.responses[:0]
 	sh.respHist = newHistogram(responseBuckets())
 	for id := 0; id < snap.Admitted; id++ {
-		st, ok := sh.eng.Job(id)
-		if !ok || st.Phase != sim.JobDone {
-			continue
+		st, ok := sh.eng.JobRef(id)
+		if !ok {
+			continue // retired before the checkpoint: status is gone for good
 		}
-		r := float64(st.Completion - st.Release)
-		sh.responses = append(sh.responses, r)
-		sh.respHist.observe(r)
+		sh.tab.put(id, st)
+		if st.Phase == sim.JobDone {
+			r := float64(st.Completion - st.Release)
+			sh.responses = append(sh.responses, r)
+			sh.respHist.observe(r)
+		}
+		if sh.retireDone && (st.Phase == sim.JobDone || st.Phase == sim.JobCancelled) {
+			_ = sh.eng.Retire(id)
+		}
 	}
 	return nil
 }
@@ -175,7 +188,20 @@ func (sh *shard) attachJournal(jn *journal.Journal, snapshotEvery int64, recs []
 // the caller) and ErrDegraded is reported; the failure is sticky, so no
 // later admission can slip into the ID gap and diverge replay.
 func (sh *shard) journalAdmitLocked(ids []int, specs []sim.JobSpec, tenant string) error {
-	rec, err := journal.AdmitRecord(ids[0], specs)
+	// Without replication the record only lives until Append encodes it,
+	// so a per-shard scratch record (admitRec, reused under this same
+	// lock) keeps the steady-state submit path allocation-free. A
+	// replication sender retains committed records in its send queue, so
+	// with rep attached each admission builds a fresh record instead.
+	rec := &sh.admitRec
+	var err error
+	if sh.rep == nil {
+		err = journal.AdmitRecordInto(rec, ids[0], specs)
+	} else {
+		var fresh journal.Record
+		fresh, err = journal.AdmitRecord(ids[0], specs)
+		rec = &fresh
+	}
 	if err != nil {
 		// Non-journalable job shape (no graph): roll back, reject.
 		sh.rollbackLocked(ids)
@@ -185,11 +211,11 @@ func (sh *shard) journalAdmitLocked(ids []int, specs []sim.JobSpec, tenant strin
 	// wire — outside the fair admission gate), so replay re-charges the
 	// same leaf.
 	rec.Tenant = tenant
-	if err := sh.jn.Append(rec); err != nil {
+	if err := sh.jn.Append(*rec); err != nil {
 		sh.rollbackLocked(ids)
 		return fmt.Errorf("%w: %v", ErrDegraded, err)
 	}
-	sh.commitLocked(rec)
+	sh.commitLocked(*rec)
 	return nil
 }
 
@@ -291,6 +317,8 @@ func (s *Service) journalStats() *JournalStats {
 		js.Appended += st.Appended
 		js.Compactions += st.Compactions
 		js.SizeBytes += st.SizeBytes
+		js.Syncs += st.Syncs
+		js.SyncSeconds += st.SyncSeconds
 		if st.Failed != "" {
 			js.Degraded++
 			js.Errors = append(js.Errors, fmt.Sprintf("shard %d: %s", sh.idx, st.Failed))

@@ -172,6 +172,8 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		metric("krad_journal_appended_total", "Journal records appended since startup.", "counter", js.Appended, "")
 		metric("krad_journal_compactions_total", "Journal snapshot compactions since startup.", "counter", js.Compactions, "")
 		metric("krad_journal_size_bytes", "Journal file bytes across shards.", "gauge", js.SizeBytes, "")
+		metric("krad_journal_syncs_total", "Journal fsyncs issued across shards.", "counter", js.Syncs, "")
+		metric("krad_journal_sync_seconds_total", "Cumulative wall time spent inside journal fsyncs across shards.", "counter", fmt.Sprintf("%g", js.SyncSeconds), "")
 		metric("krad_journal_degraded_shards", "Shards whose journal latched a write failure (admission suspended).", "gauge", js.Degraded, "")
 	}
 

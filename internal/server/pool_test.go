@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -386,25 +387,59 @@ func TestBatchBackpressureRetryAfter(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("oversized batch status %d", resp.StatusCode)
 	}
-	if got := resp.Header.Get("Retry-After"); got != "2" {
-		t.Errorf("Retry-After %q, want \"2\" (ceil of 1.7s step)", got)
+	// Retry-After carries the step-pace base (ceil(1.7s) = 2) plus the
+	// deterministic 0–3 s round-robin jitter.
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 2 || secs > 5 {
+		t.Errorf("Retry-After %q, want 2..5 (ceil of 1.7s step + jitter)", resp.Header.Get("Retry-After"))
 	}
 }
 
 func TestRetryAfterSeconds(t *testing.T) {
 	cases := []struct {
 		step time.Duration
-		want string
+		want int64
 	}{
-		{0, "1"},                       // free-running: floor
-		{10 * time.Millisecond, "1"},   // sub-second: floor
-		{time.Second, "1"},             // exact
-		{1500 * time.Millisecond, "2"}, // ceil
-		{3 * time.Second, "3"},
+		{0, 1},                       // free-running: floor
+		{10 * time.Millisecond, 1},   // sub-second: floor
+		{time.Second, 1},             // exact
+		{1500 * time.Millisecond, 2}, // ceil
+		{3 * time.Second, 3},
 	}
 	for _, c := range cases {
 		if got := retryAfterSeconds(c.step); got != c.want {
-			t.Errorf("retryAfterSeconds(%v) = %q, want %q", c.step, got, c.want)
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", c.step, got, c.want)
+		}
+	}
+}
+
+// TestRetryAfterJitterBounds pins the jitter contract: successive shed
+// responses cycle deterministically through base..base+3 seconds — every
+// value stays inside the four-second window and the sequence actually
+// varies (no thundering-herd single value).
+func TestRetryAfterJitterBounds(t *testing.T) {
+	cfg := testConfig(1, 1)
+	cfg.StepEvery = 1700 * time.Millisecond // base = ceil(1.7s) = 2
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close(context.Background())
+	seen := map[string]int{}
+	for i := 0; i < 8; i++ {
+		v := svc.retryAfterValue()
+		secs, err := strconv.Atoi(v)
+		if err != nil || secs < 2 || secs > 5 {
+			t.Fatalf("retryAfterValue() = %q, want 2..5", v)
+		}
+		seen[v]++
+	}
+	if len(seen) != 4 {
+		t.Fatalf("8 draws hit %d distinct values %v, want the full 4-value cycle", len(seen), seen)
+	}
+	for v, n := range seen {
+		if n != 2 {
+			t.Fatalf("value %s drawn %d times in 8, want exactly 2 (round-robin)", v, n)
 		}
 	}
 }

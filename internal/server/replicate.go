@@ -228,14 +228,21 @@ func (s *Service) ApplyReplicatedSnap(shard int, rec journal.Record) error {
 	sh.cancelled = int64(snap.Cancelled)
 	sh.responses = sh.responses[:0]
 	sh.respHist = newHistogram(responseBuckets())
+	sh.tab.reset()
 	for id := 0; id < snap.Admitted; id++ {
-		st, ok := eng.Job(id)
-		if !ok || st.Phase != sim.JobDone {
-			continue
+		st, ok := eng.JobRef(id)
+		if !ok {
+			continue // retired before the primary's checkpoint
 		}
-		r := float64(st.Completion - st.Release)
-		sh.responses = append(sh.responses, r)
-		sh.respHist.observe(r)
+		sh.tab.put(id, st)
+		if st.Phase == sim.JobDone {
+			r := float64(st.Completion - st.Release)
+			sh.responses = append(sh.responses, r)
+			sh.respHist.observe(r)
+		}
+		if sh.retireDone && (st.Phase == sim.JobDone || st.Phase == sim.JobCancelled) {
+			_ = eng.Retire(id)
+		}
 	}
 	sh.repSeq = rec.Seq
 	sh.applied = 1
@@ -261,6 +268,10 @@ func (o *applyObserver) Fair(st journal.FairState) error {
 
 func (o *applyObserver) Admitted(rec journal.Record, ids []int, now int64) {
 	o.sh.submitted += int64(len(ids))
+	for _, id := range ids {
+		st, _ := o.sh.eng.JobRef(id)
+		o.sh.tab.put(id, st)
+	}
 	if o.sh.fair != nil {
 		fairReplayObserver{o.sh}.Admitted(rec, ids, now)
 	}
@@ -269,18 +280,30 @@ func (o *applyObserver) Admitted(rec journal.Record, ids []int, now int64) {
 func (o *applyObserver) Cancelled(id int) {
 	o.sh.cancelled++
 	o.sh.fairForgetLocked(id)
+	o.sh.tab.setCancelled(id, o.sh.eng.Now())
+	if o.sh.retireDone {
+		_ = o.sh.eng.Retire(id)
+	}
 }
 
 func (o *applyObserver) Stepped(info sim.StepInfo) {
 	sh := o.sh
 	sh.steps += info.Steps
+	for _, id := range info.Released {
+		sh.tab.setActive(id)
+	}
 	for _, id := range info.Completed {
-		st, _ := sh.eng.Job(id)
-		r := float64(st.Completion - st.Release)
+		done, _ := sh.eng.Completion(id)
+		rel, _ := sh.tab.release(id)
+		sh.tab.setDone(id, done)
+		r := float64(done - rel)
 		sh.responses = append(sh.responses, r)
 		sh.respHist.observe(r)
 		sh.completed++
 		sh.fairForgetLocked(id)
+		if sh.retireDone {
+			_ = sh.eng.Retire(id)
+		}
 	}
 	ev := Event{
 		Shard:     sh.idx,

@@ -19,7 +19,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"krad/internal/fairshare"
@@ -97,6 +99,18 @@ type Config struct {
 	// reached through replicate.Receiver's OnPromote — lifts the gate and
 	// starts the loops. See internal/replicate for the wire protocol.
 	Follower bool
+	// RetireDone, when true, retires each job from its shard's engine once
+	// its terminal state (completed or cancelled) has been recorded in the
+	// shard's lock-striped status index: the engine recycles the job's
+	// state for a future admission, bounding engine memory under sustained
+	// million-job arrival streams, while status queries keep answering from
+	// the index. Retirement is a local memory optimization — IDs stay
+	// monotonic, journal replay is unaffected — but idle-point checkpoints
+	// become sparse, so a restart (or a replication follower restoring such
+	// a snapshot) no longer serves statuses for jobs retired before the
+	// checkpoint. Off by default: every behavior, checkpoint shape and
+	// per-job query then matches pre-retirement builds exactly.
+	RetireDone bool
 	// Fairness, when set, enables hierarchical multi-tenant fair-share
 	// admission: submissions resolve their X-Krad-Tenant header through
 	// the queue tree, the fleet MaxInFlight is divided by weighted fair
@@ -181,13 +195,14 @@ type Stats struct {
 // engine plus one step-loop goroutine), one placement policy, any number
 // of submitting/querying/subscribing goroutines.
 type Service struct {
-	cfg        Config
-	shards     []*shard
-	place      Placement
-	fan        *fanout
-	fair       *fairController // nil when fairness is off
-	schedName  string
-	retryAfter string // whole seconds for 503/429 Retry-After, from StepEvery
+	cfg       Config
+	shards    []*shard
+	place     Placement
+	fan       *fanout
+	fair      *fairController // nil when fairness is off
+	schedName string
+	retryVals [4]string     // Retry-After values base..base+3s; base from StepEvery
+	retrySeq  atomic.Uint32 // round-robin cursor into retryVals
 
 	mu        sync.Mutex
 	started   bool
@@ -245,16 +260,19 @@ func New(cfg Config) (*Service, error) {
 			schedName = sh.eng.SchedulerName()
 		}
 		sh.standby = cfg.Follower
+		sh.retireDone = cfg.RetireDone
 		shards[i] = sh
 	}
 	s := &Service{
-		cfg:        cfg,
-		shards:     shards,
-		place:      place,
-		fan:        fan,
-		schedName:  schedName,
-		retryAfter: retryAfterSeconds(cfg.StepEvery),
-		follower:   cfg.Follower,
+		cfg:       cfg,
+		shards:    shards,
+		place:     place,
+		fan:       fan,
+		schedName: schedName,
+		follower:  cfg.Follower,
+	}
+	for i := range s.retryVals {
+		s.retryVals[i] = strconv.FormatInt(retryAfterSeconds(cfg.StepEvery)+int64(i), 10)
 	}
 	if cfg.Fairness != nil {
 		fc, err := newFairController(*cfg.Fairness)

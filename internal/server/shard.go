@@ -26,6 +26,16 @@ type shard struct {
 	stepBatch   int64 // max virtual steps per loop iteration (Config.StepBatch)
 	fan         *fanout
 
+	// tab is the shard's lock-striped job-status index (idtable.go):
+	// status reads go through it without touching mu, so GET/DELETE
+	// lookups never contend with the step loop. Written under mu at every
+	// committed mutation; reads are guarded by the stripe locks alone.
+	tab *idTable
+	// retireDone, when set, retires each job from the engine once its
+	// terminal state is recorded in tab, bounding engine memory under
+	// sustained arrival streams (Config.RetireDone).
+	retireDone bool
+
 	mu        sync.Mutex // guards eng and the counters below
 	eng       *sim.Engine
 	started   bool
@@ -57,6 +67,10 @@ type shard struct {
 	jn           *journal.Journal
 	compactEvery int64
 	compactOff   bool
+	// admitRec is the scratch admission record journalAdmitLocked refills
+	// in place (journal.AdmitRecordInto) when no replication sender could
+	// retain it — the allocation-free leg of the journaled submit path.
+	admitRec journal.Record
 
 	// Replication state (see replicate.go). repSeq is the sequence number
 	// of the shard's last committed mutation record (1-based since engine
@@ -119,6 +133,7 @@ func newShard(idx int, simCfg sim.Config, mkSched func() sched.Scheduler, maxInF
 		stepEvery:   stepEvery,
 		stepBatch:   stepBatch,
 		fan:         fan,
+		tab:         newIDTable(simCfg.K),
 		eng:         eng,
 		newEngine:   newEngine,
 		respHist:    newHistogram(responseBuckets()),
@@ -200,6 +215,13 @@ func (sh *shard) submitBatch(tenant string, specs []sim.JobSpec) ([]int, error) 
 	}
 	if err == nil {
 		sh.submitted += int64(len(ids))
+		// Index before the IDs are acknowledged: a status query racing the
+		// submit response must find the job. JobRef's Work aliases engine
+		// memory; put copies it into the stripe arena.
+		for _, id := range ids {
+			st, _ := sh.eng.JobRef(id)
+			sh.tab.put(id, st)
+		}
 		// Ledger accrual strictly after the admission is durable, so the
 		// journal's record sequence replays to the identical ledger.
 		sh.fairAccrueLocked(tenant, ids, specsCost(specs))
@@ -222,14 +244,23 @@ func (sh *shard) cancel(id int) error {
 			return fmt.Errorf("shard %d: %w", sh.idx, err)
 		}
 	}
+	// Precheck against the status index, which — unlike the engine under
+	// RetireDone — still remembers retired jobs. The error texts mirror
+	// sim.Engine.Cancel exactly, so callers see the engine's canonical
+	// wording whether or not the job's state has been recycled. The
+	// journal path additionally relies on the precheck: once a cancel
+	// record is appended, Cancel below must not fail.
+	switch ph, done, ok := sh.tab.phaseOf(id); {
+	case !ok:
+		return fmt.Errorf("sim: no job %d", id)
+	case ph == sim.JobDone:
+		return fmt.Errorf("sim: job %d already completed at step %d", id, done)
+	case ph == sim.JobCancelled:
+		return fmt.Errorf("sim: job %d already cancelled", id)
+	}
 	journaled := false
 	rec := journal.CancelRecord(id)
 	if sh.jn != nil {
-		// Journal before apply: once appended, the cancel is durable and
-		// Cancel below cannot fail (the precheck ran under this same lock).
-		if st, ok := sh.eng.Job(id); !ok || (st.Phase != sim.JobPending && st.Phase != sim.JobActive) {
-			return sh.eng.Cancel(id) // canonical not-found / terminal error
-		}
 		if !sh.journalHealthyLocked() {
 			return ErrDegraded
 		}
@@ -242,6 +273,10 @@ func (sh *shard) cancel(id int) error {
 	if err == nil {
 		sh.cancelled++
 		sh.fairForgetLocked(id)
+		sh.tab.setCancelled(id, sh.eng.Now())
+		if sh.retireDone {
+			_ = sh.eng.Retire(id)
+		}
 		if journaled {
 			sh.commitLocked(rec)
 		}
@@ -249,11 +284,11 @@ func (sh *shard) cancel(id int) error {
 	return err
 }
 
-// job returns a job's lifecycle status by engine-local ID.
+// job returns a job's lifecycle status by engine-local ID. It reads the
+// lock-striped index, never the shard lock: status queries stay fast
+// while the step loop holds mu through a long scheduling round.
 func (sh *shard) job(id int) (sim.JobStatus, bool) {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	return sh.eng.Job(id)
+	return sh.tab.get(id)
 }
 
 // err returns the step loop's fatal error, if one occurred.
@@ -405,26 +440,41 @@ func (sh *shard) stepN(max int64) (int64, error) {
 		}
 	}
 	sh.steps += info.Steps
+	for _, id := range info.Released {
+		sh.tab.setActive(id)
+	}
 	for _, id := range info.Completed {
-		st, _ := sh.eng.Job(id)
-		r := float64(st.Completion - st.Release)
+		// Response accounting off the index and the engine's no-copy
+		// completion lookup: the pre-index path called eng.Job here, whose
+		// defensive work-vector copy was the last per-completion allocation
+		// on the steady-state step path.
+		done, _ := sh.eng.Completion(id)
+		rel, _ := sh.tab.release(id)
+		sh.tab.setDone(id, done)
+		r := float64(done - rel)
 		sh.responses = append(sh.responses, r)
 		sh.respHist.observe(r)
 		sh.completed++
 		sh.fairForgetLocked(id)
+		if sh.retireDone {
+			_ = sh.eng.Retire(id)
+		}
 	}
 	pending := sh.eng.Snapshot().Pending
-	// info.Executed is an engine-owned buffer reused by the next step; the
-	// event outlives this call (async subscribers), so copy.
+	// info.Executed/Released/Completed are engine-owned buffers reused by
+	// the next step; the event outlives this call (async subscribers), so
+	// copy while still holding the lock.
 	exec := append([]int(nil), info.Executed...)
+	released := sh.namespace(info.Released)
+	completed := sh.namespace(info.Completed)
 	sh.mu.Unlock()
 
 	ev := Event{
 		Shard:     sh.idx,
 		Step:      info.Step,
 		Executed:  exec,
-		Released:  sh.namespace(info.Released),
-		Completed: sh.namespace(info.Completed),
+		Released:  released,
+		Completed: completed,
 		Active:    info.Active,
 		Pending:   pending,
 	}
@@ -438,9 +488,11 @@ func (sh *shard) stepN(max int64) (int64, error) {
 // namespace rewrites engine-local job IDs into pool-wide IDs. For shard 0
 // this is the identity, preserving the single-shard wire format.
 func (sh *shard) namespace(ids []int) []int {
-	if sh.idx == 0 || len(ids) == 0 {
-		return ids
+	if len(ids) == 0 {
+		return nil
 	}
+	// Always copy: the input may be an engine-owned buffer reused by the
+	// next step, and published events outlive this call.
 	out := make([]int, len(ids))
 	for i, id := range ids {
 		out[i] = composeID(sh.idx, id)

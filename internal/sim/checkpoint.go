@@ -44,6 +44,16 @@ type EngineCheckpoint struct {
 	Overloaded []bool          `json:"overloaded,omitempty"`
 	SchedState []byte          `json:"sched_state,omitempty"`
 	Jobs       []CheckpointJob `json:"jobs,omitempty"`
+	// NextID is the ID the next admission receives. Retired jobs are
+	// omitted from Jobs, so the table alone no longer determines it.
+	// Checkpoints from engines that never retired (and all pre-retirement
+	// checkpoints) omit the field; it then defaults to len(Jobs).
+	NextID int `json:"next_id,omitempty"`
+	// Completed and Cancelled carry the aggregate terminal counters,
+	// which include retired jobs. When omitted (pre-retirement
+	// checkpoints) they are derived from the Jobs table.
+	Completed int `json:"completed,omitempty"`
+	Cancelled int `json:"cancelled,omitempty"`
 }
 
 // Checkpoint captures the engine's state at an idle instant. It fails if
@@ -53,7 +63,7 @@ type EngineCheckpoint struct {
 // the trace is not carried across a restore.
 func (e *Engine) Checkpoint() (EngineCheckpoint, error) {
 	if !e.Idle() {
-		return EngineCheckpoint{}, fmt.Errorf("sim: checkpoint requires an idle engine (%d pending, %d active)", len(e.pending), len(e.active))
+		return EngineCheckpoint{}, fmt.Errorf("sim: checkpoint requires an idle engine (%d pending, %d active)", e.pendingLen(), len(e.active))
 	}
 	if e.cfg.Trace != TraceNone {
 		return EngineCheckpoint{}, fmt.Errorf("sim: checkpoint requires TraceNone (trace state is not restorable)")
@@ -77,10 +87,16 @@ func (e *Engine) Checkpoint() (EngineCheckpoint, error) {
 		ExecTotal:  append([]int64(nil), e.execTotal...),
 		Overloaded: append([]bool(nil), e.overloaded...),
 		SchedState: state,
-		Jobs:       make([]CheckpointJob, len(e.jobs)),
+		Jobs:       make([]CheckpointJob, 0, len(e.jobs)),
+		NextID:     len(e.jobs),
+		Completed:  e.completedN,
+		Cancelled:  e.cancelledN,
 	}
-	for i, js := range e.jobs {
-		cp.Jobs[i] = CheckpointJob{
+	for _, js := range e.jobs {
+		if js == nil {
+			continue // retired: only the aggregate counters carry over
+		}
+		cp.Jobs = append(cp.Jobs, CheckpointJob{
 			ID:          js.id,
 			Release:     js.release,
 			Phase:       js.phase,
@@ -88,7 +104,7 @@ func (e *Engine) Checkpoint() (EngineCheckpoint, error) {
 			CancelledAt: js.cancelledAt,
 			Work:        append([]int(nil), js.work...),
 			Span:        js.span,
-		}
+		})
 	}
 	return cp, nil
 }
@@ -111,9 +127,19 @@ func (e *Engine) Restore(cp EngineCheckpoint) error {
 	if cp.Overloaded != nil && len(cp.Overloaded) != e.cfg.K {
 		return fmt.Errorf("sim: checkpoint has %d overload flags for K=%d", len(cp.Overloaded), e.cfg.K)
 	}
+	nextID := cp.NextID
+	if nextID == 0 {
+		nextID = len(cp.Jobs) // pre-retirement checkpoints: dense table
+	}
+	if nextID < len(cp.Jobs) {
+		return fmt.Errorf("sim: checkpoint next ID %d below its %d-job table", nextID, len(cp.Jobs))
+	}
 	for i, j := range cp.Jobs {
-		if j.ID != i {
-			return fmt.Errorf("sim: checkpoint job %d has ID %d, want contiguous IDs", i, j.ID)
+		if i > 0 && j.ID <= cp.Jobs[i-1].ID {
+			return fmt.Errorf("sim: checkpoint job %d has ID %d after ID %d, want ascending IDs", i, j.ID, cp.Jobs[i-1].ID)
+		}
+		if j.ID < 0 || j.ID >= nextID {
+			return fmt.Errorf("sim: checkpoint job %d has ID %d outside 0..%d", i, j.ID, nextID-1)
 		}
 		if j.Phase != JobDone && j.Phase != JobCancelled {
 			return fmt.Errorf("sim: checkpoint job %d is %s; only terminal jobs can be checkpointed", j.ID, j.Phase)
@@ -121,6 +147,26 @@ func (e *Engine) Restore(cp EngineCheckpoint) error {
 		if len(j.Work) != e.cfg.K {
 			return fmt.Errorf("sim: checkpoint job %d has %d work categories for K=%d", j.ID, len(j.Work), e.cfg.K)
 		}
+	}
+	tableDone, tableCancelled := 0, 0
+	for _, j := range cp.Jobs {
+		if j.Phase == JobDone {
+			tableDone++
+		} else {
+			tableCancelled++
+		}
+	}
+	completedN, cancelledN := cp.Completed, cp.Cancelled
+	if completedN == 0 && cancelledN == 0 {
+		completedN, cancelledN = tableDone, tableCancelled // pre-retirement
+	}
+	if completedN < tableDone || cancelledN < tableCancelled {
+		return fmt.Errorf("sim: checkpoint counters %d done/%d cancelled below its job table (%d/%d)",
+			completedN, cancelledN, tableDone, tableCancelled)
+	}
+	if completedN+cancelledN != nextID {
+		return fmt.Errorf("sim: checkpoint counters %d done + %d cancelled don't cover %d admitted jobs",
+			completedN, cancelledN, nextID)
 	}
 	if cp.SchedState != nil {
 		snap, ok := e.cfg.Scheduler.(sched.Snapshotter)
@@ -141,9 +187,9 @@ func (e *Engine) Restore(cp EngineCheckpoint) error {
 	if cp.Overloaded != nil {
 		copy(e.overloaded, cp.Overloaded)
 	}
-	e.jobs = make([]*jobState, len(cp.Jobs))
-	for i, j := range cp.Jobs {
-		js := &jobState{
+	e.jobs = make([]*jobState, nextID)
+	for _, j := range cp.Jobs {
+		e.jobs[j.ID] = &jobState{
 			id:          j.ID,
 			release:     j.Release,
 			work:        append([]int(nil), j.Work...),
@@ -152,13 +198,8 @@ func (e *Engine) Restore(cp EngineCheckpoint) error {
 			completed:   j.Completion,
 			cancelledAt: j.CancelledAt,
 		}
-		e.jobs[i] = js
-		switch j.Phase {
-		case JobDone:
-			e.completedN++
-		case JobCancelled:
-			e.cancelledN++
-		}
 	}
+	e.completedN = completedN
+	e.cancelledN = cancelledN
 	return nil
 }

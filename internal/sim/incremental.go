@@ -86,9 +86,13 @@ type StepInfo struct {
 	// Step/StepN call — copy it before publishing it anywhere that
 	// outlives the next call. Nil when Idle.
 	Executed []int
-	// Released lists job IDs that became active during the call.
+	// Released lists job IDs that became active during the call. Like
+	// Executed, the slice is an engine-owned buffer reused by the next
+	// call — copy before retaining.
 	Released []int
-	// Completed lists job IDs that finished during the call.
+	// Completed lists job IDs that finished during the call. Like
+	// Executed, the slice is an engine-owned buffer reused by the next
+	// call — copy before retaining.
 	Completed []int
 	// Active is the number of jobs still running after the call.
 	Active int
@@ -203,10 +207,17 @@ type jobState struct {
 type Engine struct {
 	cfg Config
 
-	now        int64
-	jobs       []*jobState // all admitted jobs, indexed by ID
-	pending    []*jobState // admitted, not yet released; sorted by (release, ID)
+	now  int64
+	jobs []*jobState // all admitted jobs, indexed by ID; nil once retired
+	// pending holds admitted, not-yet-released jobs sorted by (release,
+	// ID); the live window is pending[pendOff:]. Releases advance pendOff
+	// instead of re-slicing so the backing array's capacity is recovered
+	// when the queue drains — a steady submit→release cycle reallocates
+	// nothing.
+	pending    []*jobState
+	pendOff    int
 	active     []*jobState // released, unfinished; ascending ID
+	free       []*jobState // retired jobStates recycled by the next Admit
 	remaining  int         // admitted − completed − cancelled
 	completedN int
 	cancelledN int
@@ -286,7 +297,10 @@ func (e *Engine) Remaining() int { return e.remaining }
 
 // Idle reports whether the engine has nothing to do: no active jobs and no
 // pending releases.
-func (e *Engine) Idle() bool { return len(e.active) == 0 && len(e.pending) == 0 }
+func (e *Engine) Idle() bool { return len(e.active) == 0 && e.pendingLen() == 0 }
+
+// pendingLen is the number of admitted, not-yet-released jobs.
+func (e *Engine) pendingLen() int { return len(e.pending) - e.pendOff }
 
 // Admit adds a job to the running engine and returns its assigned ID.
 // IDs are assigned in admission order, so admitting jobs in release order
@@ -317,6 +331,11 @@ func (e *Engine) AdmitBatch(specs []JobSpec) ([]int, error) {
 	for i, spec := range specs {
 		js, tasks, err := e.prepare(spec, base+i)
 		if err != nil {
+			// All-or-nothing: return already-prepared states to the free
+			// list (prepare may have popped them from it).
+			for _, prev := range states[:i] {
+				e.free = append(e.free, prev)
+			}
 			return nil, err
 		}
 		states[i], taskCounts[i] = js, tasks
@@ -331,7 +350,10 @@ func (e *Engine) AdmitBatch(specs []JobSpec) ([]int, error) {
 
 // prepare validates one spec against the engine's clock and configuration
 // and builds its jobState without touching engine state, so a batch can
-// validate every member before admitting any.
+// validate every member before admitting any. Retired jobStates are
+// recycled from the free list: sources implementing WorkAppender and
+// RuntimeReuser make the steady-state admit→complete→retire→admit cycle
+// allocation-free.
 func (e *Engine) prepare(spec JobSpec, id int) (*jobState, int, error) {
 	if err := checkSpec(&e.cfg, spec, id); err != nil {
 		return nil, 0, err
@@ -340,18 +362,43 @@ func (e *Engine) prepare(spec JobSpec, id int) (*jobState, int, error) {
 		return nil, 0, fmt.Errorf("sim: job %d release %d is in the past (clock is at %d)", id, spec.Release, e.now)
 	}
 	src := spec.source()
-	rt := src.NewRuntime(e.cfg.Pick, e.cfg.Seed+int64(id))
-	js := &jobState{
-		id:      id,
-		release: spec.Release,
-		rt:      rt,
-		work:    src.WorkVector(),
-		span:    src.Span(),
-		phase:   JobPending,
+	var js *jobState
+	if n := len(e.free); n > 0 {
+		js = e.free[n-1]
+		e.free = e.free[:n-1]
+	}
+	seed := e.cfg.Seed + int64(id)
+	var rt RuntimeJob
+	if js != nil && js.rt != nil {
+		if ru, ok := src.(RuntimeReuser); ok {
+			rt, _ = ru.ReuseRuntime(js.rt, e.cfg.Pick, seed)
+		}
+	}
+	if rt == nil {
+		rt = src.NewRuntime(e.cfg.Pick, seed)
+	}
+	if js != nil {
+		work := js.work[:0]
+		if wa, ok := src.(WorkAppender); ok {
+			work = wa.AppendWork(work)
+		} else {
+			work = append(work, src.WorkVector()...)
+		}
+		*js = jobState{id: id, release: spec.Release, rt: rt, work: work, span: src.Span(), phase: JobPending}
+	} else {
+		js = &jobState{
+			id:      id,
+			release: spec.Release,
+			rt:      rt,
+			work:    src.WorkVector(),
+			span:    src.Span(),
+			phase:   JobPending,
+		}
 	}
 	js.caps = bindCaps(rt)
 	js.family = FamilyOf(src)
 	if e.cfg.Trace >= TraceTasks && js.caps.task == nil {
+		e.free = append(e.free, js)
 		return nil, 0, fmt.Errorf("sim: job %d (%s) runtime cannot report task IDs; TraceTasks requires DAG-backed jobs", id, src.Name())
 	}
 	return js, src.TotalTasks(), nil
@@ -373,7 +420,7 @@ func (e *Engine) commit(js *jobState, tasks int) {
 // are available to the scheduler from the next step on. Completed or
 // already-cancelled jobs cannot be cancelled.
 func (e *Engine) Cancel(id int) error {
-	if id < 0 || id >= len(e.jobs) {
+	if id < 0 || id >= len(e.jobs) || e.jobs[id] == nil {
 		return fmt.Errorf("sim: no job %d", id)
 	}
 	js := e.jobs[id]
@@ -383,7 +430,8 @@ func (e *Engine) Cancel(id int) error {
 	case JobCancelled:
 		return fmt.Errorf("sim: job %d already cancelled", id)
 	case JobPending:
-		e.pending = removeJob(e.pending, js)
+		live := removeJob(e.pending[e.pendOff:], js)
+		e.pending = e.pending[:e.pendOff+len(live)]
 	case JobActive:
 		e.active = removeJob(e.active, js)
 	}
@@ -397,9 +445,31 @@ func (e *Engine) Cancel(id int) error {
 	return nil
 }
 
+// Retire forgets a terminal (completed or cancelled) job, recycling its
+// state for a future Admit. After Retire, Job(id) reports the job unknown
+// and the ID is never reassigned — IDs stay monotonic, so admission-order
+// reproducibility and journal replay are unaffected (retirement is a local
+// memory optimization, not a scheduling event, and is deliberately not
+// journaled). Long-running services retire jobs once their terminal status
+// has been recorded elsewhere, bounding engine memory under streams of
+// millions of jobs. Retired jobs are omitted from Result and Checkpoint;
+// aggregate counters (Snapshot, checkpoint totals) still include them.
+func (e *Engine) Retire(id int) error {
+	if id < 0 || id >= len(e.jobs) || e.jobs[id] == nil {
+		return fmt.Errorf("sim: no job %d", id)
+	}
+	js := e.jobs[id]
+	if js.phase != JobDone && js.phase != JobCancelled {
+		return fmt.Errorf("sim: job %d is %s; only completed or cancelled jobs can be retired", id, js.phase)
+	}
+	e.jobs[id] = nil
+	e.free = append(e.free, js)
+	return nil
+}
+
 // Job returns the status of an admitted job.
 func (e *Engine) Job(id int) (JobStatus, bool) {
-	if id < 0 || id >= len(e.jobs) {
+	if id < 0 || id >= len(e.jobs) || e.jobs[id] == nil {
 		return JobStatus{}, false
 	}
 	js := e.jobs[id]
@@ -415,6 +485,39 @@ func (e *Engine) Job(id int) (JobStatus, bool) {
 	}, true
 }
 
+// JobRef is Job without the defensive work-vector copy: the returned
+// status's Work aliases engine-owned memory that is recycled when the job
+// is retired, so callers must copy anything they retain past the call. It
+// exists for allocation-free status plumbing — a server rebuilding its
+// job-status index after replay reads every job through it without a
+// per-job allocation.
+func (e *Engine) JobRef(id int) (JobStatus, bool) {
+	if id < 0 || id >= len(e.jobs) || e.jobs[id] == nil {
+		return JobStatus{}, false
+	}
+	js := e.jobs[id]
+	return JobStatus{
+		ID:          js.id,
+		Release:     js.release,
+		Phase:       js.phase,
+		Family:      js.family,
+		Completion:  js.completed,
+		CancelledAt: js.cancelledAt,
+		Work:        js.work,
+		Span:        js.span,
+	}, true
+}
+
+// Completion returns the step a job finished at (0 while unfinished)
+// without copying its work vector — the allocation-free fast path for
+// per-completion accounting in serving loops.
+func (e *Engine) Completion(id int) (int64, bool) {
+	if id < 0 || id >= len(e.jobs) || e.jobs[id] == nil {
+		return 0, false
+	}
+	return e.jobs[id].completed, true
+}
+
 // Snapshot summarizes the engine's current state.
 func (e *Engine) Snapshot() EngineSnapshot {
 	return EngineSnapshot{
@@ -422,7 +525,7 @@ func (e *Engine) Snapshot() EngineSnapshot {
 		K:             e.cfg.K,
 		Caps:          append([]int(nil), e.cfg.Caps...),
 		Admitted:      len(e.jobs),
-		Pending:       len(e.pending),
+		Pending:       e.pendingLen(),
 		Active:        len(e.active),
 		Completed:     e.completedN,
 		Cancelled:     e.cancelledN,
@@ -485,17 +588,23 @@ func (e *Engine) stepN(budget int64) (StepInfo, error) {
 			return StepInfo{}, fmt.Errorf("sim: scheduler %q exceeded %d steps with %d jobs unfinished — likely a non-work-conserving allotment bug", e.cfg.Scheduler.Name(), e.maxStepsBound(), e.remaining)
 		}
 		// Release: a job released at r is schedulable from step r+1.
-		for len(e.pending) > 0 && e.pending[0].release < t {
-			js := e.pending[0]
-			e.pending = e.pending[1:]
+		for e.pendOff < len(e.pending) && e.pending[e.pendOff].release < t {
+			js := e.pending[e.pendOff]
+			e.pending[e.pendOff] = nil
+			e.pendOff++
 			js.phase = JobActive
 			e.insertActive(js)
 			e.callRel = append(e.callRel, js.id)
 		}
+		if e.pendOff == len(e.pending) {
+			// Queue drained: recover the backing array's full capacity.
+			e.pending = e.pending[:0]
+			e.pendOff = 0
+		}
 		if len(e.active) == 0 {
 			// Idle interval: fast-forward to the next release (the loop's
 			// t = now+1 then lands on release+1).
-			e.now = e.pending[0].release
+			e.now = e.pending[e.pendOff].release
 			continue
 		}
 		e.now = t
@@ -520,10 +629,10 @@ func (e *Engine) stepN(budget int64) (StepInfo, error) {
 		info.Executed = e.callExec
 	}
 	if len(e.callRel) > 0 {
-		info.Released = append([]int(nil), e.callRel...)
+		info.Released = e.callRel
 	}
 	if len(e.callDone) > 0 {
-		info.Completed = append([]int(nil), e.callDone...)
+		info.Completed = e.callDone
 	}
 	return info, nil
 }
@@ -735,8 +844,8 @@ func (e *Engine) tryLeap(t int64, allot [][]int, budget int64, leapable bool, ha
 		}
 		// A job released at r joins the views at step r+1: the leap must
 		// not run past the step preceding that.
-		if len(e.pending) > 0 {
-			if m := e.pending[0].release - t + 1; m < n {
+		if e.pendingLen() > 0 {
+			if m := e.pending[e.pendOff].release - t + 1; m < n {
 				n = m
 			}
 		}
@@ -848,15 +957,18 @@ func (e *Engine) Result() *Result {
 		Overloaded: append([]bool(nil), e.overloaded...),
 		Trace:      e.trace,
 	}
-	res.Jobs = make([]JobResult, len(e.jobs))
-	for i, j := range e.jobs {
-		res.Jobs[i] = JobResult{
+	res.Jobs = make([]JobResult, 0, len(e.jobs))
+	for _, j := range e.jobs {
+		if j == nil {
+			continue // retired
+		}
+		res.Jobs = append(res.Jobs, JobResult{
 			ID:         j.id,
 			Release:    j.release,
 			Completion: j.completed,
 			Work:       j.work,
 			Span:       j.span,
-		}
+		})
 	}
 	return res
 }
@@ -864,16 +976,18 @@ func (e *Engine) Result() *Result {
 // insertPending inserts into the pending queue, keeping (release, ID)
 // order — the stable-sort order Run admits in.
 func (e *Engine) insertPending(js *jobState) {
-	i := sort.Search(len(e.pending), func(i int) bool {
-		p := e.pending[i]
+	live := e.pending[e.pendOff:]
+	i := sort.Search(len(live), func(i int) bool {
+		p := live[i]
 		if p.release != js.release {
 			return p.release > js.release
 		}
 		return p.id > js.id
 	})
 	e.pending = append(e.pending, nil)
-	copy(e.pending[i+1:], e.pending[i:])
-	e.pending[i] = js
+	live = e.pending[e.pendOff:]
+	copy(live[i+1:], live[i:])
+	live[i] = js
 }
 
 // insertActive inserts into the active set, keeping ascending ID order —
@@ -976,9 +1090,17 @@ func (e *Engine) executeParallel(t int64, active []*jobState, allot [][]int) {
 type engineOracle struct{ e *Engine }
 
 func (o engineOracle) RemainingWork(jobID int) []int {
-	return o.e.jobs[jobID].rt.RemainingWork()
+	js := o.e.jobs[jobID]
+	if js == nil {
+		return nil // retired; schedulers only query live jobs
+	}
+	return js.rt.RemainingWork()
 }
 
 func (o engineOracle) ReleaseTime(jobID int) int64 {
-	return o.e.jobs[jobID].release
+	js := o.e.jobs[jobID]
+	if js == nil {
+		return 0
+	}
+	return js.release
 }

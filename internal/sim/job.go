@@ -42,6 +42,28 @@ type RuntimeJob interface {
 	RemainingWork() []int
 }
 
+// WorkAppender is an optional JobSource extension for allocation-free
+// admission: sources that can write their work vector into a
+// caller-provided buffer let the engine recycle a retired job's slice
+// instead of allocating through WorkVector. AppendWork appends T1(Ji, α)
+// per category (indexed α−1) to dst and returns the extended slice.
+type WorkAppender interface {
+	JobSource
+	// AppendWork appends the job's work vector to dst.
+	AppendWork(dst []int) []int
+}
+
+// RuntimeReuser is an optional JobSource extension for allocation-free
+// admission: sources that can reset a previously-minted runtime in place
+// let the engine recycle a retired job's runtime allocation. ReuseRuntime
+// reports false when rt is not a matching runtime of this source's shape;
+// the engine then falls back to NewRuntime.
+type RuntimeReuser interface {
+	JobSource
+	// ReuseRuntime resets rt for a fresh run of this job if possible.
+	ReuseRuntime(rt RuntimeJob, pick dag.PickPolicy, seed int64) (RuntimeJob, bool)
+}
+
 // TaskRuntime is implemented by runtimes that can report which concrete
 // tasks ran — required for TraceTasks-level recording (Gantt charts and
 // schedule re-validation).

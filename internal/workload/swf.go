@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"strconv"
 	"strings"
@@ -41,6 +42,105 @@ type SWFRecord struct {
 	Raw [18]int64
 }
 
+// Usable reports whether the record describes a runnable job: a positive
+// run time and processor count and a non-negative submit time. Real logs
+// carry cancelled and malformed entries that fail this; readers decide
+// whether to skip or count them.
+func (rec SWFRecord) Usable() bool {
+	return rec.RunTime > 0 && rec.Procs > 0 && rec.Submit >= 0
+}
+
+// RigidSpec maps the record onto the wire form of a rigid profile job for
+// a K-category machine: Procs processors in category cat for the record's
+// runtime ceiled to steps of timeScale seconds. This is what a load
+// generator posts as {"rigid": ...}; the release companion is
+// rec.Submit / timeScale.
+func (rec SWFRecord) RigidSpec(k int, cat dag.Category, timeScale int64) (profile.RigidSpec, error) {
+	if !rec.Usable() {
+		return profile.RigidSpec{}, fmt.Errorf("workload: SWF job %d is not usable (runtime %d, procs %d, submit %d)",
+			rec.JobID, rec.RunTime, rec.Procs, rec.Submit)
+	}
+	if timeScale < 1 {
+		return profile.RigidSpec{}, fmt.Errorf("workload: RigidSpec needs timeScale ≥ 1")
+	}
+	// Ceil without the (runtime + scale − 1) overflow a hostile log's
+	// MaxInt64 runtime would trigger; RunTime ≥ 1 here per Usable.
+	steps := (rec.RunTime-1)/timeScale + 1
+	if steps > math.MaxInt32 {
+		return profile.RigidSpec{}, fmt.Errorf("workload: SWF job %d runtime %d at scale %d yields %d steps; implausible for a real log",
+			rec.JobID, rec.RunTime, timeScale, steps)
+	}
+	return profile.RigidSpec{
+		K:     k,
+		Name:  fmt.Sprintf("swf-%d", rec.JobID),
+		Cat:   int(cat),
+		Procs: rec.Procs,
+		Steps: int(steps),
+	}, nil
+}
+
+// SWFReader streams records out of an SWF log one at a time, without
+// materializing the whole job set — the record-level access a closed-loop
+// load generator needs to pace a million-job archive log through a live
+// daemon at bounded memory.
+type SWFReader struct {
+	sc     *bufio.Scanner
+	lineNo int
+}
+
+// NewSWFReader wraps r; lines longer than 1 MiB fail rather than split.
+func NewSWFReader(r io.Reader) *SWFReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	return &SWFReader{sc: sc}
+}
+
+// Next returns the next record in the log, skipping comments and blank
+// lines but NOT unusable records — callers filter with Usable so they can
+// count what they skipped. Returns io.EOF at a clean end of log; any
+// other error names the offending line.
+func (r *SWFReader) Next() (SWFRecord, error) {
+	for r.sc.Scan() {
+		r.lineNo++
+		line := strings.TrimSpace(r.sc.Text())
+		if line == "" || strings.HasPrefix(line, ";") {
+			continue
+		}
+		return parseSWFLine(r.lineNo, line)
+	}
+	if err := r.sc.Err(); err != nil {
+		return SWFRecord{}, fmt.Errorf("workload: SWF read: %w", err)
+	}
+	return SWFRecord{}, io.EOF
+}
+
+// Line reports the line number of the record Next returned last.
+func (r *SWFReader) Line() int { return r.lineNo }
+
+func parseSWFLine(lineNo int, line string) (SWFRecord, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 18 {
+		return SWFRecord{}, fmt.Errorf("workload: SWF line %d has %d fields, want 18", lineNo, len(fields))
+	}
+	var rec SWFRecord
+	for i := 0; i < 18; i++ {
+		v, err := strconv.ParseInt(fields[i], 10, 64)
+		if err != nil {
+			return SWFRecord{}, fmt.Errorf("workload: SWF line %d field %d: %w", lineNo, i+1, err)
+		}
+		rec.Raw[i] = v
+	}
+	rec.JobID = int(rec.Raw[0])
+	rec.Submit = rec.Raw[1]
+	rec.RunTime = rec.Raw[3]
+	rec.Procs = int(rec.Raw[4])
+	if rec.Procs <= 0 {
+		rec.Procs = int(rec.Raw[7]) // requested
+	}
+	rec.Partition = int(rec.Raw[15])
+	return rec, nil
+}
+
 // SWFOptions controls the mapping onto the K-resource model.
 type SWFOptions struct {
 	// K is the number of resource categories of the target machine.
@@ -59,6 +159,12 @@ type SWFOptions struct {
 	// Category assigns a resource category to a record; nil means
 	// round-robin over [1, K] by acceptance order.
 	Category func(rec SWFRecord, index int) dag.Category
+	// Rigid emits each job as a *profile.Rigid (the O(1)-memory rigid
+	// form) instead of an explicit phase-profile job. Work vectors, spans
+	// and schedules are identical either way; rigid jobs just skip
+	// materializing steps × K phase slices, which matters at archive
+	// scale (a million 10-hour jobs is ~10⁹ phase entries).
+	Rigid bool
 }
 
 // ParseSWF reads an SWF log and returns engine-ready job specs (releases
@@ -79,58 +185,53 @@ func ParseSWF(r io.Reader, opts SWFOptions) ([]sim.JobSpec, []SWFRecord, error) 
 
 	var specs []sim.JobSpec
 	var records []SWFRecord
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, ";") {
-			continue
+	rd := NewSWFReader(r)
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
 		}
-		fields := strings.Fields(line)
-		if len(fields) < 18 {
-			return nil, nil, fmt.Errorf("workload: SWF line %d has %d fields, want 18", lineNo, len(fields))
+		if err != nil {
+			return nil, nil, err
 		}
-		var rec SWFRecord
-		for i := 0; i < 18; i++ {
-			v, err := strconv.ParseInt(fields[i], 10, 64)
-			if err != nil {
-				return nil, nil, fmt.Errorf("workload: SWF line %d field %d: %w", lineNo, i+1, err)
-			}
-			rec.Raw[i] = v
-		}
-		rec.JobID = int(rec.Raw[0])
-		rec.Submit = rec.Raw[1]
-		rec.RunTime = rec.Raw[3]
-		rec.Procs = int(rec.Raw[4])
-		if rec.Procs <= 0 {
-			rec.Procs = int(rec.Raw[7]) // requested
-		}
-		rec.Partition = int(rec.Raw[15])
-
 		// Skip unusable records (cancelled jobs, unknown durations).
-		if rec.RunTime <= 0 || rec.Procs <= 0 || rec.Submit < 0 {
+		if !rec.Usable() {
 			continue
 		}
 		if opts.MaxProcs > 0 && rec.Procs > opts.MaxProcs {
 			rec.Procs = opts.MaxProcs
 		}
 
-		steps := (rec.RunTime + opts.TimeScale - 1) / opts.TimeScale
 		cat := assign(rec, len(records))
 		if cat < 1 || int(cat) > opts.K {
-			return nil, nil, fmt.Errorf("workload: SWF line %d: category %d out of [1,%d]", lineNo, cat, opts.K)
+			return nil, nil, fmt.Errorf("workload: SWF line %d: category %d out of [1,%d]", rd.Line(), cat, opts.K)
 		}
-		phases := make([]profile.Phase, steps)
-		for p := range phases {
-			tasks := make([]int, opts.K)
-			tasks[cat-1] = rec.Procs
-			phases[p] = profile.Phase{Tasks: tasks}
-		}
-		job, err := profile.New(opts.K, fmt.Sprintf("swf-%d", rec.JobID), phases)
+		sp, err := rec.RigidSpec(opts.K, cat, opts.TimeScale)
 		if err != nil {
-			return nil, nil, fmt.Errorf("workload: SWF line %d: %w", lineNo, err)
+			return nil, nil, fmt.Errorf("workload: SWF line %d: %w", rd.Line(), err)
+		}
+		var job sim.JobSource
+		if opts.Rigid {
+			job, err = profile.FromRigidSpec(sp)
+		} else {
+			// Phase materialization is O(steps × K) memory; beyond this
+			// bound only the O(1) rigid form is sane (≈ 48 days of
+			// 1-second steps — no archive job is longer).
+			const maxPhaseSteps = 1 << 22
+			if sp.Steps > maxPhaseSteps {
+				return nil, nil, fmt.Errorf("workload: SWF line %d: %d steps exceeds the %d-step phase-profile bound; set SWFOptions.Rigid",
+					rd.Line(), sp.Steps, maxPhaseSteps)
+			}
+			phases := make([]profile.Phase, sp.Steps)
+			for p := range phases {
+				tasks := make([]int, opts.K)
+				tasks[cat-1] = rec.Procs
+				phases[p] = profile.Phase{Tasks: tasks}
+			}
+			job, err = profile.New(opts.K, sp.Name, phases)
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("workload: SWF line %d: %w", rd.Line(), err)
 		}
 		specs = append(specs, sim.JobSpec{
 			Source:  job,
@@ -140,9 +241,6 @@ func ParseSWF(r io.Reader, opts SWFOptions) ([]sim.JobSpec, []SWFRecord, error) 
 		if opts.MaxJobs > 0 && len(records) >= opts.MaxJobs {
 			break
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, nil, fmt.Errorf("workload: SWF read: %w", err)
 	}
 	if len(specs) == 0 {
 		return nil, nil, fmt.Errorf("workload: SWF log contained no usable jobs")
