@@ -289,7 +289,7 @@ func runJSONBenchmarks(path, note, family string) error {
 		GoVersion: runtime.Version(),
 		Note:      note,
 	}
-	for _, mb := range microBenches() {
+	for _, mb := range append(microBenches(), fleetBenches()...) {
 		if !keep(mb.name) {
 			continue
 		}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"krad/internal/core"
+	"krad/internal/dag"
+	"krad/internal/sched"
+	"krad/internal/server"
+	"krad/internal/sim"
+)
+
+// Fleet-drain benchmarks: the work-stealing headline number. One hot
+// placement key hashes every submission onto a single shard of an 8-shard
+// fleet; the arrival stream is 4x that shard's capacity, so its backlog
+// grows without bound unless peers help. The steal=off/steal=on pair
+// measures wall-clock to drain the whole stream — the recorded
+// BENCH_PR10.json ratio is the "skewed backlogs drain at fleet speed"
+// claim, and kradbench -compare gates it against future regressions.
+//
+// Arrivals carry staggered future releases (one per virtual step) rather
+// than landing all at once: a backlogged shard's clock grinds through
+// active work, so not-yet-released jobs sit in the pending queue where
+// thieves can take them — exactly the shape a sustained hot-key stream
+// (kradreplay -skew) produces.
+const (
+	fleetDrainShards = 8
+	fleetDrainJobs   = 2000
+	fleetDrainSpan   = 4
+)
+
+func fleetDrainBench(steal bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := server.Config{
+				Sim: sim.Config{
+					K: 1, Caps: []int{1}, Scheduler: core.NewKRAD(1), Pick: dag.PickFIFO,
+				},
+				Shards:       fleetDrainShards,
+				NewScheduler: func() sched.Scheduler { return core.NewKRAD(1) },
+				Placement:    server.PlaceHash,
+				// The bound apportions across shards; the hot shard must
+				// admit the entire stream.
+				MaxInFlight: 2 * fleetDrainShards * fleetDrainJobs,
+				Steal:        steal,
+			}
+			svc, err := server.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := 0; j < fleetDrainJobs; j++ {
+				spec := sim.JobSpec{
+					Graph:   dag.UniformChain(1, fleetDrainSpan, 1),
+					Release: int64(j + 1),
+				}
+				if _, err := svc.SubmitKeyed("hot", spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			svc.Start()
+			for svc.Stats().Completed < fleetDrainJobs {
+				if err := svc.Err(); err != nil {
+					b.Fatal(err)
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+			if steal {
+				if st := svc.Stats(); st.Steal == nil || st.Steal.Stolen == 0 {
+					b.Fatal("steal-on drain stole nothing; the benchmark is not measuring stealing")
+				}
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			err = svc.Close(ctx)
+			cancel()
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(fleetDrainJobs), "jobs/op")
+	}
+}
+
+// fleetBenches is appended to the micro-benchmark registry by
+// runJSONBenchmarks.
+func fleetBenches() []microBench {
+	var benches []microBench
+	for _, steal := range []bool{false, true} {
+		steal := steal
+		benches = append(benches, microBench{
+			name: fmt.Sprintf("BenchmarkFleetDrain/skew=hot/shards=%d/steal=%v", fleetDrainShards, steal),
+			fn:   fleetDrainBench(steal),
+		})
+	}
+	return benches
+}

@@ -168,6 +168,9 @@ func main() {
 		repHBFlag    = flag.Duration("replicate-heartbeat", time.Second, "primary: idle keepalive interval on the replication stream")
 		promoteFlag  = flag.Duration("promote-after", 0, "follower: self-promote after this much primary silence, once a primary has connected (0 = manual POST /v1/promote only)")
 		repQueueFlag = flag.Int("replicate-queue", 1024, "primary: per-shard in-memory replication send queue length (overflow falls back to WAL catch-up)")
+		stealFlag     = flag.Bool("steal", false, "cross-shard work stealing: idle shards pull pending jobs off the deepest peer (journaled; incompatible with -fairness)")
+		stealMaxFlag  = flag.Int("steal-max", 64, "max jobs one steal moves (the work target is half the victim's pending work)")
+		stealIdleFlag = flag.Int64("steal-idle", 0, "steal while still running once a shard's estimated remaining work drops below this many task-steps (0 = steal only when idle)")
 	)
 	flag.Parse()
 
@@ -290,6 +293,9 @@ func main() {
 		Fairness:   fairCfg,
 		Follower:   *followFlag != "",
 		RetireDone: *retireFlag,
+		Steal:      *stealFlag,
+		StealMax:   *stealMaxFlag,
+		StealIdle:  *stealIdleFlag,
 	})
 	if err != nil {
 		// A journal that cannot be replayed (corrupt record, version

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+)
+
+// placementKeyHeader routes a submission to a shard under kradd's "hash"
+// placement policy (the client-side spelling of the server's
+// X-Krad-Placement-Key header).
+const placementKeyHeader = "X-Krad-Placement-Key"
+
+// newKeyGen builds the -skew placement-key generator, or nil when skew is
+// off (submissions then carry no placement key, exactly as before the
+// flag existed). The generator is deterministic for a given seed — the
+// distribution tests pin it — and is called from the single feed
+// goroutine, so it needs no locking.
+//
+//	zipf  keys key-0..key-<n-1> with Zipf(s=1.2) frequencies: key-0 is
+//	      the hot key, the tail falls off polynomially — the skewed
+//	      arrival stream that concentrates load on whichever shard
+//	      key-0 hashes to.
+//	hot   90% of batches carry key-hot, the rest spread uniformly over
+//	      key-0..key-<n-1>: one saturated shard, everyone else nearly
+//	      idle.
+func newKeyGen(skew string, seed int64, nkeys int) (func() string, error) {
+	if nkeys < 2 {
+		nkeys = 2
+	}
+	switch skew {
+	case "", "none":
+		return nil, nil
+	case "zipf":
+		rng := rand.New(rand.NewSource(seed))
+		z := rand.NewZipf(rng, 1.2, 1, uint64(nkeys-1))
+		return func() string {
+			return "key-" + strconv.FormatUint(z.Uint64(), 10)
+		}, nil
+	case "hot":
+		rng := rand.New(rand.NewSource(seed))
+		return func() string {
+			if rng.Float64() < 0.9 {
+				return "key-hot"
+			}
+			return "key-" + strconv.Itoa(rng.Intn(nkeys))
+		}, nil
+	default:
+		return nil, fmt.Errorf("kradreplay: unknown -skew %q (want zipf, hot or none)", skew)
+	}
+}

@@ -79,6 +79,8 @@ type options struct {
 	arrivals string
 	batch    int
 	seed     int64
+	skew     string
+	skewKeys int
 	retryCap time.Duration
 	drain    bool
 	drainMax time.Duration
@@ -94,6 +96,7 @@ type report struct {
 	Workers     int     `json:"workers"`
 	Batch       int     `json:"batch"`
 	TargetRate  float64 `json:"target_rate,omitempty"`
+	Skew        string  `json:"skew,omitempty"`
 	Jobs        int64   `json:"jobs"`
 	Accepted    int64   `json:"accepted"`
 	Shed429     int64   `json:"shed_429"`
@@ -158,6 +161,8 @@ func main() {
 	flag.StringVar(&o.arrivals, "arrivals", "poisson", "open-loop gap distribution: poisson or uniform")
 	flag.IntVar(&o.batch, "batch", 1, "jobs per POST (>1 uses /v1/jobs/batch)")
 	flag.Int64Var(&o.seed, "seed", 1, "synthetic workload seed")
+	flag.StringVar(&o.skew, "skew", "", "skewed placement keys per batch: zipf (polynomial key frequencies), hot (90% one key), empty = no placement key; pair with kradd -placement hash")
+	flag.IntVar(&o.skewKeys, "skew-keys", 64, "distinct placement keys -skew draws from")
 	flag.DurationVar(&o.retryCap, "retry-cap", 2*time.Second, "cap on honoring Retry-After hints")
 	flag.BoolVar(&o.drain, "drain", true, "wait for the daemon to drain and measure throughput")
 	flag.DurationVar(&o.drainMax, "drain-timeout", 10*time.Minute, "give up draining after this long without progress")
@@ -206,8 +211,16 @@ func run(o options) (*report, error) {
 		rep.TargetRate = o.rate
 	}
 
-	jobs := make(chan []wireJob, o.workers*2)
-	go feed(o, src, jobs)
+	keyGen, err := newKeyGen(o.skew, o.seed+2, o.skewKeys)
+	if err != nil {
+		return nil, err
+	}
+	if o.skew != "" && o.skew != "none" {
+		rep.Skew = o.skew
+	}
+
+	jobs := make(chan workItem, o.workers*2)
+	go feed(o, src, keyGen, jobs)
 
 	var hist metrics.LatencyHist
 	var accepted, shed429, shed503, errCount atomic.Int64
@@ -218,8 +231,8 @@ func run(o options) (*report, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for batch := range jobs {
-				submitBatch(o, client, batch, &hist, &accepted, &shed429, &shed503, &errCount)
+			for item := range jobs {
+				submitBatch(o, client, item, &hist, &accepted, &shed429, &shed503, &errCount)
 			}
 		}()
 	}
@@ -400,9 +413,17 @@ func synthJob(rng *rand.Rand, k int, weights map[string]float64, i int) wireJob 
 	}
 }
 
+// workItem is one batch plus the placement key it submits under ("" when
+// -skew is off).
+type workItem struct {
+	jobs []wireJob
+	key  string
+}
+
 // feed pushes job batches into the channel: as fast as workers take them
-// in closed-loop mode, or paced at -rate in open-loop mode.
-func feed(o options, src func() ([]wireJob, error), jobs chan<- []wireJob) {
+// in closed-loop mode, or paced at -rate in open-loop mode. keyGen, when
+// set, stamps each batch with a skewed placement key.
+func feed(o options, src func() ([]wireJob, error), keyGen func() string, jobs chan<- workItem) {
 	defer close(jobs)
 	rng := rand.New(rand.NewSource(o.seed + 1))
 	var next time.Time
@@ -429,14 +450,21 @@ func feed(o options, src func() ([]wireJob, error), jobs chan<- []wireJob) {
 				time.Sleep(wait)
 			}
 		}
-		jobs <- batch
+		item := workItem{jobs: batch}
+		if keyGen != nil {
+			item.key = keyGen()
+		}
+		jobs <- item
 	}
 }
 
 // submitBatch posts one batch (singly via /v1/jobs when -batch=1),
-// retrying shed submissions with the server's Retry-After hint.
-func submitBatch(o options, client *http.Client, batch []wireJob, hist *metrics.LatencyHist,
+// retrying shed submissions with the server's Retry-After hint. The
+// item's placement key, when present, rides the request header so the
+// daemon's hash placement concentrates the skewed stream.
+func submitBatch(o options, client *http.Client, item workItem, hist *metrics.LatencyHist,
 	accepted, shed429, shed503, errCount *atomic.Int64) {
+	batch := item.jobs
 	path := "/v1/jobs/batch"
 	var body []byte
 	var err error
@@ -454,7 +482,16 @@ func submitBatch(o options, client *http.Client, batch []wireJob, hist *metrics.
 	}
 	for attempt := 0; ; attempt++ {
 		start := time.Now()
-		resp, err := client.Post(o.addr+path, "application/json", bytes.NewReader(body))
+		req, err := http.NewRequest(http.MethodPost, o.addr+path, bytes.NewReader(body))
+		if err != nil {
+			errCount.Add(int64(len(batch)))
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if item.key != "" {
+			req.Header.Set(placementKeyHeader, item.key)
+		}
+		resp, err := client.Do(req)
 		if err != nil {
 			errCount.Add(int64(len(batch)))
 			return

@@ -417,6 +417,29 @@ func (j *Journal) Append(rec Record) error {
 	return nil
 }
 
+// Sync forces an fsync now, regardless of the interval under SyncInterval
+// — the barrier cross-shard stealing uses to make the victim's steal
+// record durable before the thief acknowledges the re-admission. Under
+// SyncNever it is a no-op (that policy explicitly trades durability away,
+// and stealing inherits the trade). Failures latch exactly like append
+// failures: the journal stops acknowledging work.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.failed != nil {
+		return j.failed
+	}
+	if j.opts.Sync == SyncNever || j.f == nil {
+		return nil
+	}
+	if err := j.syncTimedLocked(j.f); err != nil {
+		j.failed = fmt.Errorf("journal: sync %s: %w", j.path, err)
+		return j.failed
+	}
+	j.lastSync = time.Now()
+	return nil
+}
+
 // maybeSyncLocked applies the sync policy after a successful write.
 func (j *Journal) maybeSyncLocked() error {
 	switch j.opts.Sync {

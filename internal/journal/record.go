@@ -38,6 +38,14 @@ const (
 	// TypeSnap is an idle-point checkpoint written by compaction; it is
 	// only valid as the first record of a journal.
 	TypeSnap Type = "snap"
+	// TypeSteal is the victim half of a cross-shard work steal: the listed
+	// pending jobs were withdrawn from this engine and re-admitted on shard
+	// To at local IDs NBase, NBase+1, … (internal/server's two-lock steal
+	// protocol). Replay withdraws the same jobs, so the victim engine stays
+	// bit-identical; the thief's journal carries the matching admit record
+	// tagged with From. Steal records are version-2: pre-steal readers fail
+	// loudly instead of misreplaying.
+	TypeSteal Type = "steal"
 	// TypeFair marks a fairness-enabled journal and carries the fair-share
 	// ledger (usage accumulators, in-flight job→tenant map, half-life). It
 	// is written as the head record of a fresh fairness-enabled journal;
@@ -77,6 +85,35 @@ func (f FairState) Clone() FairState {
 		out.Jobs = make(map[int]string, len(f.Jobs))
 		for k, v := range f.Jobs {
 			out.Jobs[k] = v
+		}
+	}
+	return out
+}
+
+// StealState is the work-stealing bookkeeping a snap record carries for
+// the server: compaction drops the steal/admit records the live state was
+// built from, so the checkpoint must carry what survives them.
+type StealState struct {
+	// V is the payload format version (currently 1).
+	V int `json:"v"`
+	// In counts jobs this shard admitted via steals rather than client
+	// submissions; the server rebuilds its submitted counter as the
+	// engine's admitted total minus In.
+	In int64 `json:"in,omitempty"`
+	// Redirects maps shard-local IDs of jobs stolen from this shard to the
+	// namespaced IDs they now live under, preserving status/cancel by the
+	// original ID across a restart that replays from this snapshot.
+	Redirects map[int]int `json:"redirects,omitempty"`
+}
+
+// Clone deep-copies the steal state so journal payloads never alias the
+// server's live redirect map.
+func (s StealState) Clone() StealState {
+	out := StealState{V: s.V, In: s.In}
+	if s.Redirects != nil {
+		out.Redirects = make(map[int]int, len(s.Redirects))
+		for k, v := range s.Redirects {
+			out.Redirects[k] = v
 		}
 	}
 	return out
@@ -171,6 +208,21 @@ type Record struct {
 	// Fair is the fair-share ledger (fair records, and snap records written
 	// by a fairness-enabled server).
 	Fair *FairState `json:"fair,omitempty"`
+	// IDs lists the shard-local IDs withdrawn by a steal record, in the
+	// order they were re-admitted on the thief.
+	IDs []int `json:"ids,omitempty"`
+	// To is the thief's shard index (steal records).
+	To int `json:"to,omitempty"`
+	// NBase is the first thief-local ID the stolen jobs were re-admitted
+	// at (steal records): IDs[i] moved to thief-local NBase+i.
+	NBase int `json:"nbase,omitempty"`
+	// From tags a thief-side admit/batch record as the re-admission half of
+	// a steal: From[i] is job i's original namespaced ID on the victim.
+	// Forces V to recordVersion. Empty on client admissions.
+	From []int `json:"from,omitempty"`
+	// Steal is the server's work-stealing bookkeeping (snap records written
+	// by a steal-enabled server that has stolen at least once).
+	Steal *StealState `json:"steal,omitempty"`
 }
 
 // encodeRecord serializes a record payload (the framing — length prefix
@@ -234,8 +286,40 @@ func validateRecord(r Record) error {
 		if r.Fair == nil {
 			return fmt.Errorf("journal: fair record has no ledger")
 		}
+	case TypeSteal:
+		if len(r.Jobs) != 0 || r.Snap != nil || r.N != 0 || r.Tenant != "" || r.Fair != nil || r.Seq != 0 {
+			return fmt.Errorf("journal: steal record carries stray fields")
+		}
+		if len(r.IDs) == 0 {
+			return fmt.Errorf("journal: steal record withdraws no jobs")
+		}
+		for i, id := range r.IDs {
+			if id < 0 {
+				return fmt.Errorf("journal: steal record ID %d is negative (%d)", i, id)
+			}
+		}
+		if r.To < 0 || r.NBase < 0 {
+			return fmt.Errorf("journal: steal record has negative destination (to %d, nbase %d)", r.To, r.NBase)
+		}
+		if r.V != recordVersion {
+			return fmt.Errorf("journal: steal record version %d, want %d", r.V, recordVersion)
+		}
 	default:
 		return fmt.Errorf("journal: unknown record type %q", r.Type)
+	}
+	if r.Type != TypeSteal && (len(r.IDs) != 0 || r.To != 0 || r.NBase != 0) {
+		return fmt.Errorf("journal: %s record carries steal fields", r.Type)
+	}
+	if r.Steal != nil {
+		if r.Type != TypeSnap {
+			return fmt.Errorf("journal: %s record carries steal state", r.Type)
+		}
+		if r.Steal.V != 1 {
+			return fmt.Errorf("journal: steal state version %d, want 1", r.Steal.V)
+		}
+		if r.Steal.In < 0 {
+			return fmt.Errorf("journal: steal state has negative stolen-in count %d", r.Steal.In)
+		}
 	}
 	if r.Fair != nil {
 		if r.Type != TypeFair && r.Type != TypeSnap {
@@ -257,6 +341,22 @@ func validateRecord(r Record) error {
 		}
 		if r.V != 0 && r.V != recordVersion {
 			return fmt.Errorf("journal: %s record version %d, want 0 or %d", r.Type, r.V, recordVersion)
+		}
+		if len(r.From) != 0 {
+			if len(r.From) != len(r.Jobs) {
+				return fmt.Errorf("journal: %s record has %d origin IDs for %d jobs", r.Type, len(r.From), len(r.Jobs))
+			}
+			if r.V != recordVersion {
+				return fmt.Errorf("journal: %s record carries steal origins but version is %d, want %d", r.Type, r.V, recordVersion)
+			}
+			if r.Tenant != "" {
+				return fmt.Errorf("journal: %s record carries both a tenant and steal origins", r.Type)
+			}
+			for i, id := range r.From {
+				if id < 0 {
+					return fmt.Errorf("journal: %s record origin ID %d is negative (%d)", r.Type, i, id)
+				}
+			}
 		}
 		for i, j := range r.Jobs {
 			payloads := 0
@@ -297,8 +397,10 @@ func validateRecord(r Record) error {
 				return fmt.Errorf("journal: %s record job %d has negative release %d", r.Type, i, j.Release)
 			}
 		}
-	} else if r.V != 0 {
+	} else if r.V != 0 && r.Type != TypeSteal {
 		return fmt.Errorf("journal: %s record carries stray fields", r.Type)
+	} else if len(r.From) != 0 {
+		return fmt.Errorf("journal: %s record carries steal origins", r.Type)
 	}
 	return nil
 }
@@ -370,6 +472,32 @@ func AdmitRecordInto(rec *Record, base int, specs []sim.JobSpec) error {
 
 // CancelRecord builds the record for a committed cancellation.
 func CancelRecord(id int) Record { return Record{Type: TypeCancel, ID: id} }
+
+// StealRecord builds the victim-side record for a committed cross-shard
+// steal: the shard-local jobs ids were withdrawn and re-admitted on shard
+// `to` at local IDs nbase, nbase+1, …. The IDs are copied so the journal
+// payload never aliases the caller's scratch.
+func StealRecord(ids []int, to, nbase int) Record {
+	return Record{Type: TypeSteal, V: recordVersion, IDs: append([]int(nil), ids...), To: to, NBase: nbase}
+}
+
+// StealAdmitRecord builds the thief-side record for a committed cross-shard
+// steal: a normal admit/batch record for the re-admitted specs, tagged with
+// the jobs' original namespaced IDs so replay and reconciliation can tell
+// steal re-admissions from client submissions. from[i] is specs[i]'s
+// namespaced ID on the victim; the slice is copied.
+func StealAdmitRecord(base int, specs []sim.JobSpec, from []int) (Record, error) {
+	if len(from) != len(specs) {
+		return Record{}, fmt.Errorf("journal: steal admit has %d origin IDs for %d specs", len(from), len(specs))
+	}
+	rec, err := AdmitRecord(base, specs)
+	if err != nil {
+		return Record{}, err
+	}
+	rec.V = recordVersion
+	rec.From = append([]int(nil), from...)
+	return rec, nil
+}
 
 // StepRecord builds the record for one executed step ending at virtual
 // time now.

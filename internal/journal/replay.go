@@ -46,6 +46,24 @@ type Observer interface {
 	Stepped(info sim.StepInfo)
 }
 
+// StealObserver is an optional extension of Observer for servers that
+// enable cross-shard work stealing. Replay detects it by type assertion, so
+// existing Observer implementations keep working unchanged; a steal record
+// replayed without a StealObserver still withdraws the jobs (the engine
+// stays bit-identical) but the server-side bookkeeping — redirects, the
+// outgoing-steal ledger — is silently skipped, so steal-enabled servers
+// must implement it.
+type StealObserver interface {
+	// Stolen runs after a steal record replayed: the record's jobs were
+	// withdrawn from this engine. specs are the withdrawn jobs' original
+	// specs (specs[k] belongs to rec.IDs[k]), exactly what the thief
+	// re-admitted; the slice is only valid during the call.
+	Stolen(rec Record, specs []sim.JobSpec)
+	// StealSnap restores a snap record's attached steal state (stolen-in
+	// count, redirect map).
+	StealSnap(st StealState)
+}
+
 // ReplayObserved is Replay with an Observer receiving the side-effects the
 // engine does not model (fair-share ledger state). See Replay for the
 // determinism and cross-checking contract.
@@ -80,6 +98,11 @@ func replayOne(eng *sim.Engine, rec Record, i int, obs Observer) error {
 		if rec.Fair != nil && obs != nil {
 			if err := obs.Fair(*rec.Fair); err != nil {
 				return fmt.Errorf("journal: replay record %d (snap): %w", i, err)
+			}
+		}
+		if rec.Steal != nil {
+			if so, ok := obs.(StealObserver); ok {
+				so.StealSnap(*rec.Steal)
 			}
 		}
 	case TypeFair:
@@ -117,6 +140,18 @@ func replayOne(eng *sim.Engine, rec Record, i int, obs Observer) error {
 		}
 		if obs != nil {
 			obs.Cancelled(rec.ID)
+		}
+	case TypeSteal:
+		specs := make([]sim.JobSpec, len(rec.IDs))
+		for k, id := range rec.IDs {
+			spec, err := eng.Withdraw(id)
+			if err != nil {
+				return fmt.Errorf("journal: replay record %d (steal %d): %w", i, id, err)
+			}
+			specs[k] = spec
+		}
+		if so, ok := obs.(StealObserver); ok {
+			so.Stolen(rec, specs)
 		}
 	case TypeStep, TypeSteps:
 		n := rec.N

@@ -1,0 +1,111 @@
+package metrics
+
+import "math"
+
+// SampleHist is a fixed-size replacement for an unbounded []float64 sample
+// accumulator: it keeps exact N, sum, sum-of-squares, min and max itself
+// (so Mean, StdDev and the extremes match Summarize bit-for-bit) and
+// delegates quantiles to a LatencyHist, whose log-bucket geometry bounds
+// their relative error at one ~19% bucket. A server recording one response
+// time per completed job holds a few hundred words forever instead of
+// growing a slice for the life of the process.
+//
+// Samples are dimensionless non-negative step counts here, but LatencyHist
+// buckets start at 1µs; Observe scales by 1e-6 going in and Summary scales
+// back coming out, which lands step counts 1..~1.3e8 inside the bucketed
+// range. The zero value is ready to use; SampleHist is not concurrency-safe
+// (callers already serialize response recording under the shard lock).
+type SampleHist struct {
+	hist  LatencyHist
+	n     int
+	sum   float64
+	sumSq float64
+	min   float64
+	max   float64
+}
+
+// sampleScale maps dimensionless samples into LatencyHist's seconds domain.
+const sampleScale = 1e-6
+
+// Observe records one sample. Negative samples count as zero, mirroring
+// LatencyHist.
+func (h *SampleHist) Observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+	h.sumSq += v * v
+	h.hist.Observe(v * sampleScale)
+}
+
+// N returns the number of recorded samples.
+func (h *SampleHist) N() int { return h.n }
+
+// quantile reads a bucketed quantile back in the sample's own units,
+// clamped to the exact extremes.
+func (h *SampleHist) quantile(p float64) float64 {
+	v := h.hist.Quantile(p) / sampleScale
+	if v < h.min {
+		v = h.min
+	}
+	if v > h.max {
+		v = h.max
+	}
+	return v
+}
+
+// Summary reports the same statistic set Summarize computes over the raw
+// sample: N, Min, Max, Mean and StdDev are exact; P50/P90/P99 are bucketed
+// estimates within one ~19% bucket of the true order statistics.
+func (h *SampleHist) Summary() Summary {
+	if h.n == 0 {
+		return Summary{}
+	}
+	s := Summary{N: h.n, Min: h.min, Max: h.max}
+	n := float64(h.n)
+	s.Mean = h.sum / n
+	variance := h.sumSq/n - s.Mean*s.Mean
+	if variance > 0 {
+		s.StdDev = math.Sqrt(variance)
+	}
+	s.P50 = h.quantile(0.50)
+	s.P90 = h.quantile(0.90)
+	s.P99 = h.quantile(0.99)
+	return s
+}
+
+// Merge adds all of o's samples into h, exactly for the exact fields and
+// bucket-wise for the quantile histogram.
+func (h *SampleHist) Merge(o *SampleHist) {
+	if o.n == 0 {
+		return
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+	h.sum += o.sum
+	h.sumSq += o.sumSq
+	h.hist.Merge(&o.hist)
+}
+
+// Clone returns an independent copy, for handing a consistent snapshot out
+// from under a lock.
+func (h *SampleHist) Clone() *SampleHist {
+	c := &SampleHist{n: h.n, sum: h.sum, sumSq: h.sumSq, min: h.min, max: h.max}
+	c.hist.Merge(&h.hist)
+	return c
+}
+
+// Reset discards all samples.
+func (h *SampleHist) Reset() { *h = SampleHist{} }

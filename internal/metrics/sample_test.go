@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSampleHistExactFields pins the exact-statistics contract: N, Min,
+// Max, Mean and StdDev from SampleHist.Summary equal Summarize over the raw
+// sample bit-for-bit.
+func TestSampleHistExactFields(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	var h SampleHist
+	var raw []float64
+	for i := 0; i < 5000; i++ {
+		v := math.Floor(r.ExpFloat64() * 100)
+		h.Observe(v)
+		raw = append(raw, v)
+	}
+	got, want := h.Summary(), Summarize(raw)
+	if got.N != want.N || got.Min != want.Min || got.Max != want.Max {
+		t.Fatalf("exact fields diverge: got n=%d min=%v max=%v, want n=%d min=%v max=%v",
+			got.N, got.Min, got.Max, want.N, want.Min, want.Max)
+	}
+	if got.Mean != want.Mean {
+		t.Fatalf("mean diverges: got %v, want %v", got.Mean, want.Mean)
+	}
+	if math.Abs(got.StdDev-want.StdDev) > 1e-9*math.Max(1, want.StdDev) {
+		t.Fatalf("stddev diverges: got %v, want %v", got.StdDev, want.StdDev)
+	}
+}
+
+// TestSampleHistQuantileError pins the documented quantile error: each
+// reported percentile is within one ~19% log bucket of the true order
+// statistic, across distributions a response-time sample actually takes.
+func TestSampleHistQuantileError(t *testing.T) {
+	dists := map[string]func(r *rand.Rand) float64{
+		"uniform":   func(r *rand.Rand) float64 { return math.Floor(r.Float64() * 1000) },
+		"exp":       func(r *rand.Rand) float64 { return math.Floor(r.ExpFloat64() * 50) },
+		"bimodal":   func(r *rand.Rand) float64 { return float64(10 + 990*(r.Intn(2))) },
+		"heavytail": func(r *rand.Rand) float64 { return math.Floor(math.Pow(r.Float64(), -1.5)) },
+	}
+	for name, gen := range dists {
+		r := rand.New(rand.NewSource(42))
+		var h SampleHist
+		var raw []float64
+		for i := 0; i < 20000; i++ {
+			v := gen(r)
+			h.Observe(v)
+			raw = append(raw, v)
+		}
+		got := h.Summary()
+		want := Summarize(raw)
+		check := func(stat string, g, w float64) {
+			// One bucket is a factor of 2^(1/4) ≈ 1.19; allow 25% relative
+			// error to absorb interpolation differences at bucket edges, plus
+			// a small absolute floor for near-zero percentiles.
+			if math.Abs(g-w) > 0.25*w+1 {
+				t.Errorf("%s %s: got %v, want %v (>25%% off)", name, stat, g, w)
+			}
+		}
+		check("p50", got.P50, want.P50)
+		check("p90", got.P90, want.P90)
+		check("p99", got.P99, want.P99)
+	}
+}
+
+// TestSampleHistMergeClone pins that Merge equals observing the union and
+// Clone is independent of its source.
+func TestSampleHistMergeClone(t *testing.T) {
+	var a, b, all SampleHist
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		v := math.Floor(r.Float64() * 500)
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		all.Observe(v)
+	}
+	m := a.Clone()
+	m.Merge(&b)
+	if got, want := m.Summary(), all.Summary(); got != want {
+		t.Fatalf("merge diverges from union: got %+v, want %+v", got, want)
+	}
+	before := a.Summary()
+	c := a.Clone()
+	c.Observe(1e9)
+	if got := a.Summary(); got != before {
+		t.Fatalf("clone mutation leaked into source: %+v vs %+v", got, before)
+	}
+}
+
+// TestSampleHistEmpty pins zero-value behavior.
+func TestSampleHistEmpty(t *testing.T) {
+	var h SampleHist
+	if got := h.Summary(); got != (Summary{}) {
+		t.Fatalf("empty summary = %+v, want zero", got)
+	}
+	var o SampleHist
+	h.Merge(&o)
+	if h.N() != 0 {
+		t.Fatalf("merging empties produced %d samples", h.N())
+	}
+}

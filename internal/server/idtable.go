@@ -35,6 +35,11 @@ type idStripe struct {
 	mu   sync.RWMutex
 	ents []idEntry
 	work []int // slot i's work vector at [i*k : (i+1)*k]
+	// redir maps shard-local IDs of jobs stolen from this shard to the
+	// namespaced IDs they moved to. Lazily allocated: a shard that never
+	// loses a job pays nothing. A redirected ID's entry is absent (the job
+	// lives elsewhere now); the service follows the redirect chain.
+	redir map[int]int
 }
 
 // idTable is a shard's lock-striped job-status index: the read side of
@@ -173,14 +178,69 @@ func (t *idTable) setCancelled(id int, at int64) {
 	s.mu.Unlock()
 }
 
+// setRedirect records that the job at shard-local id was stolen and now
+// lives under the namespaced target ID. The local entry is blanked (the
+// status truth moved with the job) and the redirect answers lookups by the
+// original ID from then on. Overwriting an existing redirect is legal —
+// startup reconciliation re-homes orphaned steals.
+func (t *idTable) setRedirect(id, target int) {
+	if id < 0 {
+		return
+	}
+	s, slot := t.stripe(id)
+	s.mu.Lock()
+	if slot < len(s.ents) {
+		s.ents[slot] = idEntry{}
+	}
+	if s.redir == nil {
+		s.redir = make(map[int]int)
+	}
+	s.redir[id] = target
+	s.mu.Unlock()
+}
+
+// redirect returns where the job at shard-local id moved to, if it was
+// stolen from this shard.
+func (t *idTable) redirect(id int) (int, bool) {
+	if id < 0 {
+		return 0, false
+	}
+	s, _ := t.stripe(id)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	target, ok := s.redir[id]
+	return target, ok
+}
+
+// redirects snapshots every redirect entry (nil when there are none) —
+// the steal state a journal snapshot must carry so compaction does not
+// forget where stolen jobs went.
+func (t *idTable) redirects() map[int]int {
+	var out map[int]int
+	for i := range t.stripes {
+		s := &t.stripes[i]
+		s.mu.RLock()
+		for id, target := range s.redir {
+			if out == nil {
+				out = make(map[int]int)
+			}
+			out[id] = target
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
 // reset drops every entry (a replicated-snapshot reset rebuilds the table
-// wholesale from the restored engine). Backing arrays are kept.
+// wholesale from the restored engine). Backing arrays are kept; redirects
+// drop with the entries.
 func (t *idTable) reset() {
 	for i := range t.stripes {
 		s := &t.stripes[i]
 		s.mu.Lock()
 		s.ents = s.ents[:0]
 		s.work = s.work[:0]
+		s.redir = nil
 		s.mu.Unlock()
 	}
 }

@@ -115,7 +115,24 @@ func (s *Service) openJournals(jc *JournalConfig) error {
 func (sh *shard) attachJournal(jn *journal.Journal, snapshotEvery int64, recs []journal.Record) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if sh.fair == nil {
+	if !sh.steal {
+		// A steal-off server replaying a steal-tagged journal would lose the
+		// redirects (and the reconciliation ledger) that keep stolen jobs'
+		// original IDs resolvable; refuse, symmetrically with fairness below.
+		for i, rec := range recs {
+			if rec.Type == journal.TypeSteal || len(rec.From) != 0 || rec.Steal != nil {
+				return fmt.Errorf("record %d is steal-tagged but stealing is disabled; refusing to drop redirect state (restart with -steal, or move the journal away)", i)
+			}
+		}
+	}
+	switch {
+	case sh.steal:
+		// Stealing and fairness are mutually exclusive (Config validation),
+		// so the steal observer owns the replay; a fair record errors there.
+		if err := journal.ReplayObserved(sh.eng, recs, stealReplayObserver{sh}); err != nil {
+			return err
+		}
+	case sh.fair == nil:
 		// A fairness-off server replaying a fairness-tagged journal would
 		// silently drop the tenant ledger; refuse instead.
 		for i, rec := range recs {
@@ -126,10 +143,13 @@ func (sh *shard) attachJournal(jn *journal.Journal, snapshotEvery int64, recs []
 		if err := journal.Replay(sh.eng, recs); err != nil {
 			return err
 		}
-	} else if err := journal.ReplayObserved(sh.eng, recs, fairReplayObserver{sh}); err != nil {
-		// A journal without fair records replays fine too: its pre-fairness
-		// admissions accrue to the default leaf, deterministically.
-		return err
+	default:
+		if err := journal.ReplayObserved(sh.eng, recs, fairReplayObserver{sh}); err != nil {
+			// A journal without fair records replays fine too: its
+			// pre-fairness admissions accrue to the default leaf,
+			// deterministically.
+			return err
+		}
 	}
 	sh.jn = jn
 	sh.compactEvery = snapshotEvery
@@ -159,26 +179,38 @@ func (sh *shard) attachJournal(jn *journal.Journal, snapshotEvery int64, recs []
 	// work-vector copy; put copies into the stripe arena), and RetireDone
 	// then releases each terminal job's engine state — the index has it.
 	snap := sh.eng.Snapshot()
-	sh.submitted = int64(snap.Admitted)
+	// Stolen-in admissions were journaled by steals, not clients: external
+	// submissions are the engine's admitted total minus what the steal
+	// observer counted back in.
+	sh.submitted = int64(snap.Admitted) - sh.stolenIn
 	sh.completed = int64(snap.Completed)
 	sh.cancelled = int64(snap.Cancelled)
-	sh.responses = sh.responses[:0]
+	sh.resp.Reset()
 	sh.respHist = newHistogram(responseBuckets())
 	for id := 0; id < snap.Admitted; id++ {
 		st, ok := sh.eng.JobRef(id)
 		if !ok {
 			continue // retired before the checkpoint: status is gone for good
 		}
+		if st.Phase == sim.JobStolen {
+			// The replayed steal record installed the redirect; the stale
+			// local entry must stay out of the index so lookups follow it.
+			if sh.retireDone {
+				_ = sh.eng.Retire(id)
+			}
+			continue
+		}
 		sh.tab.put(id, st)
 		if st.Phase == sim.JobDone {
 			r := float64(st.Completion - st.Release)
-			sh.responses = append(sh.responses, r)
+			sh.resp.Observe(r)
 			sh.respHist.observe(r)
 		}
 		if sh.retireDone && (st.Phase == sim.JobDone || st.Phase == sim.JobCancelled) {
 			_ = sh.eng.Retire(id)
 		}
 	}
+	sh.syncGaugesLocked()
 	return nil
 }
 
@@ -263,6 +295,15 @@ func (sh *shard) maybeCompact() {
 		// decayed usage the dropped records accrued.
 		st := sh.fairStateLocked()
 		rec.Fair = &st
+	}
+	if sh.steal {
+		// Steal state rides the snapshot the same way: the dropped records
+		// held the stolen-in count and the redirects that keep original IDs
+		// resolvable. Omitted while empty so a steal-enabled shard that
+		// never stole keeps byte-identical snapshots.
+		if redirs := sh.tab.redirects(); sh.stolenIn > 0 || len(redirs) > 0 {
+			rec.Steal = &journal.StealState{V: 1, In: sh.stolenIn, Redirects: redirs}
+		}
 	}
 	if err := sh.jn.Compact(rec); err == nil {
 		sh.applied = 1 // the snapshot is now the whole logical sequence

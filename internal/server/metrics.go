@@ -164,6 +164,38 @@ func (s *Service) WriteMetrics(w io.Writer) error {
 		}
 	}
 
+	// Steal families appear only when work stealing is enabled, so a
+	// steal-free deployment's exposition stays bit-identical to earlier
+	// builds.
+	if s.cfg.Steal {
+		var stolenOut, stolenIn, estWork int64
+		for _, v := range views {
+			stolenOut += int64(v.snap.Stolen)
+			stolenIn += v.stolenIn
+			estWork += v.estWork
+		}
+		metric("krad_jobs_stolen_total", "Jobs moved off their admission shard by work stealing (victim side).", "counter", stolenOut, "")
+		metric("krad_jobs_stolen_in_total", "Jobs re-admitted by thieves (matches krad_jobs_stolen_total when no steal is mid-repair).", "counter", stolenIn, "")
+		metric("krad_est_work", "Estimated remaining work across the fleet (task-steps) — the work-aware placement gauge.", "gauge", estWork, "")
+		perSteal := []struct {
+			name, help, typ string
+			value           func(v shardView) any
+		}{
+			{"krad_shard_jobs_stolen_out_total", "Jobs stolen away from one shard.", "counter", func(v shardView) any { return v.snap.Stolen }},
+			{"krad_shard_jobs_stolen_in_total", "Jobs one shard re-admitted from victims.", "counter", func(v shardView) any { return v.stolenIn }},
+			{"krad_shard_est_work", "One shard's estimated remaining work (task-steps).", "gauge", func(v shardView) any { return v.estWork }},
+		}
+		for _, m := range perSteal {
+			for i, v := range views {
+				help := ""
+				if i == 0 {
+					help = m.help
+				}
+				metric(m.name, help, m.typ, m.value(v), fmt.Sprintf(`{shard="%d"}`, v.idx))
+			}
+		}
+	}
+
 	// Journal families appear only when journaling is enabled, so a
 	// journal-free deployment's exposition stays bit-identical to builds
 	// before durability existed.

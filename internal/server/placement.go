@@ -28,8 +28,11 @@ func LocalID(id int) int { return id & (1<<shardIDBits - 1) }
 //
 // Pick returns a shard index in [0, len(loads)). key is the
 // client-supplied affinity key ("" when absent) and loads reports each
-// shard's current in-flight count for load-aware policies. Pick may be
-// called concurrently.
+// shard's current load for load-aware policies: the in-flight count by
+// default, or the estimated remaining work (sum of outstanding
+// allotment-seconds) when stealing is enabled — the same gauge the
+// thief uses to pick victims, so placement and stealing pull toward the
+// same equilibrium. Pick may be called concurrently.
 type Placement interface {
 	Name() string
 	Pick(key string, loads []int) int
@@ -83,10 +86,12 @@ func (p *hashed) Pick(key string, loads []int) int {
 	return int(h.Sum32() % uint32(len(loads)))
 }
 
-// leastLoaded picks the shard with the fewest in-flight jobs (lowest
-// index on ties). The reading is a snapshot — concurrent submissions may
-// race past each other — but that is exactly the "power of the current
-// estimate" trade-off partitioned schedulers make.
+// leastLoaded picks the shard with the lowest load (lowest index on
+// ties — strictly `<` below, so the first minimum wins and placement is
+// deterministic for a given loads vector). The reading is a snapshot —
+// concurrent submissions may race past each other — but that is exactly
+// the "power of the current estimate" trade-off partitioned schedulers
+// make.
 type leastLoaded struct{}
 
 func (leastLoaded) Name() string { return PlaceLeastLoaded }

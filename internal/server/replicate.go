@@ -83,6 +83,19 @@ func (s *Service) Promote() {
 	s.follower = false
 	started := s.started
 	s.mu.Unlock()
+	// Repair steals the primary's crash split mid-protocol (its victim
+	// record streamed, its thief record did not, or vice versa) before any
+	// step loop can race the fix. A repair failure means the replicated
+	// journals diverged; latch it so the shards refuse to step.
+	if err := s.reconcileSteals(); err != nil {
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			if sh.stepErr == nil {
+				sh.stepErr = err
+			}
+			sh.mu.Unlock()
+		}
+	}
 	if started {
 		for _, sh := range s.shards {
 			sh.start()
@@ -154,6 +167,14 @@ func (s *Service) ApplyReplicated(shard int, seq int64, rec journal.Record) erro
 		sh.mu.Unlock()
 		return fmt.Errorf("server: shard %d: snapshot arrived as a sequenced record; snapshots reset via their own frame", shard)
 	}
+	if !sh.steal && (rec.Type == journal.TypeSteal || len(rec.From) != 0) {
+		// A steal-tagged record on a steal-off follower would silently move
+		// jobs without the redirect/ledger bookkeeping; refuse and latch.
+		sh.repErr = fmt.Errorf("server: shard %d: replicated seq %d is steal-tagged but stealing is disabled on this follower; restart with -steal", shard, seq)
+		err := sh.repErr
+		sh.mu.Unlock()
+		return err
+	}
 	if sh.jn != nil {
 		if err := sh.jn.Append(rec); err != nil {
 			sh.mu.Unlock()
@@ -169,6 +190,7 @@ func (s *Service) ApplyReplicated(shard int, seq int64, rec journal.Record) erro
 	}
 	sh.repSeq = seq
 	sh.applied++
+	sh.syncGaugesLocked()
 	ev := obs.ev
 	sh.mu.Unlock()
 	if ev != nil {
@@ -221,29 +243,45 @@ func (s *Service) ApplyReplicatedSnap(shard int, rec journal.Record) error {
 			return fmt.Errorf("%w: %v", ErrDegraded, err)
 		}
 	}
+	if rec.Steal != nil && !sh.steal {
+		return fmt.Errorf("server: shard %d: replicated snapshot is steal-tagged but stealing is disabled on this follower; restart with -steal", shard)
+	}
 	sh.eng = eng
 	snap := eng.Snapshot()
-	sh.submitted = int64(snap.Admitted)
+	sh.tab.reset()
+	sh.stolenIn = 0
+	if rec.Steal != nil {
+		(stealReplayObserver{sh}).StealSnap(*rec.Steal)
+	}
+	sh.submitted = int64(snap.Admitted) - sh.stolenIn
 	sh.completed = int64(snap.Completed)
 	sh.cancelled = int64(snap.Cancelled)
-	sh.responses = sh.responses[:0]
+	sh.resp.Reset()
 	sh.respHist = newHistogram(responseBuckets())
-	sh.tab.reset()
 	for id := 0; id < snap.Admitted; id++ {
 		st, ok := eng.JobRef(id)
 		if !ok {
 			continue // retired before the primary's checkpoint
 		}
+		if st.Phase == sim.JobStolen {
+			// The redirect from the snapshot's steal state is the job's
+			// status truth now; keep the stale local entry out of the index.
+			if sh.retireDone {
+				_ = eng.Retire(id)
+			}
+			continue
+		}
 		sh.tab.put(id, st)
 		if st.Phase == sim.JobDone {
 			r := float64(st.Completion - st.Release)
-			sh.responses = append(sh.responses, r)
+			sh.resp.Observe(r)
 			sh.respHist.observe(r)
 		}
 		if sh.retireDone && (st.Phase == sim.JobDone || st.Phase == sim.JobCancelled) {
 			_ = eng.Retire(id)
 		}
 	}
+	sh.syncGaugesLocked()
 	sh.repSeq = rec.Seq
 	sh.applied = 1
 	return nil
@@ -267,6 +305,18 @@ func (o *applyObserver) Fair(st journal.FairState) error {
 }
 
 func (o *applyObserver) Admitted(rec journal.Record, ids []int, now int64) {
+	if len(rec.From) != 0 {
+		// Thief-side steal admission: counts as stolen-in, not submitted,
+		// and installs same-shard redirects (orphan repairs re-admit on the
+		// victim itself). The ledger match lets Promote-time reconciliation
+		// see the steal completed.
+		stealReplayObserver{o.sh}.Admitted(rec, ids, now)
+		for _, id := range ids {
+			st, _ := o.sh.eng.JobRef(id)
+			o.sh.tab.put(id, st)
+		}
+		return
+	}
 	o.sh.submitted += int64(len(ids))
 	for _, id := range ids {
 		st, _ := o.sh.eng.JobRef(id)
@@ -275,6 +325,24 @@ func (o *applyObserver) Admitted(rec journal.Record, ids []int, now int64) {
 	if o.sh.fair != nil {
 		fairReplayObserver{o.sh}.Admitted(rec, ids, now)
 	}
+}
+
+// Stolen and StealSnap forward the victim-side steal bookkeeping, making
+// applyObserver a journal.StealObserver: a replicated steal record
+// installs the same redirects and ledger entries the primary's live steal
+// did. ApplyReplicated rejects steal-tagged records on steal-off
+// followers before the observer ever sees one.
+func (o *applyObserver) Stolen(rec journal.Record, specs []sim.JobSpec) {
+	stealReplayObserver{o.sh}.Stolen(rec, specs)
+	if o.sh.retireDone {
+		for _, id := range rec.IDs {
+			_ = o.sh.eng.Retire(id)
+		}
+	}
+}
+
+func (o *applyObserver) StealSnap(st journal.StealState) {
+	stealReplayObserver{o.sh}.StealSnap(st)
 }
 
 func (o *applyObserver) Cancelled(id int) {
@@ -297,7 +365,7 @@ func (o *applyObserver) Stepped(info sim.StepInfo) {
 		rel, _ := sh.tab.release(id)
 		sh.tab.setDone(id, done)
 		r := float64(done - rel)
-		sh.responses = append(sh.responses, r)
+		sh.resp.Observe(r)
 		sh.respHist.observe(r)
 		sh.completed++
 		sh.fairForgetLocked(id)

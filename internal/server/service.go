@@ -111,6 +111,24 @@ type Config struct {
 	// checkpoint. Off by default: every behavior, checkpoint shape and
 	// per-job query then matches pre-retirement builds exactly.
 	RetireDone bool
+	// Steal enables cross-shard work stealing: an idle (or, with
+	// StealIdle, near-idle) shard's step loop pulls whole pending jobs off
+	// the peer with the deepest estimated backlog, journaled on both sides
+	// so replay and warm-standby followers rebuild the moves
+	// bit-identically, with the original namespaced IDs kept resolvable
+	// through redirects. It also upgrades "least-loaded" placement from
+	// in-flight counts to the estimated-remaining-work gauge. Mutually
+	// exclusive with Fairness (stolen jobs would escape their tenant's
+	// ledger). See steal.go.
+	Steal bool
+	// StealMax caps how many jobs one steal moves (the work target is
+	// always half the victim's pending work). 0 means 64.
+	StealMax int
+	// StealIdle, when > 0, makes a shard probe for steals while still
+	// running: after any step round that leaves its estimated remaining
+	// work below this many task-steps, it tops up from the deepest peer
+	// instead of waiting to go fully idle. 0 steals only when idle.
+	StealIdle int64
 	// Fairness, when set, enables hierarchical multi-tenant fair-share
 	// admission: submissions resolve their X-Krad-Tenant header through
 	// the queue tree, the fleet MaxInFlight is divided by weighted fair
@@ -189,6 +207,10 @@ type Stats struct {
 	// keeping the standalone Stats encoding bit-identical to
 	// pre-replication builds.
 	Replication *ReplicationStats `json:"replication,omitempty"`
+	// Steal reports work-stealing totals; nil (omitted on the wire) when
+	// stealing is disabled, keeping the steal-free Stats encoding
+	// bit-identical to earlier builds.
+	Steal *StealStats `json:"steal,omitempty"`
 }
 
 // Service is the long-running scheduler front-end: N shards (each one
@@ -200,6 +222,8 @@ type Service struct {
 	place     Placement
 	fan       *fanout
 	fair      *fairController // nil when fairness is off
+	ledger    *stealLedger    // nil when stealing is off
+	stealMax  int
 	schedName string
 	retryVals [4]string     // Retry-After values base..base+3s; base from StepEvery
 	retrySeq  atomic.Uint32 // round-robin cursor into retryVals
@@ -229,6 +253,12 @@ func New(cfg Config) (*Service, error) {
 	}
 	if cfg.Shards > 1 && cfg.NewScheduler == nil {
 		return nil, errors.New("server: Shards > 1 requires Config.NewScheduler — shards must not share one stateful scheduler instance")
+	}
+	if cfg.Steal && cfg.Fairness != nil {
+		return nil, errors.New("server: Steal and Fairness are mutually exclusive — a stolen job would escape its tenant's fair-share ledger")
+	}
+	if cfg.StealMax <= 0 {
+		cfg.StealMax = 64
 	}
 	place, err := NewPlacement(cfg.Placement)
 	if err != nil {
@@ -261,6 +291,8 @@ func New(cfg Config) (*Service, error) {
 		}
 		sh.standby = cfg.Follower
 		sh.retireDone = cfg.RetireDone
+		sh.steal = cfg.Steal
+		sh.stealIdle = cfg.StealIdle
 		shards[i] = sh
 	}
 	s := &Service{
@@ -269,7 +301,22 @@ func New(cfg Config) (*Service, error) {
 		place:     place,
 		fan:       fan,
 		schedName: schedName,
+		stealMax:  cfg.StealMax,
 		follower:  cfg.Follower,
+	}
+	if cfg.Steal {
+		s.ledger = newStealLedger()
+		for _, sh := range shards {
+			sh.ledger = s.ledger
+		}
+		if len(shards) > 1 {
+			// One steal attempt per idle probe, driven from each shard's own
+			// step loop; a single-shard fleet has no victims.
+			for _, sh := range shards {
+				sh := sh
+				sh.stealFn = func() bool { return s.stealFor(sh) }
+			}
+		}
 	}
 	for i := range s.retryVals {
 		s.retryVals[i] = strconv.FormatInt(retryAfterSeconds(cfg.StepEvery)+int64(i), 10)
@@ -290,6 +337,15 @@ func New(cfg Config) (*Service, error) {
 		// Replays each shard's journal through its fresh engine before any
 		// step loop exists; a corrupt or mismatched journal fails New.
 		if err := s.openJournals(cfg.Journal); err != nil {
+			return nil, err
+		}
+	}
+	if !cfg.Follower {
+		// Repair steals split by a crash, now that every shard's journal has
+		// replayed and before any step loop exists. A follower defers this
+		// to Promote: its ledger fills from the replicated stream and its
+		// engines must not mutate outside it until then.
+		if err := s.reconcileSteals(); err != nil {
 			return nil, err
 		}
 	}
@@ -444,9 +500,18 @@ func (s *Service) pick(key string) (*shard, error) {
 	if len(s.shards) == 1 {
 		return s.shards[0], nil
 	}
+	// Loads come from the shards' lock-free gauges, so placement never
+	// contends with the step loops. With stealing on, "least-loaded" reads
+	// estimated remaining work (task-steps) instead of in-flight counts —
+	// the same signal victim selection uses — so placement and stealing
+	// pull toward the same equilibrium.
 	loads := make([]int, len(s.shards))
 	for i, sh := range s.shards {
-		loads[i] = sh.inFlight()
+		if s.cfg.Steal {
+			loads[i] = int(sh.loadEstWork.Load())
+		} else {
+			loads[i] = int(sh.loadRemaining.Load())
+		}
 	}
 	return s.shards[s.place.Pick(key, loads)], nil
 }
@@ -460,27 +525,63 @@ func (s *Service) shardFor(id int) (*shard, bool) {
 	return s.shards[idx], true
 }
 
+// resolve follows steal redirects from a namespaced job ID to the shard
+// currently holding the job, returning the resolved ID alongside. A job
+// that was never stolen resolves to itself in one hop; a chain of steals
+// walks one redirect per hop. The hop cap only guards against a corrupted
+// cycle — every steal moves a job to a fresh ID, so real chains are
+// finite.
+func (s *Service) resolve(id int) (int, *shard, bool) {
+	for hops := 0; hops < 1<<16; hops++ {
+		sh, ok := s.shardFor(id)
+		if !ok {
+			return 0, nil, false
+		}
+		if target, ok := sh.tab.redirect(LocalID(id)); ok {
+			id = target
+			continue
+		}
+		return id, sh, true
+	}
+	return 0, nil, false
+}
+
 // Cancel withdraws a pending or active job; its processors are free from
-// the owning shard's next step.
+// the owning shard's next step. IDs of stolen jobs resolve through their
+// redirect chain to wherever the job lives now.
 func (s *Service) Cancel(id int) error {
 	if s.Following() {
 		return ErrFollower
 	}
-	sh, ok := s.shardFor(id)
+	rid, sh, ok := s.resolve(id)
 	if !ok {
 		return fmt.Errorf("server: no job %d", id)
 	}
-	return sh.cancel(LocalID(id))
+	err := sh.cancel(LocalID(rid))
+	if err != nil && s.cfg.Steal {
+		// The job may have been stolen between resolution and the cancel;
+		// re-resolve once and retry at its new home.
+		if rid2, sh2, ok := s.resolve(rid); ok && rid2 != rid {
+			return sh2.cancel(LocalID(rid2))
+		}
+	}
+	return err
 }
 
 // Job returns a job's lifecycle status; the returned ID is the namespaced
-// one the job was submitted under.
+// one the job was submitted under, even after the job moved shards
+// through work stealing.
 func (s *Service) Job(id int) (sim.JobStatus, bool) {
-	sh, ok := s.shardFor(id)
+	rid, sh, ok := s.resolve(id)
 	if !ok {
 		return sim.JobStatus{}, false
 	}
-	st, ok := sh.job(LocalID(id))
+	st, ok := sh.job(LocalID(rid))
+	if !ok && s.cfg.Steal {
+		if rid2, sh2, ok2 := s.resolve(rid); ok2 && rid2 != rid {
+			st, ok = sh2.job(LocalID(rid2))
+		}
+	}
 	if ok {
 		st.ID = id
 	}
@@ -514,7 +615,8 @@ func (s *Service) Stats() Stats {
 	}
 	execTotal := make([]int64, s.cfg.Sim.K)
 	var elapsed int64
-	var responses []float64
+	var resp metrics.SampleHist
+	var steal StealStats
 	for _, sh := range s.shards {
 		v := sh.view()
 		if st.Caps == nil {
@@ -535,7 +637,10 @@ func (s *Service) Stats() Stats {
 		for a, w := range v.snap.ExecutedTotal {
 			execTotal[a] += w
 		}
-		responses = append(responses, v.responses...)
+		resp.Merge(v.resp)
+		steal.Stolen += int64(v.snap.Stolen)
+		steal.StolenIn += v.stolenIn
+		steal.EstWork += v.estWork
 	}
 	st.InFlight = st.Active + st.Pending
 	if elapsed > 0 {
@@ -543,11 +648,14 @@ func (s *Service) Stats() Stats {
 			st.Utilization[a] = float64(w) / (float64(st.Caps[a]) * float64(elapsed))
 		}
 	}
-	st.Response = metrics.Summarize(responses)
+	st.Response = resp.Summary()
 	_, st.EventsDropped = s.fan.stats()
 	st.Journal = s.journalStats()
 	st.Tenants = s.tenantStats()
 	st.Replication = s.replicationStats()
+	if s.cfg.Steal {
+		st.Steal = &steal
+	}
 	return st
 }
 

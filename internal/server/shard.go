@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"krad/internal/fairshare"
 	"krad/internal/journal"
+	"krad/internal/metrics"
 	"krad/internal/sched"
 	"krad/internal/sim"
 )
@@ -42,12 +44,47 @@ type shard struct {
 	closed    bool
 	stepErr   error
 	steps     int64
-	submitted int64
+	submitted int64 // external admissions only; stolen-in jobs count in stolenIn
 	completed int64
 	cancelled int64
 	rejected  int64
-	responses []float64
-	respHist  *histogram
+	// resp accumulates one response time per completed job in fixed space:
+	// exact N/Min/Max/Mean, bucketed quantiles (metrics.SampleHist). It
+	// replaces an unbounded []float64 that grew for the life of the
+	// process. respHist is the separate power-of-two histogram /metrics
+	// exposes.
+	resp     metrics.SampleHist
+	respHist *histogram
+
+	// Work stealing (see steal.go). steal marks the shard part of a
+	// steal-enabled fleet: its journal may carry steal records and its
+	// idle loop probes for victims. stealFn, set by the service, attempts
+	// one steal on behalf of this shard and reports whether it moved work.
+	// stealIdle, when > 0, also triggers a probe after a step round that
+	// left estimated work below the threshold (near-idle top-up). stolenIn
+	// counts jobs this shard re-admitted from victims — kept out of
+	// submitted so external admission counters survive replay rebuilds
+	// (submitted = engine admitted − stolenIn). The scratch slices are
+	// stealFor's reusable buffers.
+	steal      bool
+	stealIdle  int64
+	stealFn    func() bool
+	stolenIn   int64
+	stealIDs   []int
+	stealSpecs []sim.JobSpec
+	stealFrom  []int
+	// ledger is the service-wide steal reconciliation ledger (steal.go),
+	// shared by every shard; nil when stealing is off.
+	ledger *stealLedger
+
+	// Lock-free load gauges, refreshed under mu at every engine mutation
+	// (syncGaugesLocked) and read without it by placement and victim
+	// selection: loadRemaining mirrors eng.Remaining(), loadEstWork
+	// eng.EstWork() (estimated remaining task-steps), loadPendWork
+	// eng.PendingWork() (the stealable portion).
+	loadRemaining atomic.Int64
+	loadEstWork   atomic.Int64
+	loadPendWork  atomic.Int64
 
 	// fair, when set, enables the shard's slice of fair-share accounting
 	// (see fairness.go): per-leaf decayed usage on this shard's virtual
@@ -104,8 +141,10 @@ type shardView struct {
 	completed int64
 	cancelled int64
 	rejected  int64
+	stolenIn  int64
+	estWork   int64
 	stepErr   error
-	responses []float64
+	resp      *metrics.SampleHist
 	hist      histogram // counts copied; safe to merge
 }
 
@@ -226,6 +265,7 @@ func (sh *shard) submitBatch(tenant string, specs []sim.JobSpec) ([]int, error) 
 		// journal's record sequence replays to the identical ledger.
 		sh.fairAccrueLocked(tenant, ids, specsCost(specs))
 	}
+	sh.syncGaugesLocked()
 	sh.mu.Unlock()
 	if err != nil {
 		return nil, err
@@ -280,8 +320,20 @@ func (sh *shard) cancel(id int) error {
 		if journaled {
 			sh.commitLocked(rec)
 		}
+		sh.syncGaugesLocked()
 	}
 	return err
+}
+
+// syncGaugesLocked refreshes the shard's lock-free load gauges from the
+// engine. Called with mu held after every mutation that changes the
+// engine's remaining/work totals; readers (placement, victim selection)
+// load the atomics without touching mu. Allocation-free — the steady-state
+// step path pins this with AllocsPerRun.
+func (sh *shard) syncGaugesLocked() {
+	sh.loadRemaining.Store(int64(sh.eng.Remaining()))
+	sh.loadEstWork.Store(sh.eng.EstWork())
+	sh.loadPendWork.Store(sh.eng.PendingWork())
 }
 
 // job returns a job's lifecycle status by engine-local ID. It reads the
@@ -318,8 +370,10 @@ func (sh *shard) view() shardView {
 		completed: sh.completed,
 		cancelled: sh.cancelled,
 		rejected:  sh.rejected,
+		stolenIn:  sh.stolenIn,
+		estWork:   sh.eng.EstWork(),
 		stepErr:   sh.stepErr,
-		responses: append([]float64(nil), sh.responses...),
+		resp:      sh.resp.Clone(),
 		hist:      *sh.respHist,
 	}
 	v.hist.counts = append([]uint64(nil), sh.respHist.counts...)
@@ -452,7 +506,7 @@ func (sh *shard) stepN(max int64) (int64, error) {
 		rel, _ := sh.tab.release(id)
 		sh.tab.setDone(id, done)
 		r := float64(done - rel)
-		sh.responses = append(sh.responses, r)
+		sh.resp.Observe(r)
 		sh.respHist.observe(r)
 		sh.completed++
 		sh.fairForgetLocked(id)
@@ -460,6 +514,7 @@ func (sh *shard) stepN(max int64) (int64, error) {
 			_ = sh.eng.Retire(id)
 		}
 	}
+	sh.syncGaugesLocked()
 	pending := sh.eng.Snapshot().Pending
 	// info.Executed/Released/Completed are engine-owned buffers reused by
 	// the next step; the event outlives this call (async subscribers), so
@@ -521,6 +576,16 @@ func (sh *shard) loop() {
 		tick = time.NewTicker(sh.stepEvery)
 		defer tick.Stop()
 	}
+	// stealTimer bounds how long an idle steal-enabled shard parks before
+	// re-probing for victims: work arriving at a peer does not kick this
+	// shard's wake channel, so the timer is what turns a skewed backlog
+	// into fleet-wide drain. Allocated once and reused.
+	var stealTimer *time.Timer
+	defer func() {
+		if stealTimer != nil {
+			stealTimer.Stop()
+		}
+	}()
 	var anchor time.Time // zero while idle
 	var anchored int64   // steps executed since anchor
 	owed := func() int64 {
@@ -563,15 +628,40 @@ func (sh *shard) loop() {
 			if closing {
 				return // drained: all admitted work finished
 			}
+			if sh.stealFn != nil && sh.stealFn() {
+				// Pulled pending jobs off the deepest peer; step them now
+				// instead of parking.
+				continue
+			}
 			// Idle is the one instant the engine's state collapses to a
 			// small checkpoint; compact the journal before parking.
 			sh.maybeCompact()
+			if sh.stealFn != nil {
+				if stealTimer == nil {
+					stealTimer = time.NewTimer(stealProbeEvery)
+				} else {
+					stealTimer.Reset(stealProbeEvery)
+				}
+				select {
+				case <-sh.wake:
+				case <-stealTimer.C:
+				case <-sh.stop:
+					return
+				}
+				continue
+			}
 			select {
 			case <-sh.wake:
 			case <-sh.stop:
 				return
 			}
 			continue
+		}
+		if sh.stealFn != nil && sh.stealIdle > 0 && sh.loadEstWork.Load() < sh.stealIdle {
+			// Near-idle: the round left less estimated work than the
+			// configured threshold, so top up from a loaded peer before the
+			// queue actually runs dry.
+			sh.stealFn()
 		}
 		if tick != nil {
 			anchored += did

@@ -1,0 +1,442 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"krad/internal/journal"
+	"krad/internal/sim"
+)
+
+// Cross-shard work stealing (Config.Steal): an idle shard's step loop
+// pulls whole pending jobs off the deepest peer's queue so a skewed
+// arrival stream — one hot placement key hashing to one shard — drains at
+// fleet speed instead of single-shard speed.
+//
+// The move is an atomic cancel-on-victim + re-admit-on-thief under two
+// shard locks taken in shard-index order (stealFor), and both halves are
+// journaled so restart replay and a warm-standby follower rebuild
+// bit-identical state: the victim appends a steal record (which jobs
+// left, where they went), the thief appends an admit record tagged with
+// the jobs' original namespaced IDs (journal.StealAdmitRecord). The
+// victim's record is forced to disk before the thief acknowledges, so a
+// completed steal implies both halves are durable — which is what makes
+// later victim-side compaction safe. The victim's ID table gains a
+// redirect entry per stolen job, so status and cancel by the original
+// namespaced ID keep working (Service.resolve follows the chain).
+//
+// A crash can still land between the two records; reconcileSteals repairs
+// the ledger at startup and at follower promotion, before any step loop
+// runs.
+
+// stealProbeEvery bounds how long an idle steal-enabled shard parks
+// before re-probing for victims: work arriving at a peer never kicks this
+// shard's wake channel.
+const stealProbeEvery = 2 * time.Millisecond
+
+// stealIn records where a stolen job landed (from the thief's journaled
+// admit record).
+type stealIn struct {
+	to      int // thief shard index
+	toLocal int // thief-local job ID
+}
+
+// stealOut records the victim half of a steal (from the victim's
+// journaled steal record): where the job went and the original spec the
+// thief was supposed to re-admit — what an orphan repair needs.
+type stealOut struct {
+	to      int
+	toLocal int
+	spec    sim.JobSpec
+}
+
+// stealLedger is the service-wide reconciliation ledger, keyed by the
+// stolen job's original namespaced ID. It is populated only by the
+// replay/apply observers (startup replay on a restarting primary, the
+// replicated record stream on a follower), never by live steals — a live
+// steal writes both records before returning, so it can never need
+// repair. Lock order is shard.mu → ledger.mu; reconcileSteals therefore
+// snapshots the ledger before touching any shard lock.
+type stealLedger struct {
+	mu      sync.Mutex
+	out     map[int]stealOut
+	matched map[int]stealIn
+}
+
+func newStealLedger() *stealLedger {
+	return &stealLedger{out: make(map[int]stealOut), matched: make(map[int]stealIn)}
+}
+
+// stolen folds a replayed victim-side steal record into the ledger.
+func (l *stealLedger) stolen(victimIdx int, rec journal.Record, specs []sim.JobSpec) {
+	l.mu.Lock()
+	for k, id := range rec.IDs {
+		l.out[composeID(victimIdx, id)] = stealOut{to: rec.To, toLocal: rec.NBase + k, spec: specs[k]}
+	}
+	l.mu.Unlock()
+}
+
+// admitted folds a replayed thief-side steal admission into the ledger.
+func (l *stealLedger) admitted(thiefIdx int, from, ids []int) {
+	l.mu.Lock()
+	for k, src := range from {
+		l.matched[src] = stealIn{to: thiefIdx, toLocal: ids[k]}
+	}
+	l.mu.Unlock()
+}
+
+// stealFor attempts one steal on thief's behalf: pick the peer with the
+// deepest stealable (pending) backlog off the lock-free gauges, move up
+// to half its pending work — at most Config.StealMax jobs, and never past
+// the thief's admission bound — and journal both halves. Returns whether
+// any work moved. Called from the thief's own step loop, so at most one
+// stealFor runs per thief at a time; the no-victim probe path is
+// allocation-free (AllocsPerRun-pinned).
+func (s *Service) stealFor(thief *shard) bool {
+	var victim *shard
+	var best int64
+	for _, sh := range s.shards {
+		if sh == thief {
+			continue
+		}
+		// Deepest pending backlog wins; ties keep the lowest shard index.
+		if w := sh.loadPendWork.Load(); w > best {
+			best, victim = w, sh
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	// Two-lock protocol, ordered by shard index so concurrent thieves can
+	// never deadlock.
+	lo, hi := thief, victim
+	if hi.idx < lo.idx {
+		lo, hi = hi, lo
+	}
+	lo.mu.Lock()
+	defer lo.mu.Unlock()
+	hi.mu.Lock()
+	defer hi.mu.Unlock()
+
+	// Re-validate under the locks: the gauges were a hint.
+	if thief.closed || victim.closed || thief.stepErr != nil || victim.stepErr != nil {
+		return false
+	}
+	if thief.rep != nil {
+		if err := thief.rep.WriteAllowed(); err != nil {
+			return false // fenced or lease-expired primary: no new writes
+		}
+	}
+	if !thief.journalHealthyLocked() || !victim.journalHealthyLocked() {
+		return false
+	}
+	target := victim.eng.PendingWork() / 2
+	if target <= 0 {
+		return false
+	}
+	maxJobs := s.stealMax
+	if free := thief.maxInFlight - thief.eng.Remaining(); free < maxJobs {
+		maxJobs = free
+	}
+	if maxJobs <= 0 {
+		return false
+	}
+	ids := victim.eng.StealCandidates(thief.stealIDs[:0], maxJobs, target)
+	thief.stealIDs = ids[:0]
+	if len(ids) == 0 {
+		return false
+	}
+
+	// Journal the victim half first, mirroring cancel's precheck pattern:
+	// the candidates are pending under this lock, so once the record is
+	// down the Withdraws below cannot fail. The forced sync makes the
+	// record durable before the thief acknowledges anything (best-effort
+	// under journal.SyncNever, like every other append).
+	nbase := thief.eng.NextID()
+	if victim.jn != nil {
+		vrec := journal.StealRecord(ids, thief.idx, nbase)
+		if err := victim.jn.Append(vrec); err != nil {
+			return false // victim degraded; nothing moved
+		}
+		victim.commitLocked(vrec)
+		_ = victim.jn.Sync()
+	}
+	specs := thief.stealSpecs[:0]
+	from := thief.stealFrom[:0]
+	now := thief.eng.Now()
+	for _, id := range ids {
+		spec, err := victim.eng.Withdraw(id)
+		if err != nil {
+			// Unreachable (pending under this lock). Latch loudly: the
+			// victim's journal now disagrees with its memory.
+			victim.stepErr = fmt.Errorf("server: shard %d: steal withdraw %d: %v", victim.idx, id, err)
+			return false
+		}
+		if spec.Release < now {
+			// Shard virtual clocks are independent; a release in the
+			// thief's past would be rejected at re-admission. Future
+			// releases (not-yet-due jobs) are preserved.
+			spec.Release = now
+		}
+		specs = append(specs, spec)
+		from = append(from, composeID(victim.idx, id))
+	}
+	thief.stealSpecs, thief.stealFrom = specs, from
+	nids, err := thief.eng.AdmitBatch(specs)
+	if err != nil {
+		// Unreachable: the specs were admitted once already and the
+		// releases are normalized. Latch loudly — the victim's journal says
+		// these jobs moved here.
+		thief.stepErr = fmt.Errorf("server: shard %d: steal re-admit from shard %d: %v", thief.idx, victim.idx, err)
+		return false
+	}
+	if thief.jn != nil {
+		arec, err := journal.StealAdmitRecord(nids[0], specs, from)
+		if err == nil {
+			err = thief.jn.Append(arec)
+		}
+		if err == nil {
+			thief.commitLocked(arec)
+			_ = thief.jn.Sync()
+		}
+		// An append failure latches the thief's journal (degraded, sticky):
+		// the jobs run from memory, and after a crash startup
+		// reconciliation finds the victim's record unmatched and re-homes
+		// the jobs to the victim (orphan path).
+	}
+	thief.stolenIn += int64(len(nids))
+	for k, nid := range nids {
+		st, _ := thief.eng.JobRef(nid)
+		thief.tab.put(nid, st)
+		victim.tab.setRedirect(ids[k], composeID(thief.idx, nid))
+	}
+	thief.syncGaugesLocked()
+	victim.syncGaugesLocked()
+	return true
+}
+
+// stealReplayObserver rebuilds the server-side steal state — redirects,
+// stolen-in counters, the reconciliation ledger — while a steal-enabled
+// shard's journal replays (journal.ReplayObserved during attachJournal).
+// The engine half of each record replays in the journal layer; this
+// observer only mirrors what the live stealFor recorded outside the
+// engine. Fairness and stealing are mutually exclusive, so a fair record
+// in a steal-enabled journal is a hard error.
+type stealReplayObserver struct{ sh *shard }
+
+func (o stealReplayObserver) Fair(journal.FairState) error {
+	return fmt.Errorf("record is fairness-tagged but fairness is disabled; refusing to drop tenant state (restart with -fairness, or move the journal away)")
+}
+
+func (o stealReplayObserver) Admitted(rec journal.Record, ids []int, now int64) {
+	if len(rec.From) == 0 {
+		return
+	}
+	o.sh.stolenIn += int64(len(ids))
+	for k, src := range rec.From {
+		if ShardOf(src) == o.sh.idx {
+			// An orphan repair re-admitted the job on its own victim shard;
+			// the redirect points back into this shard, overwriting the
+			// stale one the original steal record installed.
+			o.sh.tab.setRedirect(LocalID(src), composeID(o.sh.idx, ids[k]))
+		}
+	}
+	if o.sh.ledger != nil {
+		o.sh.ledger.admitted(o.sh.idx, rec.From, ids)
+	}
+}
+
+func (o stealReplayObserver) Cancelled(int)        {}
+func (o stealReplayObserver) Stepped(sim.StepInfo) {}
+
+func (o stealReplayObserver) Stolen(rec journal.Record, specs []sim.JobSpec) {
+	for k, id := range rec.IDs {
+		o.sh.tab.setRedirect(id, composeID(rec.To, rec.NBase+k))
+	}
+	if o.sh.ledger != nil {
+		o.sh.ledger.stolen(o.sh.idx, rec, specs)
+	}
+}
+
+func (o stealReplayObserver) StealSnap(st journal.StealState) {
+	o.sh.stolenIn = st.In
+	for id, target := range st.Redirects {
+		o.sh.tab.setRedirect(id, target)
+	}
+}
+
+// reconcileSteals repairs steals whose two journal records were split by
+// a crash. Runs after every shard's journal has replayed (startup) and at
+// follower promotion — always before any step loop can race it. Two
+// one-sided states exist:
+//
+//   - Orphan: the victim's steal record is durable, the thief's admit
+//     record is not (the thief crashed before its append/sync). The jobs
+//     exist nowhere. Repair re-admits them on the victim under a fresh
+//     journaled steal admission, overwriting the stale redirect — chosen
+//     over re-admitting on the thief because the victim's durable record
+//     already names a thief-local ID the thief may never assign.
+//
+//   - Duplicate: the thief's admit record is durable, the victim's steal
+//     record is not (possible only under non-forced sync policies). The
+//     job is pending on both. Repair withdraws the victim's copy now,
+//     journaling the steal record the crash ate.
+//
+// Anything else — the thief consumed the promised ID with a different
+// admission, the victim's copy already ran — means the journals diverged;
+// that is a hard error, never a silent repair.
+func (s *Service) reconcileSteals() error {
+	if s.ledger == nil {
+		return nil
+	}
+	// Snapshot under the ledger lock alone (lock order is shard.mu →
+	// ledger.mu), in deterministic ID order so repairs journal identically
+	// across identical crashes.
+	s.ledger.mu.Lock()
+	type orphan struct {
+		src int
+		out stealOut
+	}
+	type dup struct {
+		src int
+		in  stealIn
+	}
+	var orphans []orphan
+	var dups []dup
+	for src, o := range s.ledger.out {
+		if _, ok := s.ledger.matched[src]; !ok {
+			orphans = append(orphans, orphan{src, o})
+		}
+	}
+	for src, in := range s.ledger.matched {
+		if _, ok := s.ledger.out[src]; !ok {
+			dups = append(dups, dup{src, in})
+		}
+	}
+	s.ledger.mu.Unlock()
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i].src < orphans[j].src })
+	sort.Slice(dups, func(i, j int) bool { return dups[i].src < dups[j].src })
+	for _, o := range orphans {
+		if err := s.fixOrphanSteal(o.src, o.out); err != nil {
+			return err
+		}
+	}
+	for _, d := range dups {
+		if err := s.fixDuplicateSteal(d.src, d.in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fixOrphanSteal re-admits a job whose steal lost its thief half: the
+// victim journaled the withdraw, the thief never durably admitted. The
+// job is re-admitted on the victim itself, journaled as a steal admission
+// tagged with the original ID, so the next replay rebuilds the same
+// repair and the original ID redirects to the job's new home.
+func (s *Service) fixOrphanSteal(src int, out stealOut) error {
+	victim := s.shards[ShardOf(src)]
+	thief := s.shards[out.to]
+	thief.mu.Lock()
+	next := thief.eng.NextID()
+	thief.mu.Unlock()
+	if next > out.toLocal {
+		return fmt.Errorf("server: steal of job %d to shard %d diverged: the thief consumed local ID %d without the matching steal admission; refusing to serve diverged journals", src, out.to, out.toLocal)
+	}
+	victim.mu.Lock()
+	defer victim.mu.Unlock()
+	if !victim.journalHealthyLocked() {
+		return fmt.Errorf("server: shard %d: cannot repair orphaned steal of job %d: %w", victim.idx, src, ErrDegraded)
+	}
+	spec := out.spec
+	if spec.Release < victim.eng.Now() {
+		spec.Release = victim.eng.Now()
+	}
+	nids, err := victim.eng.AdmitBatch([]sim.JobSpec{spec})
+	if err != nil {
+		return fmt.Errorf("server: shard %d: re-admit orphaned steal of job %d: %w", victim.idx, src, err)
+	}
+	if victim.jn != nil {
+		arec, err := journal.StealAdmitRecord(nids[0], []sim.JobSpec{spec}, []int{src})
+		if err == nil {
+			err = victim.jn.Append(arec)
+		}
+		if err != nil {
+			return fmt.Errorf("server: shard %d: journal orphaned-steal repair of job %d: %w", victim.idx, src, err)
+		}
+		victim.commitLocked(arec)
+		_ = victim.jn.Sync()
+	}
+	victim.stolenIn++
+	st, _ := victim.eng.JobRef(nids[0])
+	victim.tab.put(nids[0], st)
+	victim.tab.setRedirect(LocalID(src), composeID(victim.idx, nids[0]))
+	victim.syncGaugesLocked()
+	s.ledger.mu.Lock()
+	s.ledger.matched[src] = stealIn{to: victim.idx, toLocal: nids[0]}
+	s.ledger.mu.Unlock()
+	return nil
+}
+
+// fixDuplicateSteal withdraws the victim-side copy of a job whose steal
+// lost its victim half: the thief durably admitted it, but the victim's
+// steal record never reached disk, leaving the job pending on both
+// shards. The repair performs the withdraw the crash ate, journaled as
+// the same steal record.
+func (s *Service) fixDuplicateSteal(src int, in stealIn) error {
+	victim := s.shards[ShardOf(src)]
+	victim.mu.Lock()
+	defer victim.mu.Unlock()
+	local := LocalID(src)
+	if local >= victim.eng.NextID() {
+		// The victim's journal lost the admission itself: new admissions
+		// would reuse this local ID while the thief's copy runs under the
+		// original name. No safe mapping exists.
+		return fmt.Errorf("server: shard %d journal lost admitted job %d that shard %d stole; refusing to serve diverged journals", victim.idx, src, in.to)
+	}
+	st, ok := victim.eng.JobRef(local)
+	if !ok || st.Phase != sim.JobPending {
+		phase := "retired"
+		if ok {
+			phase = st.Phase.String()
+		}
+		return fmt.Errorf("server: job %d is %s on shard %d but also admitted on shard %d by a steal; refusing to serve diverged journals", src, phase, victim.idx, in.to)
+	}
+	if !victim.journalHealthyLocked() {
+		return fmt.Errorf("server: shard %d: cannot repair duplicated steal of job %d: %w", victim.idx, src, ErrDegraded)
+	}
+	if victim.jn != nil {
+		vrec := journal.StealRecord([]int{local}, in.to, in.toLocal)
+		if err := victim.jn.Append(vrec); err != nil {
+			return fmt.Errorf("server: shard %d: journal duplicated-steal repair of job %d: %w", victim.idx, src, err)
+		}
+		victim.commitLocked(vrec)
+		_ = victim.jn.Sync()
+	}
+	if _, err := victim.eng.Withdraw(local); err != nil {
+		return fmt.Errorf("server: shard %d: withdraw duplicated steal of job %d: %w", victim.idx, src, err)
+	}
+	victim.tab.setRedirect(local, composeID(in.to, in.toLocal))
+	if victim.retireDone {
+		_ = victim.eng.Retire(local)
+	}
+	victim.syncGaugesLocked()
+	return nil
+}
+
+// StealStats is the work-stealing slice of Stats; nil (omitted on the
+// wire) when stealing is disabled, keeping the steal-free encoding
+// bit-identical to earlier builds.
+type StealStats struct {
+	// Stolen counts jobs moved off their admission shard (fleet-wide
+	// victim-side total, durable across restarts).
+	Stolen int64 `json:"stolen"`
+	// StolenIn counts jobs re-admitted by thieves (fleet-wide; equals
+	// Stolen when no steal is mid-repair).
+	StolenIn int64 `json:"stolen_in"`
+	// EstWork is the fleet's estimated remaining work (task-steps), the
+	// gauge placement and victim selection read.
+	EstWork int64 `json:"est_work"`
+}

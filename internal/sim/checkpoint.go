@@ -49,11 +49,12 @@ type EngineCheckpoint struct {
 	// Checkpoints from engines that never retired (and all pre-retirement
 	// checkpoints) omit the field; it then defaults to len(Jobs).
 	NextID int `json:"next_id,omitempty"`
-	// Completed and Cancelled carry the aggregate terminal counters,
-	// which include retired jobs. When omitted (pre-retirement
+	// Completed, Cancelled and Stolen carry the aggregate terminal
+	// counters, which include retired jobs. When omitted (pre-retirement
 	// checkpoints) they are derived from the Jobs table.
 	Completed int `json:"completed,omitempty"`
 	Cancelled int `json:"cancelled,omitempty"`
+	Stolen    int `json:"stolen,omitempty"`
 }
 
 // Checkpoint captures the engine's state at an idle instant. It fails if
@@ -91,6 +92,7 @@ func (e *Engine) Checkpoint() (EngineCheckpoint, error) {
 		NextID:     len(e.jobs),
 		Completed:  e.completedN,
 		Cancelled:  e.cancelledN,
+		Stolen:     e.stolenN,
 	}
 	for _, js := range e.jobs {
 		if js == nil {
@@ -141,32 +143,35 @@ func (e *Engine) Restore(cp EngineCheckpoint) error {
 		if j.ID < 0 || j.ID >= nextID {
 			return fmt.Errorf("sim: checkpoint job %d has ID %d outside 0..%d", i, j.ID, nextID-1)
 		}
-		if j.Phase != JobDone && j.Phase != JobCancelled {
+		if j.Phase != JobDone && j.Phase != JobCancelled && j.Phase != JobStolen {
 			return fmt.Errorf("sim: checkpoint job %d is %s; only terminal jobs can be checkpointed", j.ID, j.Phase)
 		}
 		if len(j.Work) != e.cfg.K {
 			return fmt.Errorf("sim: checkpoint job %d has %d work categories for K=%d", j.ID, len(j.Work), e.cfg.K)
 		}
 	}
-	tableDone, tableCancelled := 0, 0
+	tableDone, tableCancelled, tableStolen := 0, 0, 0
 	for _, j := range cp.Jobs {
-		if j.Phase == JobDone {
+		switch j.Phase {
+		case JobDone:
 			tableDone++
-		} else {
+		case JobStolen:
+			tableStolen++
+		default:
 			tableCancelled++
 		}
 	}
-	completedN, cancelledN := cp.Completed, cp.Cancelled
-	if completedN == 0 && cancelledN == 0 {
-		completedN, cancelledN = tableDone, tableCancelled // pre-retirement
+	completedN, cancelledN, stolenN := cp.Completed, cp.Cancelled, cp.Stolen
+	if completedN == 0 && cancelledN == 0 && stolenN == 0 {
+		completedN, cancelledN, stolenN = tableDone, tableCancelled, tableStolen // pre-retirement
 	}
-	if completedN < tableDone || cancelledN < tableCancelled {
-		return fmt.Errorf("sim: checkpoint counters %d done/%d cancelled below its job table (%d/%d)",
-			completedN, cancelledN, tableDone, tableCancelled)
+	if completedN < tableDone || cancelledN < tableCancelled || stolenN < tableStolen {
+		return fmt.Errorf("sim: checkpoint counters %d done/%d cancelled/%d stolen below its job table (%d/%d/%d)",
+			completedN, cancelledN, stolenN, tableDone, tableCancelled, tableStolen)
 	}
-	if completedN+cancelledN != nextID {
-		return fmt.Errorf("sim: checkpoint counters %d done + %d cancelled don't cover %d admitted jobs",
-			completedN, cancelledN, nextID)
+	if completedN+cancelledN+stolenN != nextID {
+		return fmt.Errorf("sim: checkpoint counters %d done + %d cancelled + %d stolen don't cover %d admitted jobs",
+			completedN, cancelledN, stolenN, nextID)
 	}
 	if cp.SchedState != nil {
 		snap, ok := e.cfg.Scheduler.(sched.Snapshotter)
@@ -201,5 +206,6 @@ func (e *Engine) Restore(cp EngineCheckpoint) error {
 	}
 	e.completedN = completedN
 	e.cancelledN = cancelledN
+	e.stolenN = stolenN
 	return nil
 }

@@ -23,6 +23,11 @@ const (
 	// JobCancelled means the job was withdrawn before completing; its
 	// processors were freed at the following step.
 	JobCancelled
+	// JobStolen means the job was withdrawn while still pending and
+	// re-admitted on another engine (cross-shard work stealing). Terminal
+	// for THIS engine; the job's lifecycle continues under a new ID on the
+	// engine it migrated to.
+	JobStolen
 )
 
 // String returns the lowercase phase name used in status reports.
@@ -36,6 +41,8 @@ func (p JobPhase) String() string {
 		return "done"
 	case JobCancelled:
 		return "cancelled"
+	case JobStolen:
+		return "stolen"
 	default:
 		return fmt.Sprintf("JobPhase(%d)", int(p))
 	}
@@ -103,12 +110,15 @@ type EngineSnapshot struct {
 	Now  int64
 	K    int
 	Caps []int
-	// Admitted = Pending + Active + Completed + Cancelled.
+	// Admitted = Pending + Active + Completed + Cancelled + Stolen.
 	Admitted  int
 	Pending   int
 	Active    int
 	Completed int
 	Cancelled int
+	// Stolen counts jobs withdrawn while pending and migrated to another
+	// engine (cross-shard work stealing). 0 on engines that never donated.
+	Stolen int
 	// Makespan is the latest completion step seen so far.
 	Makespan int64
 	// ExecutedTotal[α−1] is the cumulative α-tasks executed.
@@ -195,9 +205,14 @@ type jobState struct {
 	family      RuntimeFamily
 	work        []int
 	span        int
+	tasks       int // src.TotalTasks(), cached for the work gauges
 	phase       JobPhase
 	completed   int64 // 0 while running (completion steps are ≥ 1)
 	cancelledAt int64
+	// spec is the original admission spec, retained only while the job is
+	// pending so Withdraw can hand it to another engine; cleared on
+	// release, cancellation and withdrawal so active jobs pin nothing.
+	spec JobSpec
 }
 
 // Engine is the incremental form of the simulator: the same machine Run
@@ -218,12 +233,19 @@ type Engine struct {
 	pendOff    int
 	active     []*jobState // released, unfinished; ascending ID
 	free       []*jobState // retired jobStates recycled by the next Admit
-	remaining  int         // admitted − completed − cancelled
+	remaining  int         // admitted − completed − cancelled − stolen
 	completedN int
 	cancelledN int
+	stolenN    int // jobs withdrawn by cross-shard work stealing
 
 	totalWork  int64 // total admitted unit tasks (feeds the runaway bound)
 	maxRelease int64
+
+	// Work gauges (see PendingWork and EstWork): incrementally maintained
+	// task counts, updated by the same mutations the counters above track
+	// so reading them costs nothing.
+	pendingWork int64 // Σ tasks over pending (not-yet-released) jobs
+	estWork     int64 // estimated unexecuted tasks over pending + active jobs
 
 	trace       *Trace
 	makespan    int64
@@ -301,6 +323,30 @@ func (e *Engine) Idle() bool { return len(e.active) == 0 && e.pendingLen() == 0 
 
 // pendingLen is the number of admitted, not-yet-released jobs.
 func (e *Engine) pendingLen() int { return len(e.pending) - e.pendOff }
+
+// NextID is the ID the next admission will receive. Monotonic; retirement
+// never lowers it.
+func (e *Engine) NextID() int { return len(e.jobs) }
+
+// PendingWork is the total task count of admitted, not-yet-released jobs —
+// the work a victim engine could donate to cross-shard stealing without
+// touching any runtime state. Maintained incrementally; reading it is free.
+func (e *Engine) PendingWork() int64 { return e.pendingWork }
+
+// EstWork estimates the unexecuted tasks across pending and active jobs:
+// admitted work minus drained steps, maintained incrementally so the hot
+// path never scans the job table. Exact for unit-task families; for timed
+// and moldable runtimes it is an estimate (duration-weighted task counts)
+// that self-corrects to zero whenever the engine drains idle.
+func (e *Engine) EstWork() int64 {
+	if e.remaining == 0 {
+		return 0
+	}
+	if e.estWork < e.pendingWork {
+		return e.pendingWork
+	}
+	return e.estWork
+}
 
 // Admit adds a job to the running engine and returns its assigned ID.
 // IDs are assigned in admission order, so admitting jobs in release order
@@ -401,7 +447,9 @@ func (e *Engine) prepare(spec JobSpec, id int) (*jobState, int, error) {
 		e.free = append(e.free, js)
 		return nil, 0, fmt.Errorf("sim: job %d (%s) runtime cannot report task IDs; TraceTasks requires DAG-backed jobs", id, src.Name())
 	}
-	return js, src.TotalTasks(), nil
+	js.tasks = src.TotalTasks()
+	js.spec = spec
+	return js, js.tasks, nil
 }
 
 // commit registers a prepared jobState with the engine.
@@ -410,6 +458,8 @@ func (e *Engine) commit(js *jobState, tasks int) {
 	e.insertPending(js)
 	e.remaining++
 	e.totalWork += int64(tasks)
+	e.pendingWork += int64(tasks)
+	e.estWork += int64(tasks)
 	if js.release > e.maxRelease {
 		e.maxRelease = js.release
 	}
@@ -429,11 +479,22 @@ func (e *Engine) Cancel(id int) error {
 		return fmt.Errorf("sim: job %d already completed at step %d", id, js.completed)
 	case JobCancelled:
 		return fmt.Errorf("sim: job %d already cancelled", id)
+	case JobStolen:
+		return fmt.Errorf("sim: job %d was withdrawn by work stealing", id)
 	case JobPending:
 		live := removeJob(e.pending[e.pendOff:], js)
 		e.pending = e.pending[:e.pendOff+len(live)]
+		e.pendingWork -= int64(js.tasks)
+		e.estWork -= int64(js.tasks)
+		js.spec = JobSpec{}
 	case JobActive:
 		e.active = removeJob(e.active, js)
+		for _, w := range js.rt.RemainingWork() {
+			e.estWork -= int64(w)
+		}
+		if e.estWork < 0 {
+			e.estWork = 0
+		}
 	}
 	js.phase = JobCancelled
 	js.cancelledAt = e.now
@@ -443,6 +504,57 @@ func (e *Engine) Cancel(id int) error {
 		c.JobsDone([]int{id})
 	}
 	return nil
+}
+
+// Withdraw removes a pending (not-yet-released) job so it can be
+// re-admitted on another engine — the sim half of cross-shard work
+// stealing. It returns the job's original spec (with its original release)
+// so the thief admits bit-identically what the victim lost. Only pending
+// jobs are stealable: they carry no runtime state, so migration is exactly
+// cancel-here + admit-there. The job's phase becomes JobStolen — terminal
+// for this engine — and its ID is never reused.
+func (e *Engine) Withdraw(id int) (JobSpec, error) {
+	if id < 0 || id >= len(e.jobs) || e.jobs[id] == nil {
+		return JobSpec{}, fmt.Errorf("sim: no job %d", id)
+	}
+	js := e.jobs[id]
+	if js.phase != JobPending {
+		return JobSpec{}, fmt.Errorf("sim: job %d is %s; only pending jobs can be withdrawn", id, js.phase)
+	}
+	live := removeJob(e.pending[e.pendOff:], js)
+	e.pending = e.pending[:e.pendOff+len(live)]
+	spec := js.spec
+	spec.Release = js.release
+	js.spec = JobSpec{}
+	js.phase = JobStolen
+	js.cancelledAt = e.now
+	e.remaining--
+	e.stolenN++
+	e.pendingWork -= int64(js.tasks)
+	e.estWork -= int64(js.tasks)
+	if e.estWork < 0 {
+		e.estWork = 0
+	}
+	if c, ok := e.cfg.Scheduler.(sched.Completer); ok {
+		c.JobsDone([]int{id})
+	}
+	return spec, nil
+}
+
+// StealCandidates appends pending job IDs to buf, newest release first,
+// until their cumulative task count reaches targetWork or maxJobs IDs are
+// collected, and returns the extended slice. Walking the pending queue from
+// the tail prefers the jobs released furthest in the future — the ones
+// least likely to start before a thief can re-admit them. The caller then
+// withdraws each ID; no engine state changes here.
+func (e *Engine) StealCandidates(buf []int, maxJobs int, targetWork int64) []int {
+	var got int64
+	for i := len(e.pending) - 1; i >= e.pendOff && len(buf) < maxJobs && got < targetWork; i-- {
+		js := e.pending[i]
+		buf = append(buf, js.id)
+		got += int64(js.tasks)
+	}
+	return buf
 }
 
 // Retire forgets a terminal (completed or cancelled) job, recycling its
@@ -459,8 +571,8 @@ func (e *Engine) Retire(id int) error {
 		return fmt.Errorf("sim: no job %d", id)
 	}
 	js := e.jobs[id]
-	if js.phase != JobDone && js.phase != JobCancelled {
-		return fmt.Errorf("sim: job %d is %s; only completed or cancelled jobs can be retired", id, js.phase)
+	if js.phase != JobDone && js.phase != JobCancelled && js.phase != JobStolen {
+		return fmt.Errorf("sim: job %d is %s; only completed, cancelled or stolen jobs can be retired", id, js.phase)
 	}
 	e.jobs[id] = nil
 	e.free = append(e.free, js)
@@ -529,6 +641,7 @@ func (e *Engine) Snapshot() EngineSnapshot {
 		Active:        len(e.active),
 		Completed:     e.completedN,
 		Cancelled:     e.cancelledN,
+		Stolen:        e.stolenN,
 		Makespan:      e.makespan,
 		ExecutedTotal: append([]int64(nil), e.execTotal...),
 		LeapSteps:     e.leapSteps,
@@ -593,6 +706,10 @@ func (e *Engine) stepN(budget int64) (StepInfo, error) {
 			e.pending[e.pendOff] = nil
 			e.pendOff++
 			js.phase = JobActive
+			// Release hands the job's state to its runtime: it is no longer
+			// stealable, so drop the retained spec and its pending-work share.
+			e.pendingWork -= int64(js.tasks)
+			js.spec = JobSpec{}
 			e.insertActive(js)
 			e.callRel = append(e.callRel, js.id)
 		}
@@ -618,6 +735,12 @@ func (e *Engine) stepN(budget int64) (StepInfo, error) {
 		}
 	}
 	e.leapSteps += leaps
+	if e.remaining == 0 {
+		// Drained: snap the work estimate back to truth so estimation error
+		// from timed/moldable runtimes cannot accumulate across bursts.
+		e.estWork = 0
+		e.pendingWork = 0
+	}
 	info := StepInfo{
 		Step:      e.now,
 		Idle:      steps == 0,
@@ -775,6 +898,10 @@ func (e *Engine) executeRound(t int64, budget int64) (int64, error) {
 	for a, n := range e.stepExec {
 		e.execTotal[a] += int64(n)
 		e.callExec[a] += n
+		e.estWork -= int64(n)
+	}
+	if e.estWork < 0 {
+		e.estWork = 0
 	}
 
 	// Step boundary: detect completions.
@@ -929,6 +1056,10 @@ func (e *Engine) leapRound(t int64, allot [][]int, n int64) {
 	for a, c := range e.stepExec {
 		e.execTotal[a] += int64(c) * n
 		e.callExec[a] += c * int(n)
+		e.estWork -= int64(c) * n
+	}
+	if e.estWork < 0 {
+		e.estWork = 0
 	}
 	if e.trace.level >= TraceSteps {
 		for s := t; s < t+n; s++ {
